@@ -1,0 +1,54 @@
+//! # swpf-analysis — loop and dependence analyses over `swpf-ir`
+//!
+//! The prefetch-generation pass of the CGO'17 paper needs exactly four
+//! pieces of static information (paper §4.1–4.2):
+//!
+//! 1. **Dominators** ([`dom`]) — for SSA sanity and for deciding whether an
+//!    instruction executes on every loop iteration.
+//! 2. **Natural loops** ([`loops`]) — headers, latches, preheaders, nesting
+//!    depth; the pass walks loads *inside loops* and prefers induction
+//!    variables of the *innermost* enclosing loop.
+//! 3. **Induction variables** ([`indvar`]) — canonical `phi`/`add` cycles
+//!    with their loop-termination bounds, which double as data-structure
+//!    size information for fault-avoidance clamping when no `alloc` is
+//!    visible (paper §4.2).
+//! 4. **Invariance and object roots** ([`invariance`]) — loop-invariance
+//!    of values, and a conservative "which allocation does this address
+//!    derive from" analysis used to reject prefetch candidates whose
+//!    address-generating arrays are stored to inside the loop.
+//!
+//! [`FuncAnalysis::compute`] bundles all of them.
+
+pub mod dom;
+pub mod indvar;
+pub mod invariance;
+pub mod loops;
+
+pub use dom::DomTree;
+pub use indvar::{InductionVar, IvAnalysis, LoopBound};
+pub use invariance::{object_root, object_roots, roots_may_alias, ObjectRoot};
+pub use loops::{Loop, LoopForest, LoopId};
+
+use swpf_ir::Function;
+
+/// All per-function analyses bundled together.
+#[derive(Debug)]
+pub struct FuncAnalysis {
+    /// Dominator tree.
+    pub dom: DomTree,
+    /// Natural-loop forest.
+    pub loops: LoopForest,
+    /// Induction variables and loop bounds.
+    pub ivs: IvAnalysis,
+}
+
+impl FuncAnalysis {
+    /// Run every analysis on `f`.
+    #[must_use]
+    pub fn compute(f: &Function) -> Self {
+        let dom = DomTree::compute(f);
+        let loops = LoopForest::compute(f, &dom);
+        let ivs = IvAnalysis::compute(f, &loops);
+        FuncAnalysis { dom, loops, ivs }
+    }
+}

@@ -1,0 +1,329 @@
+//! Natural-loop detection and nesting.
+
+use crate::dom::DomTree;
+use swpf_ir::{BlockId, Function};
+
+/// Index of a loop within a [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// The arena slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A natural loop: the strongly-connected body reached by back edges into
+/// a single header.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The single entry block; its phis carry the induction variables.
+    pub header: BlockId,
+    /// Blocks with a back edge to the header (usually exactly one).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, header included, sorted.
+    pub blocks: Vec<BlockId>,
+    /// The unique predecessor of `header` outside the loop, when one
+    /// exists. Induction-variable initial values flow in from here.
+    pub preheader: Option<BlockId>,
+    /// Immediately enclosing loop, if nested.
+    pub parent: Option<LoopId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+    /// Blocks inside the loop with a successor outside it.
+    pub exiting: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to this loop.
+    #[must_use]
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of a function, with innermost-loop lookup per block.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detect all natural loops of `f`.
+    ///
+    /// Irreducible control flow (a cycle entered other than through its
+    /// header) is not given a loop; the prefetch pass simply sees no
+    /// induction variable there and skips it, matching the paper's
+    /// conservative stance.
+    #[must_use]
+    pub fn compute(f: &Function, dom: &DomTree) -> Self {
+        let preds = f.predecessors();
+        // Find back edges (latch → header).
+        let mut headers: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for b in f.block_ids() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for s in f.successors(b) {
+                if dom.dominates(s, b) {
+                    match headers.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => headers.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+        // Natural loop body: backwards reachability from latches, stopping
+        // at the header.
+        let mut loops = Vec::new();
+        for (header, latches) in headers {
+            let mut in_loop = vec![false; f.num_blocks()];
+            in_loop[header.index()] = true;
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if in_loop[b.index()] {
+                    continue;
+                }
+                in_loop[b.index()] = true;
+                for &p in &preds[b.index()] {
+                    stack.push(p);
+                }
+            }
+            let blocks: Vec<BlockId> = f.block_ids().filter(|b| in_loop[b.index()]).collect();
+            let outside_preds: Vec<BlockId> = preds[header.index()]
+                .iter()
+                .copied()
+                .filter(|p| !in_loop[p.index()])
+                .collect();
+            let preheader = match outside_preds.as_slice() {
+                [single] => Some(*single),
+                _ => None,
+            };
+            let exiting: Vec<BlockId> = blocks
+                .iter()
+                .copied()
+                .filter(|&b| f.successors(b).iter().any(|s| !in_loop[s.index()]))
+                .collect();
+            loops.push(Loop {
+                header,
+                latches,
+                blocks,
+                preheader,
+                parent: None,
+                depth: 0,
+                exiting,
+            });
+        }
+
+        // Nesting: parent = smallest strictly-containing loop.
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..loops.len()).collect();
+            idx.sort_by_key(|&i| loops[i].blocks.len());
+            idx
+        };
+        for (pos, &i) in order.iter().enumerate() {
+            for &j in &order[pos + 1..] {
+                let child_header = loops[i].header;
+                if loops[j].contains(child_header) && i != j {
+                    loops[i].parent = Some(LoopId(j as u32));
+                    break;
+                }
+            }
+        }
+        // Depths.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = d;
+        }
+        // Innermost loop per block: the containing loop with max depth.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; f.num_blocks()];
+        for b in f.block_ids() {
+            let mut best: Option<LoopId> = None;
+            for (i, l) in loops.iter().enumerate() {
+                if l.contains(b) {
+                    let better = match best {
+                        None => true,
+                        Some(cur) => l.depth > loops[cur.index()].depth,
+                    };
+                    if better {
+                        best = Some(LoopId(i as u32));
+                    }
+                }
+            }
+            innermost[b.index()] = best;
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// Number of loops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function is loop-free.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterate over loop ids.
+    pub fn ids(&self) -> impl Iterator<Item = LoopId> + '_ {
+        (0..self.loops.len() as u32).map(LoopId)
+    }
+
+    /// Access a loop.
+    #[must_use]
+    pub fn get(&self, l: LoopId) -> &Loop {
+        &self.loops[l.index()]
+    }
+
+    /// The innermost loop containing `b`, if any.
+    #[must_use]
+    pub fn innermost(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// Whether loop `outer` contains loop `inner` (reflexive).
+    #[must_use]
+    pub fn loop_contains(&self, outer: LoopId, inner: LoopId) -> bool {
+        let mut cur = Some(inner);
+        while let Some(l) = cur {
+            if l == outer {
+                return true;
+            }
+            cur = self.get(l).parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::prelude::*;
+
+    /// Nested loop: for i { for j { } }.
+    fn nested(m: &mut Module) -> FuncId {
+        let fid = m.declare_function("f", &[Type::I64, Type::I64], None);
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let entry = b.entry_block();
+        let oh = b.create_block("outer_header");
+        let ob = b.create_block("outer_body");
+        let ih = b.create_block("inner_header");
+        let ib = b.create_block("inner_body");
+        let ol = b.create_block("outer_latch");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(oh);
+        b.switch_to(oh);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let ci = b.icmp(Pred::Slt, i, b.arg(0));
+        b.cond_br(ci, ob, exit);
+        b.switch_to(ob);
+        b.br(ih);
+        b.switch_to(ih);
+        let j = b.phi(Type::I64, &[(ob, zero)]);
+        let cj = b.icmp(Pred::Slt, j, b.arg(1));
+        b.cond_br(cj, ib, ol);
+        b.switch_to(ib);
+        let j2 = b.add(j, one);
+        b.add_phi_incoming(j, ib, j2);
+        b.br(ih);
+        b.switch_to(ol);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, ol, i2);
+        b.br(oh);
+        b.switch_to(exit);
+        b.ret(None);
+        fid
+    }
+
+    #[test]
+    fn finds_nested_loops_with_depths() {
+        let mut m = Module::new("t");
+        let fid = nested(&mut m);
+        swpf_ir::verifier::verify_module(&m).unwrap();
+        let f = m.function(fid);
+        let dom = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dom);
+        assert_eq!(forest.len(), 2);
+
+        let inner_header = BlockId(3);
+        let outer_header = BlockId(1);
+        let inner = forest.innermost(inner_header).expect("inner loop");
+        let outer = forest.innermost(outer_header).expect("outer loop");
+        assert_ne!(inner, outer);
+        assert_eq!(forest.get(inner).depth, 2);
+        assert_eq!(forest.get(outer).depth, 1);
+        assert_eq!(forest.get(inner).parent, Some(outer));
+        assert!(forest.loop_contains(outer, inner));
+        assert!(!forest.loop_contains(inner, outer));
+
+        // The inner body's innermost loop is the inner loop.
+        assert_eq!(forest.innermost(BlockId(4)), Some(inner));
+        // The outer latch belongs only to the outer loop.
+        assert_eq!(forest.innermost(BlockId(5)), Some(outer));
+        // Preheaders.
+        assert_eq!(forest.get(inner).preheader, Some(BlockId(2)));
+        assert_eq!(forest.get(outer).preheader, Some(BlockId(0)));
+        // Exiting blocks are the headers here.
+        assert_eq!(forest.get(inner).exiting, vec![inner_header]);
+        assert_eq!(forest.get(outer).exiting, vec![outer_header]);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            b.ret(None);
+        }
+        let f = m.function(fid);
+        let forest = LoopForest::compute(f, &DomTree::compute(f));
+        assert!(forest.is_empty());
+        assert_eq!(forest.innermost(BlockId(0)), None);
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let entry = b.entry_block();
+            let lp = b.create_block("lp");
+            let exit = b.create_block("exit");
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            b.br(lp);
+            b.switch_to(lp);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, lp, i2);
+            let c = b.icmp(Pred::Slt, i2, b.arg(0));
+            b.cond_br(c, lp, exit);
+            b.switch_to(exit);
+            b.ret(None);
+        }
+        let f = m.function(fid);
+        let forest = LoopForest::compute(f, &DomTree::compute(f));
+        assert_eq!(forest.len(), 1);
+        let l = forest.get(LoopId(0));
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(1)]);
+        assert_eq!(l.blocks, vec![BlockId(1)]);
+        assert_eq!(l.preheader, Some(BlockId(0)));
+    }
+}

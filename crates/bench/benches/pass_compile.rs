@@ -1,0 +1,58 @@
+//! Criterion bench: compile-time cost of the prefetch-generation pass
+//! itself (analysis + code generation) on each benchmark kernel.
+//!
+//! The paper's pass runs inside LLVM's -O pipeline; this keeps ours
+//! honest about asymptotics (the DFS memoises, codegen is O(chain²) per
+//! candidate — both should stay microseconds on kernel-sized functions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swpf_core::{run_on_module, PassConfig};
+use swpf_workloads::{suite, Scale};
+
+fn pass_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pass_compile");
+    for w in suite(Scale::Test) {
+        let baseline = w.build_baseline();
+        group.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let mut m = baseline.clone();
+                let report = run_on_module(&mut m, &PassConfig::default());
+                black_box((m, report));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn analysis_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    for w in suite(Scale::Test) {
+        let m = w.build_baseline();
+        let fid = m.find_function("kernel").unwrap();
+        group.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let a = swpf_analysis::FuncAnalysis::compute(m.function(fid));
+                black_box(a);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    for w in suite(Scale::Test) {
+        let mut m = w.build_baseline();
+        run_on_module(&mut m, &PassConfig::default());
+        group.bench_function(w.name(), |b| {
+            b.iter(|| {
+                swpf_ir::verifier::verify_module(black_box(&m)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pass_compile, analysis_only, verifier);
+criterion_main!(benches);

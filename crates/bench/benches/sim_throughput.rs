@@ -1,0 +1,50 @@
+//! Criterion bench: host-side throughput of the execution-driven
+//! simulator (interpreted instructions per second with the full timing
+//! model attached). This bounds how large a paper-scale experiment can
+//! be and is the number to watch when extending the machine models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use swpf_ir::interp::{Interp, NullObserver};
+use swpf_sim::{run_on_machine, MachineConfig};
+use swpf_workloads::is::IntegerSort;
+use swpf_workloads::{Scale, Workload};
+
+fn interp_only(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let f = m.find_function("kernel").unwrap();
+    // ~12 instructions per iteration, 1024 iterations at test scale.
+    let insts = 12 * u64::from(is.num_keys as u32);
+    let mut group = c.benchmark_group("interp_only");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("IS", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new();
+            let args = is.setup(&mut interp);
+            let r = interp.run(&m, f, &args, &mut NullObserver).unwrap();
+            black_box(r);
+        });
+    });
+    group.finish();
+}
+
+fn interp_with_timing(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let insts = 12 * u64::from(is.num_keys as u32);
+    let mut group = c.benchmark_group("interp_with_timing");
+    group.throughput(Throughput::Elements(insts));
+    for cfg in [MachineConfig::haswell(), MachineConfig::a53()] {
+        group.bench_function(cfg.name, |b| {
+            b.iter(|| {
+                let stats = run_on_machine(&cfg, &m, "kernel", |interp| is.setup(interp));
+                black_box(stats);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, interp_only, interp_with_timing);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Developer tool: dump full simulator statistics for one workload on
+//! every machine, baseline vs. auto-prefetched vs. manual. Not part of
+//! the figure set; useful when calibrating the machine models.
+//!
+//! Usage: `debug_stats [IS|CG|RA|HJ-2|HJ-8|G500-s16|G500-s21]`
+
+use swpf_bench::{auto_module, scale_from_env, simulate};
+use swpf_core::PassConfig;
+use swpf_sim::{MachineConfig, SimStats};
+
+fn dump(tag: &str, s: &SimStats) {
+    println!(
+        "  {tag:<9} cyc={:>12} inst={:>10} ld={:>9} pf={:>8} l1m={:>8} l2m={:>8} tlbm={:>8} dramR={:>8} dramW={:>8} late={:>7} drop={:>6} redun={:>7} ipc={:.2}",
+        s.cycles,
+        s.insts.total,
+        s.insts.loads,
+        s.insts.prefetches,
+        s.l1_misses,
+        s.l2_misses,
+        s.tlb_misses,
+        s.dram_lines_read,
+        s.dram_lines_written,
+        s.mem.late_fill_hits,
+        s.mem.sw_prefetches_dropped,
+        s.mem.sw_prefetches_redundant,
+        s.ipc(),
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "IS".to_string());
+    let scale = scale_from_env();
+    let config = PassConfig::default();
+    let suite = swpf_workloads::suite(scale);
+    let w = suite
+        .iter()
+        .find(|w| w.name() == which)
+        .unwrap_or_else(|| panic!("unknown workload `{which}`"));
+    for machine in MachineConfig::all_systems() {
+        println!("{} / {}", machine.name, w.name());
+        let base = simulate(&machine, w.as_ref(), &w.build_baseline());
+        dump("base", &base);
+        let auto = simulate(&machine, w.as_ref(), &auto_module(w.as_ref(), &config));
+        dump("auto", &auto);
+        let manual = simulate(&machine, w.as_ref(), &w.build_manual(config.look_ahead));
+        dump("manual", &manual);
+        println!(
+            "  speedup: auto {:.2}x manual {:.2}x",
+            auto.speedup_vs(&base),
+            manual.speedup_vs(&base)
+        );
+    }
+}

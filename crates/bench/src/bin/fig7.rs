@@ -1,0 +1,30 @@
+//! Fig. 7 — HJ-8 prefetch stagger depth: how many of the four dependent
+//! irregular accesses (bucket + three chain nodes) to prefetch.
+//!
+//! Prefetching deeper costs O(n²) address-generation code: each deeper
+//! prefetch must re-walk the chain with real loads. The paper finds
+//! depth 3 optimal on every system — the last node's prefetch costs more
+//! than it saves.
+
+use swpf_bench::{scale_from_env, simulate};
+use swpf_sim::MachineConfig;
+use swpf_workloads::hj::{ElemsPerBucket, HashJoin};
+use swpf_workloads::Workload;
+
+fn main() {
+    let hj8 = HashJoin::new(scale_from_env(), ElemsPerBucket::Eight);
+    println!("=== Fig. 7 — HJ-8: speedup vs. prefetch stagger depth ===");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "system", "1", "2", "3", "4"
+    );
+    for machine in MachineConfig::all_systems() {
+        let base = simulate(&machine, &hj8, &hj8.build_baseline());
+        print!("{:<10}", machine.name);
+        for depth in 1..=4 {
+            let s = simulate(&machine, &hj8, &hj8.build_manual_depth(64, depth));
+            print!(" {:>8.2}", s.speedup_vs(&base));
+        }
+        println!();
+    }
+}

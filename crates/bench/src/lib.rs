@@ -1,0 +1,98 @@
+//! # swpf-bench — reproduction harnesses for every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §5 for the index):
+//!
+//! | target | paper artefact |
+//! |--------|----------------|
+//! | `table1` | Table 1 — system setup |
+//! | `fig2`  | Fig. 2 — naive vs. mis-scheduled vs. optimal IS prefetches |
+//! | `fig4`  | Fig. 4 — auto vs. manual speedups, all systems (+ ICC) |
+//! | `fig5`  | Fig. 5 — indirect-only vs. indirect+stride |
+//! | `fig6`  | Fig. 6 — look-ahead distance sweep |
+//! | `fig7`  | Fig. 7 — HJ-8 stagger depth |
+//! | `fig8`  | Fig. 8 — dynamic instruction overhead |
+//! | `fig9`  | Fig. 9 — IS multicore throughput |
+//! | `fig10` | Fig. 10 — small vs. huge pages |
+//!
+//! Run with `cargo run --release -p swpf-bench --bin figN`. Set
+//! `SWPF_SCALE=test` for a fast smoke run with tiny inputs (shapes are
+//! noisier but the harness logic is identical).
+
+use swpf_core::PassConfig;
+use swpf_ir::Module;
+use swpf_sim::{run_on_machine, MachineConfig, SimStats};
+use swpf_workloads::{Scale, Workload};
+
+/// Scale selected by the `SWPF_SCALE` environment variable
+/// (`test` → tiny inputs; anything else → paper-scaled inputs).
+#[must_use]
+pub fn scale_from_env() -> Scale {
+    match std::env::var("SWPF_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        _ => Scale::Paper,
+    }
+}
+
+/// Simulate `module`'s `kernel` on `cfg` with `w`'s data.
+#[must_use]
+pub fn simulate(cfg: &MachineConfig, w: &dyn Workload, module: &Module) -> SimStats {
+    run_on_machine(cfg, module, "kernel", |interp| w.setup(interp))
+}
+
+/// The workload's baseline module with the automatic pass applied.
+#[must_use]
+pub fn auto_module(w: &dyn Workload, config: &PassConfig) -> Module {
+    let mut m = w.build_baseline();
+    swpf_core::run_on_module(&mut m, config);
+    swpf_ir::verifier::verify_module(&m).expect("pass output verifies");
+    m
+}
+
+/// The workload's baseline module with the ICC-like stride-indirect
+/// baseline pass applied (Fig. 4d).
+#[must_use]
+pub fn icc_module(w: &dyn Workload, config: &PassConfig) -> Module {
+    let mut m = w.build_baseline();
+    swpf_core::icc_like::run_on_module(&mut m, config);
+    swpf_ir::verifier::verify_module(&m).expect("pass output verifies");
+    m
+}
+
+/// Geometric mean of a slice of ratios.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Print a markdown-ish table row.
+pub fn print_row(name: &str, values: &[f64]) {
+    print!("{name:<10}");
+    for v in values {
+        print!(" {v:>8.2}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn auto_module_verifies_for_all_workloads() {
+        for w in swpf_workloads::suite(Scale::Test) {
+            let m = auto_module(w.as_ref(), &PassConfig::default());
+            assert!(m.find_function("kernel").is_some(), "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Prefetch code generation (paper §4.3, Algorithm 1 lines 43–54).
+//!
+//! For every load at position `l` of a validated chain of `t` loads, the
+//! generator clones the address computation with the induction variable
+//! replaced by its look-ahead value, turns the final load into a
+//! `prefetch`, and splices the clones in just before the original target
+//! load (or in a preheader, for hoisted plans).
+//!
+//! Clamping (§4.2) is only materialised when the generated code contains
+//! *real* intermediate loads (`l ≥ 1`): the prefetch instruction itself
+//! cannot fault, so a pure stride prefetch (`l = 0`) skips the clamp —
+//! exactly as in the paper's Fig. 3(c), where the prefetch of `a[i+64]`
+//! is unclamped while the chain through the real load of `a[min(i+32,
+//! asize)]` is clamped.
+
+use crate::candidates::{ChainLoad, ClampSource, Placement, PlannedPrefetch};
+use crate::report::PrefetchRecord;
+use crate::schedule;
+use crate::PassConfig;
+use std::collections::{BTreeSet, HashMap};
+use swpf_ir::{Constant, Function, InstKind, Pred, Type, ValueId};
+
+/// Generate the prefetch code for one plan. Returns what was emitted.
+pub fn emit(f: &mut Function, plan: &PlannedPrefetch, config: &PassConfig) -> PrefetchRecord {
+    let anchor = match plan.placement {
+        Placement::BeforeTarget => plan.target,
+        Placement::Preheader(b) => f.block(b).last().expect("preheader has a terminator"),
+    };
+    let mut offsets = Vec::new();
+    let mut inserted = 0usize;
+
+    for c in &plan.chain {
+        if c.level == 0 && !config.stride_companion {
+            continue;
+        }
+        if c.level >= 1 && c.level > config.max_indirect_depth {
+            continue;
+        }
+        let off = schedule::offset(config.look_ahead, plan.t, c.level);
+        inserted += emit_one(f, plan, c, off, anchor);
+        offsets.push(off);
+    }
+
+    PrefetchRecord {
+        target: plan.target,
+        chain_len: plan.t,
+        offsets,
+        clamp: plan.clamp,
+        hoisted: matches!(plan.placement, Placement::Preheader(_)),
+        inserted_insts: inserted,
+    }
+}
+
+/// Emit the look-ahead clone for a single chain position. Returns the
+/// number of instructions inserted.
+fn emit_one(
+    f: &mut Function,
+    plan: &PlannedPrefetch,
+    chain_load: &ChainLoad,
+    off: i64,
+    anchor: ValueId,
+) -> usize {
+    let block = f.inst(anchor).expect("anchor is an instruction").block;
+    let iv_ty = f.value(plan.iv.phi).ty.expect("iv is typed");
+    let mut inserted = 0usize;
+    let place = |f: &mut Function, v: ValueId, n: &mut usize| {
+        f.insert_before(anchor, v);
+        *n += 1;
+    };
+
+    // Look-ahead value: iv + off in the iteration direction.
+    let step_dir = if plan.iv.step < 0 { -1 } else { 1 };
+    let off_const = f.add_const(Constant::Int(off * step_dir, iv_ty));
+    let iv_off = f.create_inst(
+        InstKind::Binary {
+            op: swpf_ir::BinOp::Add,
+            lhs: plan.iv.phi,
+            rhs: off_const,
+        },
+        Some(iv_ty),
+        block,
+    );
+    place(f, iv_off, &mut inserted);
+
+    // Clamp only when real loads are generated (level >= 1).
+    let lookahead_iv = if chain_load.level >= 1 {
+        clamp(f, plan, iv_off, iv_ty, block, anchor, &mut inserted)
+    } else {
+        iv_off
+    };
+
+    // Instructions needed for this chain position's address: the
+    // transitive closure of the load's operands within the recorded set.
+    let needed = needed_subset(f, &plan.set, chain_load.load);
+    let order = topo_order(f, &needed);
+
+    let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+    map.insert(plan.iv.phi, lookahead_iv);
+    for v in order {
+        let inst = f.inst(v).expect("set member is an instruction");
+        if v == chain_load.load {
+            // Final load becomes the prefetch (Algorithm 1 line 52).
+            let InstKind::Load { addr, .. } = inst.kind else {
+                unreachable!("chain entries are loads");
+            };
+            let new_addr = map.get(&addr).copied().unwrap_or(addr);
+            let pf = f.create_inst(InstKind::Prefetch { addr: new_addr }, None, block);
+            place(f, pf, &mut inserted);
+            break;
+        }
+        let mut kind = inst.kind.clone();
+        let ty = f.value(v).ty;
+        let mut tmp = swpf_ir::Inst { kind, block };
+        for (&old, &new) in &map {
+            tmp.replace_uses(old, new);
+        }
+        kind = tmp.kind;
+        let clone = f.create_inst(kind, ty, block);
+        place(f, clone, &mut inserted);
+        map.insert(v, clone);
+    }
+    inserted
+}
+
+/// Emit `min(iv_off, limit)` (or `max` for down-counting loops).
+fn clamp(
+    f: &mut Function,
+    plan: &PlannedPrefetch,
+    iv_off: ValueId,
+    iv_ty: Type,
+    block: swpf_ir::BlockId,
+    anchor: ValueId,
+    inserted: &mut usize,
+) -> ValueId {
+    let place = |f: &mut Function, v: ValueId, n: &mut usize| {
+        f.insert_before(anchor, v);
+        *n += 1;
+    };
+    let (limit, cmp_pred) = match plan.clamp {
+        ClampSource::AllocCount { count } => {
+            let one = f.add_const(Constant::Int(1, iv_ty));
+            let lim = f.create_inst(
+                InstKind::Binary {
+                    op: swpf_ir::BinOp::Sub,
+                    lhs: count,
+                    rhs: one,
+                },
+                Some(iv_ty),
+                block,
+            );
+            place(f, lim, inserted);
+            (lim, Pred::Slt)
+        }
+        ClampSource::LoopBound {
+            bound,
+            strict,
+            unsigned,
+        } => {
+            let pred = if unsigned { Pred::Ult } else { Pred::Slt };
+            if strict {
+                let one = f.add_const(Constant::Int(1, iv_ty));
+                let lim = f.create_inst(
+                    InstKind::Binary {
+                        op: swpf_ir::BinOp::Sub,
+                        lhs: bound,
+                        rhs: one,
+                    },
+                    Some(iv_ty),
+                    block,
+                );
+                place(f, lim, inserted);
+                (lim, pred)
+            } else {
+                (bound, pred)
+            }
+        }
+    };
+    // Up-counting: clamped = min(iv_off, limit). Down-counting loops
+    // overrun towards zero instead, so clamp from below at 0.
+    if plan.iv.step >= 0 {
+        let cmp = f.create_inst(
+            InstKind::ICmp {
+                pred: cmp_pred,
+                lhs: iv_off,
+                rhs: limit,
+            },
+            Some(Type::I1),
+            block,
+        );
+        place(f, cmp, inserted);
+        let sel = f.create_inst(
+            InstKind::Select {
+                cond: cmp,
+                then_val: iv_off,
+                else_val: limit,
+            },
+            Some(iv_ty),
+            block,
+        );
+        place(f, sel, inserted);
+        sel
+    } else {
+        let zero = f.add_const(Constant::Int(0, iv_ty));
+        let cmp = f.create_inst(
+            InstKind::ICmp {
+                pred: Pred::Sgt,
+                lhs: iv_off,
+                rhs: zero,
+            },
+            Some(Type::I1),
+            block,
+        );
+        place(f, cmp, inserted);
+        let sel = f.create_inst(
+            InstKind::Select {
+                cond: cmp,
+                then_val: iv_off,
+                else_val: zero,
+            },
+            Some(iv_ty),
+            block,
+        );
+        place(f, sel, inserted);
+        sel
+    }
+}
+
+/// The subset of `set` that `load`'s value transitively depends on,
+/// including `load` itself.
+fn needed_subset(f: &Function, set: &BTreeSet<ValueId>, load: ValueId) -> BTreeSet<ValueId> {
+    let mut needed = BTreeSet::new();
+    let mut stack = vec![load];
+    while let Some(v) = stack.pop() {
+        if !needed.insert(v) {
+            continue;
+        }
+        if let Some(inst) = f.inst(v) {
+            for o in inst.operands() {
+                if set.contains(&o) && !needed.contains(&o) {
+                    stack.push(o);
+                }
+            }
+        }
+    }
+    needed
+}
+
+/// Dependence-respecting order of `subset` (defs before uses).
+fn topo_order(f: &Function, subset: &BTreeSet<ValueId>) -> Vec<ValueId> {
+    let mut order = Vec::with_capacity(subset.len());
+    let mut emitted: BTreeSet<ValueId> = BTreeSet::new();
+    let mut remaining: Vec<ValueId> = subset.iter().copied().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&v| {
+            let ready = f
+                .inst(v)
+                .map(|inst| {
+                    inst.operands()
+                        .iter()
+                        .all(|o| !subset.contains(o) || emitted.contains(o))
+                })
+                .unwrap_or(true);
+            if ready {
+                order.push(v);
+                emitted.insert(v);
+                false
+            } else {
+                true
+            }
+        });
+        assert!(
+            remaining.len() < before,
+            "cyclic dependence in prefetch set (should be impossible in SSA)"
+        );
+    }
+    order
+}

@@ -1,0 +1,51 @@
+//! Prefetch loop hoisting (paper §4.6).
+//!
+//! A load can sit in an inner loop while its address depends only on an
+//! *outer* loop's induction variable (e.g. a value read once per outer
+//! iteration but used throughout an inner pointer-chasing loop). Emitting
+//! the prefetch next to the load would re-issue it on every inner
+//! iteration — pure overhead. Instead, when the whole recorded
+//! instruction set is invariant in the inner loop (given the outer
+//! induction variable), the generated code is placed at the end of the
+//! inner loop's preheader, so it runs once per outer iteration.
+//!
+//! Fault safety is inherited from the ordinary clamping argument (§4.2):
+//! the cloned intermediate loads use a clamped induction variable, so
+//! they touch only addresses the outer loop provably touches itself.
+
+use crate::candidates::Placement;
+use swpf_analysis::{FuncAnalysis, InductionVar, LoopId};
+use swpf_ir::Function;
+
+/// Choose a preheader insertion point for a plan whose target load lives
+/// in `inner` (a strict descendant of the induction variable's loop).
+///
+/// Walks outward from `inner` to the loop just inside the IV's loop, and
+/// returns its preheader when one exists and is itself inside the IV's
+/// loop. Returns `None` when the loop structure does not allow hoisting
+/// (no dedicated preheader, or the nesting is not as expected).
+#[must_use]
+pub fn preheader_placement(
+    f: &Function,
+    analysis: &FuncAnalysis,
+    iv: &InductionVar,
+    inner: LoopId,
+) -> Option<Placement> {
+    let _ = f;
+    // Find the ancestor chain from `inner` up to (excluding) iv.in_loop.
+    let mut cur = inner;
+    loop {
+        let parent = analysis.loops.get(cur).parent?;
+        if parent == iv.in_loop {
+            break;
+        }
+        cur = parent;
+    }
+    // `cur` is the outermost loop strictly inside the IV's loop that
+    // contains the load; hoist to its preheader.
+    let pre = analysis.loops.get(cur).preheader?;
+    if !analysis.loops.get(iv.in_loop).contains(pre) {
+        return None;
+    }
+    Some(Placement::Preheader(pre))
+}

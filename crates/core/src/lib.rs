@@ -1,0 +1,148 @@
+//! # swpf-core — automatic software prefetching for indirect memory accesses
+//!
+//! This crate implements the compiler pass of
+//! *Software Prefetching for Indirect Memory Accesses*
+//! (Ainsworth & Jones, CGO 2017): it finds loads inside loops whose
+//! addresses are (transitively) computed from a loop induction variable —
+//! the `a[f(b[i])]` family of patterns — and inserts software-prefetch
+//! instructions for *future iterations*, together with the address
+//! generation code those prefetches need.
+//!
+//! The pass follows Algorithm 1 of the paper:
+//!
+//! 1. **Discovery** ([`dfs`]): from every load in a loop, walk the
+//!    data-dependence graph backwards (depth-first) until induction
+//!    variables are found; record the instructions on the paths. When
+//!    paths reach different induction variables, prefer the one belonging
+//!    to the innermost loop.
+//! 2. **Filtering** ([`candidates`]): reject candidates containing calls
+//!    (unless provably pure and allowed by config), non-induction phi
+//!    nodes, intermediate loads whose safety cannot be established,
+//!    stores in the loop that may alias the address-generation arrays,
+//!    or instructions that execute conditionally on loop-variant values
+//!    (paper §4.1–4.2).
+//! 3. **Scheduling** ([`schedule`]): each load in a dependence chain of
+//!    `t` loads gets look-ahead offset `c·(t−l)/t` (paper eq. 1), so
+//!    staggered prefetches each have one memory latency of slack.
+//! 4. **Generation** ([`codegen`]): clone the recorded instructions,
+//!    replace induction-variable uses with `min(iv + offset, limit)`
+//!    (branchless select clamp), turn the final load into a `prefetch`,
+//!    and insert everything just before the original load. Loads whose
+//!    chain sits in an inner loop but whose induction variable belongs to
+//!    an outer loop are hoisted to the inner loop's preheader
+//!    ([`hoist`], paper §4.6).
+//!
+//! [`icc_like`] provides the deliberately weaker stride-indirect-only
+//! baseline pass modelled on the Intel Xeon Phi compiler's prefetcher,
+//! used by the evaluation's Fig. 4(d) comparison.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use swpf_core::{run_on_module, PassConfig};
+//! use swpf_ir::parser::parse_module;
+//!
+//! let mut m = parse_module(
+//!     "module demo\n\n\
+//!      func @k(%0: ptr, %1: ptr, %2: i64) -> void {\n\
+//!        %3 = const 0: i64\n\
+//!        %4 = const 1: i64\n\
+//!      bb0:\n\
+//!        br bb1\n\
+//!      bb1:\n\
+//!        %5: i64 = phi [bb0: %3], [bb2: %11]\n\
+//!        %6: i1 = icmp slt %5, %2\n\
+//!        br %6, bb2, bb3\n\
+//!      bb2:\n\
+//!        %7: ptr = gep %1, %5 x 8\n\
+//!        %8: i64 = load i64, %7\n\
+//!        %9: ptr = gep %0, %8 x 8\n\
+//!        %10: i64 = load i64, %9\n\
+//!        %11: i64 = add %5, %4\n\
+//!        br bb1\n\
+//!      bb3:\n\
+//!        ret\n\
+//!      }\n",
+//! )
+//! .unwrap();
+//! let report = run_on_module(&mut m, &PassConfig::default());
+//! assert_eq!(report.total_prefetches(), 2); // indirect + stride companion
+//! swpf_ir::verifier::verify_module(&m).unwrap();
+//! ```
+
+pub mod candidates;
+pub mod codegen;
+pub mod dfs;
+pub mod hoist;
+pub mod icc_like;
+pub mod report;
+pub mod schedule;
+
+pub use candidates::{ClampSource, PlannedPrefetch, SkipReason};
+pub use report::{FunctionReport, PassReport, PrefetchRecord, SkipRecord};
+
+use swpf_ir::{FuncId, Module};
+
+/// Tuning knobs for the prefetch-generation pass.
+///
+/// The defaults reproduce the paper's configuration: `c = 64` for every
+/// system (§5), stride companion prefetches on (§4.3, Fig. 5), no call
+/// duplication, hoisting enabled (§4.6).
+#[derive(Debug, Clone)]
+pub struct PassConfig {
+    /// The look-ahead constant `c` of eq. (1): the offset, in loop
+    /// iterations, for the first load in a prefetch sequence.
+    pub look_ahead: i64,
+    /// Also emit a staggered prefetch for the sequentially-accessed
+    /// look-ahead array itself (§4.3 last paragraph; evaluated in Fig. 5).
+    /// Kept even in the presence of a hardware stride prefetcher.
+    pub stride_companion: bool,
+    /// Maximum number of *indirect* loads of a chain to prefetch
+    /// (Fig. 7's "stagger depth"). `usize::MAX` prefetches the whole
+    /// chain.
+    pub max_indirect_depth: usize,
+    /// Permit side-effect-free function calls inside prefetch code (the
+    /// paper notes this as a possible extension; off by default to match
+    /// the evaluated pass).
+    pub allow_pure_calls: bool,
+    /// Hoist prefetch code out of inner loops when the induction variable
+    /// belongs to an outer loop (§4.6).
+    pub enable_hoisting: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        PassConfig {
+            look_ahead: 64,
+            stride_companion: true,
+            max_indirect_depth: usize::MAX,
+            allow_pure_calls: false,
+            enable_hoisting: true,
+        }
+    }
+}
+
+impl PassConfig {
+    /// Config with a different look-ahead constant, other fields default.
+    #[must_use]
+    pub fn with_look_ahead(c: i64) -> Self {
+        PassConfig {
+            look_ahead: c,
+            ..PassConfig::default()
+        }
+    }
+}
+
+/// Run the prefetch-generation pass on one function.
+pub fn run_on_function(m: &mut Module, f: FuncId, config: &PassConfig) -> FunctionReport {
+    candidates::run(m, f, config)
+}
+
+/// Run the prefetch-generation pass on every function of a module.
+pub fn run_on_module(m: &mut Module, config: &PassConfig) -> PassReport {
+    let mut report = PassReport::default();
+    for f in m.func_ids().collect::<Vec<_>>() {
+        report.functions.push(run_on_function(m, f, config));
+    }
+    report
+}

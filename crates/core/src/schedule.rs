@@ -1,0 +1,70 @@
+//! Look-ahead scheduling (paper §4.4, eq. 1).
+//!
+//! For a dependence chain of `t` loads, the load at position `l`
+//! (0 = closest to the induction variable) is prefetched
+//! `offset = c·(t−l)/t` iterations ahead. Every prefetch in a chain is
+//! thus issued `c/t` iterations before the next one consumes its value —
+//! equal spacing of dependent prefetches, one fetch-latency apart.
+
+/// Compute the look-ahead offset for chain position `l` of `t` loads.
+///
+/// `c` is the microarchitecture-ish constant of eq. (1); the paper sets
+/// `c = 64` everywhere and Fig. 6 shows that choice is near-optimal on all
+/// four evaluated systems. The result is at least 1 (a zero offset would
+/// prefetch the current iteration: pure overhead).
+///
+/// # Panics
+/// If `l >= t` or `t == 0`.
+#[must_use]
+pub fn offset(c: i64, t: usize, l: usize) -> i64 {
+    assert!(t > 0 && l < t, "load position {l} out of chain length {t}");
+    let t_i = i64::try_from(t).expect("chain length fits i64");
+    let l_i = i64::try_from(l).expect("position fits i64");
+    (c * (t_i - l_i) / t_i).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_two_loads() {
+        // Listing 1 / Fig. 3: t = 2 gives offsets c and c/2.
+        assert_eq!(offset(64, 2, 0), 64);
+        assert_eq!(offset(64, 2, 1), 32);
+    }
+
+    #[test]
+    fn hash_join_chain_of_four() {
+        // HJ-8 discussion: offsets 16, 12, 8, 4 with c = 16.
+        assert_eq!(offset(16, 4, 0), 16);
+        assert_eq!(offset(16, 4, 1), 12);
+        assert_eq!(offset(16, 4, 2), 8);
+        assert_eq!(offset(16, 4, 3), 4);
+    }
+
+    #[test]
+    fn offsets_monotonically_decrease_along_chain() {
+        for t in 1..=8 {
+            let mut prev = i64::MAX;
+            for l in 0..t {
+                let o = offset(64, t, l);
+                assert!(o <= prev, "offset must not grow along the chain");
+                assert!(o >= 1);
+                prev = o;
+            }
+        }
+    }
+
+    #[test]
+    fn offset_never_less_than_one() {
+        assert_eq!(offset(1, 4, 3), 1);
+        assert_eq!(offset(0, 2, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of chain length")]
+    fn position_must_be_within_chain() {
+        let _ = offset(64, 2, 2);
+    }
+}

@@ -1,0 +1,747 @@
+//! Behavioural tests for the prefetch-generation pass: filters, code
+//! shape, semantic preservation, and fault avoidance near loop bounds.
+
+use swpf_core::{icc_like, run_on_module, PassConfig, SkipReason};
+use swpf_ir::interp::{CountingObserver, Interp, NullObserver, RtVal};
+use swpf_ir::prelude::*;
+use swpf_ir::verifier::verify_module;
+
+/// Build the canonical indirect kernel:
+/// `for (i = 0; i < n; i++) sum += a[b[i]];` with array args.
+fn indirect_sum_module() -> (Module, FuncId) {
+    let mut m = Module::new("t");
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, n) = (b.arg(0), b.arg(1), b.arg(2));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let sum2 = b.add(sum, v);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(sum, body, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    verify_module(&m).unwrap();
+    (m, fid)
+}
+
+/// Run `kernel(a, b, n)` where `b` is a permutation-ish index array.
+fn run_indirect(m: &Module, fid: FuncId, n: u64) -> (Option<RtVal>, CountingObserver) {
+    let mut interp = Interp::new();
+    let a = interp.alloc_array(n, 8).unwrap();
+    let b = interp.alloc_array(n, 8).unwrap();
+    for i in 0..n {
+        interp.mem().write(a + i * 8, 8, i * 3).unwrap();
+        interp.mem().write(b + i * 8, 8, (i * 7 + 3) % n).unwrap();
+    }
+    let mut counts = CountingObserver::default();
+    let r = interp
+        .run(
+            m,
+            fid,
+            &[
+                RtVal::Int(a as i64),
+                RtVal::Int(b as i64),
+                RtVal::Int(n as i64),
+            ],
+            &mut counts,
+        )
+        .unwrap();
+    (r, counts)
+}
+
+#[test]
+fn pass_preserves_semantics_and_adds_prefetches() {
+    let (mut m, fid) = indirect_sum_module();
+    let (before, counts_before) = run_indirect(&m, fid, 256);
+    assert_eq!(counts_before.prefetches, 0);
+
+    let report = run_on_module(&mut m, &PassConfig::default());
+    verify_module(&m).expect("pass output verifies");
+    assert_eq!(report.functions[0].prefetches.len(), 1);
+    let rec = &report.functions[0].prefetches[0];
+    assert_eq!(rec.chain_len, 2);
+    assert_eq!(rec.offsets, vec![64, 32], "c and c/2 per eq. (1)");
+
+    let (after, counts_after) = run_indirect(&m, fid, 256);
+    assert_eq!(before, after, "prefetching must not change results");
+    // One stride + one indirect prefetch per iteration.
+    assert_eq!(counts_after.prefetches, 2 * 256);
+    // The indirect prefetch adds one real intermediate load per iteration.
+    assert_eq!(counts_after.loads, counts_before.loads + 256);
+}
+
+#[test]
+fn no_faults_near_loop_end_with_clamping() {
+    // With n = 8 and look-ahead 64, every prefetch overshoots: the clamp
+    // must keep all intermediate loads in bounds (§4.2).
+    let (mut m, fid) = indirect_sum_module();
+    run_on_module(&mut m, &PassConfig::default());
+    let (r, _) = run_indirect(&m, fid, 8);
+    assert!(r.is_some(), "execution completed without memory faults");
+}
+
+#[test]
+fn stride_companion_can_be_disabled() {
+    let (mut m, fid) = indirect_sum_module();
+    let cfg = PassConfig {
+        stride_companion: false,
+        ..PassConfig::default()
+    };
+    let report = run_on_module(&mut m, &cfg);
+    assert_eq!(report.functions[0].prefetches[0].offsets, vec![32]);
+    let (_, counts) = run_indirect(&m, fid, 64);
+    assert_eq!(counts.prefetches, 64, "only the indirect prefetch remains");
+}
+
+#[test]
+fn look_ahead_constant_scales_offsets() {
+    let (mut m, _) = indirect_sum_module();
+    let report = run_on_module(&mut m, &PassConfig::with_look_ahead(16));
+    assert_eq!(report.functions[0].prefetches[0].offsets, vec![16, 8]);
+}
+
+#[test]
+fn pure_stride_load_is_left_to_hardware() {
+    // for (i) sum += a[i]; — no indirect access, no prefetches.
+    let mut m = Module::new("t");
+    let fid = m.declare_function("stride", &[Type::Ptr, Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, n) = (b.arg(0), b.arg(1));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let g = b.gep(a, i, 8);
+        let v = b.load(Type::I64, g);
+        let sum2 = b.add(sum, v);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(sum, body, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    let report = run_on_module(&mut m, &PassConfig::default());
+    assert!(report.functions[0].prefetches.is_empty());
+    assert!(report.functions[0]
+        .skipped
+        .iter()
+        .any(|s| s.reason == SkipReason::StrideOnly));
+}
+
+/// Kernel with a call in the address chain: `a[f(b[i])]`.
+fn call_in_chain_module(purity: swpf_ir::function::Purity) -> Module {
+    let mut m = Module::new("t");
+    let hash = m.declare_function_with_purity("hash", &[Type::I64], Type::I64, purity);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(hash));
+        let x = b.arg(0);
+        let k = b.const_i64(0x9E37);
+        let h = b.mul(x, k);
+        let s = b.const_i64(4);
+        let h2 = b.lshr(h, s);
+        let h3 = b.xor(h, h2);
+        let mask = b.const_i64(0xFF);
+        let h4 = b.and(h3, mask);
+        b.ret(Some(h4));
+    }
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, n) = (b.arg(0), b.arg(1), b.arg(2));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let hashed = b.call(hash, &[idx], Some(Type::I64));
+        let ga = b.gep(a, hashed, 8);
+        let v = b.load(Type::I64, ga);
+        let sum2 = b.add(sum, v);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(sum, body, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    verify_module(&m).unwrap();
+    m
+}
+
+#[test]
+fn calls_in_chain_are_rejected_by_default() {
+    let mut m = call_in_chain_module(swpf_ir::function::Purity::Pure);
+    let report = run_on_module(&mut m, &PassConfig::default());
+    let kernel = &report.functions[1];
+    assert!(kernel.prefetches.is_empty());
+    assert!(kernel
+        .skipped
+        .iter()
+        .any(|s| s.reason == SkipReason::ContainsCall));
+}
+
+#[test]
+fn pure_calls_allowed_with_extension_flag() {
+    let mut m = call_in_chain_module(swpf_ir::function::Purity::Pure);
+    let cfg = PassConfig {
+        allow_pure_calls: true,
+        ..PassConfig::default()
+    };
+    let report = run_on_module(&mut m, &cfg);
+    let kernel = &report.functions[1];
+    assert_eq!(
+        kernel.prefetches.len(),
+        1,
+        "pure-call extension admits the chain: {kernel:?}"
+    );
+    verify_module(&m).unwrap();
+}
+
+#[test]
+fn store_to_index_array_rejects_candidate() {
+    // for (i) { a[b[i]] += 1; b[i] = 0; } — b is both read for address
+    // generation and stored to: look-ahead would read clobbered data.
+    let mut m = Module::new("t");
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], None);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, n) = (b.arg(0), b.arg(1), b.arg(2));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let v2 = b.add(v, one);
+        b.store(v2, ga);
+        b.store(zero, gb); // clobbers the index array
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+    }
+    verify_module(&m).unwrap();
+    let report = run_on_module(&mut m, &PassConfig::default());
+    assert!(report.functions[0].prefetches.is_empty());
+    assert!(report.functions[0]
+        .skipped
+        .iter()
+        .any(|s| s.reason == SkipReason::MayAliasStore));
+}
+
+#[test]
+fn store_to_target_array_is_fine() {
+    // IS-like: a[b[i]]++ — the store hits the *target* array (whose clone
+    // is a prefetch), not the index array; prefetching must proceed.
+    let mut m = Module::new("t");
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], None);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, n) = (b.arg(0), b.arg(1), b.arg(2));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let v2 = b.add(v, one);
+        b.store(v2, ga);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+    }
+    verify_module(&m).unwrap();
+    let report = run_on_module(&mut m, &PassConfig::default());
+    assert_eq!(report.functions[0].prefetches.len(), 1, "{report}");
+}
+
+#[test]
+fn conditional_intermediate_load_is_rejected() {
+    // The indirect load only happens when a loop-variant flag says so:
+    // prefetch code cannot be placed without new control flow.
+    let mut m = Module::new("t");
+    let fid = m.declare_function(
+        "kernel",
+        &[Type::Ptr, Type::Ptr, Type::Ptr, Type::I64],
+        None,
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, flags, n) = (b.arg(0), b.arg(1), b.arg(2), b.arg(3));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let taken = b.create_block("t");
+        let latch = b.create_block("l");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gf = b.gep(flags, i, 8);
+        let flag = b.load(Type::I64, gf);
+        let fc = b.icmp(Pred::Ne, flag, zero);
+        b.cond_br(fc, taken, latch);
+        b.switch_to(taken);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let v2 = b.add(v, one);
+        b.store(v2, ga);
+        b.br(latch);
+        b.switch_to(latch);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, latch, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+    }
+    verify_module(&m).unwrap();
+    let report = run_on_module(&mut m, &PassConfig::default());
+    assert!(
+        report.functions[0].prefetches.is_empty(),
+        "conditional chain must be rejected: {report}"
+    );
+    assert!(report.functions[0]
+        .skipped
+        .iter()
+        .any(|s| s.reason == SkipReason::Conditional));
+}
+
+#[test]
+fn icc_like_handles_simple_stride_indirect() {
+    // The bare a[b[i]] pattern in a straight-line loop is exactly what
+    // the ICC-like baseline handles (paper: it catches IS and CG).
+    let (mut m1, _) = indirect_sum_module();
+    let icc = icc_like::run_on_module(&mut m1, &PassConfig::default());
+    assert_eq!(icc.total_prefetches(), 2);
+    verify_module(&m1).unwrap();
+
+    // Same kernel with locally allocated arrays also fires.
+    let mut m2 = Module::new("t");
+    let fid = m2.declare_function("kernel", &[Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m2.function_mut(fid));
+        let n = b.arg(0);
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let a = b.alloc(n, 8);
+        let bp = b.alloc(n, 8);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let sum2 = b.add(sum, v);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(sum, body, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    verify_module(&m2).unwrap();
+    let icc = icc_like::run_on_module(&mut m2, &PassConfig::default());
+    assert_eq!(icc.total_prefetches(), 2);
+    verify_module(&m2).unwrap();
+}
+
+#[test]
+fn icc_like_misses_hash_computation() {
+    // a[(b[i] * k) & mask] — RA/HJ-style hashing. The full pass takes it;
+    // the ICC-like baseline must not (paper §6.1).
+    let mut m = Module::new("t");
+    let fid = m.declare_function("kernel", &[Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let n = b.arg(0);
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let a = b.alloc(n, 8);
+        let bp = b.alloc(n, 8);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let k = b.const_i64(2654435761);
+        let h1 = b.mul(idx, k);
+        let mask = b.const_i64(1023);
+        let h2 = b.and(h1, mask);
+        let ga = b.gep(a, h2, 8);
+        let v = b.load(Type::I64, ga);
+        let sum2 = b.add(sum, v);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(sum, body, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    verify_module(&m).unwrap();
+
+    let mut icc_m = m.clone();
+    let icc = icc_like::run_on_module(&mut icc_m, &PassConfig::default());
+    assert_eq!(icc.total_prefetches(), 0, "ICC-like must miss hashing");
+
+    let full = run_on_module(&mut m, &PassConfig::default());
+    assert_eq!(
+        full.functions[0].prefetches.len(),
+        1,
+        "full pass handles hashing: {full}"
+    );
+    verify_module(&m).unwrap();
+}
+
+#[test]
+fn icc_like_refuses_branching_loops() {
+    // a[b[i]] with a data-dependent branch in the loop body — the
+    // Graph500 failure mode. The ICC-like pass must find nothing while
+    // the full pass still succeeds.
+    let mut m = Module::new("t");
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], None);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, n) = (b.arg(0), b.arg(1), b.arg(2));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let taken = b.create_block("t");
+        let merge = b.create_block("m");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let fc = b.icmp(Pred::Sgt, v, zero);
+        b.cond_br(fc, taken, merge);
+        b.switch_to(taken);
+        let v2 = b.add(v, one);
+        b.store(v2, ga);
+        b.br(merge);
+        b.switch_to(merge);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, merge, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+    }
+    verify_module(&m).unwrap();
+    let mut icc_m = m.clone();
+    let icc = icc_like::run_on_module(&mut icc_m, &PassConfig::default());
+    assert_eq!(icc.total_prefetches(), 0, "branching loop must be refused");
+    let full = run_on_module(&mut m, &PassConfig::default());
+    assert_eq!(
+        full.functions[0].prefetches.len(),
+        1,
+        "full pass handles it: {full}"
+    );
+    verify_module(&m).unwrap();
+}
+
+#[test]
+fn deep_chain_offsets_and_depth_limit() {
+    // a[b[c[i]]] — three-load chain: offsets c, 2c/3, c/3.
+    let mut m = Module::new("t");
+    let fid = m.declare_function(
+        "kernel",
+        &[Type::Ptr, Type::Ptr, Type::Ptr, Type::I64],
+        Type::I64,
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, bp, cp, n) = (b.arg(0), b.arg(1), b.arg(2), b.arg(3));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let cc = b.icmp(Pred::Slt, i, n);
+        b.cond_br(cc, body, exit);
+        b.switch_to(body);
+        let gc = b.gep(cp, i, 8);
+        let i1 = b.load(Type::I64, gc);
+        let gb = b.gep(bp, i1, 8);
+        let i2v = b.load(Type::I64, gb);
+        let ga = b.gep(a, i2v, 8);
+        let v = b.load(Type::I64, ga);
+        let sum2 = b.add(sum, v);
+        let inext = b.add(i, one);
+        b.add_phi_incoming(i, body, inext);
+        b.add_phi_incoming(sum, body, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    verify_module(&m).unwrap();
+
+    let mut full = m.clone();
+    let report = run_on_module(&mut full, &PassConfig::default());
+    verify_module(&full).unwrap();
+    let recs = &report.functions[0].prefetches;
+    assert_eq!(recs.len(), 1, "one chain, subsuming the inner loads");
+    assert_eq!(recs[0].chain_len, 3);
+    assert_eq!(recs[0].offsets, vec![64, 42, 21]);
+    // Shorter chains rooted at the intermediate loads must be subsumed.
+    assert!(report.functions[0]
+        .skipped
+        .iter()
+        .any(|s| s.reason == SkipReason::Subsumed));
+
+    // Depth limit 1: only the first indirect level is prefetched.
+    let mut limited = m.clone();
+    let cfg = PassConfig {
+        max_indirect_depth: 1,
+        ..PassConfig::default()
+    };
+    let report = run_on_module(&mut limited, &cfg);
+    assert_eq!(report.functions[0].prefetches[0].offsets, vec![64, 42]);
+}
+
+#[test]
+fn hoisting_moves_outer_iv_prefetch_to_preheader() {
+    // for (i) { x = w[i]; for (j) { sum += inner[j]; } use a[x]; }
+    // The load a[w[i]] sits in the outer body; but build the variant
+    // where the a[w[i]] load is inside the inner loop: its chain depends
+    // only on i, so the prefetch hoists to the inner preheader.
+    let mut m = Module::new("t");
+    let fid = m.declare_function(
+        "kernel",
+        &[Type::Ptr, Type::Ptr, Type::I64, Type::I64],
+        Type::I64,
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (a, w, n, inner_n) = (b.arg(0), b.arg(1), b.arg(2), b.arg(3));
+        let entry = b.entry_block();
+        let oh = b.create_block("oh");
+        let ob = b.create_block("ob"); // inner preheader
+        let ih = b.create_block("ih");
+        let ib = b.create_block("ib");
+        let ol = b.create_block("ol");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(oh);
+        b.switch_to(oh);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let ci = b.icmp(Pred::Slt, i, n);
+        b.cond_br(ci, ob, exit);
+        b.switch_to(ob);
+        b.br(ih);
+        b.switch_to(ih);
+        let j = b.phi(Type::I64, &[(ob, zero)]);
+        let sj = b.phi(Type::I64, &[(ob, sum)]);
+        let cj = b.icmp(Pred::Slt, j, inner_n);
+        b.cond_br(cj, ib, ol);
+        b.switch_to(ib);
+        // Indirect load depending only on the OUTER iv, inside inner loop.
+        let gw = b.gep(w, i, 8);
+        let x = b.load(Type::I64, gw);
+        let gax = b.gep(a, x, 8);
+        let ax = b.load(Type::I64, gax);
+        let sj2 = b.add(sj, ax);
+        let j2 = b.add(j, one);
+        b.add_phi_incoming(j, ib, j2);
+        b.add_phi_incoming(sj, ib, sj2);
+        b.br(ih);
+        b.switch_to(ol);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, ol, i2);
+        b.add_phi_incoming(sum, ol, sj);
+        b.br(oh);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+    }
+    verify_module(&m).unwrap();
+    let report = run_on_module(&mut m, &PassConfig::default());
+    verify_module(&m).expect("hoisted output verifies");
+    let recs = &report.functions[0].prefetches;
+    assert_eq!(recs.len(), 1, "{report}");
+    assert!(recs[0].hoisted, "prefetch hoisted to inner preheader");
+
+    // Semantics preserved.
+    let f = m.find_function("kernel").unwrap();
+    let mut interp = Interp::new();
+    let n = 64u64;
+    let a = interp.alloc_array(n, 8).unwrap();
+    let w = interp.alloc_array(n, 8).unwrap();
+    for i in 0..n {
+        interp.mem().write(a + i * 8, 8, i + 1).unwrap();
+        interp.mem().write(w + i * 8, 8, (i * 5 + 1) % n).unwrap();
+    }
+    let r = interp
+        .run(
+            &m,
+            f,
+            &[
+                RtVal::Int(a as i64),
+                RtVal::Int(w as i64),
+                RtVal::Int(n as i64),
+                RtVal::Int(4),
+            ],
+            &mut NullObserver,
+        )
+        .unwrap();
+    assert!(r.is_some());
+}
+
+#[test]
+fn alloc_sized_arrays_clamp_by_extent() {
+    // Locally allocated arrays where the loop bound is NOT analysable
+    // (two exit conditions) — the alloc extent must provide the clamp.
+    let mut m = Module::new("t");
+    let fid = m.declare_function("kernel", &[Type::I64, Type::I64], None);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (n, stop) = (b.arg(0), b.arg(1));
+        let entry = b.entry_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let body2 = b.create_block("b2");
+        let exit = b.create_block("x");
+        let a = b.alloc(n, 8);
+        let bp = b.alloc(n, 8);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let sum = b.phi(Type::I64, &[(entry, zero)]);
+        let c = b.icmp(Pred::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let gb = b.gep(bp, i, 8);
+        let idx = b.load(Type::I64, gb);
+        let ga = b.gep(a, idx, 8);
+        let v = b.load(Type::I64, ga);
+        let sum2 = b.add(sum, v);
+        let c2 = b.icmp(Pred::Sgt, sum2, stop);
+        b.cond_br(c2, exit, body2);
+        b.switch_to(body2);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, body2, i2);
+        b.add_phi_incoming(sum, body2, sum2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+    }
+    verify_module(&m).unwrap();
+    let report = run_on_module(&mut m, &PassConfig::default());
+    verify_module(&m).unwrap();
+    let recs = &report.functions[0].prefetches;
+    assert_eq!(recs.len(), 1, "{report}");
+    assert!(
+        matches!(recs[0].clamp, swpf_core::ClampSource::AllocCount { .. }),
+        "clamp must come from the allocation extent"
+    );
+}
+
+#[test]
+fn report_display_is_informative() {
+    let (mut m, _) = indirect_sum_module();
+    let report = run_on_module(&mut m, &PassConfig::default());
+    let text = report.to_string();
+    assert!(text.contains("@kernel"), "{text}");
+    assert!(text.contains("chain 2"), "{text}");
+}

@@ -1,0 +1,81 @@
+//! Basic blocks: straight-line instruction sequences ending in a terminator.
+
+use crate::value::ValueId;
+use std::fmt;
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The arena slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: an ordered list of instruction value-ids.
+///
+/// Phis, if any, must come first; the final instruction must be a
+/// terminator (enforced by the [`verifier`](crate::verifier)).
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Optional label used by the printer.
+    pub name: Option<String>,
+    /// Instructions, in execution order. Each entry is the [`ValueId`] of
+    /// an instruction in the owning function's value arena.
+    pub insts: Vec<ValueId>,
+}
+
+impl Block {
+    /// Create an empty block with a label.
+    #[must_use]
+    pub fn with_name(name: impl Into<String>) -> Self {
+        Block {
+            name: Some(name.into()),
+            insts: Vec::new(),
+        }
+    }
+
+    /// The terminator instruction id, if the block is non-empty.
+    ///
+    /// The caller must separately check that it really is a terminator;
+    /// blocks under construction may end in a non-terminator.
+    #[must_use]
+    pub fn last(&self) -> Option<ValueId> {
+        self.insts.last().copied()
+    }
+
+    /// Position of instruction `v` within this block.
+    #[must_use]
+    pub fn position_of(&self, v: ValueId) -> Option<usize> {
+        self.insts.iter().position(|&i| i == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_position_lookup() {
+        let mut b = Block::with_name("body");
+        b.insts.push(ValueId(4));
+        b.insts.push(ValueId(9));
+        assert_eq!(b.position_of(ValueId(9)), Some(1));
+        assert_eq!(b.position_of(ValueId(5)), None);
+        assert_eq!(b.last(), Some(ValueId(9)));
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(3).to_string(), "bb3");
+    }
+}

@@ -1,0 +1,326 @@
+//! Ergonomic construction of IR functions.
+
+use crate::block::BlockId;
+use crate::function::{FuncId, Function};
+use crate::inst::{BinOp, CastOp, InstKind, Pred};
+use crate::types::Type;
+use crate::value::{Constant, ValueId};
+
+/// A cursor-style builder appending instructions to a current block.
+///
+/// The builder borrows the [`Function`] mutably; drop it (or let it go out
+/// of scope) before running analyses.
+pub struct FunctionBuilder<'f> {
+    func: &'f mut Function,
+    cur: BlockId,
+}
+
+impl<'f> FunctionBuilder<'f> {
+    /// Start building into `func`, positioned at its entry block.
+    pub fn new(func: &'f mut Function) -> Self {
+        let cur = func.entry();
+        FunctionBuilder { func, cur }
+    }
+
+    /// The function being built.
+    #[must_use]
+    pub fn func(&self) -> &Function {
+        self.func
+    }
+
+    /// The entry block.
+    #[must_use]
+    pub fn entry_block(&self) -> BlockId {
+        self.func.entry()
+    }
+
+    /// The block instructions are currently appended to.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// The `index`-th formal parameter.
+    #[must_use]
+    pub fn arg(&self, index: usize) -> ValueId {
+        self.func.arg(index)
+    }
+
+    /// Create a new empty block (does not change the insertion point).
+    pub fn create_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Move the insertion point to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Intern an `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.func.const_i64(v)
+    }
+
+    /// Intern a constant of arbitrary type.
+    pub fn constant(&mut self, c: Constant) -> ValueId {
+        self.func.add_const(c)
+    }
+
+    /// Give a value a debug name for printed output.
+    pub fn name(&mut self, v: ValueId, name: &str) -> ValueId {
+        self.func.set_name(v, name);
+        v
+    }
+
+    fn emit(&mut self, kind: InstKind, ty: Option<Type>) -> ValueId {
+        let v = self.func.create_inst(kind, ty, self.cur);
+        self.func.push_inst(v);
+        v
+    }
+
+    /// Emit a binary operation; the result type is the lhs type.
+    pub fn binary(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.func.value(lhs).ty.expect("binary lhs must be typed");
+        self.emit(InstKind::Binary { op, lhs, rhs }, Some(ty))
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `lhs & rhs`.
+    pub fn and(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::And, lhs, rhs)
+    }
+
+    /// `lhs | rhs`.
+    pub fn or(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Or, lhs, rhs)
+    }
+
+    /// `lhs ^ rhs`.
+    pub fn xor(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Xor, lhs, rhs)
+    }
+
+    /// `lhs << rhs`.
+    pub fn shl(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Shl, lhs, rhs)
+    }
+
+    /// `lhs >> rhs` (logical).
+    pub fn lshr(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(BinOp::Lshr, lhs, rhs)
+    }
+
+    /// Integer comparison.
+    pub fn icmp(&mut self, pred: Pred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.emit(InstKind::ICmp { pred, lhs, rhs }, Some(Type::I1))
+    }
+
+    /// Branchless conditional.
+    pub fn select(&mut self, cond: ValueId, then_val: ValueId, else_val: ValueId) -> ValueId {
+        let ty = self.func.value(then_val).ty;
+        self.emit(
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            },
+            ty,
+        )
+    }
+
+    /// Scalar conversion.
+    pub fn cast(&mut self, op: CastOp, val: ValueId, to: Type) -> ValueId {
+        self.emit(InstKind::Cast { op, val, to }, Some(to))
+    }
+
+    /// Allocate `count` elements of `elem_size` bytes; yields a pointer.
+    pub fn alloc(&mut self, count: ValueId, elem_size: u64) -> ValueId {
+        self.emit(InstKind::Alloc { count, elem_size }, Some(Type::Ptr))
+    }
+
+    /// Address of `base[index]` with the given element size.
+    pub fn gep(&mut self, base: ValueId, index: ValueId, elem_size: u64) -> ValueId {
+        self.emit(
+            InstKind::Gep {
+                base,
+                index,
+                elem_size,
+                offset: 0,
+            },
+            Some(Type::Ptr),
+        )
+    }
+
+    /// Address of `base[index].field` where the field lives `offset` bytes
+    /// into each element.
+    pub fn gep_field(
+        &mut self,
+        base: ValueId,
+        index: ValueId,
+        elem_size: u64,
+        offset: u64,
+    ) -> ValueId {
+        self.emit(
+            InstKind::Gep {
+                base,
+                index,
+                elem_size,
+                offset,
+            },
+            Some(Type::Ptr),
+        )
+    }
+
+    /// Load a scalar of type `ty` from `addr`.
+    pub fn load(&mut self, ty: Type, addr: ValueId) -> ValueId {
+        self.emit(InstKind::Load { addr, ty }, Some(ty))
+    }
+
+    /// Store `value` to `addr`.
+    pub fn store(&mut self, value: ValueId, addr: ValueId) -> ValueId {
+        self.emit(InstKind::Store { addr, value }, None)
+    }
+
+    /// Software prefetch hint for `addr`.
+    pub fn prefetch(&mut self, addr: ValueId) -> ValueId {
+        self.emit(InstKind::Prefetch { addr }, None)
+    }
+
+    /// Phi node with initial incomings; more can be added later with
+    /// [`FunctionBuilder::add_phi_incoming`] once latch values exist.
+    ///
+    /// Phis must be created before non-phi instructions in their block.
+    pub fn phi(&mut self, ty: Type, incomings: &[(BlockId, ValueId)]) -> ValueId {
+        self.emit(
+            InstKind::Phi {
+                incomings: incomings.to_vec(),
+            },
+            Some(ty),
+        )
+    }
+
+    /// Add an incoming edge to an existing phi.
+    ///
+    /// # Panics
+    /// If `phi` is not a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, pred: BlockId, value: ValueId) {
+        match &mut self
+            .func
+            .inst_mut(phi)
+            .expect("add_phi_incoming on non-instruction")
+            .kind
+        {
+            InstKind::Phi { incomings } => incomings.push((pred, value)),
+            _ => panic!("add_phi_incoming on non-phi"),
+        }
+    }
+
+    /// Call `callee` with `args`; `ret` must match the callee signature.
+    pub fn call(&mut self, callee: FuncId, args: &[ValueId], ret: Option<Type>) -> ValueId {
+        self.emit(
+            InstKind::Call {
+                callee,
+                args: args.to_vec(),
+            },
+            ret,
+        )
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) -> ValueId {
+        self.emit(InstKind::Br { target }, None)
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) -> ValueId {
+        self.emit(
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+            None,
+        )
+    }
+
+    /// Return from the function.
+    pub fn ret(&mut self, value: Option<ValueId>) -> ValueId {
+        self.emit(InstKind::Ret { value }, None)
+    }
+
+    /// Emit `min(a, b)` for signed i64 values as a compare+select pair,
+    /// the branchless clamp idiom the prefetch pass uses (§4.3).
+    pub fn smin(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let c = self.icmp(Pred::Slt, a, b);
+        self.select(c, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn build_simple_loop_verifies() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("sum", &[Type::Ptr, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (a, n) = (b.arg(0), b.arg(1));
+            let entry = b.entry_block();
+            let header = b.create_block("header");
+            let body = b.create_block("body");
+            let exit = b.create_block("exit");
+            b.switch_to(entry);
+            let zero = b.const_i64(0);
+            b.br(header);
+            b.switch_to(header);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let acc = b.phi(Type::I64, &[(entry, zero)]);
+            let c = b.icmp(Pred::Slt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let addr = b.gep(a, i, 8);
+            let v = b.load(Type::I64, addr);
+            let acc2 = b.add(acc, v);
+            let one = b.const_i64(1);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.br(header);
+            b.switch_to(exit);
+            b.ret(Some(acc));
+        }
+        verify_module(&m).expect("loop should verify");
+    }
+
+    #[test]
+    fn smin_emits_cmp_select() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("min", &[Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let (x, y) = (b.arg(0), b.arg(1));
+            let r = b.smin(x, y);
+            b.ret(Some(r));
+        }
+        verify_module(&m).unwrap();
+        assert_eq!(m.function(f).num_placed_insts(), 3);
+    }
+}

@@ -1,0 +1,414 @@
+//! Functions: value arenas plus a CFG of basic blocks.
+
+use crate::block::{Block, BlockId};
+use crate::inst::{Inst, InstKind};
+use crate::types::Type;
+use crate::value::{Constant, ValueData, ValueId, ValueKind};
+use std::fmt;
+
+/// Index of a function within its [`Module`](crate::module::Module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The arena slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Side-effect contract of a function, used by the prefetching pass when
+/// deciding whether a call may appear in prefetch address-generation code
+/// (§4.1 of the paper: calls are rejected unless provably side-effect
+/// free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Purity {
+    /// May write memory or otherwise have observable effects.
+    Impure,
+    /// Reads memory at most; multiple executions are unobservable.
+    ReadOnly,
+    /// No memory access at all (a pure computation such as a hash mix).
+    Pure,
+}
+
+/// A function: formal parameters, a value arena and basic blocks.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+    /// Return type; `None` for void functions.
+    pub ret: Option<Type>,
+    /// Declared side-effect contract (checked against the body by
+    /// [`crate::verifier::verify_module`]).
+    pub purity: Purity,
+    /// All values: arguments first, then constants/instructions in
+    /// creation order.
+    values: Vec<ValueData>,
+    /// Basic blocks; index 0 is the entry block.
+    blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Create a function with the given signature and an empty entry block.
+    #[must_use]
+    pub fn new(name: impl Into<String>, params: &[Type], ret: impl Into<Option<Type>>) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            params: params.to_vec(),
+            ret: ret.into(),
+            purity: Purity::Impure,
+            values: Vec::new(),
+            blocks: vec![Block::with_name("entry")],
+        };
+        for (i, &ty) in params.iter().enumerate() {
+            f.values.push(ValueData {
+                ty: Some(ty),
+                kind: ValueKind::Arg { index: i as u32 },
+                name: None,
+            });
+        }
+        f
+    }
+
+    /// The entry block id (always block 0).
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The value id of the `index`-th formal parameter.
+    ///
+    /// # Panics
+    /// If `index` is out of range.
+    #[must_use]
+    pub fn arg(&self, index: usize) -> ValueId {
+        assert!(index < self.params.len(), "argument index out of range");
+        ValueId(index as u32)
+    }
+
+    /// Number of values in the arena (arguments + constants + instructions).
+    #[must_use]
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate over all block ids in creation order (entry first).
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Immutable access to a block.
+    #[must_use]
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Append a new empty block and return its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::with_name(name));
+        id
+    }
+
+    /// Immutable access to a value table entry.
+    #[must_use]
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    /// Mutable access to a value table entry.
+    pub fn value_mut(&mut self, v: ValueId) -> &mut ValueData {
+        &mut self.values[v.index()]
+    }
+
+    /// The instruction payload of `v`, or `None` if `v` is an argument or
+    /// constant.
+    #[must_use]
+    pub fn inst(&self, v: ValueId) -> Option<&Inst> {
+        self.values[v.index()].as_inst()
+    }
+
+    /// Mutable instruction payload of `v`.
+    pub fn inst_mut(&mut self, v: ValueId) -> Option<&mut Inst> {
+        self.values[v.index()].as_inst_mut()
+    }
+
+    /// The constant payload of `v`, if it is a constant.
+    #[must_use]
+    pub fn constant(&self, v: ValueId) -> Option<Constant> {
+        match self.values[v.index()].kind {
+            ValueKind::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether `v` is a constant integer equal to `n`.
+    #[must_use]
+    pub fn is_const_int(&self, v: ValueId, n: i64) -> bool {
+        matches!(self.constant(v), Some(Constant::Int(x, _)) if x == n)
+    }
+
+    /// Intern a constant, reusing an existing slot when one matches.
+    pub fn add_const(&mut self, c: Constant) -> ValueId {
+        // Linear scan: functions have few distinct constants and this keeps
+        // the arena free of auxiliary maps.
+        for (i, vd) in self.values.iter().enumerate() {
+            if let ValueKind::Const(existing) = &vd.kind {
+                let equal = match (existing, &c) {
+                    (Constant::Int(a, ta), Constant::Int(b, tb)) => a == b && ta == tb,
+                    (Constant::Float(a), Constant::Float(b)) => a.to_bits() == b.to_bits(),
+                    _ => false,
+                };
+                if equal {
+                    return ValueId(i as u32);
+                }
+            }
+        }
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueData {
+            ty: Some(c.ty()),
+            kind: ValueKind::Const(c),
+            name: None,
+        });
+        id
+    }
+
+    /// Shorthand for interning an `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.add_const(Constant::Int(v, Type::I64))
+    }
+
+    /// Create an instruction value *without* placing it in any block.
+    ///
+    /// Used by the prefetch code generator, which clones address
+    /// computations and then splices them in with
+    /// [`Function::insert_before`].
+    pub fn create_inst(&mut self, kind: InstKind, ty: Option<Type>, block: BlockId) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueData {
+            ty,
+            kind: ValueKind::Inst(Inst { kind, block }),
+            name: None,
+        });
+        id
+    }
+
+    /// Append an already-created instruction to the end of its block.
+    pub fn push_inst(&mut self, inst: ValueId) {
+        let b = self.values[inst.index()]
+            .as_inst()
+            .expect("push_inst on non-instruction")
+            .block;
+        self.blocks[b.index()].insts.push(inst);
+    }
+
+    /// Insert instruction `inst` immediately before `before` in `before`'s
+    /// block, updating `inst`'s block field.
+    ///
+    /// # Panics
+    /// If `before` is not placed in a block.
+    pub fn insert_before(&mut self, before: ValueId, inst: ValueId) {
+        let b = self.values[before.index()]
+            .as_inst()
+            .expect("insert_before target is not an instruction")
+            .block;
+        let pos = self.blocks[b.index()]
+            .position_of(before)
+            .expect("insert_before target not found in its block");
+        if let Some(i) = self.values[inst.index()].as_inst_mut() {
+            i.block = b;
+        }
+        self.blocks[b.index()].insts.insert(pos, inst);
+    }
+
+    /// Insert instruction `inst` at the front of block `b`, after any phis.
+    pub fn insert_at_block_start(&mut self, b: BlockId, inst: ValueId) {
+        let pos = self.blocks[b.index()]
+            .insts
+            .iter()
+            .position(|&v| !matches!(self.inst(v).map(|i| &i.kind), Some(InstKind::Phi { .. })))
+            .unwrap_or(self.blocks[b.index()].insts.len());
+        if let Some(i) = self.values[inst.index()].as_inst_mut() {
+            i.block = b;
+        }
+        self.blocks[b.index()].insts.insert(pos, inst);
+    }
+
+    /// Compute predecessor lists for every block.
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            if let Some(term) = self.block(b).last() {
+                if let Some(inst) = self.inst(term) {
+                    for s in inst.successors() {
+                        preds[s.index()].push(b);
+                    }
+                }
+            }
+        }
+        preds
+    }
+
+    /// Successor blocks of `b` (empty if the block lacks a terminator).
+    #[must_use]
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.block(b)
+            .last()
+            .and_then(|t| self.inst(t).map(|i| i.successors()))
+            .unwrap_or_default()
+    }
+
+    /// Iterate over the instruction ids of every block, in block order.
+    pub fn all_insts(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.blocks.iter().flat_map(|b| b.insts.iter().copied())
+    }
+
+    /// Count instructions placed in blocks (excludes detached values).
+    #[must_use]
+    pub fn num_placed_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// All placed users of value `v`, as instruction ids.
+    #[must_use]
+    pub fn users_of(&self, v: ValueId) -> Vec<ValueId> {
+        let mut users = Vec::new();
+        let mut ops = Vec::new();
+        for i in self.all_insts() {
+            if let Some(inst) = self.inst(i) {
+                ops.clear();
+                inst.operands_into(&mut ops);
+                if ops.contains(&v) {
+                    users.push(i);
+                }
+            }
+        }
+        users
+    }
+
+    /// Give `v` a debug name, shown by the printer.
+    pub fn set_name(&mut self, v: ValueId, name: impl Into<String>) {
+        self.values[v.index()].name = Some(name.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    fn sample() -> Function {
+        Function::new("f", &[Type::I64, Type::I64], Type::I64)
+    }
+
+    #[test]
+    fn args_are_first_values() {
+        let f = sample();
+        assert_eq!(f.arg(0), ValueId(0));
+        assert_eq!(f.arg(1), ValueId(1));
+        assert_eq!(f.value(f.arg(0)).ty, Some(Type::I64));
+    }
+
+    #[test]
+    #[should_panic(expected = "argument index out of range")]
+    fn arg_out_of_range_panics() {
+        let f = sample();
+        let _ = f.arg(2);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut f = sample();
+        let a = f.const_i64(42);
+        let b = f.const_i64(42);
+        let c = f.const_i64(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Same bits, different type: distinct slots.
+        let d = f.add_const(Constant::Int(42, Type::I32));
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn float_constants_interned_by_bits() {
+        let mut f = sample();
+        let a = f.add_const(Constant::Float(1.5));
+        let b = f.add_const(Constant::Float(1.5));
+        assert_eq!(a, b);
+        let nz = f.add_const(Constant::Float(-0.0));
+        let pz = f.add_const(Constant::Float(0.0));
+        assert_ne!(nz, pz, "signed zeros are distinct constants");
+    }
+
+    #[test]
+    fn insert_before_places_in_same_block() {
+        let mut f = sample();
+        let entry = f.entry();
+        let c = f.const_i64(1);
+        let add = f.create_inst(
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: f.arg(0),
+                rhs: c,
+            },
+            Some(Type::I64),
+            entry,
+        );
+        f.push_inst(add);
+        let ret = f.create_inst(InstKind::Ret { value: Some(add) }, None, entry);
+        f.push_inst(ret);
+
+        let mul = f.create_inst(
+            InstKind::Binary {
+                op: BinOp::Mul,
+                lhs: f.arg(0),
+                rhs: c,
+            },
+            Some(Type::I64),
+            entry,
+        );
+        f.insert_before(ret, mul);
+        assert_eq!(f.block(entry).insts, vec![add, mul, ret]);
+    }
+
+    #[test]
+    fn users_and_predecessors() {
+        let mut f = sample();
+        let entry = f.entry();
+        let b2 = f.add_block("next");
+        let br = f.create_inst(InstKind::Br { target: b2 }, None, entry);
+        f.push_inst(br);
+        let ret = f.create_inst(
+            InstKind::Ret {
+                value: Some(f.arg(0)),
+            },
+            None,
+            b2,
+        );
+        f.push_inst(ret);
+        assert_eq!(f.predecessors()[b2.index()], vec![entry]);
+        assert_eq!(f.successors(entry), vec![b2]);
+        assert_eq!(f.users_of(f.arg(0)), vec![ret]);
+    }
+}

@@ -1,0 +1,1050 @@
+//! Reference interpreter with an observer hook for timing simulation.
+//!
+//! The interpreter executes IR functions against a flat simulated address
+//! space. Every retired instruction is reported to an [`ExecObserver`]
+//! carrying the dynamic information a timing model needs: the static
+//! instruction identity (for stride-prefetcher PC tables), memory
+//! addresses, and the operand value-ids (for dataflow dependence tracking
+//! in the out-of-order core model).
+//!
+//! Execution is *resumable*: [`Interp::start`] + [`Interp::step`] allow a
+//! multicore simulation to interleave several interpreter instances on a
+//! shared memory system, advancing whichever core has the smallest local
+//! clock.
+
+use crate::function::FuncId;
+use crate::inst::{BinOp, CastOp, InstKind, Pred};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{Constant, ValueId, ValueKind};
+use std::fmt;
+
+/// A runtime scalar. Pointers are carried as `Int` (addresses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer or pointer payload (sign-agnostic 64-bit).
+    Int(i64),
+    /// Floating-point payload.
+    Float(f64),
+}
+
+impl RtVal {
+    /// Integer payload.
+    ///
+    /// # Panics
+    /// If the value is a float.
+    #[must_use]
+    pub fn as_int(self) -> i64 {
+        match self {
+            RtVal::Int(v) => v,
+            RtVal::Float(_) => panic!("expected integer value"),
+        }
+    }
+
+    /// Float payload.
+    ///
+    /// # Panics
+    /// If the value is an integer.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            RtVal::Float(v) => v,
+            RtVal::Int(_) => panic!("expected float value"),
+        }
+    }
+}
+
+/// A runtime fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Load or store outside allocated memory.
+    MemFault {
+        /// Faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Instruction budget exhausted (see [`Interp::set_fuel`]).
+    OutOfFuel,
+    /// Call stack exceeded the depth limit.
+    StackOverflow,
+    /// Simulated heap exhausted.
+    OutOfMemory,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::MemFault { addr, size } => {
+                write!(f, "memory fault: {size}-byte access at {addr:#x}")
+            }
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::OutOfMemory => write!(f, "simulated heap exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Dynamic classification of a retired instruction, as seen by observers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Register-to-register work (arithmetic, compares, selects, casts,
+    /// phis, address computation).
+    Alu,
+    /// A demand memory read.
+    Load {
+        /// Effective address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A memory write.
+    Store {
+        /// Effective address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A software prefetch hint. `valid` is false when the address was
+    /// outside allocated memory (real hardware silently drops these).
+    Prefetch {
+        /// Hinted address.
+        addr: u64,
+        /// Whether the address was mapped.
+        valid: bool,
+    },
+    /// A control-flow instruction (branch, conditional branch).
+    Branch {
+        /// Whether a conditional branch was taken (`true` for `br`).
+        taken: bool,
+    },
+    /// Function call entry.
+    Call,
+    /// Function return.
+    Ret,
+    /// Heap allocation.
+    Alloc,
+}
+
+/// A retired instruction notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Static identity: `(function index << 32) | value index`. Stable
+    /// across iterations, suitable for stride-table indexing.
+    pub pc: u64,
+    /// Monotonic id of the executing call frame (for dependence keying).
+    pub frame: u64,
+    /// Value id of the result (also the instruction id).
+    pub result: ValueId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Operand value ids within the same frame. For phis, only the chosen
+    /// incoming; for calls, the arguments.
+    pub operands: &'a [ValueId],
+}
+
+/// Receives one callback per retired instruction.
+pub trait ExecObserver {
+    /// Called after the instruction's architectural effects are applied.
+    fn on_event(&mut self, ev: &Event<'_>);
+}
+
+/// An observer that ignores everything (pure functional execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl ExecObserver for NullObserver {
+    fn on_event(&mut self, _ev: &Event<'_>) {}
+}
+
+/// An observer that counts retired instructions by class — enough for the
+/// paper's dynamic-instruction-overhead measurements (Fig. 8).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingObserver {
+    /// Total retired instructions.
+    pub total: u64,
+    /// Demand loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Software prefetches.
+    pub prefetches: u64,
+    /// Branches.
+    pub branches: u64,
+}
+
+impl ExecObserver for CountingObserver {
+    fn on_event(&mut self, ev: &Event<'_>) {
+        self.total += 1;
+        match ev.kind {
+            EventKind::Load { .. } => self.loads += 1,
+            EventKind::Store { .. } => self.stores += 1,
+            EventKind::Prefetch { .. } => self.prefetches += 1,
+            EventKind::Branch { .. } => self.branches += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Base of the simulated heap; addresses below this always fault.
+pub const HEAP_BASE: u64 = 0x1_0000;
+
+/// Flat byte-addressed memory with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    limit: u64,
+}
+
+impl Memory {
+    /// Create an empty memory with the given capacity limit in bytes.
+    #[must_use]
+    pub fn with_limit(limit: u64) -> Self {
+        Memory {
+            data: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Allocate `size` bytes aligned to 64 and return the base address.
+    ///
+    /// # Errors
+    /// [`Trap::OutOfMemory`] if the limit would be exceeded.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, Trap> {
+        let aligned = self.data.len().next_multiple_of(64);
+        let end = aligned as u64 + size;
+        if end > self.limit {
+            return Err(Trap::OutOfMemory);
+        }
+        self.data.resize(end as usize, 0);
+        Ok(HEAP_BASE + aligned as u64)
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, size: u32) -> Result<usize, Trap> {
+        let off = addr.wrapping_sub(HEAP_BASE);
+        if addr < HEAP_BASE || off + u64::from(size) > self.data.len() as u64 {
+            return Err(Trap::MemFault { addr, size });
+        }
+        Ok(off as usize)
+    }
+
+    /// Whether `[addr, addr+size)` lies within allocated memory.
+    #[must_use]
+    pub fn is_valid(&self, addr: u64, size: u32) -> bool {
+        self.check(addr, size).is_ok()
+    }
+
+    /// Read an unsigned little-endian scalar.
+    ///
+    /// # Errors
+    /// [`Trap::MemFault`] when out of bounds.
+    pub fn read(&self, addr: u64, size: u32) -> Result<u64, Trap> {
+        let off = self.check(addr, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&self.data[off..off + size as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write a little-endian scalar.
+    ///
+    /// # Errors
+    /// [`Trap::MemFault`] when out of bounds.
+    pub fn write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), Trap> {
+        let off = self.check(addr, size)?;
+        let bytes = value.to_le_bytes();
+        self.data[off..off + size as usize].copy_from_slice(&bytes[..size as usize]);
+        Ok(())
+    }
+}
+
+/// How far a [`Interp::step`] call got.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// One instruction retired; more remain.
+    Continue,
+    /// Top-level function returned with this value.
+    Done(Option<RtVal>),
+}
+
+struct Frame {
+    func: FuncId,
+    frame_id: u64,
+    regs: Vec<RtVal>,
+    block: u32,
+    inst_idx: usize,
+    /// Value id in the *caller* frame to receive our return value.
+    ret_to: Option<ValueId>,
+}
+
+fn make_frame(
+    module: &Module,
+    func: FuncId,
+    args: &[RtVal],
+    ret_to: Option<ValueId>,
+    frame_id: u64,
+) -> Frame {
+    let f = module.function(func);
+    let mut regs = vec![RtVal::Int(0); f.num_values()];
+    for (i, a) in args.iter().enumerate() {
+        regs[i] = *a;
+    }
+    // Pre-materialise constants so operand reads are a plain index.
+    for (idx, slot) in regs.iter_mut().enumerate() {
+        if let ValueKind::Const(c) = &f.value(ValueId(idx as u32)).kind {
+            *slot = match c {
+                Constant::Int(v, _) => RtVal::Int(*v),
+                Constant::Float(v) => RtVal::Float(*v),
+            };
+        }
+    }
+    Frame {
+        func,
+        frame_id,
+        regs,
+        block: f.entry().0,
+        inst_idx: 0,
+        ret_to,
+    }
+}
+
+/// The interpreter: simulated memory plus a resumable execution cursor.
+pub struct Interp {
+    mem: Memory,
+    frames: Vec<Frame>,
+    next_frame_id: u64,
+    fuel: u64,
+    retired: u64,
+    max_depth: usize,
+    scratch_ops: Vec<ValueId>,
+    phi_buf: Vec<(ValueId, RtVal, ValueId)>,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Create an interpreter with a 1 GiB heap limit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_heap_limit(1 << 30)
+    }
+
+    /// Create an interpreter with an explicit heap limit in bytes.
+    #[must_use]
+    pub fn with_heap_limit(limit: u64) -> Self {
+        Interp {
+            mem: Memory::with_limit(limit),
+            frames: Vec::new(),
+            next_frame_id: 0,
+            fuel: u64::MAX,
+            retired: 0,
+            max_depth: 1 << 10,
+            scratch_ops: Vec::new(),
+            phi_buf: Vec::new(),
+        }
+    }
+
+    /// Access the simulated memory (e.g. to initialise workload arrays).
+    pub fn mem(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Read-only view of the simulated memory.
+    #[must_use]
+    pub fn mem_ref(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Total instructions retired since construction.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Limit the number of instructions that may retire before
+    /// [`Trap::OutOfFuel`]; defaults to unlimited.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Allocate and zero-fill an array; convenience for workload setup.
+    ///
+    /// # Errors
+    /// [`Trap::OutOfMemory`] if the heap limit would be exceeded.
+    pub fn alloc_array(&mut self, elems: u64, elem_size: u32) -> Result<u64, Trap> {
+        self.mem.alloc(elems * u64::from(elem_size))
+    }
+
+    /// Begin executing `func` with `args`. Any previous cursor state is
+    /// discarded; allocated memory is retained.
+    ///
+    /// # Panics
+    /// If the argument count does not match the signature.
+    pub fn start(&mut self, module: &Module, func: FuncId, args: &[RtVal]) {
+        let f = module.function(func);
+        assert_eq!(args.len(), f.params.len(), "argument count mismatch");
+        self.frames.clear();
+        let id = self.next_frame_id;
+        self.next_frame_id += 1;
+        self.frames.push(make_frame(module, func, args, None, id));
+    }
+
+    /// Run to completion with the given observer.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised during execution.
+    pub fn run(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        args: &[RtVal],
+        obs: &mut dyn ExecObserver,
+    ) -> Result<Option<RtVal>, Trap> {
+        self.start(module, func, args);
+        loop {
+            match self.step(module, obs)? {
+                Step::Continue => {}
+                Step::Done(v) => return Ok(v),
+            }
+        }
+    }
+
+    /// Execute and retire exactly one instruction.
+    ///
+    /// `module` must be the same module passed to [`Interp::start`].
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised by the instruction.
+    ///
+    /// # Panics
+    /// If called without an active cursor (no `start`, or after `Done`).
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&mut self, module: &Module, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
+        if self.retired >= self.fuel {
+            return Err(Trap::OutOfFuel);
+        }
+        let depth = self.frames.len();
+        assert!(depth > 0, "step() without an active cursor");
+        let frame = self.frames.last_mut().expect("non-empty");
+        let func = frame.func;
+        let f = module.function(func);
+        let block = crate::block::BlockId(frame.block);
+        let insts = &f.block(block).insts;
+        debug_assert!(frame.inst_idx < insts.len(), "fell off block end");
+        let v = insts[frame.inst_idx];
+        let inst = f.inst(v).expect("placed value is an instruction");
+        let pc = (u64::from(func.0) << 32) | u64::from(v.0);
+        let frame_id = frame.frame_id;
+
+        self.scratch_ops.clear();
+        let mut kind_out = EventKind::Alu;
+        let mut advance = true;
+
+        macro_rules! reg {
+            ($vid:expr) => {
+                frame.regs[$vid.index()]
+            };
+        }
+
+        match &inst.kind {
+            InstKind::Binary { op, lhs, rhs } => {
+                self.scratch_ops.push(*lhs);
+                self.scratch_ops.push(*rhs);
+                let r = eval_binary(*op, reg!(lhs), reg!(rhs))?;
+                frame.regs[v.index()] = r;
+            }
+            InstKind::ICmp { pred, lhs, rhs } => {
+                self.scratch_ops.push(*lhs);
+                self.scratch_ops.push(*rhs);
+                let r = eval_icmp(*pred, reg!(lhs).as_int(), reg!(rhs).as_int());
+                frame.regs[v.index()] = RtVal::Int(i64::from(r));
+            }
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                self.scratch_ops.push(*cond);
+                self.scratch_ops.push(*then_val);
+                self.scratch_ops.push(*else_val);
+                let c = reg!(cond).as_int() != 0;
+                frame.regs[v.index()] = if c { reg!(then_val) } else { reg!(else_val) };
+            }
+            InstKind::Cast { op, val, to } => {
+                self.scratch_ops.push(*val);
+                let x = reg!(val).as_int();
+                let r = match op {
+                    CastOp::Trunc => {
+                        let bits = to.bits();
+                        let mask = if bits >= 64 {
+                            -1i64
+                        } else {
+                            (1i64 << bits) - 1
+                        };
+                        x & mask
+                    }
+                    CastOp::Zext | CastOp::Sext => {
+                        // Values are stored canonically; extension depends on
+                        // the *source* width, which trunc already masked.
+                        // Sext re-signs from the source type width.
+                        let from_bits = f.value(*val).ty.expect("cast source typed").bits();
+                        if *op == CastOp::Sext && from_bits < 64 {
+                            let shift = 64 - from_bits;
+                            (x << shift) >> shift
+                        } else {
+                            x
+                        }
+                    }
+                    CastOp::IntToPtr | CastOp::PtrToInt => x,
+                };
+                frame.regs[v.index()] = RtVal::Int(r);
+            }
+            InstKind::Alloc { count, elem_size } => {
+                self.scratch_ops.push(*count);
+                let n = reg!(count).as_int();
+                let size = u64::try_from(n.max(0)).expect("non-negative") * elem_size;
+                // Borrow dance: allocation needs &mut self.mem.
+                let addr = {
+                    let mem = &mut self.mem;
+                    mem.alloc(size)?
+                };
+                self.frames.last_mut().expect("non-empty").regs[v.index()] =
+                    RtVal::Int(addr as i64);
+                kind_out = EventKind::Alloc;
+            }
+            InstKind::Gep {
+                base,
+                index,
+                elem_size,
+                offset,
+            } => {
+                self.scratch_ops.push(*base);
+                self.scratch_ops.push(*index);
+                let b = reg!(base).as_int() as u64;
+                let i = reg!(index).as_int();
+                let addr = b
+                    .wrapping_add((i as u64).wrapping_mul(*elem_size))
+                    .wrapping_add(*offset);
+                frame.regs[v.index()] = RtVal::Int(addr as i64);
+            }
+            InstKind::Load { addr, ty } => {
+                self.scratch_ops.push(*addr);
+                let a = reg!(addr).as_int() as u64;
+                let size = ty.size_bytes() as u32;
+                let raw = self.mem.read(a, size)?;
+                let frame = self.frames.last_mut().expect("non-empty");
+                frame.regs[v.index()] = decode_scalar(raw, *ty);
+                kind_out = EventKind::Load { addr: a, size };
+            }
+            InstKind::Store { addr, value } => {
+                self.scratch_ops.push(*addr);
+                self.scratch_ops.push(*value);
+                let a = reg!(addr).as_int() as u64;
+                let val = reg!(value);
+                let ty = f.value(*value).ty.expect("store of typed value");
+                let size = ty.size_bytes() as u32;
+                self.mem.write(a, size, encode_scalar(val))?;
+                kind_out = EventKind::Store { addr: a, size };
+            }
+            InstKind::Prefetch { addr } => {
+                self.scratch_ops.push(*addr);
+                let a = reg!(addr).as_int() as u64;
+                // Prefetches never fault: an unmapped hint is dropped.
+                let valid = self.mem.is_valid(a, 1);
+                kind_out = EventKind::Prefetch { addr: a, valid };
+            }
+            InstKind::Phi { .. } => {
+                unreachable!("phis are executed en masse at block entry")
+            }
+            InstKind::Call { callee, args } => {
+                self.scratch_ops.extend(args.iter().copied());
+                if depth >= self.max_depth {
+                    return Err(Trap::StackOverflow);
+                }
+                let argv: Vec<RtVal> = args.iter().map(|a| frame.regs[a.index()]).collect();
+                frame.inst_idx += 1; // resume after the call on return
+                let id = self.next_frame_id;
+                self.next_frame_id += 1;
+                let new_frame = make_frame(module, *callee, &argv, Some(v), id);
+                self.frames.push(new_frame);
+                kind_out = EventKind::Call;
+                advance = false;
+            }
+            InstKind::Br { target } => {
+                let t = *target;
+                self.enter_block(module, t, block, obs, pc)?;
+                kind_out = EventKind::Branch { taken: true };
+                advance = false;
+            }
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                self.scratch_ops.push(*cond);
+                let c = reg!(cond).as_int() != 0;
+                let t = if c { *then_bb } else { *else_bb };
+                self.enter_block(module, t, block, obs, pc)?;
+                kind_out = EventKind::Branch { taken: c };
+                advance = false;
+            }
+            InstKind::Ret { value } => {
+                let rv = value.map(|x| {
+                    self.scratch_ops.push(x);
+                    frame.regs[x.index()]
+                });
+                let finished = self.frames.pop().expect("non-empty");
+                self.retired += 1;
+                obs.on_event(&Event {
+                    pc,
+                    frame: finished.frame_id,
+                    result: v,
+                    kind: EventKind::Ret,
+                    operands: &self.scratch_ops,
+                });
+                if let Some(parent) = self.frames.last_mut() {
+                    if let (Some(slot), Some(val)) = (finished.ret_to, rv) {
+                        parent.regs[slot.index()] = val;
+                    }
+                    return Ok(Step::Continue);
+                }
+                return Ok(Step::Done(rv));
+            }
+        }
+
+        self.retired += 1;
+        obs.on_event(&Event {
+            pc,
+            frame: frame_id,
+            result: v,
+            kind: kind_out,
+            operands: &self.scratch_ops,
+        });
+        if advance {
+            self.frames.last_mut().expect("non-empty").inst_idx += 1;
+        }
+        Ok(Step::Continue)
+    }
+
+    /// Branch to `target` from `from`: execute all phis as a parallel copy
+    /// and position the cursor after them.
+    fn enter_block(
+        &mut self,
+        module: &Module,
+        target: crate::block::BlockId,
+        from: crate::block::BlockId,
+        obs: &mut dyn ExecObserver,
+        _branch_pc: u64,
+    ) -> Result<(), Trap> {
+        let frame = self.frames.last_mut().expect("non-empty");
+        let f = module.function(frame.func);
+        self.phi_buf.clear();
+        let insts = &f.block(target).insts;
+        let mut n_phis = 0;
+        for &pv in insts {
+            let Some(InstKind::Phi { incomings }) = f.inst(pv).map(|i| &i.kind) else {
+                break;
+            };
+            n_phis += 1;
+            let (_, iv) = incomings
+                .iter()
+                .find(|(b, _)| *b == from)
+                .expect("verifier guarantees an incoming per predecessor");
+            self.phi_buf.push((pv, frame.regs[iv.index()], *iv));
+        }
+        let func = frame.func;
+        let frame_id = frame.frame_id;
+        for &(pv, val, _) in &self.phi_buf {
+            frame.regs[pv.index()] = val;
+        }
+        frame.block = target.0;
+        frame.inst_idx = n_phis;
+        // Report phis after the parallel copy so dependence times are
+        // consistent (each phi depends only on its chosen incoming).
+        for i in 0..self.phi_buf.len() {
+            let (pv, _, iv) = self.phi_buf[i];
+            self.retired += 1;
+            if self.retired > self.fuel {
+                return Err(Trap::OutOfFuel);
+            }
+            let ops = [iv];
+            obs.on_event(&Event {
+                pc: (u64::from(func.0) << 32) | u64::from(pv.0),
+                frame: frame_id,
+                result: pv,
+                kind: EventKind::Alu,
+                operands: &ops,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn decode_scalar(raw: u64, ty: Type) -> RtVal {
+    match ty {
+        Type::F64 => RtVal::Float(f64::from_bits(raw)),
+        Type::I1 => RtVal::Int(i64::from(raw & 1 != 0)),
+        Type::I8 => RtVal::Int(raw as u8 as i64),
+        Type::I16 => RtVal::Int(raw as u16 as i64),
+        Type::I32 => RtVal::Int(raw as u32 as i64),
+        Type::I64 | Type::Ptr => RtVal::Int(raw as i64),
+    }
+}
+
+fn encode_scalar(v: RtVal) -> u64 {
+    match v {
+        RtVal::Int(x) => x as u64,
+        RtVal::Float(x) => x.to_bits(),
+    }
+}
+
+fn eval_binary(op: BinOp, lhs: RtVal, rhs: RtVal) -> Result<RtVal, Trap> {
+    if op.is_float() {
+        let (a, b) = (lhs.as_f64(), rhs.as_f64());
+        let r = match op {
+            BinOp::Fadd => a + b,
+            BinOp::Fsub => a - b,
+            BinOp::Fmul => a * b,
+            BinOp::Fdiv => a / b,
+            _ => unreachable!(),
+        };
+        return Ok(RtVal::Float(r));
+    }
+    let (a, b) = (lhs.as_int(), rhs.as_int());
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Sdiv => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Udiv => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::Srem => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Urem => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Lshr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+        BinOp::Ashr => a.wrapping_shr(b as u32 & 63),
+        _ => unreachable!("float ops handled above"),
+    };
+    Ok(RtVal::Int(r))
+}
+
+fn eval_icmp(pred: Pred, a: i64, b: i64) -> bool {
+    let (ua, ub) = (a as u64, b as u64);
+    match pred {
+        Pred::Eq => a == b,
+        Pred::Ne => a != b,
+        Pred::Slt => a < b,
+        Pred::Sle => a <= b,
+        Pred::Sgt => a > b,
+        Pred::Sge => a >= b,
+        Pred::Ult => ua < ub,
+        Pred::Ule => ua <= ub,
+        Pred::Ugt => ua > ub,
+        Pred::Uge => ua >= ub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::verifier::verify_module;
+
+    fn run_fn(m: &Module, name: &str, args: &[RtVal]) -> Result<Option<RtVal>, Trap> {
+        verify_module(m).expect("module verifies");
+        let f = m.find_function(name).expect("function exists");
+        let mut interp = Interp::new();
+        interp.run(m, f, args, &mut NullObserver)
+    }
+
+    #[test]
+    fn arithmetic_and_select() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (x, y) = (b.arg(0), b.arg(1));
+            let mn = b.smin(x, y);
+            b.ret(Some(mn));
+        }
+        let r = run_fn(&m, "f", &[RtVal::Int(9), RtVal::Int(4)]).unwrap();
+        assert_eq!(r, Some(RtVal::Int(4)));
+        let r = run_fn(&m, "f", &[RtVal::Int(-3), RtVal::Int(4)]).unwrap();
+        assert_eq!(r, Some(RtVal::Int(-3)));
+    }
+
+    #[test]
+    fn loop_sums_array() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("sum", &[Type::Ptr, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (a, n) = (b.arg(0), b.arg(1));
+            let entry = b.entry_block();
+            let header = b.create_block("h");
+            let body = b.create_block("b");
+            let exit = b.create_block("x");
+            let zero = b.const_i64(0);
+            b.br(header);
+            b.switch_to(header);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let acc = b.phi(Type::I64, &[(entry, zero)]);
+            let c = b.icmp(Pred::Slt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let addr = b.gep(a, i, 4);
+            let narrow = b.load(Type::I32, addr);
+            let val = b.cast(CastOp::Zext, narrow, Type::I64);
+            let acc2 = b.add(acc, val);
+            let one = b.const_i64(1);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.br(header);
+            b.switch_to(exit);
+            b.ret(Some(acc));
+        }
+        verify_module(&m).unwrap();
+        let f = m.find_function("sum").unwrap();
+        let mut interp = Interp::new();
+        let base = interp.alloc_array(10, 4).unwrap();
+        for i in 0..10u64 {
+            interp.mem().write(base + i * 4, 4, i + 1).unwrap();
+        }
+        let r = interp
+            .run(
+                &m,
+                f,
+                &[RtVal::Int(base as i64), RtVal::Int(10)],
+                &mut NullObserver,
+            )
+            .unwrap();
+        assert_eq!(r, Some(RtVal::Int(55)));
+    }
+
+    #[test]
+    fn phi_parallel_copy_swap() {
+        // Classic swap test: (a, b) = (b, a) each iteration; after an odd
+        // number of iterations the values are exchanged. Sequential phi
+        // evaluation would corrupt one of them.
+        let mut m = Module::new("t");
+        let fid = m.declare_function("swap", &[Type::I64, Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (x0, y0, n) = (b.arg(0), b.arg(1), b.arg(2));
+            let entry = b.entry_block();
+            let header = b.create_block("h");
+            let body = b.create_block("b");
+            let exit = b.create_block("x");
+            let zero = b.const_i64(0);
+            b.br(header);
+            b.switch_to(header);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let a = b.phi(Type::I64, &[(entry, x0)]);
+            let bb = b.phi(Type::I64, &[(entry, y0)]);
+            let c = b.icmp(Pred::Slt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let one = b.const_i64(1);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(a, body, bb); // a <- b
+            b.add_phi_incoming(bb, body, a); // b <- a (parallel!)
+            b.br(header);
+            b.switch_to(exit);
+            // return a * 1000 + b
+            let k = b.const_i64(1000);
+            let am = b.mul(a, k);
+            let r = b.add(am, bb);
+            b.ret(Some(r));
+        }
+        let r = run_fn(&m, "swap", &[RtVal::Int(1), RtVal::Int(2), RtVal::Int(3)]).unwrap();
+        // After 3 swaps: a=2, b=1.
+        assert_eq!(r, Some(RtVal::Int(2001)));
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let p = b.arg(0);
+            let v = b.load(Type::I64, p);
+            b.ret(Some(v));
+        }
+        let err = run_fn(&m, "f", &[RtVal::Int(0x20)]).unwrap_err();
+        assert!(matches!(err, Trap::MemFault { .. }));
+    }
+
+    #[test]
+    fn prefetch_to_bad_address_does_not_trap() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let p = b.arg(0);
+            b.prefetch(p);
+            b.ret(None);
+        }
+        let mut seen_invalid = false;
+        struct Watch<'a>(&'a mut bool);
+        impl ExecObserver for Watch<'_> {
+            fn on_event(&mut self, ev: &Event<'_>) {
+                if let EventKind::Prefetch { valid, .. } = ev.kind {
+                    if !valid {
+                        *self.0 = true;
+                    }
+                }
+            }
+        }
+        verify_module(&m).unwrap();
+        let f = m.find_function("f").unwrap();
+        let mut interp = Interp::new();
+        interp
+            .run(&m, f, &[RtVal::Int(0x20)], &mut Watch(&mut seen_invalid))
+            .unwrap();
+        assert!(seen_invalid, "invalid prefetch should be flagged, not trap");
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let d = b.binary(BinOp::Sdiv, b.arg(0), b.arg(1));
+            b.ret(Some(d));
+        }
+        let err = run_fn(&m, "f", &[RtVal::Int(5), RtVal::Int(0)]).unwrap_err();
+        assert_eq!(err, Trap::DivByZero);
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("spin", &[], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let entry = b.entry_block();
+            let lp = b.create_block("lp");
+            b.br(lp);
+            b.switch_to(lp);
+            b.br(lp);
+            let _ = entry;
+        }
+        verify_module(&m).unwrap();
+        let f = m.find_function("spin").unwrap();
+        let mut interp = Interp::new();
+        interp.set_fuel(1000);
+        let err = interp.run(&m, f, &[], &mut NullObserver).unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return() {
+        let mut m = Module::new("t");
+        let sq = m.declare_function("sq", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(sq));
+            let x = b.arg(0);
+            let r = b.mul(x, x);
+            b.ret(Some(r));
+        }
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let x = b.arg(0);
+            let s = b.call(sq, &[x], Some(Type::I64));
+            let one = b.const_i64(1);
+            let r = b.add(s, one);
+            b.ret(Some(r));
+        }
+        let r = run_fn(&m, "f", &[RtVal::Int(7)]).unwrap();
+        assert_eq!(r, Some(RtVal::Int(50)));
+    }
+
+    #[test]
+    fn counting_observer_counts() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let p = b.arg(0);
+            let v = b.load(Type::I64, p);
+            b.store(v, p);
+            b.prefetch(p);
+            b.ret(None);
+        }
+        verify_module(&m).unwrap();
+        let f = m.find_function("f").unwrap();
+        let mut interp = Interp::new();
+        let base = interp.alloc_array(1, 8).unwrap();
+        let mut counts = CountingObserver::default();
+        interp
+            .run(&m, f, &[RtVal::Int(base as i64)], &mut counts)
+            .unwrap();
+        assert_eq!(counts.loads, 1);
+        assert_eq!(counts.stores, 1);
+        assert_eq!(counts.prefetches, 1);
+        assert_eq!(counts.total, 4);
+    }
+
+    #[test]
+    fn narrow_loads_zero_extend() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let v = b.load(Type::I8, b.arg(0));
+            let wide = b.cast(CastOp::Zext, v, Type::I64);
+            b.ret(Some(wide));
+        }
+        verify_module(&m).unwrap();
+        let f = m.find_function("f").unwrap();
+        let mut interp = Interp::new();
+        let base = interp.alloc_array(1, 8).unwrap();
+        interp.mem().write(base, 1, 0xFF).unwrap();
+        let r = interp
+            .run(&m, f, &[RtVal::Int(base as i64)], &mut NullObserver)
+            .unwrap();
+        assert_eq!(r, Some(RtVal::Int(255)));
+    }
+}

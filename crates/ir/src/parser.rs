@@ -1,0 +1,573 @@
+//! Parser for the textual form produced by [`crate::printer`].
+//!
+//! The grammar is exactly what the printer emits; see the printer docs.
+//! Comments start with `;` and run to end of line.
+
+use crate::block::BlockId;
+use crate::function::{FuncId, Purity};
+use crate::inst::{BinOp, CastOp, InstKind, Pred};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{Constant, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with a line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a module from its textual form.
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first malformed line.
+pub fn parse_module(text: &str) -> PResult<Module> {
+    let lines: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let no_comment = match l.find(';') {
+                Some(p) => &l[..p],
+                None => l,
+            };
+            (i + 1, no_comment.trim().to_string())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut idx = 0;
+    let err = |line: usize, msg: &str| ParseError {
+        line,
+        message: msg.to_string(),
+    };
+
+    let (first_line, first) = lines.first().ok_or_else(|| err(1, "empty input"))?.clone();
+    let name = first
+        .strip_prefix("module ")
+        .ok_or_else(|| err(first_line, "expected `module <name>`"))?
+        .trim()
+        .to_string();
+    let mut m = Module::new(name);
+    idx += 1;
+
+    // First pass: collect function headers so calls can resolve by name.
+    let mut headers = Vec::new();
+    for (ln, l) in lines.iter().skip(1) {
+        if l.starts_with("func @") {
+            headers.push(parse_header(*ln, l)?);
+        }
+    }
+    for h in &headers {
+        let fid = m.declare_function(h.name.clone(), &h.params, h.ret);
+        m.function_mut(fid).purity = h.purity;
+    }
+
+    // Second pass: bodies.
+    let mut fcount = 0usize;
+    while idx < lines.len() {
+        let (ln, l) = &lines[idx];
+        if !l.starts_with("func @") {
+            return Err(err(*ln, "expected `func`"));
+        }
+        let fid = FuncId(fcount as u32);
+        fcount += 1;
+        idx = parse_body(&mut m, fid, &lines, idx + 1)?;
+    }
+    Ok(m)
+}
+
+struct Header {
+    name: String,
+    params: Vec<Type>,
+    ret: Option<Type>,
+    purity: Purity,
+}
+
+fn parse_header(line: usize, l: &str) -> PResult<Header> {
+    let perr = |msg: &str| ParseError {
+        line,
+        message: msg.to_string(),
+    };
+    let rest = l.strip_prefix("func @").ok_or_else(|| perr("not a func"))?;
+    let open = rest.find('(').ok_or_else(|| perr("missing `(`"))?;
+    let name = rest[..open].to_string();
+    let close = rest.find(')').ok_or_else(|| perr("missing `)`"))?;
+    let params_text = &rest[open + 1..close];
+    let mut params = Vec::new();
+    for p in params_text.split(',').filter(|s| !s.trim().is_empty()) {
+        let (_n, t) = p
+            .split_once(':')
+            .ok_or_else(|| perr("param missing type"))?;
+        params.push(Type::from_name(t.trim()).ok_or_else(|| perr("bad param type"))?);
+    }
+    let tail = rest[close + 1..].trim();
+    let tail = tail
+        .strip_prefix("->")
+        .ok_or_else(|| perr("missing return type"))?
+        .trim();
+    let tail = tail
+        .strip_suffix('{')
+        .ok_or_else(|| perr("missing `{`"))?
+        .trim();
+    let (ret_txt, purity) = if let Some(t) = tail.strip_suffix("pure") {
+        (t.trim(), Purity::Pure)
+    } else if let Some(t) = tail.strip_suffix("readonly") {
+        (t.trim(), Purity::ReadOnly)
+    } else {
+        (tail, Purity::Impure)
+    };
+    let ret = if ret_txt == "void" {
+        None
+    } else {
+        Some(Type::from_name(ret_txt).ok_or_else(|| perr("bad return type"))?)
+    };
+    Ok(Header {
+        name,
+        params,
+        ret,
+        purity,
+    })
+}
+
+/// Collected instruction line, pre-resolution.
+struct PendingInst {
+    line: usize,
+    block: BlockId,
+    result: Option<(String, Type)>,
+    text: String,
+}
+
+fn parse_body(
+    m: &mut Module,
+    fid: FuncId,
+    lines: &[(usize, String)],
+    mut idx: usize,
+) -> PResult<usize> {
+    let mut names: HashMap<String, ValueId> = HashMap::new();
+    let nparams = m.function(fid).params.len();
+    for i in 0..nparams {
+        names.insert(format!("%{i}"), ValueId(i as u32));
+    }
+
+    let mut pending: Vec<PendingInst> = Vec::new();
+    let mut blocks_seen = 0usize;
+    let mut cur_block: Option<BlockId> = None;
+
+    // Collect lines until `}`.
+    loop {
+        let Some((ln, l)) = lines.get(idx) else {
+            return Err(ParseError {
+                line: 0,
+                message: "unterminated function".into(),
+            });
+        };
+        let ln = *ln;
+        idx += 1;
+        if l == "}" {
+            break;
+        }
+        if let Some(label) = l.strip_suffix(':') {
+            if !label.starts_with("bb") {
+                return Err(ParseError {
+                    line: ln,
+                    message: format!("bad block label `{label}`"),
+                });
+            }
+            let b = if blocks_seen == 0 {
+                m.function(fid).entry()
+            } else {
+                m.function_mut(fid).add_block(label)
+            };
+            blocks_seen += 1;
+            cur_block = Some(b);
+            continue;
+        }
+        // `%n = const 42: i64` lines.
+        if let Some((lhs, rhs)) = l.split_once('=') {
+            let rhs = rhs.trim();
+            if let Some(cexpr) = rhs.strip_prefix("const ") {
+                let (v, t) = cexpr.split_once(':').ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "const missing type".into(),
+                })?;
+                let ty = Type::from_name(t.trim()).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad const type".into(),
+                })?;
+                let c = if ty == Type::F64 {
+                    Constant::Float(v.trim().parse().map_err(|_| ParseError {
+                        line: ln,
+                        message: "bad float constant".into(),
+                    })?)
+                } else {
+                    Constant::Int(
+                        v.trim().parse().map_err(|_| ParseError {
+                            line: ln,
+                            message: "bad int constant".into(),
+                        })?,
+                        ty,
+                    )
+                };
+                let id = m.function_mut(fid).add_const(c);
+                names.insert(lhs.trim().split(':').next().unwrap().trim().to_string(), id);
+                continue;
+            }
+        }
+        let block = cur_block.ok_or_else(|| ParseError {
+            line: ln,
+            message: "instruction before first block label".into(),
+        })?;
+        // `%n: ty = <inst>` or bare `<inst>`.
+        let (result, text) = match l.split_once('=') {
+            Some((lhs, rhs)) if lhs.trim_start().starts_with('%') => {
+                let (nm, ty) = lhs.split_once(':').ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "result missing type annotation".into(),
+                })?;
+                let ty = Type::from_name(ty.trim()).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad result type".into(),
+                })?;
+                (Some((nm.trim().to_string(), ty)), rhs.trim().to_string())
+            }
+            _ => (None, l.clone()),
+        };
+        // Pre-create the value slot so forward references (phis) resolve.
+        let id = m.function_mut(fid).create_inst(
+            InstKind::Ret { value: None }, // placeholder, patched below
+            result.as_ref().map(|(_, t)| *t),
+            block,
+        );
+        m.function_mut(fid).push_inst(id);
+        if let Some((nm, _)) = &result {
+            names.insert(nm.clone(), id);
+        }
+        pending.push(PendingInst {
+            line: ln,
+            block,
+            result,
+            text,
+        });
+    }
+
+    // Resolve operands and patch instruction kinds.
+    let mut pi = 0usize;
+    let block_ids: Vec<BlockId> = m.function(fid).block_ids().collect();
+    let lookup_block = |s: &str, line: usize| -> PResult<BlockId> {
+        let n: u32 = s
+            .strip_prefix("bb")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("bad block ref `{s}`"),
+            })?;
+        block_ids
+            .get(n as usize)
+            .copied()
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown block `{s}`"),
+            })
+    };
+    // Identify the value ids assigned to pending instructions, in order.
+    let inst_ids: Vec<ValueId> = {
+        let f = m.function(fid);
+        f.all_insts().collect()
+    };
+    let body_blocks: Vec<BlockId> = m.function(fid).block_ids().collect();
+    for b in body_blocks {
+        let insts = m.function(fid).block(b).insts.clone();
+        for v in insts {
+            let p = &pending[pi];
+            debug_assert_eq!(p.block, b);
+            let kind = parse_inst_text(m, &p.text, p.line, &names, &lookup_block)?;
+            let _ = &p.result;
+            m.function_mut(fid).inst_mut(v).expect("inst").kind = kind;
+            pi += 1;
+        }
+    }
+    debug_assert_eq!(pi, pending.len());
+    let _ = inst_ids;
+    Ok(idx)
+}
+
+fn resolve(names: &HashMap<String, ValueId>, s: &str, line: usize) -> PResult<ValueId> {
+    names.get(s.trim()).copied().ok_or_else(|| ParseError {
+        line,
+        message: format!("unknown value `{}`", s.trim()),
+    })
+}
+
+fn parse_inst_text(
+    m: &Module,
+    text: &str,
+    line: usize,
+    names: &HashMap<String, ValueId>,
+    lookup_block: &dyn Fn(&str, usize) -> PResult<BlockId>,
+) -> PResult<InstKind> {
+    let perr = |msg: String| ParseError { line, message: msg };
+    let (op, rest) = match text.split_once(' ') {
+        Some((a, b)) => (a, b.trim()),
+        None => (text, ""),
+    };
+    let two_ops = |rest: &str| -> PResult<(ValueId, ValueId)> {
+        let (a, b) = rest
+            .split_once(',')
+            .ok_or_else(|| perr(format!("expected two operands in `{text}`")))?;
+        Ok((resolve(names, a, line)?, resolve(names, b, line)?))
+    };
+
+    if let Some(binop) = BinOp::from_mnemonic(op) {
+        let (a, b) = two_ops(rest)?;
+        return Ok(InstKind::Binary {
+            op: binop,
+            lhs: a,
+            rhs: b,
+        });
+    }
+    if let Some(castop) = CastOp::from_mnemonic(op) {
+        let (v, t) = rest
+            .split_once(" to ")
+            .ok_or_else(|| perr("cast missing `to`".into()))?;
+        return Ok(InstKind::Cast {
+            op: castop,
+            val: resolve(names, v, line)?,
+            to: Type::from_name(t.trim()).ok_or_else(|| perr("bad cast type".into()))?,
+        });
+    }
+    match op {
+        "icmp" => {
+            let (pred, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr("icmp missing predicate".into()))?;
+            let pred = Pred::from_mnemonic(pred).ok_or_else(|| perr("bad predicate".into()))?;
+            let (a, b) = two_ops(ops)?;
+            Ok(InstKind::ICmp {
+                pred,
+                lhs: a,
+                rhs: b,
+            })
+        }
+        "select" => {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 3 {
+                return Err(perr("select needs three operands".into()));
+            }
+            Ok(InstKind::Select {
+                cond: resolve(names, parts[0], line)?,
+                then_val: resolve(names, parts[1], line)?,
+                else_val: resolve(names, parts[2], line)?,
+            })
+        }
+        "alloc" => {
+            let (c, sz) = rest
+                .split_once(" x ")
+                .ok_or_else(|| perr("alloc missing `x`".into()))?;
+            Ok(InstKind::Alloc {
+                count: resolve(names, c, line)?,
+                elem_size: sz
+                    .trim()
+                    .parse()
+                    .map_err(|_| perr("bad elem size".into()))?,
+            })
+        }
+        "gep" => {
+            let (base, rest2) = rest
+                .split_once(',')
+                .ok_or_else(|| perr("gep missing index".into()))?;
+            let (idx_part, off) = match rest2.split_once('+') {
+                Some((a, o)) => (
+                    a,
+                    o.trim()
+                        .parse::<u64>()
+                        .map_err(|_| perr("bad gep offset".into()))?,
+                ),
+                None => (rest2, 0),
+            };
+            let (i, sz) = idx_part
+                .split_once(" x ")
+                .ok_or_else(|| perr("gep missing `x`".into()))?;
+            Ok(InstKind::Gep {
+                base: resolve(names, base, line)?,
+                index: resolve(names, i, line)?,
+                elem_size: sz
+                    .trim()
+                    .parse()
+                    .map_err(|_| perr("bad elem size".into()))?,
+                offset: off,
+            })
+        }
+        "load" => {
+            let (t, a) = rest
+                .split_once(',')
+                .ok_or_else(|| perr("load missing address".into()))?;
+            Ok(InstKind::Load {
+                ty: Type::from_name(t.trim()).ok_or_else(|| perr("bad load type".into()))?,
+                addr: resolve(names, a, line)?,
+            })
+        }
+        "store" => {
+            let (v, a) = two_ops(rest)?;
+            Ok(InstKind::Store { addr: a, value: v })
+        }
+        "prefetch" => Ok(InstKind::Prefetch {
+            addr: resolve(names, rest, line)?,
+        }),
+        "phi" => {
+            let mut incomings = Vec::new();
+            for part in rest.split("],") {
+                let part = part.trim().trim_start_matches('[').trim_end_matches(']');
+                let (b, v) = part
+                    .split_once(':')
+                    .ok_or_else(|| perr("phi incoming missing `:`".into()))?;
+                incomings.push((lookup_block(b.trim(), line)?, resolve(names, v, line)?));
+            }
+            Ok(InstKind::Phi { incomings })
+        }
+        "call" => {
+            let rest = rest
+                .strip_prefix('@')
+                .ok_or_else(|| perr("call missing `@`".into()))?;
+            let open = rest
+                .find('(')
+                .ok_or_else(|| perr("call missing `(`".into()))?;
+            let fname = &rest[..open];
+            let args_text = rest[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| perr("call missing `)`".into()))?;
+            let callee = m
+                .find_function(fname)
+                .ok_or_else(|| perr(format!("unknown function `{fname}`")))?;
+            let mut args = Vec::new();
+            for a in args_text.split(',').filter(|s| !s.trim().is_empty()) {
+                args.push(resolve(names, a, line)?);
+            }
+            Ok(InstKind::Call { callee, args })
+        }
+        "br" => {
+            if rest.contains(',') {
+                let parts: Vec<&str> = rest.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(perr("conditional br needs cond and two targets".into()));
+                }
+                Ok(InstKind::CondBr {
+                    cond: resolve(names, parts[0], line)?,
+                    then_bb: lookup_block(parts[1].trim(), line)?,
+                    else_bb: lookup_block(parts[2].trim(), line)?,
+                })
+            } else {
+                Ok(InstKind::Br {
+                    target: lookup_block(rest.trim(), line)?,
+                })
+            }
+        }
+        "ret" => {
+            if rest.is_empty() {
+                Ok(InstKind::Ret { value: None })
+            } else {
+                Ok(InstKind::Ret {
+                    value: Some(resolve(names, rest, line)?),
+                })
+            }
+        }
+        other => Err(perr(format!("unknown instruction `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+    use crate::verifier::verify_module;
+
+    const LOOP: &str = r"module t
+
+func @k(%0: ptr, %1: ptr, %2: i64) -> i64 {
+  %3 = const 0: i64
+  %4 = const 1: i64
+bb0:
+  br bb1
+bb1:
+  %5: i64 = phi [bb0: %3], [bb2: %11]
+  %6: i64 = phi [bb0: %3], [bb2: %10]
+  %7: i1 = icmp slt %5, %2
+  br %7, bb2, bb3
+bb2:
+  %8: ptr = gep %1, %5 x 8
+  %9: i64 = load i64, %8
+  %sum_addr: ptr = gep %0, %9 x 8
+  %sv: i64 = load i64, %sum_addr
+  %10: i64 = add %6, %sv
+  %11: i64 = add %5, %4
+  br bb1
+bb3:
+  ret %6
+}
+";
+
+    #[test]
+    fn parses_and_verifies() {
+        let m = parse_module(LOOP).expect("parse");
+        verify_module(&m).expect("verify");
+        assert_eq!(m.num_functions(), 1);
+        let f = m.function(FuncId(0));
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.num_blocks(), 4);
+    }
+
+    #[test]
+    fn print_parse_print_fixpoint() {
+        let m = parse_module(LOOP).expect("parse");
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).expect("reparse");
+        let p2 = print_module(&m2);
+        assert_eq!(p1, p2);
+        verify_module(&m2).unwrap();
+    }
+
+    #[test]
+    fn reports_unknown_value() {
+        let bad = "module t\n\nfunc @f() -> void {\nbb0:\n  prefetch %99\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert!(err.message.contains("unknown value"), "{err}");
+    }
+
+    #[test]
+    fn reports_unknown_instruction() {
+        let bad = "module t\n\nfunc @f() -> void {\nbb0:\n  frobnicate %0\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert!(err.message.contains("unknown instruction"), "{err}");
+    }
+
+    #[test]
+    fn parses_purity_annotations() {
+        let src = "module t\n\nfunc @h(%0: i64) -> i64 pure {\nbb0:\n  %1: i64 = mul %0, %0\n  ret %1\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.function(FuncId(0)).purity, Purity::Pure);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn parses_calls_across_functions() {
+        let src = "module t\n\nfunc @h(%0: i64) -> i64 pure {\nbb0:\n  %1: i64 = mul %0, %0\n  ret %1\n}\n\nfunc @g(%0: i64) -> i64 {\nbb0:\n  %1: i64 = call @h(%0)\n  ret %1\n}\n";
+        let m = parse_module(src).unwrap();
+        verify_module(&m).unwrap();
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).unwrap();
+        assert_eq!(p1, print_module(&m2));
+    }
+}

@@ -1,0 +1,216 @@
+//! Canonical textual form of modules and functions.
+//!
+//! The printer renumbers values canonically (arguments, then constants in
+//! id order, then instructions in block order), so `print ∘ parse ∘ print`
+//! is the identity on printed text. Detached values (created but never
+//! placed in a block) are not printed.
+
+use crate::function::{Function, Purity};
+use crate::inst::InstKind;
+use crate::module::Module;
+use crate::value::{Constant, ValueId};
+use std::fmt::Write as _;
+
+/// Print a whole module.
+#[must_use]
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", m.name);
+    for f in m.func_ids() {
+        out.push('\n');
+        out.push_str(&print_function(m, m.function(f)));
+    }
+    out
+}
+
+/// Print a single function in canonical form.
+#[must_use]
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    // Canonical numbering: args, then referenced constants, then placed insts.
+    let mut display = vec![u32::MAX; f.num_values()];
+    let mut next = 0u32;
+    for slot in display.iter_mut().take(f.params.len()) {
+        *slot = next;
+        next += 1;
+    }
+    let mut const_ids = Vec::new();
+    for idx in 0..f.num_values() {
+        if f.value(ValueId(idx as u32)).is_const() {
+            const_ids.push(ValueId(idx as u32));
+        }
+    }
+    for &c in &const_ids {
+        display[c.index()] = next;
+        next += 1;
+    }
+    for v in f.all_insts() {
+        display[v.index()] = next;
+        next += 1;
+    }
+    let dv = |v: ValueId| format!("%{}", display[v.index()]);
+
+    let _ = write!(out, "func @{}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "%{i}: {p}");
+    }
+    let _ = write!(out, ")");
+    match f.ret {
+        Some(t) => {
+            let _ = write!(out, " -> {t}");
+        }
+        None => {
+            let _ = write!(out, " -> void");
+        }
+    }
+    match f.purity {
+        Purity::Pure => out.push_str(" pure"),
+        Purity::ReadOnly => out.push_str(" readonly"),
+        Purity::Impure => {}
+    }
+    out.push_str(" {\n");
+
+    for c in &const_ids {
+        match f.constant(*c) {
+            Some(Constant::Int(v, t)) => {
+                let _ = writeln!(out, "  {} = const {v}: {t}", dv(*c));
+            }
+            Some(Constant::Float(v)) => {
+                let _ = writeln!(out, "  {} = const {v:?}: f64", dv(*c));
+            }
+            None => unreachable!("const_ids holds constants only"),
+        }
+    }
+
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{b}:");
+        for &v in &f.block(b).insts {
+            let inst = f.inst(v).expect("placed value is an instruction");
+            out.push_str("  ");
+            if let Some(ty) = f.value(v).ty {
+                let _ = write!(out, "{}: {ty} = ", dv(v));
+            }
+            // Render the instruction with display numbering.
+            let text = render_kind(m, &inst.kind, &dv);
+            out.push_str(&text);
+            if let Some(name) = &f.value(v).name {
+                let _ = write!(out, " ; {name}");
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_kind(m: &Module, kind: &InstKind, dv: &dyn Fn(ValueId) -> String) -> String {
+    match kind {
+        InstKind::Binary { op, lhs, rhs } => {
+            format!("{} {}, {}", op.mnemonic(), dv(*lhs), dv(*rhs))
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            format!("icmp {} {}, {}", pred.mnemonic(), dv(*lhs), dv(*rhs))
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => format!("select {}, {}, {}", dv(*cond), dv(*then_val), dv(*else_val)),
+        InstKind::Cast { op, val, to } => format!("{} {} to {to}", op.mnemonic(), dv(*val)),
+        InstKind::Alloc { count, elem_size } => format!("alloc {} x {elem_size}", dv(*count)),
+        InstKind::Gep {
+            base,
+            index,
+            elem_size,
+            offset,
+        } => {
+            if *offset == 0 {
+                format!("gep {}, {} x {elem_size}", dv(*base), dv(*index))
+            } else {
+                format!("gep {}, {} x {elem_size} + {offset}", dv(*base), dv(*index))
+            }
+        }
+        InstKind::Load { addr, ty } => format!("load {ty}, {}", dv(*addr)),
+        InstKind::Store { addr, value } => format!("store {}, {}", dv(*value), dv(*addr)),
+        InstKind::Prefetch { addr } => format!("prefetch {}", dv(*addr)),
+        InstKind::Phi { incomings } => {
+            let mut s = String::from("phi ");
+            for (i, (b, v)) in incomings.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[{b}: {}]", dv(*v));
+            }
+            s
+        }
+        InstKind::Call { callee, args } => {
+            let mut s = format!("call @{}(", m.function(*callee).name);
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&dv(*a));
+            }
+            s.push(')');
+            s
+        }
+        InstKind::Br { target } => format!("br {target}"),
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {}, {then_bb}, {else_bb}", dv(*cond)),
+        InstKind::Ret { value } => match value {
+            Some(v) => format!("ret {}", dv(*v)),
+            None => "ret".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Pred;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_loop_shape() {
+        let mut m = Module::new("p");
+        let fid = m.declare_function("k", &[Type::Ptr, Type::I64], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let entry = b.entry_block();
+            let header = b.create_block("h");
+            let body = b.create_block("b");
+            let exit = b.create_block("x");
+            let zero = b.const_i64(0);
+            b.br(header);
+            b.switch_to(header);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let c = b.icmp(Pred::Slt, i, b.arg(1));
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let addr = b.gep(b.arg(0), i, 4);
+            let v = b.load(Type::I32, addr);
+            b.store(v, addr);
+            let one = b.const_i64(1);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.br(header);
+            b.switch_to(exit);
+            b.ret(None);
+        }
+        let text = print_module(&m);
+        assert!(
+            text.contains("func @k(%0: ptr, %1: i64) -> void {"),
+            "{text}"
+        );
+        assert!(text.contains("phi [bb0:"), "{text}");
+        assert!(text.contains("load i32"), "{text}");
+        assert!(text.contains("icmp slt"), "{text}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Values: the SSA names produced by arguments, constants and instructions.
+
+use crate::inst::Inst;
+use crate::types::Type;
+use std::fmt;
+
+/// Index of a value within its [`Function`](crate::function::Function)'s
+/// value arena.
+///
+/// Everything that can be used as an operand — arguments, constants and
+/// instruction results — is a value, LLVM-style. `ValueId`s are only
+/// meaningful within the function that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The arena slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constant {
+    /// Integer constant of the given type (stored sign-extended).
+    Int(i64, Type),
+    /// Floating-point constant.
+    Float(f64),
+}
+
+impl Constant {
+    /// The type of the constant.
+    #[must_use]
+    pub fn ty(&self) -> Type {
+        match *self {
+            Constant::Int(_, t) => t,
+            Constant::Float(_) => Type::F64,
+        }
+    }
+
+    /// The integer payload, if this is an integer constant.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match *self {
+            Constant::Int(v, _) => Some(v),
+            Constant::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v, t) => write!(f, "{v}: {t}"),
+            Constant::Float(v) => write!(f, "{v}: f64"),
+        }
+    }
+}
+
+/// What a value *is*: argument, constant, or instruction result.
+#[derive(Debug, Clone)]
+pub enum ValueKind {
+    /// The `index`-th formal parameter of the function.
+    Arg {
+        /// Zero-based parameter position.
+        index: u32,
+    },
+    /// A literal constant.
+    Const(Constant),
+    /// The result of (or, for `void` instructions such as stores and
+    /// branches, the identity of) an instruction.
+    Inst(Inst),
+}
+
+/// A value table entry: kind plus result type.
+///
+/// Instructions that produce no result (stores, branches, `ret`,
+/// `prefetch`) still occupy a value slot so they have a stable identity for
+/// block instruction lists, analyses and the interpreter; their type is
+/// reported as `None`.
+#[derive(Debug, Clone)]
+pub struct ValueData {
+    /// Result type; `None` for void instructions.
+    pub ty: Option<Type>,
+    /// What produces the value.
+    pub kind: ValueKind,
+    /// Optional debug name, used by the printer (`%name` instead of `%7`).
+    pub name: Option<String>,
+}
+
+impl ValueData {
+    /// Convenience accessor for the instruction payload.
+    #[must_use]
+    pub fn as_inst(&self) -> Option<&Inst> {
+        match &self.kind {
+            ValueKind::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Mutable instruction payload accessor.
+    pub fn as_inst_mut(&mut self) -> Option<&mut Inst> {
+        match &mut self.kind {
+            ValueKind::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is a constant.
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        matches!(self.kind, ValueKind::Const(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_types() {
+        assert_eq!(Constant::Int(3, Type::I32).ty(), Type::I32);
+        assert_eq!(Constant::Float(1.5).ty(), Type::F64);
+        assert_eq!(Constant::Int(-1, Type::I64).as_int(), Some(-1));
+        assert_eq!(Constant::Float(0.0).as_int(), None);
+    }
+
+    #[test]
+    fn value_id_display() {
+        assert_eq!(ValueId(7).to_string(), "%7");
+        assert_eq!(ValueId(7).index(), 7);
+    }
+}

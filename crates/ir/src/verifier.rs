@@ -1,0 +1,569 @@
+//! Structural and SSA verification.
+//!
+//! The verifier enforces the invariants every analysis and the prefetch
+//! pass rely on:
+//!
+//! * every reachable block ends in exactly one terminator,
+//! * phis appear only at block starts and their incoming edges match the
+//!   block's actual predecessors,
+//! * operands are type-correct,
+//! * every use is dominated by its definition (the SSA property), and
+//! * declared function purity is consistent with the body.
+
+use crate::block::BlockId;
+use crate::function::{FuncId, Function, Purity};
+use crate::inst::InstKind;
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+use std::fmt;
+
+/// A verification failure, with enough context to locate the fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the error was found.
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify every function in the module.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in m.func_ids() {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+/// Verify a single function.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
+    let f = m.function(fid);
+    let fail = |msg: String| {
+        Err(VerifyError {
+            func: f.name.clone(),
+            message: msg,
+        })
+    };
+
+    // --- structural checks -------------------------------------------------
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        if insts.is_empty() {
+            return fail(format!("{b} is empty"));
+        }
+        let mut seen_non_phi = false;
+        for (pos, &v) in insts.iter().enumerate() {
+            let Some(inst) = f.inst(v) else {
+                return fail(format!("{b} lists non-instruction value {v}"));
+            };
+            if inst.block != b {
+                return fail(format!("{v} placed in {b} but records {}", inst.block));
+            }
+            let is_last = pos + 1 == insts.len();
+            if inst.is_terminator() != is_last {
+                return fail(format!(
+                    "{v} in {b}: terminator placement (pos {pos} of {})",
+                    insts.len()
+                ));
+            }
+            match inst.kind {
+                InstKind::Phi { .. } => {
+                    if seen_non_phi {
+                        return fail(format!("{v}: phi after non-phi in {b}"));
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+            // Operand and successor indices must be in range.
+            for op in inst.operands() {
+                if op.index() >= f.num_values() {
+                    return fail(format!("{v}: operand {op} out of range"));
+                }
+            }
+            for s in inst.successors() {
+                if s.index() >= f.num_blocks() {
+                    return fail(format!("{v}: successor {s} out of range"));
+                }
+            }
+        }
+    }
+
+    // --- phi incoming edges match predecessors -----------------------------
+    let preds = f.predecessors();
+    for b in f.block_ids() {
+        for &v in &f.block(b).insts {
+            if let Some(InstKind::Phi { incomings }) = f.inst(v).map(|i| &i.kind) {
+                let mut incoming_blocks: Vec<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                incoming_blocks.sort();
+                incoming_blocks.dedup();
+                if incoming_blocks.len() != incomings.len() {
+                    return fail(format!("{v}: duplicate phi incoming blocks"));
+                }
+                let mut actual = preds[b.index()].clone();
+                actual.sort();
+                actual.dedup();
+                if incoming_blocks != actual {
+                    return fail(format!(
+                        "{v}: phi incomings {incoming_blocks:?} != predecessors {actual:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- type checks --------------------------------------------------------
+    for v in f.all_insts() {
+        let inst = f.inst(v).expect("checked above");
+        let ty_of = |val: ValueId| f.value(val).ty;
+        match &inst.kind {
+            InstKind::Binary { op, lhs, rhs } => {
+                let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
+                if lt.is_none() || lt != rt {
+                    return fail(format!("{v}: binary operand types {lt:?} vs {rt:?}"));
+                }
+                let is_f = lt == Some(Type::F64);
+                if op.is_float() != is_f {
+                    return fail(format!("{v}: {} on {lt:?}", op.mnemonic()));
+                }
+            }
+            InstKind::ICmp { lhs, rhs, .. } => {
+                let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
+                if lt != rt || lt.is_none_or(|t| !t.is_int()) {
+                    return fail(format!("{v}: icmp operand types {lt:?} vs {rt:?}"));
+                }
+            }
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                if ty_of(*cond) != Some(Type::I1) {
+                    return fail(format!("{v}: select condition must be i1"));
+                }
+                if ty_of(*then_val) != ty_of(*else_val) {
+                    return fail(format!("{v}: select arm types differ"));
+                }
+            }
+            InstKind::Cast { op, val, to } => {
+                use crate::inst::CastOp;
+                let from = ty_of(*val);
+                let Some(from) = from else {
+                    return fail(format!("{v}: cast of void value"));
+                };
+                let ok = match op {
+                    CastOp::Trunc => from.is_int() && to.is_int() && from.bits() > to.bits(),
+                    CastOp::Zext | CastOp::Sext => {
+                        from.is_int() && to.is_int() && from.bits() < to.bits()
+                    }
+                    CastOp::IntToPtr => from == Type::I64 && *to == Type::Ptr,
+                    CastOp::PtrToInt => from == Type::Ptr && *to == Type::I64,
+                };
+                if !ok {
+                    return fail(format!("{v}: invalid cast {from} to {to}"));
+                }
+            }
+            InstKind::Alloc { count, elem_size } => {
+                if ty_of(*count).is_none_or(|t| !t.is_int()) {
+                    return fail(format!("{v}: alloc count must be integer"));
+                }
+                if *elem_size == 0 {
+                    return fail(format!("{v}: alloc with zero element size"));
+                }
+            }
+            InstKind::Gep {
+                base,
+                index,
+                elem_size,
+                ..
+            } => {
+                if ty_of(*base) != Some(Type::Ptr) {
+                    return fail(format!("{v}: gep base must be ptr"));
+                }
+                if ty_of(*index).is_none_or(|t| !t.is_int()) {
+                    return fail(format!("{v}: gep index must be integer"));
+                }
+                if *elem_size == 0 {
+                    return fail(format!("{v}: gep with zero element size"));
+                }
+            }
+            InstKind::Load { addr, .. }
+            | InstKind::Prefetch { addr }
+            | InstKind::Store { addr, .. } => {
+                if ty_of(*addr) != Some(Type::Ptr) {
+                    return fail(format!("{v}: memory address must be ptr"));
+                }
+                if let InstKind::Store { value, .. } = inst.kind {
+                    if ty_of(value).is_none() {
+                        return fail(format!("{v}: store of void value"));
+                    }
+                }
+            }
+            InstKind::Phi { incomings } => {
+                let my_ty = f.value(v).ty;
+                for (_, iv) in incomings {
+                    if ty_of(*iv) != my_ty {
+                        return fail(format!("{v}: phi incoming type mismatch"));
+                    }
+                }
+            }
+            InstKind::Call { callee, args } => {
+                if callee.index() >= m.num_functions() {
+                    return fail(format!("{v}: call target out of range"));
+                }
+                let target = m.function(*callee);
+                if target.params.len() != args.len() {
+                    return fail(format!(
+                        "{v}: call to @{} with {} args, expected {}",
+                        target.name,
+                        args.len(),
+                        target.params.len()
+                    ));
+                }
+                for (a, &pt) in args.iter().zip(&target.params) {
+                    if ty_of(*a) != Some(pt) {
+                        return fail(format!("{v}: call argument type mismatch"));
+                    }
+                }
+                if f.value(v).ty != target.ret {
+                    return fail(format!("{v}: call result type mismatch"));
+                }
+            }
+            InstKind::CondBr { cond, .. } => {
+                if ty_of(*cond) != Some(Type::I1) {
+                    return fail(format!("{v}: branch condition must be i1"));
+                }
+            }
+            InstKind::Br { .. } => {}
+            InstKind::Ret { value } => {
+                let got = value.and_then(ty_of);
+                if got != f.ret {
+                    return fail(format!(
+                        "{v}: ret type {got:?}, function returns {:?}",
+                        f.ret
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- SSA dominance -------------------------------------------------------
+    let idom = compute_idom(f);
+    let dominates = |a: BlockId, mut b: BlockId| -> bool {
+        loop {
+            if a == b {
+                return true;
+            }
+            match idom[b.index()] {
+                Some(d) if d != b => b = d,
+                _ => return false,
+            }
+        }
+    };
+    for b in f.block_ids() {
+        if idom[b.index()].is_none() && b != f.entry() {
+            continue; // unreachable block: skip dominance checks
+        }
+        let insts = &f.block(b).insts;
+        for (pos, &v) in insts.iter().enumerate() {
+            let inst = f.inst(v).expect("checked");
+            if let InstKind::Phi { incomings } = &inst.kind {
+                // Each incoming value must dominate the end of its edge block.
+                for &(pb, pv) in incomings {
+                    if let ValueKind::Inst(def) = &f.value(pv).kind {
+                        if !dominates(def.block, pb) {
+                            return fail(format!("{v}: phi incoming {pv} does not dominate {pb}"));
+                        }
+                    }
+                }
+                continue;
+            }
+            for op in inst.operands() {
+                if let ValueKind::Inst(def) = &f.value(op).kind {
+                    if def.block == b {
+                        let def_pos = f.block(b).position_of(op);
+                        match def_pos {
+                            Some(dp) if dp < pos => {}
+                            _ => {
+                                return fail(format!("{v}: use of {op} before definition in {b}"));
+                            }
+                        }
+                    } else if !dominates(def.block, b) {
+                        return fail(format!("{v}: use of {op} not dominated by its definition"));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- purity --------------------------------------------------------------
+    if f.purity != Purity::Impure {
+        for v in f.all_insts() {
+            match &f.inst(v).expect("checked").kind {
+                InstKind::Store { .. } | InstKind::Alloc { .. } => {
+                    return fail(format!("{v}: store/alloc in non-impure function"));
+                }
+                InstKind::Load { .. } if f.purity == Purity::Pure => {
+                    return fail(format!("{v}: load in pure function"));
+                }
+                InstKind::Call { callee, .. } => {
+                    let cp = m.function(*callee).purity;
+                    let ok = match f.purity {
+                        Purity::Pure => cp == Purity::Pure,
+                        Purity::ReadOnly => cp != Purity::Impure,
+                        Purity::Impure => true,
+                    };
+                    if !ok {
+                        return fail(format!("{v}: call weakens declared purity"));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm.
+///
+/// Entry's idom is itself; unreachable blocks get `None`. (The analysis
+/// crate re-exposes dominators with a richer API; this copy keeps the
+/// verifier dependency-free.)
+#[must_use]
+pub fn compute_idom(f: &Function) -> Vec<Option<BlockId>> {
+    let n = f.num_blocks();
+    // Reverse postorder.
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![(f.entry(), 0usize)];
+    visited[f.entry().index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.successors(b);
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_num[b.index()] = i;
+    }
+
+    let preds = f.predecessors();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[f.entry().index()] = Some(f.entry());
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_num[a.index()] > rpo_num[b.index()] {
+                a = idom[a.index()].expect("processed");
+            }
+            while rpo_num[b.index()] > rpo_num[a.index()] {
+                b = idom[b.index()].expect("processed");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+            }
+            if new_idom.is_some() && idom[b.index()] != new_idom {
+                idom[b.index()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Pred};
+
+    fn module_with(f: impl FnOnce(&mut FunctionBuilder)) -> Module {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64, Type::Ptr], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        f(&mut b);
+        m
+    }
+
+    #[test]
+    fn accepts_straight_line() {
+        let m = module_with(|b| {
+            let x = b.arg(0);
+            let one = b.const_i64(1);
+            let y = b.add(x, one);
+            b.ret(Some(y));
+        });
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let m = module_with(|b| {
+            let x = b.arg(0);
+            let one = b.const_i64(1);
+            b.add(x, one);
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64, Type::I32], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let wide = b.arg(0);
+            let narrow = b.arg(1);
+            let bad = b.binary(BinOp::Add, wide, narrow);
+            b.ret(Some(bad));
+        }
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("binary operand types"), "{err}");
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let f = m.function_mut(fid);
+            let entry = f.entry();
+            let one = f.const_i64(1);
+            // Build add(later, 1) then place `later` after it.
+            let later = f.create_inst(
+                InstKind::Binary {
+                    op: BinOp::Add,
+                    lhs: f.arg(0),
+                    rhs: one,
+                },
+                Some(Type::I64),
+                entry,
+            );
+            let early = f.create_inst(
+                InstKind::Binary {
+                    op: BinOp::Add,
+                    lhs: later,
+                    rhs: one,
+                },
+                Some(Type::I64),
+                entry,
+            );
+            f.push_inst(early);
+            f.push_inst(later);
+            let ret = f.create_inst(InstKind::Ret { value: Some(early) }, None, entry);
+            f.push_inst(ret);
+        }
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("before definition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let entry = b.entry_block();
+            let next = b.create_block("next");
+            let bogus = b.create_block("bogus");
+            b.br(next);
+            b.switch_to(next);
+            let zero = b.const_i64(0);
+            // Claims an incoming edge from `bogus`, which never branches here.
+            let p = b.phi(Type::I64, &[(entry, zero), (bogus, zero)]);
+            b.ret(Some(p));
+            b.switch_to(bogus);
+            b.ret(Some(zero));
+        }
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("phi incomings"), "{err}");
+    }
+
+    #[test]
+    fn rejects_impure_body_in_pure_function() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function_with_purity(
+            "h",
+            &[Type::Ptr],
+            Type::I64,
+            crate::function::Purity::Pure,
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let p = b.arg(0);
+            let v = b.load(Type::I64, p);
+            b.ret(Some(v));
+        }
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("pure"), "{err}");
+    }
+
+    #[test]
+    fn idom_of_diamond() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let entry = b.entry_block();
+            let t = b.create_block("t");
+            let e = b.create_block("e");
+            let join = b.create_block("join");
+            let zero = b.const_i64(0);
+            let c = b.icmp(Pred::Eq, b.arg(0), zero);
+            b.cond_br(c, t, e);
+            b.switch_to(t);
+            let one = b.const_i64(1);
+            b.br(join);
+            b.switch_to(e);
+            let two = b.const_i64(2);
+            b.br(join);
+            b.switch_to(join);
+            let p = b.phi(Type::I64, &[(t, one), (e, two)]);
+            b.ret(Some(p));
+            let _ = entry;
+        }
+        verify_module(&m).unwrap();
+        let f = m.function(FuncId(0));
+        let idom = compute_idom(f);
+        assert_eq!(idom[3], Some(BlockId(0)), "join dominated by entry");
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+    }
+}

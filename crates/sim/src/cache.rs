@@ -1,0 +1,253 @@
+//! Set-associative caches with timed fills and LRU replacement.
+//!
+//! Each line records the tick at which its fill completes (`ready`), so a
+//! demand access arriving before an in-flight prefetch completes pays the
+//! *remaining* fill time — late prefetches give partial benefit, exactly
+//! the Fig. 2 "offset too small" behaviour. Lines also track a dirty bit;
+//! dirty evictions are reported so the DRAM model can charge write-back
+//! bandwidth.
+
+use crate::presets::CacheConfig;
+use crate::LINE_BYTES;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Tick when the fill completes (0 for long-resident lines).
+    ready: u64,
+    /// Tick of last access, for LRU.
+    last_use: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Present. `ready_at` is when the data is usable (may be in the
+    /// future for an in-flight fill).
+    Hit {
+        /// Tick at which the line's data is available.
+        ready_at: u64,
+    },
+    /// Absent.
+    Miss,
+}
+
+/// A single cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    /// Hit latency in ticks.
+    pub latency_ticks: u64,
+    lines: Vec<Line>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build a cache from its configuration (latency converted to ticks).
+    #[must_use]
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let lines_total = (cfg.capacity / LINE_BYTES).max(1) as usize;
+        let ways = cfg.ways.max(1) as usize;
+        let sets = (lines_total / ways).max(1);
+        Cache {
+            sets,
+            ways,
+            latency_ticks: cfg.latency * crate::TICKS_PER_CYCLE,
+            lines: vec![Line::default(); sets * ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / LINE_BYTES) as usize) % self.sets
+    }
+
+    fn tag_of(addr: u64) -> u64 {
+        addr / LINE_BYTES
+    }
+
+    /// Look up `addr` at time `now`, updating LRU and the dirty bit on a
+    /// hit. Does not allocate on miss — call [`Cache::insert`] once the
+    /// fill time is known.
+    pub fn access(&mut self, addr: u64, now: u64, is_write: bool) -> Lookup {
+        let set = self.set_of(addr);
+        let tag = Self::tag_of(addr);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.last_use = now;
+                line.dirty |= is_write;
+                self.hits += 1;
+                return Lookup::Hit {
+                    ready_at: line.ready,
+                };
+            }
+        }
+        self.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Non-updating presence probe (used by prefetch paths so probes do
+    /// not perturb LRU or hit statistics).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> Lookup {
+        let set = self.set_of(addr);
+        let tag = Self::tag_of(addr);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            let line = &self.lines[base + way];
+            if line.valid && line.tag == tag {
+                return Lookup::Hit {
+                    ready_at: line.ready,
+                };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Install the line holding `addr`, becoming usable at `ready`.
+    /// Returns the address of the evicted line when the victim was dirty
+    /// (the caller must write it back to the next level down).
+    pub fn insert(&mut self, addr: u64, now: u64, ready: u64, is_write: bool) -> Option<u64> {
+        let set = self.set_of(addr);
+        let tag = Self::tag_of(addr);
+        let base = set * self.ways;
+        // Reuse an invalid way or evict the LRU one.
+        let mut victim = 0usize;
+        let mut oldest = u64::MAX;
+        for way in 0..self.ways {
+            let line = &self.lines[base + way];
+            if !line.valid {
+                victim = way;
+                break;
+            }
+            if line.last_use < oldest {
+                oldest = line.last_use;
+                victim = way;
+            }
+        }
+        let line = &mut self.lines[base + victim];
+        let writeback = (line.valid && line.dirty).then_some(line.tag * LINE_BYTES);
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            ready,
+            last_use: now,
+        };
+        writeback
+    }
+
+    /// Mark the line holding `addr` dirty if present (a write-back from
+    /// the level above landing in this cache). Returns `false` when the
+    /// line is absent and the write-back must continue downwards.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = Self::tag_of(addr);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Lifetime hit count.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(&CacheConfig {
+            capacity: 512,
+            ways: 2,
+            latency: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(0x1000, 10, false), Lookup::Miss);
+        c.insert(0x1000, 10, 50, false);
+        assert_eq!(c.access(0x1000, 60, false), Lookup::Hit { ready_at: 50 });
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = small();
+        c.insert(0x1000, 0, 0, false);
+        assert!(matches!(c.access(0x103F, 1, false), Lookup::Hit { .. }));
+        assert!(matches!(c.access(0x1040, 1, false), Lookup::Miss));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Three lines mapping to the same set (set count 4 → stride 256B).
+        let (a, b, d) = (0x0, 0x100, 0x200);
+        c.insert(a, 1, 1, false);
+        c.insert(b, 2, 2, false);
+        c.access(a, 3, false); // refresh a
+        c.insert(d, 4, 4, false); // must evict b
+        assert!(matches!(c.access(a, 5, false), Lookup::Hit { .. }));
+        assert!(matches!(c.access(b, 5, false), Lookup::Miss));
+        assert!(matches!(c.access(d, 5, false), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let (a, b, d) = (0x0, 0x100, 0x200);
+        c.insert(a, 1, 1, true); // dirty
+        c.insert(b, 2, 2, false);
+        let wb = c.insert(d, 3, 3, false); // evicts dirty a
+        assert_eq!(wb, Some(a), "evicting the dirty line reports its address");
+        let wb2 = c.insert(a, 4, 4, false); // evicts clean b
+        assert_eq!(wb2, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.insert(0x0, 1, 1, false);
+        c.access(0x0, 2, true); // write hit: dirtied
+        c.insert(0x100, 3, 3, false);
+        let wb = c.insert(0x200, 4, 4, false); // evicts 0x0
+        assert_eq!(wb, Some(0x0));
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru_or_stats() {
+        let mut c = small();
+        c.insert(0x0, 1, 1, false);
+        let h0 = c.hits();
+        assert!(matches!(c.probe(0x0), Lookup::Hit { .. }));
+        assert!(matches!(c.probe(0x40), Lookup::Miss));
+        assert_eq!(c.hits(), h0);
+    }
+}

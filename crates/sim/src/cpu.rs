@@ -1,0 +1,518 @@
+//! Core timing models: stall-on-miss in-order and dataflow out-of-order.
+
+use crate::memsys::{AccessKind, MemSys, SharedMem};
+use crate::presets::{CoreKind, MachineConfig};
+use crate::TICKS_PER_CYCLE;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use swpf_ir::interp::EventKind;
+
+/// Instruction-class counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstCounts {
+    /// All retired instructions.
+    pub total: u64,
+    /// Demand loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Software prefetches.
+    pub prefetches: u64,
+    /// Branches.
+    pub branches: u64,
+}
+
+/// A core timing model consuming interpreter events.
+#[derive(Debug)]
+pub enum Core {
+    /// Stall-on-miss pipeline.
+    InOrder(InOrder),
+    /// Dataflow issue bounded by ROB and MSHRs.
+    OutOfOrder(OutOfOrder),
+}
+
+impl Core {
+    /// Build the model matching a machine configuration.
+    #[must_use]
+    pub fn new(cfg: &MachineConfig) -> Self {
+        match cfg.core {
+            CoreKind::InOrder => Core::InOrder(InOrder::new(cfg)),
+            CoreKind::OutOfOrder => Core::OutOfOrder(OutOfOrder::new(cfg)),
+        }
+    }
+
+    /// Account one retired instruction; advances the model's clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retire(
+        &mut self,
+        mem: &mut MemSys,
+        shared: &mut SharedMem,
+        kind: EventKind,
+        frame: u64,
+        result: u32,
+        operands: &[swpf_ir::ValueId],
+        pc: u64,
+    ) {
+        match self {
+            Core::InOrder(c) => c.retire(mem, shared, kind, pc),
+            Core::OutOfOrder(c) => c.retire(mem, shared, kind, frame, result, operands, pc),
+        }
+    }
+
+    /// Current completion time in ticks.
+    #[must_use]
+    pub fn clock_ticks(&self) -> u64 {
+        match self {
+            Core::InOrder(c) => c.clock,
+            Core::OutOfOrder(c) => c.clock,
+        }
+    }
+
+    /// Current completion time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.clock_ticks() / TICKS_PER_CYCLE
+    }
+
+    /// Instruction-class counters.
+    #[must_use]
+    pub fn counts(&self) -> InstCounts {
+        match self {
+            Core::InOrder(c) => c.counts,
+            Core::OutOfOrder(c) => c.counts,
+        }
+    }
+}
+
+/// In-order pipeline: issues `width` instructions per cycle in program
+/// order and stalls completely on any load that misses in the L1
+/// (the paper's characterisation of the A53 and Xeon Phi cores).
+/// Stores and prefetches retire without stalling.
+#[derive(Debug)]
+pub struct InOrder {
+    issue_inc: u64,
+    /// Latencies at or below this are absorbed by the pipeline.
+    pipelined_ticks: u64,
+    next_issue: u64,
+    clock: u64,
+    counts: InstCounts,
+}
+
+impl InOrder {
+    fn new(cfg: &MachineConfig) -> Self {
+        InOrder {
+            issue_inc: cfg.issue_interval_ticks(),
+            pipelined_ticks: cfg.l1.latency * TICKS_PER_CYCLE,
+            next_issue: 0,
+            clock: 0,
+            counts: InstCounts::default(),
+        }
+    }
+
+    fn retire(&mut self, mem: &mut MemSys, shared: &mut SharedMem, kind: EventKind, pc: u64) {
+        self.counts.total += 1;
+        let t = self.next_issue;
+        match kind {
+            EventKind::Load { addr, .. } => {
+                self.counts.loads += 1;
+                let lat = mem.access(shared, addr, t, AccessKind::Read, pc);
+                if lat > self.pipelined_ticks {
+                    // Stall: nothing issues until the data returns.
+                    self.next_issue = t + lat;
+                } else {
+                    self.next_issue = t + self.issue_inc;
+                }
+            }
+            EventKind::Store { addr, .. } => {
+                self.counts.stores += 1;
+                let _ = mem.access(shared, addr, t, AccessKind::Write, pc);
+                self.next_issue = t + self.issue_inc;
+            }
+            EventKind::Prefetch { addr, valid } => {
+                self.counts.prefetches += 1;
+                if valid {
+                    mem.prefetch(shared, addr, t);
+                }
+                self.next_issue = t + self.issue_inc;
+            }
+            EventKind::Branch { .. } => {
+                self.counts.branches += 1;
+                self.next_issue = t + self.issue_inc;
+            }
+            _ => {
+                self.next_issue = t + self.issue_inc;
+            }
+        }
+        self.clock = self.clock.max(self.next_issue);
+    }
+}
+
+/// Out-of-order core: each instruction issues when its operands are
+/// ready, subject to issue bandwidth, a reorder buffer (an instruction
+/// cannot issue more than `rob` instructions ahead of the oldest
+/// incomplete one), and a bounded number of outstanding demand misses
+/// (MSHRs). This is what lets Haswell and the A57 overlap independent
+/// indirect misses on their own — the reason their prefetch speedups are
+/// modest compared to the in-order cores (paper Fig. 4).
+#[derive(Debug)]
+pub struct OutOfOrder {
+    issue_inc: u64,
+    rob: usize,
+    mshrs: usize,
+    alu_ticks: u64,
+    miss_threshold: u64,
+    /// Per-frame value readiness, grown on demand.
+    ready: HashMap<u64, Vec<u64>>,
+    /// Program-order retirement times of in-flight instructions.
+    rob_q: VecDeque<u64>,
+    last_retire: u64,
+    last_issue: u64,
+    /// Completion times of outstanding demand misses (min-heap).
+    misses: BinaryHeap<std::cmp::Reverse<u64>>,
+    clock: u64,
+    counts: InstCounts,
+}
+
+impl OutOfOrder {
+    fn new(cfg: &MachineConfig) -> Self {
+        OutOfOrder {
+            issue_inc: cfg.issue_interval_ticks(),
+            rob: cfg.rob.max(8),
+            mshrs: cfg.mshrs.max(1),
+            alu_ticks: TICKS_PER_CYCLE,
+            miss_threshold: cfg.l1.latency * TICKS_PER_CYCLE,
+            ready: HashMap::new(),
+            rob_q: VecDeque::new(),
+            last_retire: 0,
+            last_issue: 0,
+            misses: BinaryHeap::new(),
+            clock: 0,
+            counts: InstCounts::default(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn retire(
+        &mut self,
+        mem: &mut MemSys,
+        shared: &mut SharedMem,
+        kind: EventKind,
+        frame: u64,
+        result: u32,
+        operands: &[swpf_ir::ValueId],
+        pc: u64,
+    ) {
+        self.counts.total += 1;
+        // Dispatch in program order: bounded by front-end bandwidth and
+        // by ROB occupancy (cannot dispatch more than `rob` instructions
+        // ahead of the oldest unretired one). Operand readiness does NOT
+        // delay dispatch — stalled instructions wait in reservation
+        // stations while younger independent work proceeds.
+        let mut dispatch = self.last_issue + self.issue_inc;
+        if self.rob_q.len() >= self.rob {
+            if let Some(oldest) = self.rob_q.pop_front() {
+                dispatch = dispatch.max(oldest);
+            }
+        }
+        // Execution waits for operands.
+        let mut t = dispatch;
+        {
+            let regs = self.ready.entry(frame).or_default();
+            for op in operands {
+                if let Some(&r) = regs.get(op.index()) {
+                    t = t.max(r);
+                }
+            }
+        }
+
+        let done = match kind {
+            EventKind::Load { addr, .. } => {
+                self.counts.loads += 1;
+                // Acquire an MSHR: drain completed misses, then wait for
+                // the earliest one if all are still busy.
+                while let Some(&std::cmp::Reverse(earliest)) = self.misses.peek() {
+                    if earliest <= t {
+                        self.misses.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if self.misses.len() >= self.mshrs {
+                    if let Some(std::cmp::Reverse(earliest)) = self.misses.pop() {
+                        t = t.max(earliest);
+                    }
+                }
+                let lat = mem.access(shared, addr, t, AccessKind::Read, pc);
+                let done = t + lat;
+                if lat > self.miss_threshold {
+                    self.misses.push(std::cmp::Reverse(done));
+                }
+                done
+            }
+            EventKind::Store { addr, .. } => {
+                self.counts.stores += 1;
+                let _ = mem.access(shared, addr, t, AccessKind::Write, pc);
+                t + self.alu_ticks
+            }
+            EventKind::Prefetch { addr, valid } => {
+                self.counts.prefetches += 1;
+                if valid {
+                    mem.prefetch(shared, addr, t);
+                }
+                t + self.alu_ticks
+            }
+            EventKind::Branch { .. } => {
+                self.counts.branches += 1;
+                t + self.alu_ticks
+            }
+            EventKind::Ret => {
+                // Frame is dead: free its readiness vector.
+                self.ready.remove(&frame);
+                t + self.alu_ticks
+            }
+            _ => t + self.alu_ticks,
+        };
+
+        if !matches!(kind, EventKind::Ret) {
+            let regs = self.ready.entry(frame).or_default();
+            let idx = result as usize;
+            if regs.len() <= idx {
+                regs.resize(idx + 1, 0);
+            }
+            regs[idx] = done;
+        }
+
+        // In-order retirement.
+        self.last_retire = self.last_retire.max(done);
+        self.rob_q.push_back(self.last_retire);
+        self.last_issue = dispatch;
+        self.clock = self.clock.max(self.last_retire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+    use swpf_ir::ValueId;
+
+    fn setup(cfg: &MachineConfig) -> (Core, MemSys, SharedMem) {
+        (Core::new(cfg), MemSys::new(cfg), SharedMem::new(cfg))
+    }
+
+    fn alu(core: &mut Core, mem: &mut MemSys, sh: &mut SharedMem, result: u32) {
+        core.retire(mem, sh, EventKind::Alu, 0, result, &[], result as u64);
+    }
+
+    fn load(core: &mut Core, mem: &mut MemSys, sh: &mut SharedMem, addr: u64, result: u32) {
+        core.retire(
+            mem,
+            sh,
+            EventKind::Load { addr, size: 8 },
+            0,
+            result,
+            &[],
+            result as u64,
+        );
+    }
+
+    #[test]
+    fn inorder_stalls_on_miss() {
+        let cfg = MachineConfig::a53();
+        let (mut core, mut mem, mut sh) = setup(&cfg);
+        load(&mut core, &mut mem, &mut sh, 0x10_0000, 1);
+        let after_miss = core.cycles();
+        assert!(after_miss >= cfg.dram.latency, "stalled for the miss");
+        // 100 ALU ops afterwards: ~50 cycles at width 2.
+        for i in 0..100 {
+            alu(&mut core, &mut mem, &mut sh, 10 + i);
+        }
+        assert!(core.cycles() - after_miss <= 60);
+    }
+
+    #[test]
+    fn inorder_prefetch_hides_miss() {
+        let cfg = MachineConfig::a53();
+        let (mut core, mut mem, mut sh) = setup(&cfg);
+        // Prefetch, then enough ALU work to cover the fill, then load.
+        core.retire(
+            &mut mem,
+            &mut sh,
+            EventKind::Prefetch {
+                addr: 0x10_0000,
+                valid: true,
+            },
+            0,
+            1,
+            &[],
+            1,
+        );
+        for i in 0..800 {
+            alu(&mut core, &mut mem, &mut sh, 10 + i);
+        }
+        let before = core.cycles();
+        load(&mut core, &mut mem, &mut sh, 0x10_0000, 900);
+        assert!(
+            core.cycles() - before < 10,
+            "prefetched load must not stall: {} -> {}",
+            before,
+            core.cycles()
+        );
+    }
+
+    #[test]
+    fn ooo_overlaps_independent_misses() {
+        let cfg = MachineConfig::haswell();
+        let (mut core, mut mem, mut sh) = setup(&cfg);
+        // Ten independent misses to distinct pages.
+        for i in 0..10u32 {
+            load(
+                &mut core,
+                &mut mem,
+                &mut sh,
+                0x100_0000 + u64::from(i) * 8192,
+                i + 1,
+            );
+        }
+        let cycles = core.cycles();
+        // Serial cost would be ~10 * (200+80) = 2800 cycles; overlapped
+        // should be far below half that.
+        assert!(
+            cycles < 1200,
+            "independent misses must overlap, got {cycles}"
+        );
+    }
+
+    #[test]
+    fn ooo_dependent_chain_serialises() {
+        let cfg = MachineConfig::haswell();
+        let (mut core, mut mem, mut sh) = setup(&cfg);
+        // Load 1 -> feeds load 2 -> feeds load 3 (by operand ids).
+        core.retire(
+            &mut mem,
+            &mut sh,
+            EventKind::Load {
+                addr: 0x100_0000,
+                size: 8,
+            },
+            0,
+            1,
+            &[],
+            1,
+        );
+        core.retire(
+            &mut mem,
+            &mut sh,
+            EventKind::Load {
+                addr: 0x200_0000,
+                size: 8,
+            },
+            0,
+            2,
+            &[ValueId(1)],
+            2,
+        );
+        core.retire(
+            &mut mem,
+            &mut sh,
+            EventKind::Load {
+                addr: 0x300_0000,
+                size: 8,
+            },
+            0,
+            3,
+            &[ValueId(2)],
+            3,
+        );
+        let cycles = core.cycles();
+        assert!(
+            cycles >= 3 * cfg.dram.latency,
+            "dependent chain must serialise, got {cycles}"
+        );
+    }
+
+    #[test]
+    fn ooo_mshr_limit_caps_parallelism() {
+        let few = MachineConfig {
+            mshrs: 2,
+            ..MachineConfig::haswell()
+        };
+        let many = MachineConfig::haswell(); // 10 MSHRs
+        let run = |cfg: &MachineConfig| {
+            let (mut core, mut mem, mut sh) = setup(cfg);
+            for i in 0..40u32 {
+                load(
+                    &mut core,
+                    &mut mem,
+                    &mut sh,
+                    0x100_0000 + u64::from(i) * 8192,
+                    i + 1,
+                );
+            }
+            core.cycles()
+        };
+        let slow = run(&few);
+        let fast = run(&many);
+        assert!(
+            slow > fast * 2,
+            "2 MSHRs ({slow}) must be much slower than 10 ({fast})"
+        );
+    }
+
+    #[test]
+    fn ooo_rob_limits_runahead() {
+        let small = MachineConfig {
+            rob: 8,
+            ..MachineConfig::haswell()
+        };
+        let big = MachineConfig::haswell();
+        // One miss followed by many ALU ops: a small ROB blocks issue
+        // until the miss retires.
+        let run = |cfg: &MachineConfig| {
+            let (mut core, mut mem, mut sh) = setup(cfg);
+            load(&mut core, &mut mem, &mut sh, 0x100_0000, 1);
+            for i in 0..64u32 {
+                alu(&mut core, &mut mem, &mut sh, 10 + i);
+            }
+            core.cycles()
+        };
+        // Both wait for the miss to retire eventually (it's the clock),
+        // so compare issue progress via a second miss placed at the end.
+        let run2 = |cfg: &MachineConfig| {
+            let (mut core, mut mem, mut sh) = setup(cfg);
+            load(&mut core, &mut mem, &mut sh, 0x100_0000, 1);
+            for i in 0..200u32 {
+                alu(&mut core, &mut mem, &mut sh, 10 + i);
+            }
+            load(&mut core, &mut mem, &mut sh, 0x200_0000, 500);
+            core.cycles()
+        };
+        let _ = run(&small);
+        let slow = run2(&small);
+        let fast = run2(&big);
+        assert!(
+            slow > fast,
+            "small ROB ({slow}) must serialise more than big ({fast})"
+        );
+    }
+
+    #[test]
+    fn counts_are_tracked() {
+        let cfg = MachineConfig::a53();
+        let (mut core, mut mem, mut sh) = setup(&cfg);
+        load(&mut core, &mut mem, &mut sh, 0x1000, 1);
+        alu(&mut core, &mut mem, &mut sh, 2);
+        core.retire(
+            &mut mem,
+            &mut sh,
+            EventKind::Branch { taken: true },
+            0,
+            3,
+            &[],
+            3,
+        );
+        let c = core.counts();
+        assert_eq!(c.total, 3);
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.branches, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Machine configurations, including the four systems of Table 1.
+//!
+//! Cache capacities are scaled to one quarter of the real parts' (and the
+//! workloads in `swpf-workloads` are scaled with them), keeping every
+//! ratio the paper's analysis depends on: indirect targets exceed the
+//! LLC, CG's dense vector fits in L2, and the small Graph500 input is
+//! partially cache-resident while the large one is not.
+
+use crate::TICKS_PER_CYCLE;
+
+/// Whether the core issues in program order or by dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Stall-on-miss in-order pipeline (Cortex-A53, Xeon Phi).
+    InOrder,
+    /// Out-of-order with a reorder buffer and limited MSHRs
+    /// (Haswell, Cortex-A57).
+    OutOfOrder,
+}
+
+/// One cache level's geometry and hit latency.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+/// TLB geometry and page-walk behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: u32,
+    /// log2 of the page size (12 = 4 KiB, 21 = 2 MiB huge pages).
+    pub page_bits: u32,
+    /// Concurrent page-table walks supported. The Cortex-A57 supports
+    /// one; Haswell two (paper §6.1).
+    pub walkers: u32,
+    /// Page-walk latency in cycles.
+    pub walk_latency: u64,
+}
+
+/// DRAM timing.
+#[derive(Debug, Clone, Copy)]
+pub struct DramConfig {
+    /// Idle load-to-use latency in cycles.
+    pub latency: u64,
+    /// Sustained bandwidth in bytes per cycle (per memory controller,
+    /// shared by all cores in multicore runs).
+    pub bytes_per_cycle: u64,
+}
+
+/// A complete machine model.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Display name ("haswell", "a53", ...).
+    pub name: &'static str,
+    /// Pipeline style.
+    pub core: CoreKind,
+    /// Issue width (instructions per cycle).
+    pub width: u32,
+    /// Reorder-buffer capacity (out-of-order only).
+    pub rob: usize,
+    /// Maximum outstanding demand misses (out-of-order only).
+    pub mshrs: usize,
+    /// Maximum outstanding software-prefetch fills; further prefetches
+    /// are dropped, as on real hardware. Sized near the DRAM
+    /// bandwidth-delay product (latency × bandwidth / line size) so the
+    /// queue itself is not the steady-state bottleneck.
+    pub prefetch_queue: usize,
+    /// First-level cache.
+    pub l1: CacheConfig,
+    /// Second-level cache.
+    pub l2: CacheConfig,
+    /// Optional last-level cache.
+    pub l3: Option<CacheConfig>,
+    /// TLB and page-walk configuration.
+    pub tlb: TlbConfig,
+    /// Memory system.
+    pub dram: DramConfig,
+    /// Whether the hardware stride prefetcher is enabled (all four
+    /// evaluated systems have one).
+    pub hw_stride_prefetcher: bool,
+}
+
+impl MachineConfig {
+    /// Intel Core i5-4570 "Haswell": 4-wide out-of-order, three cache
+    /// levels, two page walkers, transparent huge pages available
+    /// (enable with [`MachineConfig::with_huge_pages`]).
+    #[must_use]
+    pub fn haswell() -> Self {
+        MachineConfig {
+            name: "haswell",
+            core: CoreKind::OutOfOrder,
+            width: 4,
+            rob: 192,
+            mshrs: 10,
+            prefetch_queue: 32,
+            l1: CacheConfig {
+                capacity: 32 << 10,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                capacity: 256 << 10,
+                ways: 8,
+                latency: 12,
+            },
+            l3: Some(CacheConfig {
+                capacity: 2 << 20,
+                ways: 16,
+                latency: 36,
+            }),
+            tlb: TlbConfig {
+                entries: 512,
+                // The paper's Haswell kernel runs with transparent huge
+                // pages enabled (§6.2); Fig. 10 flips this to 12.
+                page_bits: 21,
+                walkers: 2,
+                walk_latency: 40,
+            },
+            dram: DramConfig {
+                latency: 200,
+                bytes_per_cycle: 8,
+            },
+            hw_stride_prefetcher: true,
+        }
+    }
+
+    /// Intel Xeon Phi 3120P: narrow in-order core, big L2, no L3,
+    /// high-latency high-bandwidth GDDR5.
+    #[must_use]
+    pub fn xeon_phi() -> Self {
+        MachineConfig {
+            name: "xeon_phi",
+            core: CoreKind::InOrder,
+            width: 2,
+            rob: 0,
+            mshrs: 1,
+            prefetch_queue: 64,
+            l1: CacheConfig {
+                capacity: 32 << 10,
+                ways: 8,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                capacity: 512 << 10,
+                ways: 8,
+                latency: 24,
+            },
+            l3: None,
+            tlb: TlbConfig {
+                entries: 256,
+                page_bits: 12,
+                walkers: 1,
+                walk_latency: 60,
+            },
+            dram: DramConfig {
+                latency: 300,
+                bytes_per_cycle: 16,
+            },
+            hw_stride_prefetcher: true,
+        }
+    }
+
+    /// ARM Cortex-A57 (Nvidia TX1): 3-wide out-of-order, two cache
+    /// levels, and — crucially for the paper's analysis — a single
+    /// page-table walker.
+    #[must_use]
+    pub fn a57() -> Self {
+        MachineConfig {
+            name: "a57",
+            core: CoreKind::OutOfOrder,
+            width: 3,
+            rob: 128,
+            mshrs: 6,
+            prefetch_queue: 16,
+            l1: CacheConfig {
+                capacity: 32 << 10,
+                ways: 2,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                capacity: 512 << 10,
+                ways: 16,
+                latency: 20,
+            },
+            l3: None,
+            tlb: TlbConfig {
+                entries: 512,
+                page_bits: 12,
+                walkers: 1,
+                walk_latency: 35,
+            },
+            dram: DramConfig {
+                latency: 220,
+                bytes_per_cycle: 4,
+            },
+            hw_stride_prefetcher: true,
+        }
+    }
+
+    /// ARM Cortex-A53 (Odroid C2): 2-wide in-order, stalls on misses.
+    #[must_use]
+    pub fn a53() -> Self {
+        MachineConfig {
+            name: "a53",
+            core: CoreKind::InOrder,
+            width: 2,
+            rob: 0,
+            mshrs: 1,
+            prefetch_queue: 16,
+            l1: CacheConfig {
+                capacity: 32 << 10,
+                ways: 4,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                capacity: 256 << 10,
+                ways: 16,
+                latency: 15,
+            },
+            l3: None,
+            tlb: TlbConfig {
+                entries: 512,
+                page_bits: 12,
+                walkers: 1,
+                walk_latency: 30,
+            },
+            dram: DramConfig {
+                latency: 180,
+                bytes_per_cycle: 4,
+            },
+            hw_stride_prefetcher: true,
+        }
+    }
+
+    /// All four Table 1 systems, in the paper's order.
+    #[must_use]
+    pub fn all_systems() -> Vec<MachineConfig> {
+        vec![Self::haswell(), Self::xeon_phi(), Self::a57(), Self::a53()]
+    }
+
+    /// The same machine with 2 MiB transparent huge pages (Fig. 10).
+    #[must_use]
+    pub fn with_huge_pages(mut self) -> Self {
+        self.tlb.page_bits = 21;
+        self
+    }
+
+    /// The same machine with 4 KiB pages (Fig. 10's "Small Pages").
+    #[must_use]
+    pub fn with_small_pages(mut self) -> Self {
+        self.tlb.page_bits = 12;
+        self
+    }
+
+    /// The same machine with the hardware stride prefetcher disabled.
+    #[must_use]
+    pub fn without_hw_prefetcher(mut self) -> Self {
+        self.hw_stride_prefetcher = false;
+        self
+    }
+
+    /// Issue interval between instructions, in ticks.
+    #[must_use]
+    pub fn issue_interval_ticks(&self) -> u64 {
+        (TICKS_PER_CYCLE / u64::from(self.width)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_shape() {
+        let h = MachineConfig::haswell();
+        assert_eq!(h.core, CoreKind::OutOfOrder);
+        assert!(h.l3.is_some(), "Haswell has an L3");
+        assert_eq!(h.tlb.walkers, 2);
+
+        let phi = MachineConfig::xeon_phi();
+        assert_eq!(phi.core, CoreKind::InOrder);
+        assert!(phi.l3.is_none());
+        assert!(
+            phi.dram.bytes_per_cycle > h.dram.bytes_per_cycle,
+            "GDDR5 has more bandwidth"
+        );
+        assert!(phi.dram.latency > h.dram.latency, "GDDR5 has more latency");
+
+        let a57 = MachineConfig::a57();
+        assert_eq!(a57.tlb.walkers, 1, "single page walker on A57 (paper §6.1)");
+        assert_eq!(a57.core, CoreKind::OutOfOrder);
+
+        let a53 = MachineConfig::a53();
+        assert_eq!(a53.core, CoreKind::InOrder);
+    }
+
+    #[test]
+    fn huge_pages_change_page_bits_only() {
+        let h = MachineConfig::haswell();
+        let hp = MachineConfig::haswell().with_huge_pages();
+        assert_eq!(hp.tlb.page_bits, 21);
+        assert_eq!(hp.tlb.entries, h.tlb.entries);
+    }
+
+    #[test]
+    fn issue_interval() {
+        assert_eq!(MachineConfig::haswell().issue_interval_ticks(), 6);
+        assert_eq!(MachineConfig::a53().issue_interval_ticks(), 12);
+        // Width 3 must divide evenly — no silent width inflation.
+        assert_eq!(MachineConfig::a57().issue_interval_ticks(), 8);
+    }
+}

@@ -1,0 +1,110 @@
+//! Aggregated simulation results.
+
+use crate::cpu::InstCounts;
+use crate::memsys::MemSysStats;
+
+/// Everything a harness needs to report one simulated run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Simulated execution time in cycles.
+    pub cycles: u64,
+    /// Instruction-class counters.
+    pub insts: InstCounts,
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Lines read from DRAM.
+    pub dram_lines_read: u64,
+    /// Lines written back to DRAM.
+    pub dram_lines_written: u64,
+    /// Software-prefetch behaviour.
+    pub mem: MemSysStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts.total as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the same work.
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &SimStats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fractional increase in dynamic instruction count relative to a
+    /// baseline (Fig. 8's metric: `0.7` means +70%).
+    #[must_use]
+    pub fn extra_instructions_vs(&self, baseline: &SimStats) -> f64 {
+        if baseline.insts.total == 0 {
+            0.0
+        } else {
+            self.insts.total as f64 / baseline.insts.total as f64 - 1.0
+        }
+    }
+
+    /// L1 miss ratio of demand accesses.
+    #[must_use]
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let base = SimStats {
+            cycles: 1000,
+            insts: InstCounts {
+                total: 500,
+                ..InstCounts::default()
+            },
+            ..SimStats::default()
+        };
+        let fast = SimStats {
+            cycles: 400,
+            insts: InstCounts {
+                total: 800,
+                ..InstCounts::default()
+            },
+            ..SimStats::default()
+        };
+        assert!((fast.speedup_vs(&base) - 2.5).abs() < 1e-9);
+        assert!((fast.extra_instructions_vs(&base) - 0.6).abs() < 1e-9);
+        assert!((base.ipc() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let z = SimStats::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.speedup_vs(&z), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! TLB with a limited number of concurrent page-table walkers.
+//!
+//! The paper attributes the Cortex-A57's capped prefetch gains to its
+//! single page-table walker (§6.1): every new page touched — by a demand
+//! load *or* a software prefetch — needs a walk, and walks serialise on
+//! the walker. Software prefetches that miss the TLB still install the
+//! translation, which is why prefetching doubles as TLB warming on 4 KiB
+//! pages (Fig. 10).
+
+use crate::presets::TlbConfig;
+use crate::TICKS_PER_CYCLE;
+
+/// A fully-associative TLB with LRU replacement and `walkers` page-table
+/// walk ports.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    page_bits: u32,
+    entries: usize,
+    walk_latency_ticks: u64,
+    /// `(page, ready_tick, last_use)` tuples; linear scan (entry counts
+    /// are tens, not thousands).
+    slots: Vec<(u64, u64, u64)>,
+    /// Tick at which each walker becomes free.
+    walker_free: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Build from a configuration.
+    #[must_use]
+    pub fn new(cfg: &TlbConfig) -> Self {
+        Tlb {
+            page_bits: cfg.page_bits,
+            entries: cfg.entries.max(1) as usize,
+            walk_latency_ticks: cfg.walk_latency * TICKS_PER_CYCLE,
+            slots: Vec::new(),
+            walker_free: vec![0; cfg.walkers.max(1) as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn page_of(&self, addr: u64) -> u64 {
+        addr >> self.page_bits
+    }
+
+    /// Translate `addr` at tick `now`; returns the tick at which the
+    /// translation is available (equal to `now` on a hit, later when a
+    /// walk — possibly queued behind other walks — is needed).
+    pub fn translate(&mut self, addr: u64, now: u64) -> u64 {
+        let page = self.page_of(addr);
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.0 == page) {
+            slot.2 = now;
+            let ready = slot.1;
+            self.hits += 1;
+            return ready.max(now);
+        }
+        self.misses += 1;
+        // Grab the earliest-free walker.
+        let w = self
+            .walker_free
+            .iter_mut()
+            .min_by_key(|t| **t)
+            .expect("at least one walker");
+        let start = (*w).max(now);
+        let done = start + self.walk_latency_ticks;
+        *w = done;
+        // Install with LRU replacement.
+        if self.slots.len() < self.entries {
+            self.slots.push((page, done, now));
+        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|s| s.2) {
+            *victim = (page, done, now);
+        }
+        done
+    }
+
+    /// Lifetime hit count.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(walkers: u32) -> Tlb {
+        Tlb::new(&TlbConfig {
+            entries: 4,
+            page_bits: 12,
+            walkers,
+            walk_latency: 100,
+        })
+    }
+
+    #[test]
+    fn hit_after_walk() {
+        let mut t = tlb(1);
+        let walk = 100 * TICKS_PER_CYCLE;
+        assert_eq!(t.translate(0x1000, 0), walk);
+        assert_eq!(t.translate(0x1FFF, walk), walk, "same page: hit");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn single_walker_serialises_walks() {
+        let mut t = tlb(1);
+        let walk = 100 * TICKS_PER_CYCLE;
+        let a = t.translate(0x1000, 0);
+        let b = t.translate(0x2000, 0);
+        assert_eq!(a, walk);
+        assert_eq!(b, 2 * walk, "second walk queues behind the first");
+    }
+
+    #[test]
+    fn two_walkers_overlap_walks() {
+        let mut t = tlb(2);
+        let walk = 100 * TICKS_PER_CYCLE;
+        let a = t.translate(0x1000, 0);
+        let b = t.translate(0x2000, 0);
+        let c = t.translate(0x3000, 0);
+        assert_eq!(a, walk);
+        assert_eq!(b, walk, "parallel walk");
+        assert_eq!(c, 2 * walk, "third queues");
+    }
+
+    #[test]
+    fn lru_replacement_on_capacity() {
+        let mut t = tlb(4);
+        for p in 0..4u64 {
+            t.translate(p << 12, p);
+        }
+        // Touch page 0 late so page 1 is the LRU victim.
+        let now = 10_000_000;
+        t.translate(0, now);
+        t.translate(5 << 12, now + 1); // evicts page 1
+        let before = t.misses();
+        t.translate(1 << 12, now + 2_000_000);
+        assert_eq!(t.misses(), before + 1, "page 1 was evicted");
+    }
+
+    #[test]
+    fn huge_pages_cover_more_addresses() {
+        let mut t = Tlb::new(&TlbConfig {
+            entries: 4,
+            page_bits: 21,
+            walkers: 1,
+            walk_latency: 100,
+        });
+        t.translate(0, 0);
+        let later = 100 * TICKS_PER_CYCLE;
+        assert_eq!(t.translate(1 << 20, later), later, "same 2 MiB page");
+        assert_eq!(t.misses(), 1);
+    }
+}

@@ -1,0 +1,431 @@
+//! Hash Join: hash-table probe kernel (2 or 8 elements per bucket).
+//!
+//! Mimics a main-memory database hash join (paper §5.1): each probe key
+//! is hashed (Fibonacci hashing — multiply and shift) into a bucket of
+//! two inline slots plus an overflow chain. The **HJ-2** input fills
+//! every bucket with exactly two elements (no chain walk); **HJ-8** adds
+//! a three-node chain, so a probe chases four dependent cache lines.
+//!
+//! The same kernel serves both configurations — only the data differs,
+//! as in the paper. The chain walk is a pointer-chasing `while` loop, so
+//! the automatic pass (correctly) refuses to prefetch it: the chain
+//! length is a runtime property of the input. The manual variant
+//! ([`HashJoin::build_manual_depth`]) exploits that runtime knowledge
+//! with staggered prefetches to the bucket and up to three chain nodes —
+//! the stagger-depth study of Fig. 7.
+
+use crate::util::emit_clamped_lookahead;
+use crate::{Scale, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swpf_ir::interp::{Interp, RtVal};
+use swpf_ir::prelude::*;
+
+/// Fibonacci-hash multiplier (odd, hence invertible mod 2^64).
+pub const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiplicative inverse of [`HASH_MULT`] mod 2^64.
+#[must_use]
+pub fn hash_mult_inverse() -> u64 {
+    // Newton's iteration: x_{n+1} = x_n * (2 - a * x_n).
+    let a = HASH_MULT;
+    let mut x = a; // correct mod 2^3
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    debug_assert_eq!(a.wrapping_mul(x), 1);
+    x
+}
+
+/// Bucket layout: `k0 @0, k1 @8, next @16, pad @24` — 32 bytes.
+pub const BUCKET_BYTES: u64 = 32;
+
+/// How many elements each bucket holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemsPerBucket {
+    /// Two inline elements, empty chain (HJ-2).
+    Two,
+    /// Two inline elements plus a three-node chain of two each (HJ-8).
+    Eight,
+}
+
+/// The hash-join probe benchmark.
+#[derive(Debug, Clone)]
+pub struct HashJoin {
+    /// log2 of the bucket count.
+    pub bucket_bits: u32,
+    /// Number of probe lookups.
+    pub probes: u64,
+    /// Bucket occupancy configuration.
+    pub epb: ElemsPerBucket,
+    seed: u64,
+}
+
+impl HashJoin {
+    /// Scaled configuration; the hash table exceeds the simulated LLC in
+    /// both variants.
+    #[must_use]
+    pub fn new(scale: Scale, epb: ElemsPerBucket) -> Self {
+        match scale {
+            Scale::Paper => HashJoin {
+                bucket_bits: if epb == ElemsPerBucket::Two { 18 } else { 15 },
+                probes: if epb == ElemsPerBucket::Two {
+                    1 << 19
+                } else {
+                    1 << 17
+                },
+                epb,
+                seed: 0x7B,
+            },
+            Scale::Test => HashJoin {
+                bucket_bits: 6,
+                probes: 1 << 9,
+                epb,
+                seed: 0x7B,
+            },
+        }
+    }
+
+    fn shift(&self) -> u64 {
+        64 - u64::from(self.bucket_bits)
+    }
+
+    /// Build the probe kernel; `manual` is `(c, depth)` for staggered
+    /// manual prefetching of the first `depth` irregular accesses.
+    ///
+    /// The probe *stops at the first match*, as a real join lookup does —
+    /// this is what makes prefetching the deepest chain node a poor
+    /// trade (Fig. 7): most probes never reach it.
+    fn build(&self, manual: Option<(i64, usize)>) -> Module {
+        let mut m = Module::new("hj");
+        // kernel(keys: ptr, ht: ptr, nkeys: i64, shift: i64) -> i64 matches
+        let fid = m.declare_function(
+            "kernel",
+            &[Type::Ptr, Type::Ptr, Type::I64, Type::I64],
+            Type::I64,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (keys, ht, nkeys, shift) = (b.arg(0), b.arg(1), b.arg(2), b.arg(3));
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let mult = b.const_i64(HASH_MULT as i64);
+
+        let entry = b.current_block();
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let chase_hdr = b.create_block("chase_header");
+        let chase_body = b.create_block("chase_body");
+        let chase_latch = b.create_block("chase_latch");
+        let merge = b.create_block("merge");
+        let exit = b.create_block("exit");
+
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, &[(entry, zero)]);
+        let count = b.phi(Type::I64, &[(entry, zero)]);
+        let cond = b.icmp(Pred::Slt, i, nkeys);
+        b.cond_br(cond, body, exit);
+
+        b.switch_to(body);
+        if let Some((c, depth)) = manual {
+            emit_manual_prefetches(&mut b, keys, ht, nkeys, shift, mult, i, c, depth);
+        }
+        // k = keys[i]; h = (k * MULT) >> shift.
+        let gk = b.gep(keys, i, 8);
+        let k = b.load(Type::I64, gk);
+        let kg = b.mul(k, mult);
+        let h = b.lshr(kg, shift);
+        // Probe the two inline slots; matched inline -> skip the chain.
+        let g0 = b.gep_field(ht, h, BUCKET_BYTES, 0);
+        let k0 = b.load(Type::I64, g0);
+        let g1 = b.gep_field(ht, h, BUCKET_BYTES, 8);
+        let k1 = b.load(Type::I64, g1);
+        let gn = b.gep_field(ht, h, BUCKET_BYTES, 16);
+        let nxt = b.load(Type::I64, gn);
+        let e0 = b.icmp(Pred::Eq, k0, k);
+        let e1 = b.icmp(Pred::Eq, k1, k);
+        let sel0 = b.select(e0, one, zero);
+        let sel1 = b.select(e1, one, zero);
+        let inline_hits = b.or(sel0, sel1);
+        let inline_found = b.icmp(Pred::Ne, inline_hits, zero);
+        b.cond_br(inline_found, merge, chase_hdr);
+
+        // Walk the overflow chain until a match or the end.
+        b.switch_to(chase_hdr);
+        let cur = b.phi(Type::I64, &[(body, nxt)]);
+        let alive = b.icmp(Pred::Ne, cur, zero);
+        b.cond_br(alive, chase_body, merge);
+
+        b.switch_to(chase_body);
+        let curp = b.cast(CastOp::IntToPtr, cur, Type::Ptr);
+        let nk0 = b.load(Type::I64, curp);
+        let g8 = b.gep_field(curp, zero, 8, 8);
+        let nk1 = b.load(Type::I64, g8);
+        let g16 = b.gep_field(curp, zero, 8, 16);
+        let nn = b.load(Type::I64, g16);
+        let ee0 = b.icmp(Pred::Eq, nk0, k);
+        let ee1 = b.icmp(Pred::Eq, nk1, k);
+        let s0 = b.select(ee0, one, zero);
+        let s1 = b.select(ee1, one, zero);
+        let node_hits = b.or(s0, s1);
+        let node_found = b.icmp(Pred::Ne, node_hits, zero);
+        b.cond_br(node_found, merge, chase_latch);
+
+        b.switch_to(chase_latch);
+        b.add_phi_incoming(cur, chase_latch, nn);
+        b.br(chase_hdr);
+
+        b.switch_to(merge);
+        let found = b.phi(
+            Type::I64,
+            &[(body, one), (chase_hdr, zero), (chase_body, one)],
+        );
+        let count2 = b.add(count, found);
+        let i2 = b.add(i, one);
+        b.add_phi_incoming(i, merge, i2);
+        b.add_phi_incoming(count, merge, count2);
+        b.br(header);
+
+        b.switch_to(exit);
+        b.ret(Some(count));
+        let _ = b;
+        m
+    }
+
+    /// Manual variant prefetching only the first `depth` of the four
+    /// irregular accesses (bucket + 3 chain nodes), Fig. 7's knob.
+    #[must_use]
+    pub fn build_manual_depth(&self, c: i64, depth: usize) -> Module {
+        self.build(Some((c, depth.clamp(1, 4))))
+    }
+}
+
+/// Staggered manual prefetches: the paper's HJ-8 discussion — fetch the
+/// bucket at the largest offset, then each chain node one step closer,
+/// so every link's address generator hits lines fetched by the previous
+/// stagger (offsets `c, 3c/4, c/2, c/4`).
+#[allow(clippy::too_many_arguments)]
+fn emit_manual_prefetches(
+    b: &mut FunctionBuilder<'_>,
+    keys: ValueId,
+    ht: ValueId,
+    nkeys: ValueId,
+    shift: ValueId,
+    mult: ValueId,
+    i: ValueId,
+    c: i64,
+    depth: usize,
+) {
+    let one = b.const_i64(1);
+    let nm1 = b.sub(nkeys, one);
+    // Stride prefetch for the probe-key stream itself. It sits one
+    // stagger step beyond the deepest real key load (at offset c), so
+    // that every look-ahead key read below hits a line fetched by this
+    // prefetch a quarter-`c` of iterations earlier — the staggering rule
+    // of the paper's code listing 1.
+    let cc = b.const_i64((c + c / 4).max(2));
+    let ahead = b.add(i, cc);
+    let gs = b.gep(keys, ahead, 8);
+    b.prefetch(gs);
+    for level in 1..=depth {
+        let off = (c * (4 - (level as i64 - 1)) / 4).max(1);
+        let idx = emit_clamped_lookahead(b, i, off, nm1);
+        let gk = b.gep(keys, idx, 8);
+        let k = b.load(Type::I64, gk);
+        let kg = b.mul(k, mult);
+        let h = b.lshr(kg, shift);
+        if level == 1 {
+            let ga = b.gep(ht, h, BUCKET_BYTES);
+            b.prefetch(ga);
+            continue;
+        }
+        // Walk level-1 chain links with real loads, prefetch the last.
+        // Null links are redirected to the (always valid) table base so
+        // the generated loads cannot fault on short chains.
+        let zero = b.const_i64(0);
+        let ht_int = b.cast(CastOp::PtrToInt, ht, Type::I64);
+        let gn = b.gep_field(ht, h, BUCKET_BYTES, 16);
+        let mut cur = b.load(Type::I64, gn);
+        for _ in 0..level.saturating_sub(2) {
+            let is_null = b.icmp(Pred::Eq, cur, zero);
+            let safe = b.select(is_null, ht_int, cur);
+            let curp = b.cast(CastOp::IntToPtr, safe, Type::Ptr);
+            let g16 = b.gep_field(curp, zero, 8, 16);
+            cur = b.load(Type::I64, g16);
+        }
+        let curp = b.cast(CastOp::IntToPtr, cur, Type::Ptr);
+        b.prefetch(curp);
+    }
+}
+
+impl Workload for HashJoin {
+    fn name(&self) -> &'static str {
+        match self.epb {
+            ElemsPerBucket::Two => "HJ-2",
+            ElemsPerBucket::Eight => "HJ-8",
+        }
+    }
+
+    fn build_baseline(&self) -> Module {
+        self.build(None)
+    }
+
+    fn build_manual(&self, c: i64) -> Module {
+        // Fig. 7: prefetching the first three of HJ-8's four irregular
+        // accesses is optimal on every system; HJ-2 has just the bucket.
+        match self.epb {
+            ElemsPerBucket::Two => self.build(Some((c, 1))),
+            ElemsPerBucket::Eight => self.build(Some((c, 3))),
+        }
+    }
+
+    fn setup(&self, interp: &mut Interp) -> Vec<RtVal> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let nbuckets = 1u64 << self.bucket_bits;
+        let shift = self.shift();
+        let inv = hash_mult_inverse();
+        // A key that lands in bucket `bkt`: invert the hash.
+        let key_for = |bkt: u64, rng: &mut StdRng| -> u64 {
+            let low: u64 = rng.random_range(1..(1u64 << shift));
+            ((bkt << shift) | low).wrapping_mul(inv)
+        };
+
+        let ht = interp
+            .alloc_array(nbuckets, BUCKET_BYTES as u32)
+            .expect("hash table");
+        let mut build_keys = Vec::new();
+        let chain_nodes = match self.epb {
+            ElemsPerBucket::Two => 0u64,
+            ElemsPerBucket::Eight => 3,
+        };
+        // Chain nodes live in one array, assigned in shuffled order so
+        // node addresses are cache-unfriendly.
+        let total_nodes = nbuckets * chain_nodes;
+        let nodes = if total_nodes > 0 {
+            interp.alloc_array(total_nodes, 32).expect("chain nodes")
+        } else {
+            0
+        };
+        let mut node_order: Vec<u64> = (0..total_nodes).collect();
+        for i in (1..node_order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            node_order.swap(i, j);
+        }
+        let mut next_node = 0usize;
+        for bkt in 0..nbuckets {
+            let base = ht + bkt * BUCKET_BYTES;
+            let k0 = key_for(bkt, &mut rng);
+            let k1 = key_for(bkt, &mut rng);
+            build_keys.push(k0);
+            build_keys.push(k1);
+            interp.mem().write(base, 8, k0).expect("ok");
+            interp.mem().write(base + 8, 8, k1).expect("ok");
+            let mut prev_next_field = base + 16;
+            for _ in 0..chain_nodes {
+                let node_addr = nodes + node_order[next_node] * 32;
+                next_node += 1;
+                let nk0 = key_for(bkt, &mut rng);
+                let nk1 = key_for(bkt, &mut rng);
+                build_keys.push(nk0);
+                build_keys.push(nk1);
+                interp.mem().write(node_addr, 8, nk0).expect("ok");
+                interp.mem().write(node_addr + 8, 8, nk1).expect("ok");
+                interp
+                    .mem()
+                    .write(prev_next_field, 8, node_addr)
+                    .expect("ok");
+                prev_next_field = node_addr + 16;
+            }
+            interp.mem().write(prev_next_field, 8, 0).expect("ok");
+        }
+        // Probe keys: drawn uniformly from the build side (every probe
+        // matches, at a uniformly random position within its bucket —
+        // the join-style access the paper's HJ kernels model).
+        let keys = interp.alloc_array(self.probes, 8).expect("probe keys");
+        for i in 0..self.probes {
+            let k = build_keys[rng.random_range(0..build_keys.len())];
+            interp.mem().write(keys + i * 8, 8, k).expect("ok");
+        }
+        vec![
+            RtVal::Int(keys as i64),
+            RtVal::Int(ht as i64),
+            RtVal::Int(self.probes as i64),
+            RtVal::Int(shift as i64),
+        ]
+    }
+
+    fn checksum(&self, _interp: &Interp, _args: &[RtVal], ret: Option<RtVal>) -> u64 {
+        ret.map_or(0, |v| v.as_int() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::interp::NullObserver;
+    use swpf_ir::verifier::verify_module;
+
+    fn run(ws: &HashJoin, m: &Module) -> u64 {
+        verify_module(m).expect("verifies");
+        let mut interp = Interp::new();
+        let args = ws.setup(&mut interp);
+        let f = m.find_function("kernel").unwrap();
+        let ret = interp.run(m, f, &args, &mut NullObserver).expect("runs");
+        ws.checksum(&interp, &args, ret)
+    }
+
+    #[test]
+    fn hash_inverse_is_correct() {
+        assert_eq!(HASH_MULT.wrapping_mul(hash_mult_inverse()), 1);
+    }
+
+    #[test]
+    fn probes_find_matches_in_both_configs() {
+        for epb in [ElemsPerBucket::Two, ElemsPerBucket::Eight] {
+            let ws = HashJoin::new(Scale::Test, epb);
+            let matches = run(&ws, &ws.build_baseline());
+            assert_eq!(
+                matches, ws.probes,
+                "every probe key is present exactly once ({epb:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn manual_variants_preserve_results() {
+        for epb in [ElemsPerBucket::Two, ElemsPerBucket::Eight] {
+            let ws = HashJoin::new(Scale::Test, epb);
+            let want = run(&ws, &ws.build_baseline());
+            assert_eq!(run(&ws, &ws.build_manual(64)), want, "{epb:?}");
+            for depth in 1..=4 {
+                assert_eq!(
+                    run(&ws, &ws.build_manual_depth(16, depth)),
+                    want,
+                    "{epb:?} depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_pass_gets_bucket_but_not_chain() {
+        let ws = HashJoin::new(Scale::Test, ElemsPerBucket::Eight);
+        let mut m = ws.build_baseline();
+        let report = swpf_core::run_on_module(&mut m, &swpf_core::PassConfig::default());
+        verify_module(&m).unwrap();
+        let recs = &report.functions[0].prefetches;
+        // The stride-hash-indirect bucket accesses are prefetched...
+        assert!(
+            recs.iter().any(|p| p.chain_len == 2),
+            "bucket chain found: {report}"
+        );
+        // ...but the pointer-chased chain nodes are not (non-IV phi).
+        assert!(report.functions[0]
+            .skipped
+            .iter()
+            .any(|s| s.reason == swpf_core::SkipReason::ContainsNonIvPhi));
+        // Results unchanged.
+        let want = run(&ws, &ws.build_baseline());
+        assert_eq!(run(&ws, &m), want);
+    }
+}

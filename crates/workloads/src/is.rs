@@ -1,0 +1,222 @@
+//! Integer Sort (NAS IS): the bucket-counting kernel.
+//!
+//! The performance-critical loop of NAS Integer Sort ranks keys by
+//! incrementing one bucket per key: `key_buff1[key_buff2[i]]++` (paper
+//! code listing 1). `key_buff2` is walked sequentially (hardware-
+//! prefetchable); `key_buff1` is hit at data-dependent indices — the
+//! canonical stride-indirect pattern.
+//!
+//! Besides the baseline and the paper-optimal manual variant (staggered
+//! prefetches to both arrays), [`IntegerSort::build_fig2_variant`]
+//! reproduces the four schemes of Fig. 2: the *intuitive* single
+//! prefetch, offsets that are too small or too large, and the optimal
+//! staggered pair.
+
+use crate::util::{counted_loop, emit_clamped_lookahead};
+use crate::{Scale, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swpf_ir::interp::{Interp, RtVal};
+use swpf_ir::prelude::*;
+
+/// The Fig. 2 prefetching schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2Scheme {
+    /// Only the indirect prefetch at the default distance — what a
+    /// programmer would naively write (line 4 of listing 1 alone).
+    Intuitive,
+    /// Both prefetches but with a tiny look-ahead: fills arrive too late.
+    OffsetTooSmall,
+    /// Both prefetches with a huge look-ahead: cache pollution, lines
+    /// evicted before use.
+    OffsetTooBig,
+    /// The staggered pair at the paper's `c = 64`.
+    Optimal,
+}
+
+/// NAS Integer Sort bucket-counting benchmark.
+#[derive(Debug, Clone)]
+pub struct IntegerSort {
+    /// Number of keys (`key_buff2` length).
+    pub num_keys: u64,
+    /// Number of buckets (`key_buff1` length); the indirect target.
+    pub num_buckets: u64,
+    seed: u64,
+}
+
+impl IntegerSort {
+    /// Scaled configuration: 2 MiB of keys into a 4 MiB bucket array
+    /// (exceeds every simulated LLC).
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => IntegerSort {
+                num_keys: 1 << 19,
+                num_buckets: 1 << 20,
+                seed: 0x15,
+            },
+            Scale::Test => IntegerSort {
+                num_keys: 1 << 10,
+                num_buckets: 1 << 9,
+                seed: 0x15,
+            },
+        }
+    }
+
+    /// Build the kernel. `prefetch`: optional `(indirect_off,
+    /// stride_off)` manual prefetch distances; `None` for each part
+    /// omits that prefetch.
+    fn build(&self, indirect_off: Option<i64>, stride_off: Option<i64>) -> Module {
+        let mut m = Module::new("is");
+        // kernel(key_buff1: ptr, key_buff2: ptr, n: i64)
+        let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], None);
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (kb1, kb2, n) = (b.arg(0), b.arg(1), b.arg(2));
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        counted_loop(&mut b, zero, n, &[], |b, i, _| {
+            // Manual prefetches first, exactly as in code listing 1.
+            if let Some(off) = indirect_off {
+                let nm1 = b.sub(n, one);
+                let idx = emit_clamped_lookahead(b, i, off, nm1);
+                let g2 = b.gep(kb2, idx, 4);
+                let k = b.load(Type::I32, g2);
+                let kw = b.cast(CastOp::Zext, k, Type::I64);
+                let g1 = b.gep(kb1, kw, 4);
+                b.prefetch(g1);
+            }
+            if let Some(off) = stride_off {
+                let offc = b.const_i64(off);
+                let ahead = b.add(i, offc);
+                let g2 = b.gep(kb2, ahead, 4);
+                b.prefetch(g2);
+            }
+            // key_buff1[key_buff2[i]]++
+            let g2 = b.gep(kb2, i, 4);
+            let k = b.load(Type::I32, g2);
+            let kw = b.cast(CastOp::Zext, k, Type::I64);
+            let g1 = b.gep(kb1, kw, 4);
+            let v = b.load(Type::I32, g1);
+            let one32 = b.constant(Constant::Int(1, Type::I32));
+            let v2 = b.add(v, one32);
+            b.store(v2, g1);
+            vec![]
+        });
+        b.ret(None);
+        let _ = b;
+        m
+    }
+
+    /// One of the four Fig. 2 schemes.
+    #[must_use]
+    pub fn build_fig2_variant(&self, scheme: Fig2Scheme) -> Module {
+        match scheme {
+            Fig2Scheme::Intuitive => self.build(Some(32), None),
+            Fig2Scheme::OffsetTooSmall => self.build(Some(8), Some(16)),
+            Fig2Scheme::OffsetTooBig => self.build(Some(512), Some(1024)),
+            Fig2Scheme::Optimal => self.build(Some(32), Some(64)),
+        }
+    }
+}
+
+impl Workload for IntegerSort {
+    fn name(&self) -> &'static str {
+        "IS"
+    }
+
+    fn build_baseline(&self) -> Module {
+        self.build(None, None)
+    }
+
+    fn build_manual(&self, c: i64) -> Module {
+        // t = 2 loads: stride at c, indirect at c/2 (paper eq. 1).
+        self.build(Some((c / 2).max(1)), Some(c.max(1)))
+    }
+
+    fn setup(&self, interp: &mut Interp) -> Vec<RtVal> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let kb1 = interp
+            .alloc_array(self.num_buckets, 4)
+            .expect("bucket array");
+        let kb2 = interp.alloc_array(self.num_keys, 4).expect("key array");
+        for i in 0..self.num_keys {
+            let key = rng.random_range(0..self.num_buckets);
+            interp.mem().write(kb2 + i * 4, 4, key).expect("in bounds");
+        }
+        vec![
+            RtVal::Int(kb1 as i64),
+            RtVal::Int(kb2 as i64),
+            RtVal::Int(self.num_keys as i64),
+        ]
+    }
+
+    fn checksum(&self, interp: &Interp, args: &[RtVal], _ret: Option<RtVal>) -> u64 {
+        // FNV over the bucket counters.
+        let base = args[0].as_int() as u64;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for i in 0..self.num_buckets {
+            let v = interp.mem_ref().read(base + i * 4, 4).expect("in bounds");
+            h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::interp::NullObserver;
+    use swpf_ir::verifier::verify_module;
+
+    fn run(ws: &IntegerSort, m: &Module) -> u64 {
+        verify_module(m).expect("verifies");
+        let mut interp = Interp::new();
+        let args = ws.setup(&mut interp);
+        let f = m.find_function("kernel").unwrap();
+        let ret = interp.run(m, f, &args, &mut NullObserver).expect("runs");
+        ws.checksum(&interp, &args, ret)
+    }
+
+    #[test]
+    fn all_variants_compute_identical_buckets() {
+        let ws = IntegerSort::new(Scale::Test);
+        let want = run(&ws, &ws.build_baseline());
+        assert_eq!(run(&ws, &ws.build_manual(64)), want);
+        for scheme in [
+            Fig2Scheme::Intuitive,
+            Fig2Scheme::OffsetTooSmall,
+            Fig2Scheme::OffsetTooBig,
+            Fig2Scheme::Optimal,
+        ] {
+            assert_eq!(run(&ws, &ws.build_fig2_variant(scheme)), want, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn auto_pass_finds_the_indirect_chain() {
+        let ws = IntegerSort::new(Scale::Test);
+        let mut m = ws.build_baseline();
+        let report = swpf_core::run_on_module(&mut m, &swpf_core::PassConfig::default());
+        assert_eq!(
+            report.functions[0].prefetches.len(),
+            1,
+            "one indirect chain: {report}"
+        );
+        assert_eq!(report.functions[0].prefetches[0].chain_len, 2);
+        assert_eq!(report.functions[0].prefetches[0].offsets, vec![64, 32]);
+        verify_module(&m).unwrap();
+        // And the transformed kernel computes the same buckets.
+        let want = run(&ws, &ws.build_baseline());
+        assert_eq!(run(&ws, &m), want);
+    }
+
+    #[test]
+    fn checksum_differs_between_inputs() {
+        let a = IntegerSort::new(Scale::Test);
+        let mut b = IntegerSort::new(Scale::Test);
+        b.seed = 999;
+        let ca = run(&a, &a.build_baseline());
+        let cb = run(&b, &b.build_baseline());
+        assert_ne!(ca, cb);
+    }
+}

@@ -1,0 +1,94 @@
+//! # swpf-workloads — the paper's benchmark suite as IR programs
+//!
+//! Seven benchmark configurations from the CGO'17 evaluation (§5.1),
+//! rebuilt as `swpf-ir` kernels with deterministic `rand`-generated
+//! inputs:
+//!
+//! | name      | pattern | paper source |
+//! |-----------|---------|--------------|
+//! | IS        | `key_buff1[key_buff2[i]]++` bucket ranking | NAS Integer Sort |
+//! | CG        | CSR SpMV `x[col[j]]` | NAS Conjugate Gradient |
+//! | RA        | hash-scrambled table updates in 128-element chunks | HPCC RandomAccess |
+//! | HJ-2      | hash + two-entry bucket probe | hash join, 2 elems/bucket |
+//! | HJ-8      | hash + bucket + 3-node chain walk | hash join, 8 elems/bucket |
+//! | G500-s16  | BFS over a small Kronecker graph | Graph500 seq-csr |
+//! | G500-s21  | BFS over a large Kronecker graph | Graph500 seq-csr |
+//!
+//! Each workload provides a **baseline** module (no prefetches — the
+//! input to the automatic pass) and a **manual** module with the best
+//! hand-placed prefetches the paper describes, including the knowledge a
+//! compiler cannot have: HJ-8's fixed chain length, RA's outer-loop
+//! look-ahead across its 128-iteration inner chunks, and G500's edge-list
+//! prefetching from the BFS work list.
+//!
+//! Sizes are scaled (together with `swpf-sim`'s cache capacities, see
+//! DESIGN.md §4) so that every paper-relevant ratio holds: the indirect
+//! target structures exceed the simulated LLC, CG's dense vector sits in
+//! L2, and G500-s16 is partially cache-resident while s21 is not.
+
+pub mod cg;
+pub mod g500;
+pub mod hj;
+pub mod is;
+pub mod ra;
+pub mod util;
+
+use swpf_ir::interp::{Interp, RtVal};
+use swpf_ir::Module;
+
+/// Workload size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Evaluation sizes (minutes of simulation across the full suite).
+    Paper,
+    /// Tiny sizes for unit tests (milliseconds).
+    Test,
+}
+
+/// A benchmark: kernel builders plus data setup and a result checksum.
+pub trait Workload {
+    /// Display name matching the paper's figures ("IS", "HJ-2", ...).
+    fn name(&self) -> &'static str;
+
+    /// The kernel without any software prefetches (pass input).
+    fn build_baseline(&self) -> Module;
+
+    /// The kernel with the paper's best manual prefetches, scheduled with
+    /// look-ahead constant `c`.
+    fn build_manual(&self, c: i64) -> Module;
+
+    /// Allocate and initialise the input data; returns kernel arguments.
+    /// Deterministic for a fixed workload configuration.
+    fn setup(&self, interp: &mut Interp) -> Vec<RtVal>;
+
+    /// Digest of the kernel's observable result (return value and/or
+    /// memory), for checking that transformed kernels compute the same
+    /// thing. `args` are the values returned by [`Workload::setup`].
+    fn checksum(&self, interp: &Interp, args: &[RtVal], ret: Option<RtVal>) -> u64;
+}
+
+/// The paper's seven benchmark configurations, in figure order.
+#[must_use]
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(is::IntegerSort::new(scale)),
+        Box::new(cg::ConjugateGradient::new(scale)),
+        Box::new(ra::RandomAccess::new(scale)),
+        Box::new(hj::HashJoin::new(scale, hj::ElemsPerBucket::Two)),
+        Box::new(hj::HashJoin::new(scale, hj::ElemsPerBucket::Eight)),
+        Box::new(g500::Graph500::new(scale, g500::GraphSize::Small)),
+        Box::new(g500::Graph500::new(scale, g500::GraphSize::Large)),
+    ]
+}
+
+/// The four benchmarks used in the look-ahead sweep of Fig. 6
+/// (IS, CG, RA, HJ-2 — the paper shows "only the simpler benchmarks").
+#[must_use]
+pub fn fig6_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(is::IntegerSort::new(scale)),
+        Box::new(cg::ConjugateGradient::new(scale)),
+        Box::new(ra::RandomAccess::new(scale)),
+        Box::new(hj::HashJoin::new(scale, hj::ElemsPerBucket::Two)),
+    ]
+}

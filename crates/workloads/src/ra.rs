@@ -1,0 +1,196 @@
+//! RandomAccess (HPCC GUPS): hash-scrambled updates to a huge table.
+//!
+//! The HPC Challenge RandomAccess benchmark streams pseudo-random values
+//! and updates `table[f(v)] ^= v` where `f` hashes the value into the
+//! table — more address computation per element than IS or CG (§5.1).
+//!
+//! The kernel processes the stream in 128-element chunks through an
+//! inner loop, mirroring the original benchmark's structure. This is
+//! what limits the *automatic* pass on RA: its look-ahead clamps to the
+//! 128-iteration inner bound, so the first elements of every chunk still
+//! miss — whereas the *manual* variant looks ahead across chunk
+//! boundaries using the flat stream index (paper §6.1, A53 discussion).
+
+use crate::util::{counted_loop, emit_clamped_lookahead, emit_hash};
+use crate::{Scale, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swpf_ir::interp::{Interp, RtVal};
+use swpf_ir::prelude::*;
+
+/// HPCC RandomAccess benchmark.
+#[derive(Debug, Clone)]
+pub struct RandomAccess {
+    /// log2 of the table length (entries are u64).
+    pub table_bits: u32,
+    /// Total number of updates (a multiple of the chunk size).
+    pub updates: u64,
+    /// Inner-loop chunk length (the original benchmark uses 128).
+    pub chunk: u64,
+    seed: u64,
+}
+
+impl RandomAccess {
+    /// Scaled configuration: a 16 MiB table (far beyond every simulated
+    /// LLC) updated in 128-element chunks.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => RandomAccess {
+                table_bits: 21,
+                updates: 1 << 19,
+                chunk: 128,
+                seed: 0x6A,
+            },
+            Scale::Test => RandomAccess {
+                table_bits: 10,
+                updates: 1 << 10,
+                chunk: 32,
+                seed: 0x6A,
+            },
+        }
+    }
+
+    fn build(&self, manual_c: Option<i64>) -> Module {
+        let mut m = Module::new("ra");
+        // kernel(table: ptr, ran: ptr, nchunks: i64, chunk: i64, mask: i64, total: i64)
+        let fid = m.declare_function(
+            "kernel",
+            &[
+                Type::Ptr,
+                Type::Ptr,
+                Type::I64,
+                Type::I64,
+                Type::I64,
+                Type::I64,
+            ],
+            None,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let (table, ran, nchunks, chunk, mask, total) =
+            (b.arg(0), b.arg(1), b.arg(2), b.arg(3), b.arg(4), b.arg(5));
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        counted_loop(&mut b, zero, nchunks, &[], |b, i, _| {
+            // Chunk base pointer: &ran[i * chunk].
+            let flat_base = b.mul(i, chunk);
+            let chunk_base = b.gep(ran, flat_base, 8);
+            counted_loop(b, zero, chunk, &[], |b, j, _| {
+                if let Some(c) = manual_c {
+                    // Manual: look ahead across chunk boundaries in the
+                    // flat stream — runtime knowledge the pass lacks.
+                    let flat = b.add(flat_base, j);
+                    let tm1 = b.sub(total, one);
+                    let idx = emit_clamped_lookahead(b, flat, (c / 2).max(1), tm1);
+                    let g = b.gep(ran, idx, 8);
+                    let v = b.load(Type::I64, g);
+                    let h = emit_hash(b, v, mask);
+                    let gt = b.gep(table, h, 8);
+                    b.prefetch(gt);
+                    let cc = b.const_i64(c.max(1));
+                    let ahead = b.add(flat, cc);
+                    let gr = b.gep(ran, ahead, 8);
+                    b.prefetch(gr);
+                }
+                // v = ran[i*chunk + j]; table[hash(v)] ^= v.
+                let g = b.gep(chunk_base, j, 8);
+                let v = b.load(Type::I64, g);
+                let h = emit_hash(b, v, mask);
+                let gt = b.gep(table, h, 8);
+                let t = b.load(Type::I64, gt);
+                let t2 = b.xor(t, v);
+                b.store(t2, gt);
+                vec![]
+            });
+            vec![]
+        });
+        b.ret(None);
+        let _ = b;
+        m
+    }
+}
+
+impl Workload for RandomAccess {
+    fn name(&self) -> &'static str {
+        "RA"
+    }
+
+    fn build_baseline(&self) -> Module {
+        self.build(None)
+    }
+
+    fn build_manual(&self, c: i64) -> Module {
+        self.build(Some(c))
+    }
+
+    fn setup(&self, interp: &mut Interp) -> Vec<RtVal> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let table_len = 1u64 << self.table_bits;
+        let table = interp.alloc_array(table_len, 8).expect("table");
+        for i in 0..table_len {
+            interp.mem().write(table + i * 8, 8, i).expect("ok");
+        }
+        let ran = interp.alloc_array(self.updates, 8).expect("stream");
+        for i in 0..self.updates {
+            let v: u64 = rng.random();
+            interp.mem().write(ran + i * 8, 8, v).expect("ok");
+        }
+        vec![
+            RtVal::Int(table as i64),
+            RtVal::Int(ran as i64),
+            RtVal::Int((self.updates / self.chunk) as i64),
+            RtVal::Int(self.chunk as i64),
+            RtVal::Int((table_len - 1) as i64),
+            RtVal::Int(self.updates as i64),
+        ]
+    }
+
+    fn checksum(&self, interp: &Interp, args: &[RtVal], _ret: Option<RtVal>) -> u64 {
+        let table = args[0].as_int() as u64;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for i in 0..(1u64 << self.table_bits) {
+            let v = interp.mem_ref().read(table + i * 8, 8).expect("in bounds");
+            h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::interp::NullObserver;
+    use swpf_ir::verifier::verify_module;
+
+    fn run(ws: &RandomAccess, m: &Module) -> u64 {
+        verify_module(m).expect("verifies");
+        let mut interp = Interp::new();
+        let args = ws.setup(&mut interp);
+        let f = m.find_function("kernel").unwrap();
+        let ret = interp.run(m, f, &args, &mut NullObserver).expect("runs");
+        ws.checksum(&interp, &args, ret)
+    }
+
+    #[test]
+    fn manual_matches_baseline() {
+        let ws = RandomAccess::new(Scale::Test);
+        assert_eq!(
+            run(&ws, &ws.build_baseline()),
+            run(&ws, &ws.build_manual(64))
+        );
+    }
+
+    #[test]
+    fn auto_pass_takes_hash_chain_within_chunks() {
+        let ws = RandomAccess::new(Scale::Test);
+        let mut m = ws.build_baseline();
+        let report = swpf_core::run_on_module(&mut m, &swpf_core::PassConfig::default());
+        verify_module(&m).unwrap();
+        let recs = &report.functions[0].prefetches;
+        assert!(
+            recs.iter().any(|p| p.chain_len == 2),
+            "hash-indirect chain found: {report}"
+        );
+        assert_eq!(run(&ws, &ws.build_baseline()), run(&ws, &m));
+    }
+}

@@ -1,0 +1,219 @@
+//! Shared IR-construction helpers for the benchmark kernels.
+
+use swpf_ir::prelude::*;
+use swpf_ir::BlockId;
+
+/// Scaffolding for a counted `for (i = lo; i < hi; i++)` loop.
+///
+/// Creates header/body/exit blocks, the induction-variable phi and the
+/// loop-carried phis for `carried` (initialised to the given values).
+/// `body` receives the builder, the induction variable and the carried
+/// phis, and returns the next iteration's carried values. Returns the
+/// carried phis' exit values (the phi nodes themselves — valid in the
+/// exit block) and leaves the builder positioned in the (new) exit
+/// block.
+pub fn counted_loop(
+    b: &mut FunctionBuilder<'_>,
+    lo: ValueId,
+    hi: ValueId,
+    carried: &[ValueId],
+    body: impl FnOnce(&mut FunctionBuilder<'_>, ValueId, &[ValueId]) -> Vec<ValueId>,
+) -> Vec<ValueId> {
+    let pre = b.current_block();
+    let header = b.create_block("header");
+    let body_bb = b.create_block("body");
+    let exit = b.create_block("exit");
+    b.br(header);
+    b.switch_to(header);
+    let iv = b.phi(Type::I64, &[(pre, lo)]);
+    let phis: Vec<ValueId> = carried
+        .iter()
+        .map(|&init| {
+            let ty = b.func().value(init).ty.expect("carried values are typed");
+            b.phi(ty, &[(pre, init)])
+        })
+        .collect();
+    let cond = b.icmp(Pred::Slt, iv, hi);
+    b.cond_br(cond, body_bb, exit);
+    b.switch_to(body_bb);
+    let next = body(b, iv, &phis);
+    assert_eq!(next.len(), phis.len(), "carried value count mismatch");
+    let one = b.const_i64(1);
+    let iv_next = b.add(iv, one);
+    let latch = b.current_block();
+    b.add_phi_incoming(iv, latch, iv_next);
+    for (&phi, &val) in phis.iter().zip(&next) {
+        b.add_phi_incoming(phi, latch, val);
+    }
+    b.br(header);
+    b.switch_to(exit);
+    phis
+}
+
+/// A `while (cond_ptr != 0)` pointer-chasing loop used by HJ-8's bucket
+/// chains. `body` receives the current node pointer (as an i64 address)
+/// and carried values, returning (next pointer, next carried values).
+/// Leaves the builder in the exit block and returns the carried phis.
+pub fn chase_loop(
+    b: &mut FunctionBuilder<'_>,
+    first: ValueId,
+    carried: &[ValueId],
+    body: impl FnOnce(&mut FunctionBuilder<'_>, ValueId, &[ValueId]) -> (ValueId, Vec<ValueId>),
+) -> Vec<ValueId> {
+    let pre = b.current_block();
+    let header = b.create_block("chase_header");
+    let body_bb = b.create_block("chase_body");
+    let exit = b.create_block("chase_exit");
+    b.br(header);
+    b.switch_to(header);
+    let cur = b.phi(Type::I64, &[(pre, first)]);
+    let phis: Vec<ValueId> = carried
+        .iter()
+        .map(|&init| {
+            let ty = b.func().value(init).ty.expect("carried values are typed");
+            b.phi(ty, &[(pre, init)])
+        })
+        .collect();
+    let zero = b.const_i64(0);
+    let cond = b.icmp(Pred::Ne, cur, zero);
+    b.cond_br(cond, body_bb, exit);
+    b.switch_to(body_bb);
+    let (next_ptr, next) = body(b, cur, &phis);
+    assert_eq!(next.len(), phis.len(), "carried value count mismatch");
+    let latch = b.current_block();
+    b.add_phi_incoming(cur, latch, next_ptr);
+    for (&phi, &val) in phis.iter().zip(&next) {
+        b.add_phi_incoming(phi, latch, val);
+    }
+    b.br(header);
+    b.switch_to(exit);
+    phis
+}
+
+/// Emit the multiplicative-xorshift hash the RA and HJ kernels use:
+/// `h = ((x * GOLDEN) ^ ((x * GOLDEN) >> 29)) & mask`.
+pub fn emit_hash(b: &mut FunctionBuilder<'_>, x: ValueId, mask: ValueId) -> ValueId {
+    let golden = b.const_i64(0x9E37_79B9_7F4A_7C15u64 as i64);
+    let m = b.mul(x, golden);
+    let sh = b.const_i64(29);
+    let shifted = b.lshr(m, sh);
+    let mixed = b.xor(m, shifted);
+    b.and(mixed, mask)
+}
+
+/// The same hash on host data, for building verifiable inputs.
+#[must_use]
+pub fn host_hash(x: u64, mask: u64) -> u64 {
+    let m = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (m ^ (m >> 29)) & mask
+}
+
+/// Emit a branchless `min(a, b)`-clamped look-ahead index:
+/// `min(iv + off, limit)`. Used by the manual-prefetch kernel variants.
+pub fn emit_clamped_lookahead(
+    b: &mut FunctionBuilder<'_>,
+    iv: ValueId,
+    off: i64,
+    limit: ValueId,
+) -> ValueId {
+    let off_c = b.const_i64(off);
+    let ahead = b.add(iv, off_c);
+    b.smin(ahead, limit)
+}
+
+/// The entry block id of the function currently being built.
+#[must_use]
+pub fn entry() -> BlockId {
+    BlockId(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::interp::{Interp, NullObserver, RtVal};
+    use swpf_ir::verifier::verify_module;
+    use swpf_ir::Module;
+
+    #[test]
+    fn counted_loop_accumulates() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let n = b.arg(0);
+            let zero = b.const_i64(0);
+            let sums = counted_loop(&mut b, zero, n, &[zero], |b, i, carried| {
+                let s = b.add(carried[0], i);
+                vec![s]
+            });
+            b.ret(Some(sums[0]));
+        }
+        verify_module(&m).unwrap();
+        let mut interp = Interp::new();
+        let f = m.find_function("f").unwrap();
+        let r = interp
+            .run(&m, f, &[RtVal::Int(10)], &mut NullObserver)
+            .unwrap();
+        assert_eq!(r, Some(RtVal::Int(45)));
+    }
+
+    #[test]
+    fn chase_loop_walks_chain() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let head = b.arg(0);
+            let zero = b.const_i64(0);
+            let headi = b.cast(CastOp::PtrToInt, head, Type::I64);
+            let counts = chase_loop(&mut b, headi, &[zero], |b, cur, carried| {
+                let one = b.const_i64(1);
+                let c2 = b.add(carried[0], one);
+                let curp = b.cast(CastOp::IntToPtr, cur, Type::Ptr);
+                let next = b.load(Type::I64, curp);
+                (next, vec![c2])
+            });
+            b.ret(Some(counts[0]));
+        }
+        verify_module(&m).unwrap();
+        // Three-node chain: each node is one i64 "next" pointer.
+        let mut interp = Interp::new();
+        let n1 = interp.alloc_array(1, 8).unwrap();
+        let n2 = interp.alloc_array(1, 8).unwrap();
+        let n3 = interp.alloc_array(1, 8).unwrap();
+        interp.mem().write(n1, 8, n2).unwrap();
+        interp.mem().write(n2, 8, n3).unwrap();
+        interp.mem().write(n3, 8, 0).unwrap();
+        let f = m.find_function("f").unwrap();
+        let r = interp
+            .run(&m, f, &[RtVal::Int(n1 as i64)], &mut NullObserver)
+            .unwrap();
+        assert_eq!(r, Some(RtVal::Int(3)));
+    }
+
+    #[test]
+    fn hash_matches_host_hash() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("h", &[Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (x, mask) = (b.arg(0), b.arg(1));
+            let h = emit_hash(&mut b, x, mask);
+            b.ret(Some(h));
+        }
+        verify_module(&m).unwrap();
+        let f = m.find_function("h").unwrap();
+        for x in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX / 3] {
+            let mut interp = Interp::new();
+            let r = interp
+                .run(
+                    &m,
+                    f,
+                    &[RtVal::Int(x as i64), RtVal::Int(0xFFFF)],
+                    &mut NullObserver,
+                )
+                .unwrap();
+            assert_eq!(r, Some(RtVal::Int(host_hash(x, 0xFFFF) as i64)));
+        }
+    }
+}

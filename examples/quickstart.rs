@@ -1,0 +1,95 @@
+//! Quickstart: build an indirect-access kernel, run the automatic
+//! prefetching pass, and measure the speedup on a simulated Cortex-A53.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use swpf::ir::interp::{Interp, RtVal};
+use swpf::ir::prelude::*;
+use swpf::pass::{run_on_module, PassConfig};
+use swpf::sim::{run_on_machine, MachineConfig};
+
+/// Build `for (i = 0; i < n; i++) sum += a[b[i]];` — the canonical
+/// stride-indirect pattern from the paper's introduction.
+fn build_kernel() -> Module {
+    let mut m = Module::new("quickstart");
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::Ptr, Type::I64], Type::I64);
+    let mut b = FunctionBuilder::new(m.function_mut(fid));
+    let (a, bp, n) = (b.arg(0), b.arg(1), b.arg(2));
+    let entry = b.entry_block();
+    let header = b.create_block("header");
+    let body = b.create_block("body");
+    let exit = b.create_block("exit");
+    let zero = b.const_i64(0);
+    let one = b.const_i64(1);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64, &[(entry, zero)]);
+    let sum = b.phi(Type::I64, &[(entry, zero)]);
+    let cond = b.icmp(Pred::Slt, i, n);
+    b.cond_br(cond, body, exit);
+    b.switch_to(body);
+    let gb = b.gep(bp, i, 8);
+    let idx = b.load(Type::I64, gb);
+    let ga = b.gep(a, idx, 8);
+    let v = b.load(Type::I64, ga);
+    let sum2 = b.add(sum, v);
+    let i2 = b.add(i, one);
+    b.add_phi_incoming(i, body, i2);
+    b.add_phi_incoming(sum, body, sum2);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(Some(sum));
+    let _ = b;
+    m
+}
+
+fn simulate(m: &Module, n: u64) -> swpf::sim::SimStats {
+    run_on_machine(&MachineConfig::a53(), m, "kernel", |interp: &mut Interp| {
+        let a = interp.alloc_array(n, 8).expect("alloc a");
+        let b = interp.alloc_array(n, 8).expect("alloc b");
+        for i in 0..n {
+            interp.mem().write(a + i * 8, 8, i * 3).expect("init a");
+            // A scrambled permutation: every access a fresh cache line.
+            interp
+                .mem()
+                .write(b + i * 8, 8, (i * 48_271 + 11) % n)
+                .expect("init b");
+        }
+        vec![
+            RtVal::Int(a as i64),
+            RtVal::Int(b as i64),
+            RtVal::Int(n as i64),
+        ]
+    })
+}
+
+fn main() {
+    let n = 1 << 18; // 2 MiB per array: far beyond the simulated caches
+    let baseline = build_kernel();
+
+    // Run the paper's pass (c = 64, stride companion on).
+    let mut prefetched = baseline.clone();
+    let report = run_on_module(&mut prefetched, &PassConfig::default());
+    println!("pass report:\n{report}");
+    println!(
+        "transformed kernel:\n{}",
+        swpf::ir::printer::print_module(&prefetched)
+    );
+
+    let before = simulate(&baseline, n);
+    let after = simulate(&prefetched, n);
+    println!(
+        "baseline : {:>12} cycles (IPC {:.2})",
+        before.cycles,
+        before.ipc()
+    );
+    println!(
+        "prefetched: {:>12} cycles (IPC {:.2})",
+        after.cycles,
+        after.ipc()
+    );
+    println!(
+        "speedup   : {:.2}x on an in-order Cortex-A53 model",
+        after.speedup_vs(&before)
+    );
+}

@@ -1,0 +1,90 @@
+//! `swpf-opt` — command-line driver for the prefetch-generation pass.
+//!
+//! Reads a module in the textual IR format (see `swpf_ir::printer`), runs
+//! the automatic software-prefetching pass, and prints the transformed
+//! module. The pass report goes to stderr.
+//!
+//! ```text
+//! swpf-opt [options] [input.swir]        (stdin when no file given)
+//!   -c <n>         look-ahead constant (default 64)
+//!   --no-stride    disable the stride companion prefetch
+//!   --max-depth <n> cap the indirect stagger depth
+//!   --icc-like     run the restricted stride-indirect baseline instead
+//!   --report-only  print only the report, not the module
+//! ```
+
+use std::io::Read as _;
+use swpf::pass::{icc_like, run_on_module, PassConfig};
+
+fn main() {
+    let mut config = PassConfig::default();
+    let mut input: Option<String> = None;
+    let mut use_icc = false;
+    let mut report_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-c" => {
+                let v = args.next().and_then(|s| s.parse().ok());
+                config.look_ahead = v.unwrap_or_else(|| die("`-c` needs an integer"));
+            }
+            "--no-stride" => config.stride_companion = false,
+            "--max-depth" => {
+                let v = args.next().and_then(|s| s.parse().ok());
+                config.max_indirect_depth =
+                    v.unwrap_or_else(|| die("`--max-depth` needs an integer"));
+            }
+            "--allow-pure-calls" => config.allow_pure_calls = true,
+            "--no-hoisting" => config.enable_hoisting = false,
+            "--icc-like" => use_icc = true,
+            "--report-only" => report_only = true,
+            "-h" | "--help" => {
+                eprintln!("usage: swpf-opt [-c N] [--no-stride] [--max-depth N] [--allow-pure-calls] [--no-hoisting] [--icc-like] [--report-only] [input.swir]");
+                return;
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let text = match &input {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read `{path}`: {e}"))),
+        None => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+            s
+        }
+    };
+
+    let mut module =
+        swpf::ir::parser::parse_module(&text).unwrap_or_else(|e| die(&format!("parse error: {e}")));
+    swpf::ir::verifier::verify_module(&module)
+        .unwrap_or_else(|e| die(&format!("input does not verify: {e}")));
+
+    let report = if use_icc {
+        icc_like::run_on_module(&mut module, &config)
+    } else {
+        run_on_module(&mut module, &config)
+    };
+    swpf::ir::verifier::verify_module(&module)
+        .unwrap_or_else(|e| die(&format!("internal error: output does not verify: {e}")));
+
+    eprint!("{report}");
+    eprintln!(
+        "{} prefetch instruction(s) inserted, {} load(s) skipped",
+        report.total_prefetches(),
+        report.total_skipped()
+    );
+    if !report_only {
+        print!("{}", swpf::ir::printer::print_module(&module));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("swpf-opt: {msg}");
+    std::process::exit(1);
+}

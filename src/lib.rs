@@ -1,0 +1,6 @@
+//! Facade crate: re-exports the full swpf API surface.
+pub use swpf_analysis as analysis;
+pub use swpf_core as pass;
+pub use swpf_ir as ir;
+pub use swpf_sim as sim;
+pub use swpf_workloads as workloads;

@@ -1,0 +1,147 @@
+//! End-to-end integration: every benchmark kernel, through every pass
+//! variant, must verify and compute bit-identical results.
+
+use swpf::pass::{icc_like, run_on_module, PassConfig};
+use swpf::workloads::{suite, Scale, Workload};
+use swpf_ir::interp::{CountingObserver, Interp};
+use swpf_ir::verifier::verify_module;
+use swpf_ir::Module;
+
+fn run_checksum(w: &dyn Workload, m: &Module) -> (u64, CountingObserver) {
+    verify_module(m).expect("module verifies");
+    let mut interp = Interp::new();
+    let args = w.setup(&mut interp);
+    let f = m.find_function("kernel").expect("kernel exists");
+    let mut counts = CountingObserver::default();
+    let ret = interp.run(m, f, &args, &mut counts).expect("runs cleanly");
+    (w.checksum(&interp, &args, ret), counts)
+}
+
+#[test]
+fn auto_pass_preserves_results_on_all_benchmarks() {
+    for w in suite(Scale::Test) {
+        let (want, base_counts) = run_checksum(w.as_ref(), &w.build_baseline());
+        let mut m = w.build_baseline();
+        let report = run_on_module(&mut m, &PassConfig::default());
+        let (got, auto_counts) = run_checksum(w.as_ref(), &m);
+        assert_eq!(got, want, "{}: auto pass changed results", w.name());
+        // Everything except G500 must get at least one prefetch even at
+        // test scale; G500's test graph is tiny but still qualifies.
+        assert!(
+            report.total_prefetches() > 0,
+            "{}: no prefetches generated\n{report}",
+            w.name()
+        );
+        assert!(
+            auto_counts.prefetches > 0,
+            "{}: prefetches never executed",
+            w.name()
+        );
+        assert!(
+            auto_counts.total > base_counts.total,
+            "{}: prefetch code must add instructions",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn manual_variants_preserve_results_on_all_benchmarks() {
+    for w in suite(Scale::Test) {
+        let (want, _) = run_checksum(w.as_ref(), &w.build_baseline());
+        for c in [4, 64, 1024] {
+            let (got, counts) = run_checksum(w.as_ref(), &w.build_manual(c));
+            assert_eq!(got, want, "{} manual c={c}", w.name());
+            assert!(counts.prefetches > 0, "{} manual c={c}", w.name());
+        }
+    }
+}
+
+#[test]
+fn icc_like_preserves_results_and_matches_paper_coverage() {
+    // The restricted pass must fire on IS and CG and find nothing in the
+    // hash/graph benchmarks (paper §6.1, Fig. 4d).
+    for w in suite(Scale::Test) {
+        let (want, _) = run_checksum(w.as_ref(), &w.build_baseline());
+        let mut m = w.build_baseline();
+        let report = icc_like::run_on_module(&mut m, &PassConfig::default());
+        let (got, _) = run_checksum(w.as_ref(), &m);
+        assert_eq!(got, want, "{}: icc-like changed results", w.name());
+        let found = report.total_prefetches() > 0;
+        let expect_found = matches!(w.name(), "IS" | "CG");
+        assert_eq!(
+            found,
+            expect_found,
+            "{}: icc-like coverage mismatch\n{report}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn pass_config_sweep_never_breaks_correctness() {
+    let configs = [
+        PassConfig::with_look_ahead(1),
+        PassConfig::with_look_ahead(7),
+        PassConfig::with_look_ahead(100_000), // overshoots every array
+        PassConfig {
+            stride_companion: false,
+            ..PassConfig::default()
+        },
+        PassConfig {
+            max_indirect_depth: 1,
+            ..PassConfig::default()
+        },
+        PassConfig {
+            enable_hoisting: false,
+            ..PassConfig::default()
+        },
+    ];
+    for w in suite(Scale::Test) {
+        let (want, _) = run_checksum(w.as_ref(), &w.build_baseline());
+        for (i, cfg) in configs.iter().enumerate() {
+            let mut m = w.build_baseline();
+            run_on_module(&mut m, cfg);
+            let (got, _) = run_checksum(w.as_ref(), &m);
+            assert_eq!(got, want, "{} config #{i}", w.name());
+        }
+    }
+}
+
+#[test]
+fn pass_output_still_verifies_after_second_application() {
+    // Running the pass twice is not useful (it will decorate its own
+    // address-generation loads), but it must never produce invalid IR or
+    // wrong results.
+    for w in suite(Scale::Test) {
+        let (want, _) = run_checksum(w.as_ref(), &w.build_baseline());
+        let mut m = w.build_baseline();
+        run_on_module(&mut m, &PassConfig::default());
+        run_on_module(&mut m, &PassConfig::default());
+        let (got, _) = run_checksum(w.as_ref(), &m);
+        assert_eq!(got, want, "{}: double application broke results", w.name());
+    }
+}
+
+#[test]
+fn workload_checksums_are_deterministic() {
+    for w in suite(Scale::Test) {
+        let (a, _) = run_checksum(w.as_ref(), &w.build_baseline());
+        let (b, _) = run_checksum(w.as_ref(), &w.build_baseline());
+        assert_eq!(a, b, "{}: setup must be deterministic", w.name());
+    }
+}
+
+#[test]
+fn printed_kernels_reparse_and_verify() {
+    for w in suite(Scale::Test) {
+        let mut m = w.build_baseline();
+        run_on_module(&mut m, &PassConfig::default());
+        let text = swpf_ir::printer::print_module(&m);
+        let m2 = swpf_ir::parser::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name()));
+        verify_module(&m2).unwrap_or_else(|e| panic!("{}: reparsed fails: {e}", w.name()));
+        let text2 = swpf_ir::printer::print_module(&m2);
+        assert_eq!(text, text2, "{}: print/parse not a fixpoint", w.name());
+    }
+}

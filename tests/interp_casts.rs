@@ -1,0 +1,122 @@
+//! Cast and narrow-type semantics through the full IR + interpreter
+//! stack: sign/zero extension, truncation, and pointer round-trips.
+
+use swpf_ir::interp::{Interp, NullObserver, RtVal};
+use swpf_ir::prelude::*;
+
+fn run1(m: &Module, arg: i64) -> i64 {
+    swpf_ir::verifier::verify_module(m).expect("verifies");
+    let mut interp = Interp::new();
+    interp
+        .run(m, FuncId(0), &[RtVal::Int(arg)], &mut NullObserver)
+        .unwrap()
+        .expect("returns")
+        .as_int()
+}
+
+#[test]
+fn trunc_then_zext_masks_high_bits() {
+    let mut m = Module::new("t");
+    let fid = m.declare_function("f", &[Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let narrow = b.cast(CastOp::Trunc, b.arg(0), Type::I8);
+        let wide = b.cast(CastOp::Zext, narrow, Type::I64);
+        b.ret(Some(wide));
+    }
+    assert_eq!(run1(&m, 0x1234), 0x34);
+    assert_eq!(run1(&m, -1), 0xFF);
+    assert_eq!(run1(&m, 0x80), 0x80);
+}
+
+#[test]
+fn trunc_then_sext_sign_extends() {
+    let mut m = Module::new("t");
+    let fid = m.declare_function("f", &[Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let narrow = b.cast(CastOp::Trunc, b.arg(0), Type::I16);
+        let wide = b.cast(CastOp::Sext, narrow, Type::I64);
+        b.ret(Some(wide));
+    }
+    assert_eq!(run1(&m, 0x7FFF), 0x7FFF);
+    assert_eq!(run1(&m, 0x8000), -0x8000);
+    assert_eq!(run1(&m, -1), -1);
+}
+
+#[test]
+fn ptr_int_roundtrip_preserves_address() {
+    let mut m = Module::new("t");
+    let fid = m.declare_function("f", &[Type::Ptr], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let as_int = b.cast(CastOp::PtrToInt, b.arg(0), Type::I64);
+        let one = b.const_i64(8);
+        let moved = b.add(as_int, one);
+        let back = b.cast(CastOp::IntToPtr, moved, Type::Ptr);
+        let v = b.load(Type::I64, back);
+        b.ret(Some(v));
+    }
+    swpf_ir::verifier::verify_module(&m).unwrap();
+    let mut interp = Interp::new();
+    let a = interp.alloc_array(2, 8).unwrap();
+    interp.mem().write(a + 8, 8, 0xDEAD).unwrap();
+    let r = interp
+        .run(&m, FuncId(0), &[RtVal::Int(a as i64)], &mut NullObserver)
+        .unwrap()
+        .unwrap()
+        .as_int();
+    assert_eq!(r, 0xDEAD);
+}
+
+#[test]
+fn narrow_stores_do_not_clobber_neighbours() {
+    let mut m = Module::new("t");
+    let fid = m.declare_function("f", &[Type::Ptr], None);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let p = b.arg(0);
+        let v = b.constant(Constant::Int(0xAB, Type::I8));
+        let one = b.const_i64(1);
+        let q = b.gep(p, one, 1); // byte 1
+        b.store(v, q);
+        b.ret(None);
+    }
+    swpf_ir::verifier::verify_module(&m).unwrap();
+    let mut interp = Interp::new();
+    let a = interp.alloc_array(1, 8).unwrap();
+    interp.mem().write(a, 8, 0x1111_1111_1111_1111).unwrap();
+    interp
+        .run(&m, FuncId(0), &[RtVal::Int(a as i64)], &mut NullObserver)
+        .unwrap();
+    assert_eq!(
+        interp.mem().read(a, 8).unwrap(),
+        0x1111_1111_1111_AB11,
+        "only byte 1 changes"
+    );
+}
+
+#[test]
+fn verifier_rejects_invalid_casts() {
+    // Widening "trunc" must be rejected.
+    let mut m = Module::new("t");
+    let fid = m.declare_function("f", &[Type::I8], Type::I64);
+    {
+        let f = m.function_mut(fid);
+        let entry = f.entry();
+        let bad = f.create_inst(
+            swpf_ir::InstKind::Cast {
+                op: CastOp::Trunc,
+                val: f.arg(0),
+                to: Type::I64,
+            },
+            Some(Type::I64),
+            entry,
+        );
+        f.push_inst(bad);
+        let ret = f.create_inst(swpf_ir::InstKind::Ret { value: Some(bad) }, None, entry);
+        f.push_inst(ret);
+    }
+    let err = swpf_ir::verifier::verify_module(&m).unwrap_err();
+    assert!(err.message.contains("invalid cast"), "{err}");
+}

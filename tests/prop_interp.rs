@@ -1,0 +1,163 @@
+//! Property tests: the interpreter's arithmetic must agree with host
+//! semantics, and memory must behave like memory.
+
+use proptest::prelude::*;
+use swpf_ir::interp::{Interp, NullObserver, RtVal};
+use swpf_ir::prelude::*;
+
+/// Build a one-instruction function `f(x, y) = x <op> y` and run it.
+fn eval_binop(op: BinOp, x: i64, y: i64) -> Result<i64, swpf_ir::interp::Trap> {
+    let mut m = Module::new("p");
+    let fid = m.declare_function("f", &[Type::I64, Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let r = b.binary(op, b.arg(0), b.arg(1));
+        b.ret(Some(r));
+    }
+    swpf_ir::verifier::verify_module(&m).unwrap();
+    let mut interp = Interp::new();
+    interp
+        .run(
+            &m,
+            FuncId(0),
+            &[RtVal::Int(x), RtVal::Int(y)],
+            &mut NullObserver,
+        )
+        .map(|v| v.expect("returns a value").as_int())
+}
+
+fn eval_icmp(pred: Pred, x: i64, y: i64) -> bool {
+    let mut m = Module::new("p");
+    let fid = m.declare_function("f", &[Type::I64, Type::I64], Type::I1);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let r = b.icmp(pred, b.arg(0), b.arg(1));
+        b.ret(Some(r));
+    }
+    let mut interp = Interp::new();
+    interp
+        .run(
+            &m,
+            FuncId(0),
+            &[RtVal::Int(x), RtVal::Int(y)],
+            &mut NullObserver,
+        )
+        .unwrap()
+        .expect("value")
+        .as_int()
+        != 0
+}
+
+proptest! {
+    #[test]
+    fn add_sub_mul_match_wrapping_host_semantics(x: i64, y: i64) {
+        prop_assert_eq!(eval_binop(BinOp::Add, x, y).unwrap(), x.wrapping_add(y));
+        prop_assert_eq!(eval_binop(BinOp::Sub, x, y).unwrap(), x.wrapping_sub(y));
+        prop_assert_eq!(eval_binop(BinOp::Mul, x, y).unwrap(), x.wrapping_mul(y));
+    }
+
+    #[test]
+    fn bitwise_ops_match_host(x: i64, y: i64) {
+        prop_assert_eq!(eval_binop(BinOp::And, x, y).unwrap(), x & y);
+        prop_assert_eq!(eval_binop(BinOp::Or, x, y).unwrap(), x | y);
+        prop_assert_eq!(eval_binop(BinOp::Xor, x, y).unwrap(), x ^ y);
+    }
+
+    #[test]
+    fn shifts_mask_the_count_like_hardware(x: i64, s in 0i64..256) {
+        prop_assert_eq!(eval_binop(BinOp::Shl, x, s).unwrap(), x.wrapping_shl(s as u32 & 63));
+        prop_assert_eq!(
+            eval_binop(BinOp::Lshr, x, s).unwrap(),
+            ((x as u64).wrapping_shr(s as u32 & 63)) as i64
+        );
+        prop_assert_eq!(eval_binop(BinOp::Ashr, x, s).unwrap(), x.wrapping_shr(s as u32 & 63));
+    }
+
+    #[test]
+    fn division_matches_or_traps(x: i64, y: i64) {
+        let r = eval_binop(BinOp::Sdiv, x, y);
+        if y == 0 {
+            prop_assert!(r.is_err());
+        } else {
+            prop_assert_eq!(r.unwrap(), x.wrapping_div(y));
+        }
+        let r = eval_binop(BinOp::Urem, x, y);
+        if y == 0 {
+            prop_assert!(r.is_err());
+        } else {
+            prop_assert_eq!(r.unwrap(), ((x as u64) % (y as u64)) as i64);
+        }
+    }
+
+    #[test]
+    fn comparisons_match_host(x: i64, y: i64) {
+        prop_assert_eq!(eval_icmp(Pred::Eq, x, y), x == y);
+        prop_assert_eq!(eval_icmp(Pred::Slt, x, y), x < y);
+        prop_assert_eq!(eval_icmp(Pred::Sge, x, y), x >= y);
+        prop_assert_eq!(eval_icmp(Pred::Ult, x, y), (x as u64) < (y as u64));
+        prop_assert_eq!(eval_icmp(Pred::Uge, x, y), (x as u64) >= (y as u64));
+    }
+
+    #[test]
+    fn negated_predicate_is_complement(x: i64, y: i64) {
+        for p in [Pred::Eq, Pred::Ne, Pred::Slt, Pred::Sle, Pred::Ult, Pred::Ule] {
+            prop_assert_eq!(eval_icmp(p, x, y), !eval_icmp(p.negated(), x, y));
+        }
+    }
+
+    #[test]
+    fn swapped_predicate_swaps_operands(x: i64, y: i64) {
+        for p in [Pred::Slt, Pred::Sle, Pred::Sgt, Pred::Sge, Pred::Ult, Pred::Ugt] {
+            prop_assert_eq!(eval_icmp(p, x, y), eval_icmp(p.swapped(), y, x));
+        }
+    }
+
+    #[test]
+    fn memory_reads_back_written_scalars(
+        values in prop::collection::vec(any::<u64>(), 1..64),
+        size in prop::sample::select(vec![1u32, 2, 4, 8]),
+    ) {
+        let mut interp = Interp::new();
+        let base = interp.alloc_array(values.len() as u64, size).unwrap();
+        let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+        for (i, &v) in values.iter().enumerate() {
+            interp.mem().write(base + i as u64 * u64::from(size), size, v).unwrap();
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let got = interp.mem().read(base + i as u64 * u64::from(size), size).unwrap();
+            prop_assert_eq!(got, v & mask);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_accesses_always_trap(offset in 1u64..1_000_000) {
+        let mut interp = Interp::new();
+        let base = interp.alloc_array(8, 8).unwrap();
+        let end = base + 64;
+        prop_assert!(interp.mem().read(end + offset, 8).is_err());
+        prop_assert!(interp.mem().read(base.wrapping_sub(offset + 8), 8).is_err());
+    }
+
+    #[test]
+    fn select_behaves_like_branch(c: bool, x: i64, y: i64) {
+        let mut m = Module::new("p");
+        let fid = m.declare_function("f", &[Type::I1, Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let r = b.select(b.arg(0), b.arg(1), b.arg(2));
+            b.ret(Some(r));
+        }
+        let mut interp = Interp::new();
+        let got = interp
+            .run(
+                &m,
+                FuncId(0),
+                &[RtVal::Int(i64::from(c)), RtVal::Int(x), RtVal::Int(y)],
+                &mut NullObserver,
+            )
+            .unwrap()
+            .unwrap()
+            .as_int();
+        prop_assert_eq!(got, if c { x } else { y });
+    }
+}

@@ -1,0 +1,84 @@
+//! Parser robustness: arbitrary input must never panic, and valid
+//! modules must survive arbitrary single-line mutations without panics
+//! (errors are fine; crashes are not).
+
+use proptest::prelude::*;
+use swpf_ir::parser::parse_module;
+use swpf_ir::printer::print_module;
+
+const VALID: &str = r"module t
+
+func @k(%0: ptr, %1: ptr, %2: i64) -> i64 {
+  %3 = const 0: i64
+  %4 = const 1: i64
+bb0:
+  br bb1
+bb1:
+  %5: i64 = phi [bb0: %3], [bb2: %11]
+  %6: i64 = phi [bb0: %3], [bb2: %10]
+  %7: i1 = icmp slt %5, %2
+  br %7, bb2, bb3
+bb2:
+  %8: ptr = gep %1, %5 x 8
+  %9: i64 = load i64, %8
+  %sa: ptr = gep %0, %9 x 8
+  %sv: i64 = load i64, %sa
+  %10: i64 = add %6, %sv
+  %11: i64 = add %5, %4
+  br bb1
+bb3:
+  ret %6
+}
+";
+
+proptest! {
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC{0,400}") {
+        let _ = parse_module(&s);
+    }
+
+    #[test]
+    fn arbitrary_lines_never_panic(
+        lines in prop::collection::vec("[%a-z0-9 =:,\\[\\]()@.+x-]{0,40}", 0..20),
+    ) {
+        let mut text = String::from("module t\n\nfunc @f() -> void {\nbb0:\n");
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        text.push_str("}\n");
+        let _ = parse_module(&text);
+    }
+
+    #[test]
+    fn single_line_mutations_never_panic(
+        line_idx in 0usize..24,
+        replacement in "[%a-z0-9 =:,\\[\\]@x+-]{0,30}",
+    ) {
+        let mut lines: Vec<String> = VALID.lines().map(String::from).collect();
+        if line_idx < lines.len() {
+            lines[line_idx] = replacement;
+        }
+        let _ = parse_module(&lines.join("\n"));
+    }
+
+    #[test]
+    fn truncations_never_panic(cut in 0usize..700) {
+        let text = &VALID[..cut.min(VALID.len())];
+        // May split a UTF-8 boundary? VALID is ASCII, safe.
+        let _ = parse_module(text);
+    }
+}
+
+#[test]
+fn valid_module_roundtrips_through_arbitrary_reprints() {
+    let m = parse_module(VALID).expect("valid parses");
+    let mut text = print_module(&m);
+    for _ in 0..4 {
+        let m2 = parse_module(&text).expect("reprint parses");
+        swpf_ir::verifier::verify_module(&m2).expect("reprint verifies");
+        let next = print_module(&m2);
+        assert_eq!(next, text, "printing reached a fixpoint");
+        text = next;
+    }
+}

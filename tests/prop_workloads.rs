@@ -1,0 +1,148 @@
+//! Property tests on the workload generators: data-structure invariants
+//! the kernels (and the paper's analysis) silently rely on.
+
+use proptest::prelude::*;
+use swpf::workloads::hj::{hash_mult_inverse, HASH_MULT};
+use swpf_ir::interp::Interp;
+use swpf_workloads::{Scale, Workload};
+
+proptest! {
+    #[test]
+    fn fibonacci_hash_inversion_hits_the_intended_bucket(
+        bucket in 0u64..(1 << 12),
+        low in 1u64..(1 << 20),
+        bits in 4u32..20,
+    ) {
+        // key_for-style construction: a key built for `bucket` must hash
+        // back to it for any table size ≥ the construction's.
+        let bucket = bucket & ((1 << bits) - 1);
+        let shift = 64 - u64::from(bits);
+        let low = low & ((1u64 << shift) - 1);
+        let key = ((bucket << shift) | low).wrapping_mul(hash_mult_inverse());
+        let hashed = key.wrapping_mul(HASH_MULT) >> shift;
+        prop_assert_eq!(hashed, bucket);
+    }
+}
+
+#[test]
+fn graph500_csr_is_well_formed() {
+    use swpf::workloads::g500::{Graph500, GraphSize};
+    let g = Graph500::new(Scale::Test, GraphSize::Small);
+    let mut interp = Interp::new();
+    let args = g.setup(&mut interp);
+    let (row, edges) = (args[0].as_int() as u64, args[1].as_int() as u64);
+    let nv = 1u64 << g.scale_bits;
+    // Row offsets monotonically non-decreasing; every edge target valid.
+    let mut prev = 0u64;
+    for v in 0..=nv {
+        let off = interp.mem_ref().read(row + v * 8, 8).unwrap();
+        assert!(off >= prev, "row offsets must be sorted");
+        prev = off;
+    }
+    let total = prev;
+    assert!(total > 0, "graph has edges");
+    for j in 0..total {
+        let e = interp.mem_ref().read(edges + j * 8, 8).unwrap();
+        assert!(e < nv, "edge target {e} out of range");
+    }
+}
+
+#[test]
+fn hash_join_buckets_have_exact_occupancy() {
+    use swpf::workloads::hj::{ElemsPerBucket, HashJoin, BUCKET_BYTES};
+    for (epb, expected_chain) in [(ElemsPerBucket::Two, 0u64), (ElemsPerBucket::Eight, 3)] {
+        let hj = HashJoin::new(Scale::Test, epb);
+        let mut interp = Interp::new();
+        let args = hj.setup(&mut interp);
+        let ht = args[1].as_int() as u64;
+        let nbuckets = 1u64 << hj.bucket_bits;
+        for b in 0..nbuckets {
+            let base = ht + b * BUCKET_BYTES;
+            let k0 = interp.mem_ref().read(base, 8).unwrap();
+            let k1 = interp.mem_ref().read(base + 8, 8).unwrap();
+            assert_ne!(k0, 0, "inline slot 0 filled");
+            assert_ne!(k1, 0, "inline slot 1 filled");
+            // Walk the chain and count nodes.
+            let mut cur = interp.mem_ref().read(base + 16, 8).unwrap();
+            let mut nodes = 0;
+            while cur != 0 {
+                nodes += 1;
+                assert!(nodes <= 8, "chain cycle?");
+                cur = interp.mem_ref().read(cur + 16, 8).unwrap();
+            }
+            assert_eq!(nodes, expected_chain, "{epb:?} bucket {b}");
+        }
+    }
+}
+
+#[test]
+fn integer_sort_bucket_counts_sum_to_key_count() {
+    use swpf::workloads::is::IntegerSort;
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let mut interp = Interp::new();
+    let args = is.setup(&mut interp);
+    let f = m.find_function("kernel").unwrap();
+    interp
+        .run(&m, f, &args, &mut swpf_ir::interp::NullObserver)
+        .unwrap();
+    let kb1 = args[0].as_int() as u64;
+    let mut total = 0u64;
+    for i in 0..is.num_buckets {
+        total += interp.mem_ref().read(kb1 + i * 4, 4).unwrap();
+    }
+    assert_eq!(total, is.num_keys, "every key lands in exactly one bucket");
+}
+
+#[test]
+fn conjugate_gradient_y_is_fully_written() {
+    use swpf::workloads::cg::ConjugateGradient;
+    let cg = ConjugateGradient::new(Scale::Test);
+    let m = cg.build_baseline();
+    let mut interp = Interp::new();
+    let args = cg.setup(&mut interp);
+    let f = m.find_function("kernel").unwrap();
+    interp
+        .run(&m, f, &args, &mut swpf_ir::interp::NullObserver)
+        .unwrap();
+    let y = args[4].as_int() as u64;
+    let mut nonzero = 0;
+    for i in 0..cg.nrows {
+        let bits = interp.mem_ref().read(y + i * 8, 8).unwrap();
+        if f64::from_bits(bits) != 0.0 {
+            nonzero += 1;
+        }
+    }
+    // Rows have ≥1 nnz and random values: virtually all sums non-zero.
+    assert!(
+        nonzero as u64 > cg.nrows * 9 / 10,
+        "{nonzero}/{} rows written",
+        cg.nrows
+    );
+}
+
+#[test]
+fn random_access_table_changes_exactly_where_updates_land() {
+    use swpf::workloads::ra::RandomAccess;
+    let ra = RandomAccess::new(Scale::Test);
+    let m = ra.build_baseline();
+    let mut interp = Interp::new();
+    let args = ra.setup(&mut interp);
+    let table = args[0].as_int() as u64;
+    let len = 1u64 << ra.table_bits;
+    let before: Vec<u64> = (0..len)
+        .map(|i| interp.mem_ref().read(table + i * 8, 8).unwrap())
+        .collect();
+    let f = m.find_function("kernel").unwrap();
+    interp
+        .run(&m, f, &args, &mut swpf_ir::interp::NullObserver)
+        .unwrap();
+    let changed = (0..len)
+        .filter(|&i| interp.mem_ref().read(table + i * 8, 8).unwrap() != before[i as usize])
+        .count();
+    assert!(changed > 0, "updates must land");
+    assert!(
+        changed as u64 <= ra.updates,
+        "at most one change per update"
+    );
+}
