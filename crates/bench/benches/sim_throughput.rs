@@ -2,19 +2,62 @@
 //! simulator (interpreted instructions per second with the full timing
 //! model attached). This bounds how large a paper-scale experiment can
 //! be and is the number to watch when extending the machine models.
+//!
+//! The `engines` group compares the pre-decoded `ExecImage` engine (the
+//! one every simulation path now uses) against the original tree-walking
+//! interpreter (`ClassicInterp`, kept as the differential oracle); the
+//! ratio is recorded in `BENCH_interp.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use swpf_ir::classic::ClassicInterp;
 use swpf_ir::interp::{Interp, NullObserver};
 use swpf_sim::{run_on_machine, MachineConfig};
 use swpf_workloads::is::IntegerSort;
 use swpf_workloads::{Scale, Workload};
 
-fn interp_only(c: &mut Criterion) {
+fn engines(c: &mut Criterion) {
     let is = IntegerSort::new(Scale::Test);
     let m = is.build_baseline();
     let f = m.find_function("kernel").unwrap();
     // ~12 instructions per iteration, 1024 iterations at test scale.
+    let insts = 12 * u64::from(is.num_keys as u32);
+    // Identical pre-built input state for both engines: setup once, clone
+    // the simulated memory into each run, so the group compares engine
+    // throughput alone (IS mutates its bucket array, hence the clone).
+    // The image is decoded once outside the loop — the amortised shape of
+    // every real simulation path (decode is per-module, not per-run).
+    let mut proto = Interp::new();
+    let args = is.setup(&mut proto);
+    let proto_mem = proto.mem_ref().clone();
+    let image = std::sync::Arc::new(swpf_ir::exec::ExecImage::build(&m));
+    let mut group = c.benchmark_group("engines");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("exec_image/IS", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new();
+            *interp.mem() = proto_mem.clone();
+            let r = interp
+                .run_with_image(std::sync::Arc::clone(&image), f, &args, &mut NullObserver)
+                .unwrap();
+            black_box(r);
+        });
+    });
+    group.bench_function("classic/IS", |b| {
+        b.iter(|| {
+            let mut interp = ClassicInterp::new();
+            *interp.mem() = proto_mem.clone();
+            let r = interp.run(&m, f, &args, &mut NullObserver).unwrap();
+            black_box(r);
+        });
+    });
+    group.finish();
+}
+
+fn interp_only(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let f = m.find_function("kernel").unwrap();
     let insts = 12 * u64::from(is.num_keys as u32);
     let mut group = c.benchmark_group("interp_only");
     group.throughput(Throughput::Elements(insts));
@@ -46,5 +89,5 @@ fn interp_with_timing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, interp_only, interp_with_timing);
+criterion_group!(benches, engines, interp_only, interp_with_timing);
 criterion_main!(benches);

@@ -1,11 +1,16 @@
 //! Developer tool: dump full simulator statistics for one workload on
-//! every machine, baseline vs. auto-prefetched vs. manual. Not part of
-//! the figure set; useful when calibrating the machine models.
+//! every machine, baseline vs. auto-prefetched vs. manual, plus each
+//! variant's static code profile (decoded instruction count and memory-op
+//! sites from the `ExecImage`) so static code-size overhead can be read
+//! against the dynamic counts. Not part of the figure set; useful when
+//! calibrating the machine models.
 //!
 //! Usage: `debug_stats [IS|CG|RA|HJ-2|HJ-8|G500-s16|G500-s21]`
 
 use swpf_bench::{auto_module, scale_from_env, simulate};
 use swpf_core::PassConfig;
+use swpf_ir::exec::ExecImage;
+use swpf_ir::Module;
 use swpf_sim::{MachineConfig, SimStats};
 
 fn dump(tag: &str, s: &SimStats) {
@@ -27,6 +32,27 @@ fn dump(tag: &str, s: &SimStats) {
     );
 }
 
+/// Static code profile of the kernel: decoded instruction count plus
+/// load/store/prefetch site counts, read from the decoded image's
+/// per-instruction metadata.
+fn dump_static(tag: &str, m: &Module) {
+    let f = m.find_function("kernel").expect("kernel exists");
+    let image = ExecImage::build(m);
+    let (mut loads, mut stores, mut prefetches) = (0u32, 0u32, 0u32);
+    for v in 0..m.function(f).num_values() as u64 {
+        let Some(meta) = image.static_meta((u64::from(f.0) << 32) | v) else {
+            continue;
+        };
+        loads += u32::from(meta.is_load);
+        stores += u32::from(meta.is_store);
+        prefetches += u32::from(meta.is_prefetch);
+    }
+    println!(
+        "  {tag:<9} static: {} decoded inst, {loads} load / {stores} store / {prefetches} prefetch sites",
+        image.code_len(f),
+    );
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "IS".to_string());
     let scale = scale_from_env();
@@ -36,6 +62,10 @@ fn main() {
         .iter()
         .find(|w| w.name() == which)
         .unwrap_or_else(|| panic!("unknown workload `{which}`"));
+    println!("static code profile / {}", w.name());
+    dump_static("base", &w.build_baseline());
+    dump_static("auto", &auto_module(w.as_ref(), &config));
+    dump_static("manual", &w.build_manual(config.look_ahead));
     for machine in MachineConfig::all_systems() {
         println!("{} / {}", machine.name, w.name());
         let base = simulate(&machine, w.as_ref(), &w.build_baseline());

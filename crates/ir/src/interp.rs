@@ -1,23 +1,30 @@
-//! Reference interpreter with an observer hook for timing simulation.
+//! Execution contract and the user-facing interpreter facade.
 //!
-//! The interpreter executes IR functions against a flat simulated address
-//! space. Every retired instruction is reported to an [`ExecObserver`]
-//! carrying the dynamic information a timing model needs: the static
-//! instruction identity (for stride-prefetcher PC tables), memory
-//! addresses, and the operand value-ids (for dataflow dependence tracking
-//! in the out-of-order core model).
+//! This module defines everything the timing simulator and the tests
+//! program against: runtime values ([`RtVal`]), traps ([`Trap`]), the
+//! simulated flat [`Memory`], and the observer contract ([`Event`],
+//! [`EventKind`], [`ExecObserver`]) through which `swpf-sim` watches
+//! every retired instruction — static instruction identity (for
+//! stride-prefetcher PC tables), memory addresses, and operand value-ids
+//! (for dataflow dependence tracking in the out-of-order core model).
 //!
-//! Execution is *resumable*: [`Interp::start`] + [`Interp::step`] allow a
-//! multicore simulation to interleave several interpreter instances on a
-//! shared memory system, advancing whichever core has the smallest local
-//! clock.
+//! Execution itself is layered (see [`crate::exec`]): a one-time decode
+//! pass lowers a module into a dense [`ExecImage`], and a slim resumable
+//! engine runs the image. [`Interp`] is the compatibility facade over
+//! that engine: it owns the simulated memory, builds images on demand in
+//! [`Interp::start`], and preserves the original interpreter's API —
+//! `start`/`step` for multicore interleaving, `run` for one-shot
+//! execution. The original tree-walking engine survives as
+//! [`crate::classic::ClassicInterp`], the differential-testing oracle.
 
+use crate::exec::{Engine, ExecImage};
 use crate::function::FuncId;
-use crate::inst::{BinOp, CastOp, InstKind, Pred};
+use crate::inst::{BinOp, Pred};
 use crate::module::Module;
 use crate::types::Type;
-use crate::value::{Constant, ValueId, ValueKind};
+use crate::value::ValueId;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime scalar. Pointers are carried as `Int` (addresses).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -278,57 +285,15 @@ pub enum Step {
     Done(Option<RtVal>),
 }
 
-struct Frame {
-    func: FuncId,
-    frame_id: u64,
-    regs: Vec<RtVal>,
-    block: u32,
-    inst_idx: usize,
-    /// Value id in the *caller* frame to receive our return value.
-    ret_to: Option<ValueId>,
-}
-
-fn make_frame(
-    module: &Module,
-    func: FuncId,
-    args: &[RtVal],
-    ret_to: Option<ValueId>,
-    frame_id: u64,
-) -> Frame {
-    let f = module.function(func);
-    let mut regs = vec![RtVal::Int(0); f.num_values()];
-    for (i, a) in args.iter().enumerate() {
-        regs[i] = *a;
-    }
-    // Pre-materialise constants so operand reads are a plain index.
-    for (idx, slot) in regs.iter_mut().enumerate() {
-        if let ValueKind::Const(c) = &f.value(ValueId(idx as u32)).kind {
-            *slot = match c {
-                Constant::Int(v, _) => RtVal::Int(*v),
-                Constant::Float(v) => RtVal::Float(*v),
-            };
-        }
-    }
-    Frame {
-        func,
-        frame_id,
-        regs,
-        block: f.entry().0,
-        inst_idx: 0,
-        ret_to,
-    }
-}
-
-/// The interpreter: simulated memory plus a resumable execution cursor.
+/// The interpreter: simulated memory plus a resumable execution cursor,
+/// running on the pre-decoded engine of [`crate::exec`].
+///
+/// [`Interp::start`] decodes the module into an [`ExecImage`]; callers
+/// that run the same module on many interpreters (e.g. multicore
+/// simulations) should decode once and use [`Interp::start_with_image`].
 pub struct Interp {
     mem: Memory,
-    frames: Vec<Frame>,
-    next_frame_id: u64,
-    fuel: u64,
-    retired: u64,
-    max_depth: usize,
-    scratch_ops: Vec<ValueId>,
-    phi_buf: Vec<(ValueId, RtVal, ValueId)>,
+    engine: Engine,
 }
 
 impl Default for Interp {
@@ -349,13 +314,7 @@ impl Interp {
     pub fn with_heap_limit(limit: u64) -> Self {
         Interp {
             mem: Memory::with_limit(limit),
-            frames: Vec::new(),
-            next_frame_id: 0,
-            fuel: u64::MAX,
-            retired: 0,
-            max_depth: 1 << 10,
-            scratch_ops: Vec::new(),
-            phi_buf: Vec::new(),
+            engine: Engine::new(),
         }
     }
 
@@ -373,13 +332,13 @@ impl Interp {
     /// Total instructions retired since construction.
     #[must_use]
     pub fn retired(&self) -> u64 {
-        self.retired
+        self.engine.retired()
     }
 
     /// Limit the number of instructions that may retire before
     /// [`Trap::OutOfFuel`]; defaults to unlimited.
     pub fn set_fuel(&mut self, fuel: u64) {
-        self.fuel = fuel;
+        self.engine.set_fuel(fuel);
     }
 
     /// Allocate and zero-fill an array; convenience for workload setup.
@@ -390,18 +349,25 @@ impl Interp {
         self.mem.alloc(elems * u64::from(elem_size))
     }
 
-    /// Begin executing `func` with `args`. Any previous cursor state is
-    /// discarded; allocated memory is retained.
+    /// Begin executing `func` with `args`, decoding `module` into a
+    /// fresh [`ExecImage`]. Any previous cursor state is discarded;
+    /// allocated memory is retained.
     ///
     /// # Panics
     /// If the argument count does not match the signature.
     pub fn start(&mut self, module: &Module, func: FuncId, args: &[RtVal]) {
-        let f = module.function(func);
-        assert_eq!(args.len(), f.params.len(), "argument count mismatch");
-        self.frames.clear();
-        let id = self.next_frame_id;
-        self.next_frame_id += 1;
-        self.frames.push(make_frame(module, func, args, None, id));
+        self.engine
+            .start(Arc::new(ExecImage::build(module)), func, args);
+    }
+
+    /// Begin executing `func` from an already-decoded image, skipping
+    /// the decode pass. The image must have been built from the module
+    /// later passed to [`Interp::step`].
+    ///
+    /// # Panics
+    /// If the argument count does not match the signature.
+    pub fn start_with_image(&mut self, image: Arc<ExecImage>, func: FuncId, args: &[RtVal]) {
+        self.engine.start(image, func, args);
     }
 
     /// Run to completion with the given observer.
@@ -416,286 +382,44 @@ impl Interp {
         obs: &mut dyn ExecObserver,
     ) -> Result<Option<RtVal>, Trap> {
         self.start(module, func, args);
-        loop {
-            match self.step(module, obs)? {
-                Step::Continue => {}
-                Step::Done(v) => return Ok(v),
-            }
-        }
+        self.engine.run_to_done(&mut self.mem, obs)
+    }
+
+    /// Run to completion from an already-decoded image, skipping the
+    /// decode pass (the amortised shape every repeated-simulation caller
+    /// wants; the throughput bench and multicore runner use it).
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised during execution.
+    pub fn run_with_image(
+        &mut self,
+        image: Arc<ExecImage>,
+        func: FuncId,
+        args: &[RtVal],
+        obs: &mut dyn ExecObserver,
+    ) -> Result<Option<RtVal>, Trap> {
+        self.engine.start(image, func, args);
+        self.engine.run_to_done(&mut self.mem, obs)
     }
 
     /// Execute and retire exactly one instruction.
     ///
-    /// `module` must be the same module passed to [`Interp::start`].
+    /// `module` must be the module whose image the cursor was started
+    /// with; it is accepted (and ignored) for API compatibility with the
+    /// classic engine, which re-read it on every step.
     ///
     /// # Errors
     /// Any [`Trap`] raised by the instruction.
     ///
     /// # Panics
     /// If called without an active cursor (no `start`, or after `Done`).
-    #[allow(clippy::too_many_lines)]
-    pub fn step(&mut self, module: &Module, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
-        if self.retired >= self.fuel {
-            return Err(Trap::OutOfFuel);
-        }
-        let depth = self.frames.len();
-        assert!(depth > 0, "step() without an active cursor");
-        let frame = self.frames.last_mut().expect("non-empty");
-        let func = frame.func;
-        let f = module.function(func);
-        let block = crate::block::BlockId(frame.block);
-        let insts = &f.block(block).insts;
-        debug_assert!(frame.inst_idx < insts.len(), "fell off block end");
-        let v = insts[frame.inst_idx];
-        let inst = f.inst(v).expect("placed value is an instruction");
-        let pc = (u64::from(func.0) << 32) | u64::from(v.0);
-        let frame_id = frame.frame_id;
-
-        self.scratch_ops.clear();
-        let mut kind_out = EventKind::Alu;
-        let mut advance = true;
-
-        macro_rules! reg {
-            ($vid:expr) => {
-                frame.regs[$vid.index()]
-            };
-        }
-
-        match &inst.kind {
-            InstKind::Binary { op, lhs, rhs } => {
-                self.scratch_ops.push(*lhs);
-                self.scratch_ops.push(*rhs);
-                let r = eval_binary(*op, reg!(lhs), reg!(rhs))?;
-                frame.regs[v.index()] = r;
-            }
-            InstKind::ICmp { pred, lhs, rhs } => {
-                self.scratch_ops.push(*lhs);
-                self.scratch_ops.push(*rhs);
-                let r = eval_icmp(*pred, reg!(lhs).as_int(), reg!(rhs).as_int());
-                frame.regs[v.index()] = RtVal::Int(i64::from(r));
-            }
-            InstKind::Select {
-                cond,
-                then_val,
-                else_val,
-            } => {
-                self.scratch_ops.push(*cond);
-                self.scratch_ops.push(*then_val);
-                self.scratch_ops.push(*else_val);
-                let c = reg!(cond).as_int() != 0;
-                frame.regs[v.index()] = if c { reg!(then_val) } else { reg!(else_val) };
-            }
-            InstKind::Cast { op, val, to } => {
-                self.scratch_ops.push(*val);
-                let x = reg!(val).as_int();
-                let r = match op {
-                    CastOp::Trunc => {
-                        let bits = to.bits();
-                        let mask = if bits >= 64 {
-                            -1i64
-                        } else {
-                            (1i64 << bits) - 1
-                        };
-                        x & mask
-                    }
-                    CastOp::Zext | CastOp::Sext => {
-                        // Values are stored canonically; extension depends on
-                        // the *source* width, which trunc already masked.
-                        // Sext re-signs from the source type width.
-                        let from_bits = f.value(*val).ty.expect("cast source typed").bits();
-                        if *op == CastOp::Sext && from_bits < 64 {
-                            let shift = 64 - from_bits;
-                            (x << shift) >> shift
-                        } else {
-                            x
-                        }
-                    }
-                    CastOp::IntToPtr | CastOp::PtrToInt => x,
-                };
-                frame.regs[v.index()] = RtVal::Int(r);
-            }
-            InstKind::Alloc { count, elem_size } => {
-                self.scratch_ops.push(*count);
-                let n = reg!(count).as_int();
-                let size = u64::try_from(n.max(0)).expect("non-negative") * elem_size;
-                // Borrow dance: allocation needs &mut self.mem.
-                let addr = {
-                    let mem = &mut self.mem;
-                    mem.alloc(size)?
-                };
-                self.frames.last_mut().expect("non-empty").regs[v.index()] =
-                    RtVal::Int(addr as i64);
-                kind_out = EventKind::Alloc;
-            }
-            InstKind::Gep {
-                base,
-                index,
-                elem_size,
-                offset,
-            } => {
-                self.scratch_ops.push(*base);
-                self.scratch_ops.push(*index);
-                let b = reg!(base).as_int() as u64;
-                let i = reg!(index).as_int();
-                let addr = b
-                    .wrapping_add((i as u64).wrapping_mul(*elem_size))
-                    .wrapping_add(*offset);
-                frame.regs[v.index()] = RtVal::Int(addr as i64);
-            }
-            InstKind::Load { addr, ty } => {
-                self.scratch_ops.push(*addr);
-                let a = reg!(addr).as_int() as u64;
-                let size = ty.size_bytes() as u32;
-                let raw = self.mem.read(a, size)?;
-                let frame = self.frames.last_mut().expect("non-empty");
-                frame.regs[v.index()] = decode_scalar(raw, *ty);
-                kind_out = EventKind::Load { addr: a, size };
-            }
-            InstKind::Store { addr, value } => {
-                self.scratch_ops.push(*addr);
-                self.scratch_ops.push(*value);
-                let a = reg!(addr).as_int() as u64;
-                let val = reg!(value);
-                let ty = f.value(*value).ty.expect("store of typed value");
-                let size = ty.size_bytes() as u32;
-                self.mem.write(a, size, encode_scalar(val))?;
-                kind_out = EventKind::Store { addr: a, size };
-            }
-            InstKind::Prefetch { addr } => {
-                self.scratch_ops.push(*addr);
-                let a = reg!(addr).as_int() as u64;
-                // Prefetches never fault: an unmapped hint is dropped.
-                let valid = self.mem.is_valid(a, 1);
-                kind_out = EventKind::Prefetch { addr: a, valid };
-            }
-            InstKind::Phi { .. } => {
-                unreachable!("phis are executed en masse at block entry")
-            }
-            InstKind::Call { callee, args } => {
-                self.scratch_ops.extend(args.iter().copied());
-                if depth >= self.max_depth {
-                    return Err(Trap::StackOverflow);
-                }
-                let argv: Vec<RtVal> = args.iter().map(|a| frame.regs[a.index()]).collect();
-                frame.inst_idx += 1; // resume after the call on return
-                let id = self.next_frame_id;
-                self.next_frame_id += 1;
-                let new_frame = make_frame(module, *callee, &argv, Some(v), id);
-                self.frames.push(new_frame);
-                kind_out = EventKind::Call;
-                advance = false;
-            }
-            InstKind::Br { target } => {
-                let t = *target;
-                self.enter_block(module, t, block, obs, pc)?;
-                kind_out = EventKind::Branch { taken: true };
-                advance = false;
-            }
-            InstKind::CondBr {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                self.scratch_ops.push(*cond);
-                let c = reg!(cond).as_int() != 0;
-                let t = if c { *then_bb } else { *else_bb };
-                self.enter_block(module, t, block, obs, pc)?;
-                kind_out = EventKind::Branch { taken: c };
-                advance = false;
-            }
-            InstKind::Ret { value } => {
-                let rv = value.map(|x| {
-                    self.scratch_ops.push(x);
-                    frame.regs[x.index()]
-                });
-                let finished = self.frames.pop().expect("non-empty");
-                self.retired += 1;
-                obs.on_event(&Event {
-                    pc,
-                    frame: finished.frame_id,
-                    result: v,
-                    kind: EventKind::Ret,
-                    operands: &self.scratch_ops,
-                });
-                if let Some(parent) = self.frames.last_mut() {
-                    if let (Some(slot), Some(val)) = (finished.ret_to, rv) {
-                        parent.regs[slot.index()] = val;
-                    }
-                    return Ok(Step::Continue);
-                }
-                return Ok(Step::Done(rv));
-            }
-        }
-
-        self.retired += 1;
-        obs.on_event(&Event {
-            pc,
-            frame: frame_id,
-            result: v,
-            kind: kind_out,
-            operands: &self.scratch_ops,
-        });
-        if advance {
-            self.frames.last_mut().expect("non-empty").inst_idx += 1;
-        }
-        Ok(Step::Continue)
-    }
-
-    /// Branch to `target` from `from`: execute all phis as a parallel copy
-    /// and position the cursor after them.
-    fn enter_block(
-        &mut self,
-        module: &Module,
-        target: crate::block::BlockId,
-        from: crate::block::BlockId,
-        obs: &mut dyn ExecObserver,
-        _branch_pc: u64,
-    ) -> Result<(), Trap> {
-        let frame = self.frames.last_mut().expect("non-empty");
-        let f = module.function(frame.func);
-        self.phi_buf.clear();
-        let insts = &f.block(target).insts;
-        let mut n_phis = 0;
-        for &pv in insts {
-            let Some(InstKind::Phi { incomings }) = f.inst(pv).map(|i| &i.kind) else {
-                break;
-            };
-            n_phis += 1;
-            let (_, iv) = incomings
-                .iter()
-                .find(|(b, _)| *b == from)
-                .expect("verifier guarantees an incoming per predecessor");
-            self.phi_buf.push((pv, frame.regs[iv.index()], *iv));
-        }
-        let func = frame.func;
-        let frame_id = frame.frame_id;
-        for &(pv, val, _) in &self.phi_buf {
-            frame.regs[pv.index()] = val;
-        }
-        frame.block = target.0;
-        frame.inst_idx = n_phis;
-        // Report phis after the parallel copy so dependence times are
-        // consistent (each phi depends only on its chosen incoming).
-        for i in 0..self.phi_buf.len() {
-            let (pv, _, iv) = self.phi_buf[i];
-            self.retired += 1;
-            if self.retired > self.fuel {
-                return Err(Trap::OutOfFuel);
-            }
-            let ops = [iv];
-            obs.on_event(&Event {
-                pc: (u64::from(func.0) << 32) | u64::from(pv.0),
-                frame: frame_id,
-                result: pv,
-                kind: EventKind::Alu,
-                operands: &ops,
-            });
-        }
-        Ok(())
+    #[inline]
+    pub fn step(&mut self, _module: &Module, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
+        self.engine.step(&mut self.mem, obs)
     }
 }
 
-fn decode_scalar(raw: u64, ty: Type) -> RtVal {
+pub(crate) fn decode_scalar(raw: u64, ty: Type) -> RtVal {
     match ty {
         Type::F64 => RtVal::Float(f64::from_bits(raw)),
         Type::I1 => RtVal::Int(i64::from(raw & 1 != 0)),
@@ -706,14 +430,14 @@ fn decode_scalar(raw: u64, ty: Type) -> RtVal {
     }
 }
 
-fn encode_scalar(v: RtVal) -> u64 {
+pub(crate) fn encode_scalar(v: RtVal) -> u64 {
     match v {
         RtVal::Int(x) => x as u64,
         RtVal::Float(x) => x.to_bits(),
     }
 }
 
-fn eval_binary(op: BinOp, lhs: RtVal, rhs: RtVal) -> Result<RtVal, Trap> {
+pub(crate) fn eval_binary(op: BinOp, lhs: RtVal, rhs: RtVal) -> Result<RtVal, Trap> {
     if op.is_float() {
         let (a, b) = (lhs.as_f64(), rhs.as_f64());
         let r = match op {
@@ -765,7 +489,7 @@ fn eval_binary(op: BinOp, lhs: RtVal, rhs: RtVal) -> Result<RtVal, Trap> {
     Ok(RtVal::Int(r))
 }
 
-fn eval_icmp(pred: Pred, a: i64, b: i64) -> bool {
+pub(crate) fn eval_icmp(pred: Pred, a: i64, b: i64) -> bool {
     let (ua, ub) = (a as u64, b as u64);
     match pred {
         Pred::Eq => a == b,
@@ -785,6 +509,7 @@ fn eval_icmp(pred: Pred, a: i64, b: i64) -> bool {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
+    use crate::inst::CastOp;
     use crate::verifier::verify_module;
 
     fn run_fn(m: &Module, name: &str, args: &[RtVal]) -> Result<Option<RtVal>, Trap> {
@@ -1046,5 +771,29 @@ mod tests {
             .run(&m, f, &[RtVal::Int(base as i64)], &mut NullObserver)
             .unwrap();
         assert_eq!(r, Some(RtVal::Int(255)));
+    }
+
+    #[test]
+    fn shared_image_across_interpreters() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let two = b.const_i64(2);
+            let r = b.mul(b.arg(0), two);
+            b.ret(Some(r));
+        }
+        let image = Arc::new(ExecImage::build(&m));
+        for i in 0..4i64 {
+            let mut interp = Interp::new();
+            interp.start_with_image(Arc::clone(&image), fid, &[RtVal::Int(i)]);
+            let r = loop {
+                match interp.step(&m, &mut NullObserver).unwrap() {
+                    Step::Continue => {}
+                    Step::Done(v) => break v,
+                }
+            };
+            assert_eq!(r, Some(RtVal::Int(2 * i)));
+        }
     }
 }

@@ -15,9 +15,13 @@
 //! * a [`builder::FunctionBuilder`] for programmatic construction,
 //! * a [`verifier`] checking SSA dominance and structural invariants,
 //! * a textual [`printer`] / [`parser`] round-trip format, and
-//! * an execution [`interp`]reter with a pluggable [`interp::ExecObserver`]
-//!   through which the timing simulator (crate `swpf-sim`) watches every
-//!   retired instruction.
+//! * a two-layer execution stack: a one-time decode pass lowering
+//!   functions into dense [`exec::ExecImage`]s plus a slim execute loop,
+//!   fronted by the [`interp::Interp`] facade, with a pluggable
+//!   [`interp::ExecObserver`] through which the timing simulator (crate
+//!   `swpf-sim`) watches every retired instruction. The original
+//!   tree-walking engine is preserved as [`classic::ClassicInterp`] and
+//!   serves as the differential-testing oracle.
 //!
 //! The IR is deliberately small: enough to express the paper's benchmarks
 //! (integer sort, sparse conjugate gradient, RandomAccess, hash join,
@@ -66,6 +70,8 @@
 
 pub mod block;
 pub mod builder;
+pub mod classic;
+pub mod exec;
 pub mod function;
 pub mod inst;
 pub mod interp;
@@ -78,6 +84,7 @@ pub mod verifier;
 
 pub use block::{Block, BlockId};
 pub use builder::FunctionBuilder;
+pub use exec::ExecImage;
 pub use function::{FuncId, Function};
 pub use inst::{BinOp, CastOp, Inst, InstKind, Pred};
 pub use module::Module;
@@ -88,6 +95,7 @@ pub use value::{Constant, ValueData, ValueId, ValueKind};
 pub mod prelude {
     pub use crate::block::BlockId;
     pub use crate::builder::FunctionBuilder;
+    pub use crate::exec::ExecImage;
     pub use crate::function::{FuncId, Function};
     pub use crate::inst::{BinOp, CastOp, Inst, InstKind, Pred};
     pub use crate::interp::{ExecObserver, Interp, RtVal};

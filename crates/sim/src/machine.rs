@@ -1,4 +1,10 @@
 //! Single-core machine: interpreter + core model + memory system.
+//!
+//! The interpreter is the pre-decoded engine behind
+//! [`swpf_ir::interp::Interp`]: [`Machine::run`] decodes the module once
+//! (inside `Interp::start`) and then executes the dense image, reporting
+//! every retired instruction to the timing model through the
+//! [`ExecObserver`] contract.
 
 use crate::cpu::Core;
 use crate::memsys::{MemSys, SharedMem};

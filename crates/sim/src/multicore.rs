@@ -6,12 +6,17 @@
 //! capacity and DRAM bandwidth. Cores are interleaved by always stepping
 //! the one with the smallest local clock, so shared-resource requests
 //! arrive in approximately global time order.
+//!
+//! The module is decoded into an [`ExecImage`] once and shared by every
+//! core's engine, so per-core cost is only the (small) frame state.
 
 use crate::cpu::Core;
 use crate::machine::MachineStatsParts;
 use crate::memsys::{MemSys, SharedMem};
 use crate::presets::MachineConfig;
 use crate::stats::SimStats;
+use std::sync::Arc;
+use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Step};
 use swpf_ir::{FuncId, Module};
 
@@ -59,6 +64,8 @@ pub fn run_multicore(
     func: FuncId,
     mut setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
 ) -> Vec<SimStats> {
+    // Decode the module once; every core's engine shares the image.
+    let image = Arc::new(ExecImage::build(module));
     let mut shared = SharedMem::new(config);
     let mut slots: Vec<CoreSlot> = (0..n_cores)
         .map(|i| {
@@ -76,7 +83,8 @@ pub fn run_multicore(
         })
         .collect();
     for slot in &mut slots {
-        slot.interp.start(module, func, &slot.args);
+        slot.interp
+            .start_with_image(Arc::clone(&image), func, &slot.args);
     }
 
     // Interleave: step the core with the smallest local clock.

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the `swpf-bench` benches use — groups,
+//! throughput annotation, `bench_function`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple wall-clock harness: a warm-up
+//! phase sizes the batch, then a fixed number of timed batches report the
+//! minimum, mean, and (with a throughput annotation) elements/second.
+//! No statistics, plots, or saved baselines; results print to stdout and
+//! can optionally be appended as JSON lines to the file named by the
+//! `CRITERION_JSON` environment variable for scripted consumption.
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Harness entry point; create via `Criterion::default()`.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target wall-clock time for the measurement phase of one benchmark.
+    measure_for: Duration,
+    /// Target wall-clock time for warm-up.
+    warm_up_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(900),
+            warm_up_for: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            c: self,
+            group: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measure one benchmark. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_for: self.c.warm_up_for,
+            measure_for: self.c.measure_for,
+            result: None,
+        };
+        f(&mut b);
+        let Some(m) = b.result else {
+            println!("  {id}: no measurement (Bencher::iter never called)");
+            return;
+        };
+        let per_iter = m.best_ns;
+        let mut line = format!(
+            "  {id}: {} /iter (mean {}, {} iters)",
+            fmt_ns(per_iter),
+            fmt_ns(m.mean_ns),
+            m.iters
+        );
+        let mut rate = None;
+        if let Some(t) = self.throughput {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if per_iter > 0.0 {
+                let per_sec = n as f64 * 1e9 / per_iter;
+                rate = Some(per_sec);
+                line.push_str(&format!(" — {} {unit}/s", fmt_count(per_sec)));
+            }
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let record = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"mean_ns_per_iter\":{:.1},\"rate_per_s\":{}}}\n",
+                self.group,
+                id,
+                per_iter,
+                m.mean_ns,
+                rate.map_or("null".to_string(), |r| format!("{r:.0}")),
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+        }
+    }
+
+    /// End the group (printing is immediate; this is for API parity).
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    best_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    warm_up_for: Duration,
+    measure_for: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Time `f`, which is executed many times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also discovers the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_for || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size batches so one batch is ~1/8 of the measurement budget.
+        let batch = ((self.measure_for.as_secs_f64() / 8.0 / per_iter.max(1e-9)) as u64).max(1);
+        let deadline = Instant::now() + self.measure_for;
+        let mut best = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let mut batches = 0u32;
+        while batches < 3 || (Instant::now() < deadline && batches < 1000) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            best = best.min(ns / batch as f64);
+            total_ns += ns;
+            total_iters += batch;
+            batches += 1;
+        }
+        self.result = Some(Measurement {
+            best_ns: best,
+            mean_ns: total_ns / total_iters as f64,
+            iters: total_iters,
+        });
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_count(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.3}G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.3}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.3}K", n / 1e3)
+    } else {
+        format!("{n:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(20),
+            warm_up_for: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this shim implements the
+//! subset of proptest the test suite uses: the [`proptest!`] macro with
+//! `name(x: Type, y in strategy)` argument lists, `prop_assert!` /
+//! `prop_assert_eq!`, integer-range and string-pattern strategies,
+//! `prop::collection::vec`, `prop::sample::select`, and
+//! [`test_runner::ProptestConfig`]. Cases are generated from a
+//! deterministic per-test seed; there is no shrinking — on failure the
+//! panic message carries the generating case number and values so a case
+//! can be replayed by inspection.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an associated type from a random stream.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String patterns (a small regex subset: `\PC`, `[...]` classes, and
+    /// a `{lo,hi}` repetition suffix) act as strategies, as in proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — sampling from a type's whole value domain.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix of ordinary magnitudes and full-bit-pattern finite values.
+            let raw = rng.next_u64();
+            let v = f64::from_bits(raw);
+            if v.is_finite() {
+                v
+            } else {
+                (raw >> 11) as f64
+            }
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Direct draw used by the `proptest!` macro for `name: Type` params.
+    pub fn any_value<T: Arbitrary>(rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic case generator.
+
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases each `#[test]` body runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream proptest's default.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test random stream (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name so every test has a stable stream.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, span)`; `span` must be non-zero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+}
+
+pub mod string {
+    //! The tiny regex-ish subset used as string strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Sample a string from a pattern of the form `ATOM{lo,hi}` where
+    /// `ATOM` is `\PC` (any printable char) or a `[...]` character class
+    /// (literal members plus `a-z`/`0-9` style ranges and `\[`/`\]`
+    /// escapes). A bare atom without repetition yields one char.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (alphabet, rest) = parse_atom(pattern);
+        let (lo, hi) = parse_reps(rest);
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..n)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+
+    fn parse_atom(pattern: &str) -> (Vec<char>, &str) {
+        if let Some(rest) = pattern.strip_prefix("\\PC") {
+            // Printable, non-control: ASCII graphic + space is plenty.
+            let mut all: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+            all.push('\u{e9}'); // a little non-ASCII spice
+            all.push('\u{3bb}');
+            (all, rest)
+        } else if let Some(body) = pattern.strip_prefix('[') {
+            let close = find_class_end(body);
+            let (class, rest) = body.split_at(close);
+            (expand_class(class), &rest[1..])
+        } else {
+            panic!("unsupported string pattern: {pattern}");
+        }
+    }
+
+    fn find_class_end(body: &str) -> usize {
+        let bytes = body.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b']' => return i,
+                _ => i += 1,
+            }
+        }
+        panic!("unterminated character class");
+    }
+
+    fn expand_class(class: &str) -> Vec<char> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // Range like `a-z` (a trailing `-` is a literal).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let end = chars[i + 2];
+                for v in c as u32..=end as u32 {
+                    out.push(char::from_u32(v).expect("ASCII range"));
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+
+    fn parse_reps(rest: &str) -> (usize, usize) {
+        if rest.is_empty() {
+            return (1, 1);
+        }
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition suffix: {rest}"));
+        let (lo, hi) = inner.split_once(',').expect("{lo,hi} repetition");
+        let lo: usize = lo.trim().parse().expect("repetition lower bound");
+        let hi: usize = hi.trim().parse().expect("repetition upper bound");
+        assert!(lo <= hi, "bad repetition bounds");
+        (lo, hi)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `sample`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `Vec<S::Value>` with a length range.
+        pub struct VecStrategy<S> {
+            elem: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.hi - self.lo) as u64 + 1;
+                let n = self.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// A vector of `lo..hi` (exclusive) elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy {
+                elem,
+                lo: len.start,
+                hi: len.end - 1,
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from explicit value lists.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Choose uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select(options)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body; failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Bind one `proptest!` parameter list entry. `x in strategy` samples the
+/// strategy; `x: Type` draws an arbitrary value of the type.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $case:ident;) => {};
+    ($rng:ident, $case:ident; $x:ident in $s:expr) => {
+        let $x = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $case.push_str(&format!("{} = {:?}; ", stringify!($x), $x));
+    };
+    ($rng:ident, $case:ident; $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $case.push_str(&format!("{} = {:?}; ", stringify!($x), $x));
+        $crate::__proptest_bind!($rng, $case; $($rest)*);
+    };
+    ($rng:ident, $case:ident; $x:ident : $t:ty) => {
+        let $x: $t = $crate::arbitrary::any_value::<$t>(&mut $rng);
+        $case.push_str(&format!("{} = {:?}; ", stringify!($x), $x));
+    };
+    ($rng:ident, $case:ident; $x:ident : $t:ty, $($rest:tt)*) => {
+        let $x: $t = $crate::arbitrary::any_value::<$t>(&mut $rng);
+        $case.push_str(&format!("{} = {:?}; ", stringify!($x), $x));
+        $crate::__proptest_bind!($rng, $case; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $( #[test] fn $name:ident ( $($args:tt)* ) $body:block )*) => {
+        $(
+            #[test]
+            #[allow(unused_mut, unused_variables)]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case_no in 0..__config.cases {
+                    let mut __case = String::new();
+                    $crate::__proptest_bind!(__rng, __case; $($args)*);
+                    let __guard = $crate::CaseReporter {
+                        name: stringify!($name),
+                        case_no: __case_no,
+                        values: &__case,
+                    };
+                    $body
+                    ::core::mem::forget(__guard);
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` macro: each contained `#[test] fn` runs its body for
+/// many generated cases. Supports an optional leading
+/// `#![proptest_config(...)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Prints the generating case when a property body panics.
+#[doc(hidden)]
+pub struct CaseReporter<'a> {
+    /// Test name.
+    pub name: &'a str,
+    /// Zero-based case index.
+    pub case_no: u32,
+    /// Rendered parameter values.
+    pub values: &'a str,
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest case failed: {} case #{}: {}",
+                self.name, self.case_no, self.values
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_and_in_params_mix(x: u64, y in 1u64..10, flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&y));
+            let _ = (x, flag);
+        }
+
+        #[test]
+        fn vec_and_select(v in prop::collection::vec(any::<u64>(), 1..8),
+                          s in prop::sample::select(vec![1u32, 2, 4, 8])) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!([1, 2, 4, 8].contains(&s));
+        }
+
+        #[test]
+        fn string_patterns(a in "\\PC{0,40}", b in "[a-z0-9]{1,5}") {
+            prop_assert!(a.chars().count() <= 40);
+            prop_assert!(!b.is_empty() && b.len() <= 5);
+            prop_assert!(b.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(13))]
+        #[test]
+        fn config_is_respected(_x: u64) {
+            // Runs 13 times; nothing to assert beyond not crashing.
+        }
+    }
+}
