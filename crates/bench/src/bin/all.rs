@@ -1,0 +1,63 @@
+//! Run the full experiment suite — all nine figure/table reproductions
+//! through the shared harness — and summarise.
+//!
+//! Every experiment writes its `RESULTS/<name>.json` artifact; a
+//! `RESULTS/suite.json` summary records per-experiment wall time and
+//! check counts. Exits non-zero if any shape check fails, which is what
+//! the CI `experiments` job keys on.
+//!
+//! ```sh
+//! SWPF_SCALE=test cargo run --release -p swpf-bench --bin all
+//! cargo run --release -p swpf-bench --bin all -- --threads 1
+//! ```
+
+use std::time::Instant;
+use swpf_bench::harness::{cli_options, run_and_report};
+use swpf_bench::json::Json;
+use swpf_bench::{experiments, scale_from_env};
+
+fn main() -> std::process::ExitCode {
+    let scale = scale_from_env();
+    let opts = cli_options();
+    let t0 = Instant::now();
+    let mut summaries = Vec::new();
+    let mut failed = 0usize;
+
+    for name in experiments::ALL_NAMES {
+        let exp = experiments::by_name(name, scale).expect("known name");
+        let (result, checks) = run_and_report(&exp, &opts.run, &opts.out_dir);
+        let check_failures = checks.iter().filter(|c| !c.passed).count();
+        failed += check_failures;
+        summaries.push(Json::obj(vec![
+            ("experiment", Json::Str(name.to_string())),
+            ("jobs", Json::U64(result.cells.len() as u64)),
+            ("threads", Json::U64(result.threads as u64)),
+            ("wall_seconds", Json::F64(result.wall_s)),
+            ("checks", Json::U64(checks.len() as u64)),
+            ("check_failures", Json::U64(check_failures as u64)),
+        ]));
+    }
+
+    let suite = Json::obj(vec![
+        ("schema_version", Json::U64(1)),
+        ("scale", Json::Str(scale.label().to_string())),
+        ("wall_seconds", Json::F64(t0.elapsed().as_secs_f64())),
+        ("experiments", Json::Arr(summaries)),
+    ]);
+    let path = opts.out_dir.join("suite.json");
+    std::fs::write(&path, suite.to_pretty_string())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+
+    println!(
+        "\nsuite: {} experiments in {:.2}s, {} check failure(s) — {}",
+        experiments::ALL_NAMES.len(),
+        t0.elapsed().as_secs_f64(),
+        failed,
+        path.display(),
+    );
+    if failed == 0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

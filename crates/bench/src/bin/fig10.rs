@@ -6,31 +6,11 @@
 //! (a side benefit); with huge pages that benefit disappears for IS/RA
 //! but page-table-bound HJ-2 keeps more headroom for the prefetch
 //! itself (paper §6.2).
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/fig10.json`.
 
-use swpf_bench::{auto_module, scale_from_env, simulate};
-use swpf_core::PassConfig;
-use swpf_sim::MachineConfig;
-
-fn main() {
-    let scale = scale_from_env();
-    let config = PassConfig::default();
-    let small = MachineConfig::haswell().with_small_pages();
-    let huge = MachineConfig::haswell().with_huge_pages();
-    println!("=== Fig. 10 — Haswell: prefetch speedup by page size ===");
-    println!("{:<10} {:>12} {:>12}", "bench", "small-pages", "huge-pages");
-    for w in swpf_workloads::suite(scale) {
-        if !matches!(w.name(), "IS" | "RA" | "HJ-2") {
-            continue;
-        }
-        let auto = auto_module(w.as_ref(), &config);
-        let sp = {
-            let base = simulate(&small, w.as_ref(), &w.build_baseline());
-            simulate(&small, w.as_ref(), &auto).speedup_vs(&base)
-        };
-        let hp = {
-            let base = simulate(&huge, w.as_ref(), &w.build_baseline());
-            simulate(&huge, w.as_ref(), &auto).speedup_vs(&base)
-        };
-        println!("{:<10} {:>12.2} {:>12.2}", w.name(), sp, hp);
-    }
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig10")
 }

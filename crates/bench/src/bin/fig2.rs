@@ -10,31 +10,11 @@
 //! scaled model the cost of the unprefetched look-ahead load (the thing
 //! the intuitive scheme forgets) shows most clearly on the in-order
 //! cores, which stall on its L2 hits.
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/fig2.json`.
 
-use swpf_bench::{scale_from_env, simulate};
-use swpf_sim::MachineConfig;
-use swpf_workloads::is::{Fig2Scheme, IntegerSort};
-use swpf_workloads::Workload;
-
-fn main() {
-    let is = IntegerSort::new(scale_from_env());
-    println!("=== Fig. 2 — IS: prefetching-scheme speedups ===");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10}",
-        "system", "intuitive", "too-small", "too-big", "optimal"
-    );
-    for machine in MachineConfig::all_systems() {
-        let base = simulate(&machine, &is, &is.build_baseline());
-        print!("{:<10}", machine.name);
-        for scheme in [
-            Fig2Scheme::Intuitive,
-            Fig2Scheme::OffsetTooSmall,
-            Fig2Scheme::OffsetTooBig,
-            Fig2Scheme::Optimal,
-        ] {
-            let stats = simulate(&machine, &is, &is.build_fig2_variant(scheme));
-            print!(" {:>10.3}", stats.speedup_vs(&base));
-        }
-        println!();
-    }
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig2")
 }

@@ -4,34 +4,11 @@
 //! access leaves a real look-ahead load (`b[i+off]`) on the critical
 //! path; adding the staggered stride prefetch for the look-ahead array
 //! itself wins across the board (paper §6.1, Haswell).
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/fig5.json`.
 
-use swpf_bench::{auto_module, geomean, print_row, scale_from_env, simulate};
-use swpf_core::PassConfig;
-use swpf_sim::MachineConfig;
-
-fn main() {
-    let scale = scale_from_env();
-    let machine = MachineConfig::haswell();
-    println!("=== Fig. 5 — Haswell: indirect-only vs. indirect+stride ===");
-    println!("{:<10} {:>8} {:>8}", "bench", "ind", "ind+str");
-    let indirect_only = PassConfig {
-        stride_companion: false,
-        ..PassConfig::default()
-    };
-    let both = PassConfig::default();
-    let (mut col_a, mut col_b) = (Vec::new(), Vec::new());
-    for w in swpf_workloads::suite(scale) {
-        let base = simulate(&machine, w.as_ref(), &w.build_baseline());
-        let ind = simulate(
-            &machine,
-            w.as_ref(),
-            &auto_module(w.as_ref(), &indirect_only),
-        );
-        let ind_str = simulate(&machine, w.as_ref(), &auto_module(w.as_ref(), &both));
-        let (a, b) = (ind.speedup_vs(&base), ind_str.speedup_vs(&base));
-        col_a.push(a);
-        col_b.push(b);
-        print_row(w.name(), &[a, b]);
-    }
-    print_row("Geomean", &[geomean(&col_a), geomean(&col_b)]);
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig5")
 }

@@ -4,31 +4,11 @@
 //! The paper's finding: the best look-ahead is surprisingly consistent —
 //! `c = 64` is near-optimal everywhere, being too late costs more than
 //! being too early, so `c` can be set generously.
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the tables and writes
+//! `RESULTS/fig6.json`.
 
-use swpf_bench::{scale_from_env, simulate};
-use swpf_sim::MachineConfig;
-
-fn main() {
-    let scale = scale_from_env();
-    let distances: Vec<i64> = vec![4, 8, 16, 32, 64, 128, 256];
-    for w in swpf_workloads::fig6_suite(scale) {
-        println!(
-            "\n=== Fig. 6 — {}: speedup vs. look-ahead distance ===",
-            w.name()
-        );
-        print!("{:<10}", "system");
-        for c in &distances {
-            print!(" {c:>7}");
-        }
-        println!();
-        for machine in MachineConfig::all_systems() {
-            let base = simulate(&machine, w.as_ref(), &w.build_baseline());
-            print!("{:<10}", machine.name);
-            for &c in &distances {
-                let s = simulate(&machine, w.as_ref(), &w.build_manual(c));
-                print!(" {:>7.2}", s.speedup_vs(&base));
-            }
-            println!();
-        }
-    }
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig6")
 }

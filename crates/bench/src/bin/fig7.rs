@@ -5,26 +5,11 @@
 //! prefetch must re-walk the chain with real loads. The paper finds
 //! depth 3 optimal on every system — the last node's prefetch costs more
 //! than it saves.
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/fig7.json`.
 
-use swpf_bench::{scale_from_env, simulate};
-use swpf_sim::MachineConfig;
-use swpf_workloads::hj::{ElemsPerBucket, HashJoin};
-use swpf_workloads::Workload;
-
-fn main() {
-    let hj8 = HashJoin::new(scale_from_env(), ElemsPerBucket::Eight);
-    println!("=== Fig. 7 — HJ-8: speedup vs. prefetch stagger depth ===");
-    println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>8}",
-        "system", "1", "2", "3", "4"
-    );
-    for machine in MachineConfig::all_systems() {
-        let base = simulate(&machine, &hj8, &hj8.build_baseline());
-        print!("{:<10}", machine.name);
-        for depth in 1..=4 {
-            let s = simulate(&machine, &hj8, &hj8.build_manual_depth(64, depth));
-            print!(" {:>8.2}", s.speedup_vs(&base));
-        }
-        println!();
-    }
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig7")
 }

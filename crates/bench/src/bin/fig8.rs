@@ -3,26 +3,11 @@
 //!
 //! The paper reports 40–80% more instructions for most benchmarks —
 //! the cost side of the trade the rest of the evaluation quantifies.
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/fig8.json`.
 
-use swpf_bench::{auto_module, scale_from_env, simulate};
-use swpf_core::PassConfig;
-use swpf_sim::MachineConfig;
-
-fn main() {
-    let scale = scale_from_env();
-    let machine = MachineConfig::haswell();
-    let config = PassConfig::default();
-    println!("=== Fig. 8 — Haswell: % extra dynamic instructions ===");
-    println!("{:<10} {:>8} {:>8}", "bench", "auto", "manual");
-    for w in swpf_workloads::suite(scale) {
-        let base = simulate(&machine, w.as_ref(), &w.build_baseline());
-        let auto = simulate(&machine, w.as_ref(), &auto_module(w.as_ref(), &config));
-        let manual = simulate(&machine, w.as_ref(), &w.build_manual(config.look_ahead));
-        println!(
-            "{:<10} {:>7.1}% {:>7.1}%",
-            w.name(),
-            100.0 * auto.extra_instructions_vs(&base),
-            100.0 * manual.extra_instructions_vs(&base),
-        );
-    }
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig8")
 }

@@ -3,37 +3,12 @@
 //!
 //! Normalised throughput is (copies completed per unit time) relative to
 //! one copy on one core without prefetching. The paper's point: the
-//! shared memory system saturates — four cores achieve *less* than 1×
-//! aggregate without help — yet software prefetching still wins.
+//! shared memory system saturates — yet software prefetching still wins.
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/fig9.json`.
 
-use swpf_bench::{auto_module, scale_from_env};
-use swpf_core::PassConfig;
-use swpf_sim::{run_multicore, MachineConfig};
-use swpf_workloads::is::IntegerSort;
-use swpf_workloads::Workload;
-
-fn main() {
-    let is = IntegerSort::new(scale_from_env());
-    let machine = MachineConfig::haswell();
-    let base_m = is.build_baseline();
-    let auto_m = auto_module(&is, &PassConfig::default());
-
-    let run = |module: &swpf_ir::Module, cores: usize| -> u64 {
-        let f = module.find_function("kernel").expect("kernel");
-        let stats = run_multicore(&machine, cores, module, f, |_, interp| is.setup(interp));
-        stats.iter().map(|s| s.cycles).max().unwrap_or(0)
-    };
-
-    let t1_nopf = run(&base_m, 1) as f64;
-    println!("=== Fig. 9 — IS on Haswell: normalised multicore throughput ===");
-    println!("{:<7} {:>12} {:>12}", "cores", "no-prefetch", "prefetch");
-    for cores in [1usize, 2, 4] {
-        let tn_nopf = run(&base_m, cores) as f64;
-        let tn_pf = run(&auto_m, cores) as f64;
-        println!(
-            "{cores:<7} {:>12.2} {:>12.2}",
-            cores as f64 * t1_nopf / tn_nopf,
-            cores as f64 * t1_nopf / tn_pf,
-        );
-    }
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("fig9")
 }

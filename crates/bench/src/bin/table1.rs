@@ -1,40 +1,9 @@
 //! Table 1 — the four evaluated system configurations (scaled models).
+//!
+//! Spec + derivation live in `swpf_bench::experiments`; this binary is
+//! a harness wrapper that prints the table and writes
+//! `RESULTS/table1.json`.
 
-use swpf_sim::{CoreKind, MachineConfig};
-
-fn main() {
-    println!("=== Table 1 — simulated system models (capacities scaled 1/4) ===\n");
-    println!(
-        "{:<10} {:<12} {:>5} {:>5} {:>6} {:>8} {:>8} {:>8} {:>10} {:>8} {:>9}",
-        "system", "core", "width", "rob", "mshrs", "L1", "L2", "L3", "TLB", "walkers", "DRAM"
-    );
-    for m in MachineConfig::all_systems() {
-        let core = match m.core {
-            CoreKind::InOrder => "in-order",
-            CoreKind::OutOfOrder => "out-of-order",
-        };
-        let l3 =
-            m.l3.map_or("-".to_string(), |c| format!("{}K", c.capacity >> 10));
-        println!(
-            "{:<10} {:<12} {:>5} {:>5} {:>6} {:>7}K {:>7}K {:>8} {:>6}e/{}b {:>8} {:>4}c/{}B",
-            m.name,
-            core,
-            m.width,
-            m.rob,
-            m.mshrs,
-            m.l1.capacity >> 10,
-            m.l2.capacity >> 10,
-            l3,
-            m.tlb.entries,
-            m.tlb.page_bits,
-            m.tlb.walkers,
-            m.dram.latency,
-            m.dram.bytes_per_cycle,
-        );
-    }
-    println!("\nPaper reference (Table 1):");
-    println!("  Haswell  — i5-4570, 3.2GHz, 32K L1 / 256K L2 / 8M L3, DDR3");
-    println!("  Xeon Phi — 3120P, 1.1GHz, 32K L1 / 512K L2, GDDR5");
-    println!("  A57      — TX1, 1.9GHz, 32K L1 / 2M L2, LPDDR4");
-    println!("  A53      — Odroid C2, 2.0GHz, 32K L1 / 1M L2, DDR3");
+fn main() -> std::process::ExitCode {
+    swpf_bench::harness::cli_main("table1")
 }

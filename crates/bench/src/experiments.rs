@@ -1,0 +1,800 @@
+//! The nine figure/table experiments as declarative specs.
+//!
+//! Each experiment is an [`Experiment`]: the machine × workload ×
+//! variant grid the harness executes, a derivation turning raw cells
+//! into the figure's table(s), and shape checks asserting the paper's
+//! qualitative claims. The per-figure binaries (`--bin fig4` etc.) are
+//! one-line wrappers over [`by_name`]; `--bin all` runs the whole list.
+//!
+//! Shape checks come in two strengths: claims that hold even on the
+//! tiny `Scale::Test` inputs run at every scale (CI runs them on every
+//! PR), while claims about paper-scale magnitudes (e.g. geomean
+//! speedups > 1 on in-order machines) are gated on `Scale::Paper`.
+
+use crate::geomean;
+use crate::harness::{
+    Check, Experiment, ExperimentResult, ExperimentSpec, Row, TableSection, Variant,
+};
+use swpf_core::PassConfig;
+use swpf_sim::{CoreKind, MachineConfig};
+use swpf_workloads::is::Fig2Scheme;
+use swpf_workloads::{KernelVariant, Scale, WorkloadId};
+
+/// Every experiment name, in the paper's figure order.
+pub const ALL_NAMES: [&str; 9] = [
+    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+];
+
+/// The default manual-variant label (`c = 64`, the paper's choice).
+const MANUAL: &str = "manual_c64";
+
+/// Look-ahead distances swept by Fig. 6.
+const FIG6_DISTANCES: [i64; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+/// Core counts swept by Fig. 9.
+const FIG9_CORES: [usize; 3] = [1, 2, 4];
+
+/// Look up an experiment by name at the given scale.
+#[must_use]
+pub fn by_name(name: &str, scale: Scale) -> Option<Experiment> {
+    match name {
+        "table1" => Some(table1(scale)),
+        "fig2" => Some(fig2(scale)),
+        "fig4" => Some(fig4(scale)),
+        "fig5" => Some(fig5(scale)),
+        "fig6" => Some(fig6(scale)),
+        "fig7" => Some(fig7(scale)),
+        "fig8" => Some(fig8(scale)),
+        "fig9" => Some(fig9(scale)),
+        "fig10" => Some(fig10(scale)),
+        _ => None,
+    }
+}
+
+// ---- shared derivation helpers ------------------------------------------
+
+fn manual_variant() -> Variant {
+    Variant::Kernel(KernelVariant::Manual {
+        look_ahead: PassConfig::default().look_ahead,
+    })
+}
+
+/// Value at (`row_name`, `column`) of a section, `NaN` when absent.
+fn row_value(section: &TableSection, row_name: &str, column: &str) -> f64 {
+    let Some(ci) = section.columns.iter().position(|c| c == column) else {
+        return f64::NAN;
+    };
+    section
+        .rows
+        .iter()
+        .find(|r| r.name == row_name)
+        .and_then(|r| r.values.get(ci).copied())
+        .unwrap_or(f64::NAN)
+}
+
+fn find_section<'a>(sections: &'a [TableSection], needle: &str) -> Option<&'a TableSection> {
+    sections.iter().find(|s| s.title.contains(needle))
+}
+
+/// Speedup-vs-baseline rows over `workloads` for the given variant
+/// columns, plus a trailing `Geomean` row.
+fn speedup_rows(
+    res: &ExperimentResult,
+    machine: &str,
+    workloads: &[WorkloadId],
+    variants: &[&str],
+) -> Vec<Row> {
+    let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut rows = Vec::new();
+    for w in workloads {
+        let values: Vec<f64> = variants
+            .iter()
+            .map(|v| res.speedup(machine, w.name(), v))
+            .collect();
+        for (col, v) in per_column.iter_mut().zip(&values) {
+            col.push(*v);
+        }
+        rows.push(Row {
+            name: w.name().to_string(),
+            values,
+        });
+    }
+    rows.push(Row {
+        name: "Geomean".to_string(),
+        values: per_column.iter().map(|c| geomean(c)).collect(),
+    });
+    rows
+}
+
+fn in_order_names(res: &ExperimentResult) -> Vec<&'static str> {
+    res.machines
+        .iter()
+        .filter(|m| m.core == CoreKind::InOrder)
+        .map(|m| m.name)
+        .collect()
+}
+
+// ---- Table 1 ------------------------------------------------------------
+
+fn table1(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "table1",
+            title: "Table 1 — simulated system models (capacities scaled 1/4)",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: vec![],
+            variants: vec![],
+            filter: None,
+        },
+        derive: |res| {
+            let columns = [
+                "width",
+                "rob",
+                "mshrs",
+                "l1_KiB",
+                "l2_KiB",
+                "l3_KiB",
+                "tlb",
+                "page_bits",
+                "walkers",
+                "dram_lat",
+                "dram_B/c",
+            ];
+            let rows = res
+                .machines
+                .iter()
+                .map(|m| Row {
+                    name: format!("{} ({})", m.name, m.core_kind_name()),
+                    values: vec![
+                        f64::from(m.width),
+                        m.rob as f64,
+                        m.mshrs as f64,
+                        (m.l1.capacity >> 10) as f64,
+                        (m.l2.capacity >> 10) as f64,
+                        (m.l3.map_or(0, |c| c.capacity) >> 10) as f64,
+                        f64::from(m.tlb.entries),
+                        f64::from(m.tlb.page_bits),
+                        f64::from(m.tlb.walkers),
+                        m.dram.latency as f64,
+                        m.dram.bytes_per_cycle as f64,
+                    ],
+                })
+                .collect();
+            vec![TableSection {
+                title: "Table 1 — simulated system models".to_string(),
+                columns: columns.iter().map(ToString::to_string).collect(),
+                rows,
+                notes: vec![
+                    "Paper reference (Table 1):".to_string(),
+                    "  Haswell  — i5-4570, 3.2GHz, 32K L1 / 256K L2 / 8M L3, DDR3".to_string(),
+                    "  Xeon Phi — 3120P, 1.1GHz, 32K L1 / 512K L2, GDDR5".to_string(),
+                    "  A57      — TX1, 1.9GHz, 32K L1 / 2M L2, LPDDR4".to_string(),
+                    "  A53      — Odroid C2, 2.0GHz, 32K L1 / 1M L2, DDR3".to_string(),
+                ],
+            }]
+        },
+        checks: |res, _derived| {
+            vec![Check::new(
+                "four_systems_modelled",
+                res.machines.len() == 4,
+                format!("{} machine models", res.machines.len()),
+            )]
+        },
+    }
+}
+
+// ---- Fig. 2 -------------------------------------------------------------
+
+fn fig2(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig2",
+            title: "Fig. 2 — IS: prefetching-scheme speedups",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: vec![WorkloadId::Is],
+            variants: vec![
+                Variant::baseline(),
+                Variant::Kernel(KernelVariant::Fig2(Fig2Scheme::Intuitive)),
+                Variant::Kernel(KernelVariant::Fig2(Fig2Scheme::OffsetTooSmall)),
+                Variant::Kernel(KernelVariant::Fig2(Fig2Scheme::OffsetTooBig)),
+                Variant::Kernel(KernelVariant::Fig2(Fig2Scheme::Optimal)),
+            ],
+            filter: None,
+        },
+        derive: |res| {
+            let schemes = [
+                ("intuitive", "fig2_intuitive"),
+                ("too-small", "fig2_too_small"),
+                ("too-big", "fig2_too_big"),
+                ("optimal", "fig2_optimal"),
+            ];
+            let rows = res
+                .machines
+                .iter()
+                .map(|m| Row {
+                    name: m.name.to_string(),
+                    values: schemes
+                        .iter()
+                        .map(|(_, label)| res.speedup(m.name, "IS", label))
+                        .collect(),
+                })
+                .collect();
+            vec![TableSection::new(
+                "Fig. 2 — IS: prefetching-scheme speedups",
+                schemes.iter().map(|(c, _)| (*c).to_string()).collect(),
+                rows,
+            )]
+        },
+        checks: |res, derived| {
+            let section = &derived[0];
+            let mut checks = Vec::new();
+            // The motivating claim: the staggered pair at a good
+            // distance keeps up with (and at small scales clearly
+            // beats) the intuitive single prefetch. 10% slack — on our
+            // scaled models the two sit within a few percent on some
+            // machines, exactly as in the paper's Haswell bar chart.
+            for m in in_order_names(res) {
+                let optimal = row_value(section, m, "optimal");
+                let intuitive = row_value(section, m, "intuitive");
+                checks.push(Check::new(
+                    format!("optimal_keeps_up_with_intuitive_{m}"),
+                    optimal >= intuitive * 0.9,
+                    format!("optimal {optimal:.3} vs intuitive {intuitive:.3}"),
+                ));
+            }
+            // Mis-scheduling hurts: a huge offset pollutes the cache and
+            // lines are evicted before use (the Phi's big in-order-core
+            // prefetch budget shows it most clearly at every scale).
+            let too_big = row_value(section, "xeon_phi", "too-big");
+            let optimal = row_value(section, "xeon_phi", "optimal");
+            checks.push(Check::new(
+                "too_big_offset_pollutes_on_phi",
+                too_big < optimal,
+                format!("too-big {too_big:.3} vs optimal {optimal:.3}"),
+            ));
+            if res.scale == Scale::Paper {
+                for m in in_order_names(res) {
+                    let optimal = row_value(section, m, "optimal");
+                    checks.push(Check::new(
+                        format!("optimal_speeds_up_{m}"),
+                        optimal > 1.0,
+                        format!("optimal {optimal:.3}"),
+                    ));
+                }
+            }
+            checks
+        },
+    }
+}
+
+// ---- Fig. 4 -------------------------------------------------------------
+
+fn fig4_filter(m: &MachineConfig, _w: WorkloadId, v: &Variant) -> bool {
+    // The ICC-like baseline pass is evaluated on the Xeon Phi only
+    // (paper Fig. 4d).
+    !matches!(v, Variant::Icc) || m.name == "xeon_phi"
+}
+
+fn fig4(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig4",
+            title: "Fig. 4 — auto vs. manual speedup over no-prefetch, all systems",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: WorkloadId::ALL.to_vec(),
+            variants: vec![
+                Variant::baseline(),
+                Variant::auto_default(),
+                manual_variant(),
+                Variant::Icc,
+            ],
+            filter: Some(fig4_filter),
+        },
+        derive: |res| {
+            res.machines
+                .iter()
+                .map(|m| {
+                    let is_phi = m.name == "xeon_phi";
+                    let variants: &[&str] = if is_phi {
+                        &["icc", "auto", MANUAL]
+                    } else {
+                        &["auto", MANUAL]
+                    };
+                    let columns = if is_phi {
+                        vec!["icc".to_string(), "auto".to_string(), "manual".to_string()]
+                    } else {
+                        vec!["auto".to_string(), "manual".to_string()]
+                    };
+                    TableSection::new(
+                        format!("Fig. 4 ({}) — speedup vs. no prefetching", m.name),
+                        columns,
+                        speedup_rows(res, m.name, &WorkloadId::ALL, variants),
+                    )
+                })
+                .collect()
+        },
+        checks: |res, derived| {
+            let mut checks = Vec::new();
+            // In-order cores cannot hide indirect misses themselves, so
+            // the pass must win on them — the paper's headline claim.
+            // Holds even at test scale.
+            for m in in_order_names(res) {
+                let section =
+                    find_section(derived, &format!("({m})")).expect("section per machine");
+                let auto = row_value(section, "Geomean", "auto");
+                checks.push(Check::new(
+                    format!("auto_geomean_speeds_up_{m}"),
+                    auto > 1.0,
+                    format!("auto geomean {auto:.3}"),
+                ));
+            }
+            if res.scale == Scale::Paper {
+                // Manual prefetches encode knowledge the compiler cannot
+                // have, so the best-manual geomean bounds auto from above
+                // on in-order machines (paper §6.1).
+                for m in in_order_names(res) {
+                    let section =
+                        find_section(derived, &format!("({m})")).expect("section per machine");
+                    let auto = row_value(section, "Geomean", "auto");
+                    let manual = row_value(section, "Geomean", "manual");
+                    checks.push(Check::new(
+                        format!("manual_bounds_auto_{m}"),
+                        manual >= auto * 0.95,
+                        format!("manual {manual:.3} vs auto {auto:.3}"),
+                    ));
+                }
+                // The ICC-like stride-indirect baseline trails the full
+                // pass on the Phi (Fig. 4d).
+                let phi = find_section(derived, "(xeon_phi)").expect("phi section");
+                let icc = row_value(phi, "Geomean", "icc");
+                let auto = row_value(phi, "Geomean", "auto");
+                checks.push(Check::new(
+                    "icc_trails_auto_on_phi",
+                    icc <= auto,
+                    format!("icc {icc:.3} vs auto {auto:.3}"),
+                ));
+            }
+            checks
+        },
+    }
+}
+
+// ---- Fig. 5 -------------------------------------------------------------
+
+fn fig5(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig5",
+            title: "Fig. 5 — Haswell: indirect-only vs. indirect+stride",
+            scale,
+            machines: vec![MachineConfig::haswell()],
+            workloads: WorkloadId::ALL.to_vec(),
+            variants: vec![
+                Variant::baseline(),
+                Variant::Auto {
+                    label: "auto_ind",
+                    config: PassConfig {
+                        stride_companion: false,
+                        ..PassConfig::default()
+                    },
+                },
+                Variant::auto_default(),
+            ],
+            filter: None,
+        },
+        derive: |res| {
+            vec![TableSection::new(
+                "Fig. 5 — Haswell: indirect-only vs. indirect+stride",
+                vec!["ind".to_string(), "ind+str".to_string()],
+                speedup_rows(res, "haswell", &WorkloadId::ALL, &["auto_ind", "auto"]),
+            )]
+        },
+        checks: |res, derived| {
+            if res.scale != Scale::Paper {
+                return Vec::new();
+            }
+            // Adding the staggered stride companion wins overall
+            // (paper §6.1) — a geomean claim, so paper scale only.
+            let section = &derived[0];
+            let ind = row_value(section, "Geomean", "ind");
+            let both = row_value(section, "Geomean", "ind+str");
+            vec![Check::new(
+                "stride_companion_helps",
+                both >= ind,
+                format!("ind+str {both:.3} vs ind {ind:.3}"),
+            )]
+        },
+    }
+}
+
+// ---- Fig. 6 -------------------------------------------------------------
+
+fn fig6(scale: Scale) -> Experiment {
+    let mut variants = vec![Variant::baseline()];
+    variants.extend(
+        FIG6_DISTANCES
+            .iter()
+            .map(|&c| Variant::Kernel(KernelVariant::Manual { look_ahead: c })),
+    );
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig6",
+            title: "Fig. 6 — speedup vs. look-ahead distance (manual)",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: WorkloadId::FIG6.to_vec(),
+            variants,
+            filter: None,
+        },
+        derive: |res| {
+            WorkloadId::FIG6
+                .iter()
+                .map(|w| {
+                    TableSection::new(
+                        format!("Fig. 6 — {}: speedup vs. look-ahead distance", w.name()),
+                        FIG6_DISTANCES.iter().map(|c| format!("c={c}")).collect(),
+                        res.machines
+                            .iter()
+                            .map(|m| Row {
+                                name: m.name.to_string(),
+                                values: FIG6_DISTANCES
+                                    .iter()
+                                    .map(|c| res.speedup(m.name, w.name(), &format!("manual_c{c}")))
+                                    .collect(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        },
+        checks: |res, derived| {
+            // The paper's shape (§6.2): both mis-scheduling extremes
+            // lose — too small a distance fetches too late, too large a
+            // distance pollutes the (here 1/4-scaled) caches — so the
+            // best distance is interior to the sweep. On the 1/4-scaled
+            // model the argmax sits lower than the paper's 64 on some
+            // machines, so the check pins the curve's shape, not the
+            // argmax, and does it where the signal is unambiguous at
+            // every scale: the in-order machines, which cannot hide
+            // either failure mode behind out-of-order overlap.
+            let in_order = in_order_names(res);
+            let mut checks = Vec::new();
+            for section in derived {
+                let bench = section
+                    .title
+                    .split([':', '—'])
+                    .nth(1)
+                    .unwrap_or("?")
+                    .trim()
+                    .to_string();
+                for row in section
+                    .rows
+                    .iter()
+                    .filter(|r| in_order.contains(&r.name.as_str()))
+                {
+                    let first = row.values[0];
+                    let last = *row.values.last().expect("non-empty sweep");
+                    let best = row.values.iter().copied().fold(f64::MIN, f64::max);
+                    checks.push(Check::new(
+                        format!("best_distance_interior_{bench}_{}", row.name),
+                        best > first && best > last,
+                        format!("best {best:.3} vs c=4 {first:.3}, c=256 {last:.3}"),
+                    ));
+                }
+            }
+            checks
+        },
+    }
+}
+
+// ---- Fig. 7 -------------------------------------------------------------
+
+fn fig7(scale: Scale) -> Experiment {
+    let mut variants = vec![Variant::baseline()];
+    variants.extend((1..=4).map(|depth| {
+        Variant::Kernel(KernelVariant::ManualDepth {
+            look_ahead: 64,
+            depth,
+        })
+    }));
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig7",
+            title: "Fig. 7 — HJ-8: speedup vs. prefetch stagger depth",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: vec![WorkloadId::Hj8],
+            variants,
+            filter: None,
+        },
+        derive: |res| {
+            vec![TableSection::new(
+                "Fig. 7 — HJ-8: speedup vs. prefetch stagger depth",
+                (1..=4).map(|d| format!("depth={d}")).collect(),
+                res.machines
+                    .iter()
+                    .map(|m| Row {
+                        name: m.name.to_string(),
+                        values: (1..=4)
+                            .map(|d| res.speedup(m.name, "HJ-8", &format!("manual_c64_d{d}")))
+                            .collect(),
+                    })
+                    .collect(),
+            )]
+        },
+        checks: |res, derived| {
+            if res.scale != Scale::Paper {
+                // At test scale HJ-8's table is cache-resident and
+                // stagger depth is pure overhead — no shape to assert.
+                return Vec::new();
+            }
+            // Staggered chain prefetching pays: covering three of the
+            // four dependent accesses beats covering only the bucket,
+            // on every system. (The paper further finds depth 4 a net
+            // loss everywhere; on our scaled model that last-node cost
+            // shows clearly only on the A57, whose single page-table
+            // walker serialises the extra address-generation loads —
+            // so the suite pins the depth3-over-depth1 claim instead.)
+            let section = &derived[0];
+            section
+                .rows
+                .iter()
+                .map(|row| {
+                    let d1 = row_value(section, &row.name, "depth=1");
+                    let d3 = row_value(section, &row.name, "depth=3");
+                    Check::new(
+                        format!("deeper_stagger_pays_{}", row.name),
+                        d3 > d1,
+                        format!("depth3 {d3:.3} vs depth1 {d1:.3}"),
+                    )
+                })
+                .collect()
+        },
+    }
+}
+
+// ---- Fig. 8 -------------------------------------------------------------
+
+fn fig8(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig8",
+            title: "Fig. 8 — Haswell: % extra dynamic instructions",
+            scale,
+            machines: vec![MachineConfig::haswell()],
+            workloads: WorkloadId::ALL.to_vec(),
+            variants: vec![
+                Variant::baseline(),
+                Variant::auto_default(),
+                manual_variant(),
+            ],
+            filter: None,
+        },
+        derive: |res| {
+            let overhead = |variant: &str, w: WorkloadId| -> f64 {
+                let (Some(v), Some(b)) = (
+                    res.cell("haswell", w.name(), variant),
+                    res.cell("haswell", w.name(), "baseline"),
+                ) else {
+                    return f64::NAN;
+                };
+                100.0 * v.stats().extra_instructions_vs(b.stats())
+            };
+            vec![TableSection::new(
+                "Fig. 8 — Haswell: % extra dynamic instructions",
+                vec!["auto_%".to_string(), "manual_%".to_string()],
+                WorkloadId::ALL
+                    .iter()
+                    .map(|w| Row {
+                        name: w.name().to_string(),
+                        values: vec![overhead("auto", *w), overhead(MANUAL, *w)],
+                    })
+                    .collect(),
+            )]
+        },
+        checks: |_res, derived| {
+            // Prefetch code is never free: the pass must add dynamic
+            // instructions on every benchmark, at every scale.
+            let section = &derived[0];
+            section
+                .rows
+                .iter()
+                .map(|row| {
+                    let auto = row_value(section, &row.name, "auto_%");
+                    Check::new(
+                        format!("auto_adds_instructions_{}", row.name),
+                        auto > 0.0,
+                        format!("auto overhead {auto:.1}%"),
+                    )
+                })
+                .collect()
+        },
+    }
+}
+
+// ---- Fig. 9 -------------------------------------------------------------
+
+fn fig9(scale: Scale) -> Experiment {
+    let mut variants = Vec::new();
+    for &cores in &FIG9_CORES {
+        variants.push(Variant::Multicore { cores, auto: false });
+        variants.push(Variant::Multicore { cores, auto: true });
+    }
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig9",
+            title: "Fig. 9 — IS on Haswell: normalised multicore throughput",
+            scale,
+            machines: vec![MachineConfig::haswell()],
+            workloads: vec![WorkloadId::Is],
+            variants,
+            filter: None,
+        },
+        derive: |res| {
+            let makespan = |variant: &str| -> f64 {
+                res.cell("haswell", "IS", variant)
+                    .map_or(f64::NAN, |c| c.max_cycles() as f64)
+            };
+            let t1 = makespan("mc1_baseline");
+            vec![TableSection::new(
+                "Fig. 9 — IS on Haswell: normalised multicore throughput",
+                vec!["no-prefetch".to_string(), "prefetch".to_string()],
+                FIG9_CORES
+                    .iter()
+                    .map(|&n| Row {
+                        name: format!("{n} cores"),
+                        values: vec![
+                            n as f64 * t1 / makespan(&format!("mc{n}_baseline")),
+                            n as f64 * t1 / makespan(&format!("mc{n}_auto")),
+                        ],
+                    })
+                    .collect(),
+            )]
+        },
+        checks: |res, derived| {
+            let section = &derived[0];
+            let mut checks = Vec::new();
+            // Normalisation sanity: one no-prefetch copy on one core is
+            // the unit by construction.
+            let unit = row_value(section, "1 cores", "no-prefetch");
+            checks.push(Check::new(
+                "single_core_is_unit",
+                (unit - 1.0).abs() < 1e-9,
+                format!("1-core no-prefetch normalises to {unit:.6}"),
+            ));
+            if res.scale == Scale::Paper {
+                // The paper's Fig. 9 claims, as they reproduce on the
+                // scaled model: the shared memory system saturates
+                // hard (four no-prefetch copies achieve well under 2×
+                // aggregate — the paper measures under 1×), a single
+                // prefetching copy clearly wins, and at full DRAM
+                // saturation prefetching stays within noise of the
+                // no-prefetch aggregate (its extra instructions cost a
+                // percent or two once bandwidth, not latency, binds).
+                let nopf4 = row_value(section, "4 cores", "no-prefetch");
+                checks.push(Check::new(
+                    "memory_system_saturates",
+                    nopf4 < 2.0,
+                    format!("4-core no-prefetch aggregate {nopf4:.3} < 2"),
+                ));
+                let pf1 = row_value(section, "1 cores", "prefetch");
+                checks.push(Check::new(
+                    "prefetch_wins_single_core",
+                    pf1 > 1.0,
+                    format!("1-core prefetch throughput {pf1:.3}"),
+                ));
+                for n in [2usize, 4] {
+                    let name = format!("{n} cores");
+                    let pf = row_value(section, &name, "prefetch");
+                    let nopf = row_value(section, &name, "no-prefetch");
+                    checks.push(Check::new(
+                        format!("prefetch_not_harmful_at_{n}_cores"),
+                        pf >= nopf * 0.95,
+                        format!("prefetch {pf:.3} vs no-prefetch {nopf:.3}"),
+                    ));
+                }
+            }
+            checks
+        },
+    }
+}
+
+// ---- Fig. 10 ------------------------------------------------------------
+
+fn fig10(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "fig10",
+            title: "Fig. 10 — Haswell: prefetch speedup by page size",
+            scale,
+            machines: vec![
+                MachineConfig::haswell()
+                    .with_small_pages()
+                    .with_name("haswell_small"),
+                MachineConfig::haswell()
+                    .with_huge_pages()
+                    .with_name("haswell_huge"),
+            ],
+            workloads: vec![WorkloadId::Is, WorkloadId::Ra, WorkloadId::Hj2],
+            variants: vec![Variant::baseline(), Variant::auto_default()],
+            filter: None,
+        },
+        derive: |res| {
+            vec![TableSection::new(
+                "Fig. 10 — Haswell: prefetch speedup by page size",
+                vec!["small-pages".to_string(), "huge-pages".to_string()],
+                [WorkloadId::Is, WorkloadId::Ra, WorkloadId::Hj2]
+                    .iter()
+                    .map(|w| Row {
+                        name: w.name().to_string(),
+                        values: vec![
+                            res.speedup("haswell_small", w.name(), "auto"),
+                            res.speedup("haswell_huge", w.name(), "auto"),
+                        ],
+                    })
+                    .collect(),
+            )]
+        },
+        checks: |res, derived| {
+            if res.scale != Scale::Paper {
+                return Vec::new();
+            }
+            // With 4 KiB pages, prefetching also warms the TLB, so the
+            // speedup under small pages bounds the huge-page one for
+            // the TLB-bound IS and RA (paper §6.2).
+            let section = &derived[0];
+            ["IS", "RA"]
+                .iter()
+                .map(|w| {
+                    let small = row_value(section, w, "small-pages");
+                    let huge = row_value(section, w, "huge-pages");
+                    Check::new(
+                        format!("tlb_side_benefit_{w}"),
+                        small >= huge * 0.95,
+                        format!("small {small:.3} vs huge {huge:.3}"),
+                    )
+                })
+                .collect()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::expand;
+
+    #[test]
+    fn every_name_resolves() {
+        for name in ALL_NAMES {
+            assert!(by_name(name, Scale::Test).is_some(), "{name}");
+        }
+        assert!(by_name("fig3", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn fig4_grid_shape() {
+        let exp = fig4(Scale::Test);
+        // 4 machines × 7 workloads × {baseline, auto, manual} + 7 ICC
+        // cells on the Phi only.
+        assert_eq!(expand(&exp.spec).len(), 4 * 7 * 3 + 7);
+    }
+
+    #[test]
+    fn fig9_runs_six_multicore_cells_from_two_modules() {
+        let exp = fig9(Scale::Test);
+        let jobs = expand(&exp.spec);
+        assert_eq!(jobs.len(), 6);
+        let keys: std::collections::HashSet<String> =
+            exp.spec.variants.iter().map(Variant::module_key).collect();
+        assert_eq!(keys.len(), 2, "all core counts share two kernel modules");
+    }
+
+    #[test]
+    fn table1_expands_to_no_jobs() {
+        assert!(expand(&table1(Scale::Test).spec).is_empty());
+    }
+}

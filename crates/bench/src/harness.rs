@@ -1,0 +1,875 @@
+//! # The experiment harness
+//!
+//! Every figure/table reproduction is a *declarative*
+//! [`ExperimentSpec`]: a machine × workload × variant grid (plus an
+//! optional cell filter for asymmetric figures like Fig. 4's
+//! Phi-only ICC column). The harness expands the grid into independent
+//! [`SimJob`]s, builds and pass-compiles each distinct kernel module
+//! **once**, decodes it once into a shared [`ExecImage`], and executes
+//! the jobs on a self-scheduling pool of host threads
+//! (`std::thread::scope` workers pulling from an atomic job queue —
+//! every simulation in a grid is independent, so the grid parallelises
+//! embarrassingly).
+//!
+//! Each run emits:
+//! * the human-readable table (what the original per-figure binaries
+//!   printed), rendered from derived [`TableSection`]s, and
+//! * a machine-readable JSON artifact `RESULTS/<name>.json` — spec,
+//!   per-cell [`SimStats`] counters, derived tables, shape-check
+//!   verdicts, and wall-clock metadata — so CI can diff the numbers a
+//!   PR changed.
+//!
+//! Shape checks ([`Check`]) turn the suite into an end-to-end
+//! regression oracle: structural checks (grid complete, non-zero
+//! cycles, finite derived values) run at every scale, and each
+//! experiment adds behavioural checks for the paper's qualitative
+//! claims (e.g. *software prefetching speeds up in-order machines*).
+
+use crate::json::Json;
+use crate::{auto_module, geomean, icc_module};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use swpf_core::PassConfig;
+use swpf_ir::exec::ExecImage;
+use swpf_ir::FuncId;
+use swpf_sim::{run_multicore_image, run_on_machine_image, MachineConfig, SimStats};
+use swpf_workloads::{KernelVariant, Scale, Workload, WorkloadId};
+
+/// One axis value of the variant dimension: what kernel to run, and how.
+#[derive(Debug, Clone)]
+pub enum Variant {
+    /// A kernel the workload builds itself (baseline, manual, Fig. 2
+    /// schemes, stagger depths).
+    Kernel(KernelVariant),
+    /// The automatic pass output under `config`. `label` names the cell
+    /// (one spec may sweep several configs, e.g. Fig. 5).
+    Auto {
+        /// Cell label ("auto", "auto_nostride", ...).
+        label: &'static str,
+        /// Pass configuration to compile with.
+        config: PassConfig,
+    },
+    /// The ICC-like stride-indirect baseline pass (Fig. 4d).
+    Icc,
+    /// `cores` copies of the kernel on a shared memory system (Fig. 9).
+    Multicore {
+        /// Number of cores, each running its own copy.
+        cores: usize,
+        /// Run the auto-pass kernel instead of the baseline.
+        auto: bool,
+    },
+}
+
+impl Variant {
+    /// The baseline kernel variant (speedup denominator).
+    #[must_use]
+    pub fn baseline() -> Variant {
+        Variant::Kernel(KernelVariant::Baseline)
+    }
+
+    /// The auto-pass variant at the default configuration.
+    #[must_use]
+    pub fn auto_default() -> Variant {
+        Variant::Auto {
+            label: "auto",
+            config: PassConfig::default(),
+        }
+    }
+
+    /// Unique cell label within an experiment.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Kernel(v) => v.label(),
+            Variant::Auto { label, .. } => (*label).to_string(),
+            Variant::Icc => "icc".to_string(),
+            Variant::Multicore { cores, auto } => {
+                format!("mc{cores}_{}", if *auto { "auto" } else { "baseline" })
+            }
+        }
+    }
+
+    /// Key of the kernel module this variant executes. Variants sharing
+    /// a key share one build + pass-compile + decode (e.g. every
+    /// Fig. 9 core count reuses the same two modules).
+    #[must_use]
+    pub fn module_key(&self) -> String {
+        match self {
+            Variant::Kernel(v) => v.label(),
+            Variant::Auto { label, .. } => (*label).to_string(),
+            Variant::Icc => "icc".to_string(),
+            Variant::Multicore { auto: true, .. } => "auto".to_string(),
+            Variant::Multicore { auto: false, .. } => "baseline".to_string(),
+        }
+    }
+}
+
+/// Cell filter: keep the (machine, workload, variant) combination?
+pub type CellFilter = fn(&MachineConfig, WorkloadId, &Variant) -> bool;
+
+/// A declarative experiment: the full grid, expanded by [`expand`].
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Artifact name ("fig4"); also the `RESULTS/<name>.json` stem.
+    pub name: &'static str,
+    /// Human title for tables and logs.
+    pub title: &'static str,
+    /// Workload scale the grid runs at.
+    pub scale: Scale,
+    /// Machine axis.
+    pub machines: Vec<MachineConfig>,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadId>,
+    /// Variant axis.
+    pub variants: Vec<Variant>,
+    /// Optional cell filter (`None` keeps the full cross product).
+    pub filter: Option<CellFilter>,
+}
+
+impl ExperimentSpec {
+    fn keep(&self, m: &MachineConfig, w: WorkloadId, v: &Variant) -> bool {
+        self.filter.is_none_or(|f| f(m, w, v))
+    }
+}
+
+/// One independent simulation: indices into the spec's axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimJob {
+    /// Index into [`ExperimentSpec::machines`].
+    pub machine: usize,
+    /// Index into [`ExperimentSpec::workloads`].
+    pub workload: usize,
+    /// Index into [`ExperimentSpec::variants`].
+    pub variant: usize,
+}
+
+/// Expand a spec into its deduplicated job list.
+///
+/// Cells are dropped when the filter rejects them or the workload does
+/// not support the kernel variant (e.g. Fig. 2 schemes outside IS), and
+/// deduplicated by `(machine, workload, label)` so a variant listed
+/// twice — typically a shared baseline — runs once.
+#[must_use]
+pub fn expand(spec: &ExperimentSpec) -> Vec<SimJob> {
+    let supported: Vec<bool> = support_mask(spec);
+    let mut seen = std::collections::HashSet::new();
+    let mut jobs = Vec::new();
+    for (wi, &w) in spec.workloads.iter().enumerate() {
+        for (vi, v) in spec.variants.iter().enumerate() {
+            if !supported[wi * spec.variants.len() + vi] {
+                continue;
+            }
+            for (mi, m) in spec.machines.iter().enumerate() {
+                if !spec.keep(m, w, v) {
+                    continue;
+                }
+                if seen.insert((mi, wi, v.label())) {
+                    jobs.push(SimJob {
+                        machine: mi,
+                        workload: wi,
+                        variant: vi,
+                    });
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// `workload × variant` support matrix (kernel variants a workload
+/// cannot build are unsupported; pass variants work everywhere).
+fn support_mask(spec: &ExperimentSpec) -> Vec<bool> {
+    let probe: Vec<Box<dyn Workload>> = spec
+        .workloads
+        .iter()
+        .map(|id| id.instantiate(Scale::Test))
+        .collect();
+    let mut mask = Vec::with_capacity(spec.workloads.len() * spec.variants.len());
+    for w in &probe {
+        for v in &spec.variants {
+            mask.push(match v {
+                // Probe with tiny inputs: support depends only on the
+                // workload's shape, not its scale.
+                Variant::Kernel(kv) => w.build_variant(*kv).is_some(),
+                Variant::Auto { .. } | Variant::Icc | Variant::Multicore { .. } => true,
+            });
+        }
+    }
+    mask
+}
+
+/// A decoded, ready-to-run kernel module.
+struct PreparedModule {
+    image: Arc<ExecImage>,
+    func: FuncId,
+}
+
+/// The result of one simulated cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Machine display name.
+    pub machine: &'static str,
+    /// Workload display name.
+    pub workload: &'static str,
+    /// Variant label.
+    pub variant: String,
+    /// Per-core statistics; single-core cells have exactly one entry.
+    pub cores: Vec<SimStats>,
+    /// Host wall-clock time of this simulation in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CellResult {
+    /// The single-core statistics (first core).
+    ///
+    /// # Panics
+    /// Never — every cell has at least one core.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.cores[0]
+    }
+
+    /// Simulated makespan: the slowest core's cycle count.
+    #[must_use]
+    pub fn max_cycles(&self) -> u64 {
+        self.cores.iter().map(|s| s.cycles).max().unwrap_or(0)
+    }
+}
+
+/// Everything one experiment run produced.
+pub struct ExperimentResult {
+    /// Artifact name.
+    pub name: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Scale the run used.
+    pub scale: Scale,
+    /// Machine axis (for artifact metadata).
+    pub machines: Vec<MachineConfig>,
+    /// One entry per executed job, in deterministic job order.
+    pub cells: Vec<CellResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total harness wall time in seconds (prepare + simulate).
+    pub wall_s: f64,
+}
+
+impl ExperimentResult {
+    /// Find a cell by its three axis labels.
+    #[must_use]
+    pub fn cell(&self, machine: &str, workload: &str, variant: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.machine == machine && c.workload == workload && c.variant == variant)
+    }
+
+    /// Speedup of `variant` over the `baseline` variant on the same
+    /// machine × workload cell; `NaN` when either cell is missing.
+    #[must_use]
+    pub fn speedup(&self, machine: &str, workload: &str, variant: &str) -> f64 {
+        let (Some(v), Some(b)) = (
+            self.cell(machine, workload, variant),
+            self.cell(machine, workload, "baseline"),
+        ) else {
+            return f64::NAN;
+        };
+        v.stats().speedup_vs(b.stats())
+    }
+}
+
+/// How to run an experiment's jobs.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads; `0` (the default) means one per host core.
+    pub threads: usize,
+}
+
+impl RunOptions {
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, jobs.max(1))
+    }
+}
+
+/// A derived (printable + serialised) table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSection {
+    /// Section heading.
+    pub title: String,
+    /// Column headings (value columns; the row-name column is implied).
+    pub columns: Vec<String>,
+    /// Rows in display order.
+    pub rows: Vec<Row>,
+    /// Free-form footer lines (e.g. Table 1's real-hardware reference).
+    pub notes: Vec<String>,
+}
+
+impl TableSection {
+    /// A section with no footer notes.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: Vec<String>, rows: Vec<Row>) -> TableSection {
+        TableSection {
+            title: title.into(),
+            columns,
+            rows,
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// One row of a derived table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row name (workload, machine, or sweep point).
+    pub name: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+/// A shape-assertion verdict.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Stable check name.
+    pub name: String,
+    /// Did the shape hold?
+    pub passed: bool,
+    /// Human-readable evidence (the numbers involved).
+    pub detail: String,
+}
+
+impl Check {
+    /// Build a verdict from a condition and its evidence.
+    #[must_use]
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Check {
+        Check {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Derivation hook: turn raw cells into the figure's tables.
+pub type DeriveFn = fn(&ExperimentResult) -> Vec<TableSection>;
+/// Shape-check hook: assert the paper's qualitative claims.
+pub type ChecksFn = fn(&ExperimentResult, &[TableSection]) -> Vec<Check>;
+
+/// A complete experiment: grid + derivation + shape checks.
+pub struct Experiment {
+    /// The declarative grid.
+    pub spec: ExperimentSpec,
+    /// Derivation hook.
+    pub derive: DeriveFn,
+    /// Shape-check hook (behavioural; structural checks are automatic).
+    pub checks: ChecksFn,
+}
+
+/// Run an experiment: prepare modules, execute the job grid on a thread
+/// pool, and collect per-cell statistics in deterministic order.
+///
+/// # Panics
+/// On unsupported spec cells surviving expansion, simulation traps, or
+/// a poisoned result mutex — all harness-fatal configuration errors.
+#[must_use]
+pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
+    let spec = &exp.spec;
+    let t0 = Instant::now();
+
+    // Instantiate each workload once; jobs share them read-only.
+    let workloads: Vec<Box<dyn Workload>> = spec
+        .workloads
+        .iter()
+        .map(|id| id.instantiate(spec.scale))
+        .collect();
+
+    let jobs = expand(spec);
+
+    // Build + pass-compile + decode each distinct kernel module once.
+    let mut modules: HashMap<(usize, String), PreparedModule> = HashMap::new();
+    for job in &jobs {
+        let key = (job.workload, spec.variants[job.variant].module_key());
+        if modules.contains_key(&key) {
+            continue;
+        }
+        let w = workloads[job.workload].as_ref();
+        let module = match &spec.variants[job.variant] {
+            Variant::Kernel(kv) => w
+                .build_variant(*kv)
+                .expect("expansion only keeps supported kernel variants"),
+            Variant::Auto { config, .. } => auto_module(w, config),
+            Variant::Icc => icc_module(w, &PassConfig::default()),
+            Variant::Multicore { auto, .. } => {
+                if *auto {
+                    auto_module(w, &PassConfig::default())
+                } else {
+                    w.build_baseline()
+                }
+            }
+        };
+        let func = module
+            .find_function("kernel")
+            .expect("workload kernels are named `kernel`");
+        modules.insert(
+            key,
+            PreparedModule {
+                image: Arc::new(ExecImage::build(&module)),
+                func,
+            },
+        );
+    }
+
+    // Execute: worker threads self-schedule jobs off an atomic queue
+    // (pull-based stealing — a slow cell never blocks the rest of the
+    // grid behind it).
+    let threads = opts.effective_threads(jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; jobs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let cell = run_job(spec, &workloads, &modules, *job);
+                slots.lock().expect("no panics hold the lock")[i] = Some(cell);
+            });
+        }
+    });
+
+    let cells = slots
+        .into_inner()
+        .expect("workers finished")
+        .into_iter()
+        .map(|c| c.expect("every job ran"))
+        .collect();
+
+    ExperimentResult {
+        name: spec.name,
+        title: spec.title,
+        scale: spec.scale,
+        machines: spec.machines.clone(),
+        cells,
+        threads,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_job(
+    spec: &ExperimentSpec,
+    workloads: &[Box<dyn Workload>],
+    modules: &HashMap<(usize, String), PreparedModule>,
+    job: SimJob,
+) -> CellResult {
+    let variant = &spec.variants[job.variant];
+    let machine = &spec.machines[job.machine];
+    let w = workloads[job.workload].as_ref();
+    let prepared = &modules[&(job.workload, variant.module_key())];
+    let t0 = Instant::now();
+    let cores = match variant {
+        Variant::Multicore { cores, .. } => run_multicore_image(
+            machine,
+            *cores,
+            &prepared.image,
+            prepared.func,
+            |_, interp| w.setup(interp),
+        ),
+        _ => vec![run_on_machine_image(
+            machine,
+            &prepared.image,
+            prepared.func,
+            |interp| w.setup(interp),
+        )],
+    };
+    CellResult {
+        machine: machine.name,
+        workload: w.name(),
+        variant: variant.label(),
+        cores,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Structural shape checks every experiment gets for free: the grid is
+/// complete, every simulated cell retired work, and no derived value is
+/// non-finite or negative.
+#[must_use]
+pub fn structural_checks(result: &ExperimentResult, derived: &[TableSection]) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let dead = result
+        .cells
+        .iter()
+        .filter(|c| c.cores.iter().any(|s| s.cycles == 0 || s.insts.total == 0))
+        .count();
+    if !result.cells.is_empty() {
+        checks.push(Check::new(
+            "all_cells_simulated",
+            dead == 0,
+            format!("{} of {} cells retired no work", dead, result.cells.len()),
+        ));
+    }
+    let mut bad_values = 0usize;
+    let mut total_values = 0usize;
+    for section in derived {
+        for row in &section.rows {
+            for v in &row.values {
+                total_values += 1;
+                if !v.is_finite() || *v < 0.0 {
+                    bad_values += 1;
+                }
+            }
+        }
+    }
+    checks.push(Check::new(
+        "derived_values_finite",
+        bad_values == 0,
+        format!("{bad_values} of {total_values} derived values non-finite or negative"),
+    ));
+    checks
+}
+
+/// Geomean of one column across all named rows of a section.
+#[must_use]
+pub fn column_geomean(section: &TableSection, column: &str) -> f64 {
+    let Some(ci) = section.columns.iter().position(|c| c == column) else {
+        return f64::NAN;
+    };
+    let vals: Vec<f64> = section
+        .rows
+        .iter()
+        .filter_map(|r| r.values.get(ci).copied())
+        .collect();
+    geomean(&vals)
+}
+
+/// Render sections the way the original per-figure binaries printed
+/// their tables: the name column grows to the longest row name, and
+/// whole-number values (Table 1's capacities and widths) print without
+/// a fractional part.
+pub fn print_sections(sections: &[TableSection]) {
+    for section in sections {
+        println!("\n=== {} ===", section.title);
+        let name_width = section
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(10);
+        print!("{:<name_width$}", "");
+        for c in &section.columns {
+            print!(" {c:>10}");
+        }
+        println!();
+        for row in &section.rows {
+            print!("{:<name_width$}", row.name);
+            for &v in &row.values {
+                if v.fract() == 0.0 && v.abs() < 1e12 {
+                    print!(" {:>10}", v as i64);
+                } else {
+                    print!(" {v:>10.3}");
+                }
+            }
+            println!();
+        }
+        for note in &section.notes {
+            println!("{note}");
+        }
+    }
+}
+
+/// Serialise one run to `dir/<name>.json` (creating `dir`), returning
+/// the path written.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_artifact(
+    dir: &Path,
+    result: &ExperimentResult,
+    derived: &[TableSection],
+    checks: &[Check],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", result.name));
+    std::fs::write(
+        &path,
+        artifact_json(result, derived, checks).to_pretty_string(),
+    )?;
+    Ok(path)
+}
+
+/// The artifact document (schema v1; see DESIGN.md §5).
+#[must_use]
+pub fn artifact_json(
+    result: &ExperimentResult,
+    derived: &[TableSection],
+    checks: &[Check],
+) -> Json {
+    let machines = result
+        .machines
+        .iter()
+        .map(|m| {
+            let mut members = vec![
+                ("name", Json::Str(m.name.to_string())),
+                ("core", Json::Str(m.core_kind_name().to_string())),
+            ];
+            members.extend(m.parameters().into_iter().map(|(k, v)| (k, Json::U64(v))));
+            Json::obj(members)
+        })
+        .collect();
+    let cells = result
+        .cells
+        .iter()
+        .map(|c| {
+            let cores = c
+                .cores
+                .iter()
+                .map(|s| {
+                    let mut members: Vec<(&str, Json)> = s
+                        .counters()
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::U64(v)))
+                        .collect();
+                    members.push(("ipc", Json::F64(s.ipc())));
+                    Json::obj(members)
+                })
+                .collect();
+            Json::obj(vec![
+                ("machine", Json::Str(c.machine.to_string())),
+                ("workload", Json::Str(c.workload.to_string())),
+                ("variant", Json::Str(c.variant.clone())),
+                ("wall_ms", Json::F64(c.wall_ms)),
+                ("cores", Json::Arr(cores)),
+            ])
+        })
+        .collect();
+    let derived = derived
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("title", Json::Str(s.title.clone())),
+                (
+                    "columns",
+                    Json::Arr(s.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                (
+                    "notes",
+                    Json::Arr(s.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+                ),
+                (
+                    "rows",
+                    Json::Arr(
+                        s.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(r.name.clone())),
+                                    (
+                                        "values",
+                                        Json::Arr(r.values.iter().map(|v| Json::F64(*v)).collect()),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let checks = checks
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("name", Json::Str(c.name.clone())),
+                ("passed", Json::Bool(c.passed)),
+                ("detail", Json::Str(c.detail.clone())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema_version", Json::U64(1)),
+        ("experiment", Json::Str(result.name.to_string())),
+        ("title", Json::Str(result.title.to_string())),
+        ("scale", Json::Str(result.scale.label().to_string())),
+        ("threads", Json::U64(result.threads as u64)),
+        ("jobs", Json::U64(result.cells.len() as u64)),
+        ("wall_seconds", Json::F64(result.wall_s)),
+        ("machines", Json::Arr(machines)),
+        ("cells", Json::Arr(cells)),
+        ("derived", Json::Arr(derived)),
+        ("checks", Json::Arr(checks)),
+    ])
+}
+
+/// Run one experiment end to end — simulate, print the tables, write
+/// the artifact, print every check verdict — and return the result and
+/// verdicts (the `--bin all` driver aggregates them into its suite
+/// summary).
+///
+/// # Panics
+/// If the artifact cannot be written.
+pub fn run_and_report(
+    exp: &Experiment,
+    opts: &RunOptions,
+    out_dir: &Path,
+) -> (ExperimentResult, Vec<Check>) {
+    let result = run_experiment(exp, opts);
+    let derived = (exp.derive)(&result);
+    let mut checks = structural_checks(&result, &derived);
+    checks.extend((exp.checks)(&result, &derived));
+
+    println!(
+        "\n#### {} — {} [scale={}, {} jobs, {} threads, {:.2}s]",
+        result.name,
+        result.title,
+        result.scale.label(),
+        result.cells.len(),
+        result.threads,
+        result.wall_s,
+    );
+    print_sections(&derived);
+    let path = write_artifact(out_dir, &result, &derived, &checks)
+        .unwrap_or_else(|e| panic!("cannot write artifact for {}: {e}", result.name));
+    println!("\nartifact: {}", path.display());
+    for check in &checks {
+        let verdict = if check.passed { "ok  " } else { "FAIL" };
+        println!("check {verdict} {} — {}", check.name, check.detail);
+    }
+    (result, checks)
+}
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Worker threads (`--threads N`, `SWPF_THREADS`; 0 = all cores).
+    pub run: RunOptions,
+    /// Artifact directory (`--out DIR`, default `RESULTS`).
+    pub out_dir: PathBuf,
+}
+
+/// Parse process arguments and environment.
+///
+/// # Panics
+/// On malformed arguments (this is a bench CLI; fail loudly).
+#[must_use]
+pub fn cli_options() -> CliOptions {
+    let mut threads: usize = std::env::var("SWPF_THREADS")
+        .ok()
+        .map(|v| v.parse().expect("SWPF_THREADS must be an integer"))
+        .unwrap_or(0);
+    let mut out_dir = PathBuf::from("RESULTS");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads = v.parse().expect("--threads must be an integer");
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            other => panic!("unknown argument `{other}` (expected --threads N | --out DIR)"),
+        }
+    }
+    CliOptions {
+        run: RunOptions { threads },
+        out_dir,
+    }
+}
+
+/// Entry point for the per-figure binaries: run the named experiment at
+/// the `SWPF_SCALE` scale and exit non-zero on shape-check failure.
+///
+/// # Panics
+/// If `name` is not a known experiment.
+#[must_use]
+pub fn cli_main(name: &str) -> std::process::ExitCode {
+    let scale = crate::scale_from_env();
+    let opts = cli_options();
+    let exp = crate::experiments::by_name(name, scale)
+        .unwrap_or_else(|| panic!("unknown experiment `{name}`"));
+    let (_, checks) = run_and_report(&exp, &opts.run, &opts.out_dir);
+    if checks.iter().all(|c| c.passed) {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "tiny",
+            title: "expansion unit-test grid",
+            scale: Scale::Test,
+            machines: vec![MachineConfig::haswell(), MachineConfig::a53()],
+            workloads: vec![WorkloadId::Is, WorkloadId::Hj8],
+            variants: vec![
+                Variant::baseline(),
+                Variant::Kernel(KernelVariant::Manual { look_ahead: 64 }),
+            ],
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn expansion_covers_the_full_grid() {
+        let jobs = expand(&tiny_spec());
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn expansion_dedups_repeated_baselines() {
+        let mut spec = tiny_spec();
+        spec.variants.push(Variant::baseline());
+        assert_eq!(expand(&spec).len(), 8, "duplicate baseline collapses");
+    }
+
+    #[test]
+    fn expansion_drops_unsupported_kernel_variants() {
+        let mut spec = tiny_spec();
+        spec.variants.push(Variant::Kernel(KernelVariant::Fig2(
+            swpf_workloads::is::Fig2Scheme::Optimal,
+        )));
+        // Fig. 2 schemes exist only for IS: +2 jobs, not +4.
+        assert_eq!(expand(&spec).len(), 10);
+    }
+
+    #[test]
+    fn expansion_applies_cell_filters() {
+        let mut spec = tiny_spec();
+        fn only_haswell(m: &MachineConfig, _w: WorkloadId, v: &Variant) -> bool {
+            !matches!(v, Variant::Kernel(KernelVariant::Manual { .. })) || m.name == "haswell"
+        }
+        spec.filter = Some(only_haswell);
+        assert_eq!(expand(&spec).len(), 4 + 2);
+    }
+
+    #[test]
+    fn multicore_variants_share_kernel_modules() {
+        let a = Variant::Multicore {
+            cores: 1,
+            auto: false,
+        };
+        let b = Variant::Multicore {
+            cores: 4,
+            auto: false,
+        };
+        assert_eq!(a.module_key(), b.module_key());
+        assert_ne!(a.label(), b.label());
+        assert_eq!(a.module_key(), Variant::baseline().module_key());
+    }
+
+    #[test]
+    fn run_options_clamp_to_job_count() {
+        let opts = RunOptions { threads: 64 };
+        assert_eq!(opts.effective_threads(3), 3);
+        assert_eq!(opts.effective_threads(0), 1);
+        assert!(RunOptions { threads: 0 }.effective_threads(1000) >= 1);
+    }
+}

@@ -14,22 +14,40 @@
 //! | `fig9`  | Fig. 9 — IS multicore throughput |
 //! | `fig10` | Fig. 10 — small vs. huge pages |
 //!
+//! Every binary is a thin wrapper over the shared [`harness`]: the grid
+//! is declared in [`experiments`], executed on a pool of host threads,
+//! printed as a table, and serialised to `RESULTS/<name>.json`.
+//! `--bin all` runs the full suite and fails on shape-check violations.
+//!
 //! Run with `cargo run --release -p swpf-bench --bin figN`. Set
 //! `SWPF_SCALE=test` for a fast smoke run with tiny inputs (shapes are
-//! noisier but the harness logic is identical).
+//! noisier but the harness logic is identical); `--threads N` /
+//! `SWPF_THREADS` bound the worker pool, `--out DIR` moves the
+//! artifact directory.
+
+pub mod experiments;
+pub mod harness;
+pub mod json;
 
 use swpf_core::PassConfig;
 use swpf_ir::Module;
 use swpf_sim::{run_on_machine, MachineConfig, SimStats};
 use swpf_workloads::{Scale, Workload};
 
-/// Scale selected by the `SWPF_SCALE` environment variable
-/// (`test` → tiny inputs; anything else → paper-scaled inputs).
+/// Scale selected by the `SWPF_SCALE` environment variable: `test` →
+/// tiny inputs, `paper` (or unset) → paper-scaled inputs.
+///
+/// # Panics
+/// On any other value — a typo must not silently select the slow
+/// paper-scale configuration.
 #[must_use]
 pub fn scale_from_env() -> Scale {
-    match std::env::var("SWPF_SCALE").as_deref() {
-        Ok("test") => Scale::Test,
-        _ => Scale::Paper,
+    match std::env::var("SWPF_SCALE") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid SWPF_SCALE: {e}")),
+        Err(std::env::VarError::NotPresent) => Scale::Paper,
+        Err(e) => panic!("SWPF_SCALE is not valid unicode: {e}"),
     }
 }
 

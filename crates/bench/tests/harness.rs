@@ -1,0 +1,167 @@
+//! End-to-end tests of the experiment harness: spec expansion over the
+//! real experiment list, deterministic threaded execution, and a
+//! JSON-artifact snapshot at `Scale::Test`.
+
+use swpf_bench::experiments::{self, ALL_NAMES};
+use swpf_bench::harness::{
+    artifact_json, expand, run_experiment, structural_checks, write_artifact, RunOptions,
+};
+use swpf_bench::json::Json;
+use swpf_workloads::Scale;
+
+/// Grid sizes of every real experiment, pinned. A change here means the
+/// evaluated grid changed — update deliberately, alongside DESIGN.md §5.
+#[test]
+fn experiment_grid_sizes_are_pinned() {
+    let expected = [
+        ("table1", 0),
+        ("fig2", 4 * 5),         // 4 machines × (baseline + 4 schemes)
+        ("fig4", 4 * 7 * 3 + 7), // + Phi-only ICC column
+        ("fig5", 7 * 3),         // Haswell only
+        ("fig6", 4 * 4 * 8),     // baseline + 7 distances
+        ("fig7", 4 * 5),         // HJ-8 only, baseline + 4 depths
+        ("fig8", 7 * 3),
+        ("fig9", 6),          // {1,2,4} cores × {baseline, auto}
+        ("fig10", 2 * 3 * 2), // two page policies
+    ];
+    assert_eq!(expected.map(|(n, _)| n), ALL_NAMES);
+    for (name, jobs) in expected {
+        let exp = experiments::by_name(name, Scale::Test).unwrap();
+        assert_eq!(expand(&exp.spec).len(), jobs, "{name} grid size");
+    }
+}
+
+/// The simulation grid is deterministic and independent of the worker
+/// count: a 1-thread and a 4-thread run must produce cell-identical
+/// statistics (wall-clock metadata aside).
+#[test]
+fn results_are_thread_count_invariant() {
+    let exp = experiments::by_name("fig2", Scale::Test).unwrap();
+    let serial = run_experiment(&exp, &RunOptions { threads: 1 });
+    let threaded = run_experiment(&exp, &RunOptions { threads: 4 });
+    assert_eq!(serial.cells.len(), threaded.cells.len());
+    for (a, b) in serial.cells.iter().zip(&threaded.cells) {
+        assert_eq!(
+            (a.machine, a.workload, &a.variant),
+            (b.machine, b.workload, &b.variant)
+        );
+        assert_eq!(a.cores.len(), b.cores.len());
+        for (sa, sb) in a.cores.iter().zip(&b.cores) {
+            assert_eq!(
+                sa.cycles, sb.cycles,
+                "{}/{}/{}",
+                a.machine, a.workload, a.variant
+            );
+            assert_eq!(sa.insts.total, sb.insts.total);
+            assert_eq!(sa.l1_misses, sb.l1_misses);
+        }
+    }
+    // And so must the derived tables.
+    assert_eq!((exp.derive)(&serial), (exp.derive)(&threaded));
+}
+
+/// Snapshot of the artifact schema at `Scale::Test`: write a real
+/// artifact, parse it back, and pin the structure PR-diff tooling
+/// depends on.
+#[test]
+fn artifact_snapshot_at_test_scale() {
+    let exp = experiments::by_name("fig9", Scale::Test).unwrap();
+    let result = run_experiment(&exp, &RunOptions { threads: 2 });
+    let derived = (exp.derive)(&result);
+    let mut checks = structural_checks(&result, &derived);
+    checks.extend((exp.checks)(&result, &derived));
+
+    let dir = std::env::temp_dir().join(format!("swpf_artifact_{}", std::process::id()));
+    let path = write_artifact(&dir, &result, &derived, &checks).expect("artifact written");
+    let text = std::fs::read_to_string(&path).expect("artifact readable");
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = Json::parse(&text).expect("artifact is valid JSON");
+
+    // Top-level schema.
+    assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("fig9"));
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("test"));
+    assert_eq!(doc.get("jobs").unwrap().as_u64(), Some(6));
+    assert!(doc.get("wall_seconds").unwrap().as_f64().unwrap() >= 0.0);
+
+    // Machine metadata carries the full model parameters.
+    let machines = doc.get("machines").unwrap().as_array().unwrap();
+    assert_eq!(machines.len(), 1);
+    assert_eq!(machines[0].get("name").unwrap().as_str(), Some("haswell"));
+    assert_eq!(
+        machines[0].get("core").unwrap().as_str(),
+        Some("out-of-order")
+    );
+    for key in ["width", "l1_bytes", "l2_bytes", "dram_latency", "page_bits"] {
+        assert!(machines[0].get(key).unwrap().as_u64().is_some(), "{key}");
+    }
+
+    // Cells: one per job, each with per-core counter objects.
+    let cells = doc.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), 6);
+    let quad = cells
+        .iter()
+        .find(|c| c.get("variant").unwrap().as_str() == Some("mc4_auto"))
+        .expect("4-core auto cell present");
+    let cores = quad.get("cores").unwrap().as_array().unwrap();
+    assert_eq!(cores.len(), 4);
+    for core in cores {
+        assert!(core.get("cycles").unwrap().as_u64().unwrap() > 0);
+        assert!(core.get("insts_total").unwrap().as_u64().unwrap() > 0);
+        assert!(core.get("sw_prefetches").unwrap().as_u64().unwrap() > 0);
+        assert!(core.get("ipc").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    // Derived tables mirror the printed figure.
+    let derived_json = doc.get("derived").unwrap().as_array().unwrap();
+    assert_eq!(derived_json.len(), 1);
+    let rows = derived_json[0].get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 3, "one row per core count");
+
+    // Check verdicts are recorded in the artifact.
+    let checks_json = doc.get("checks").unwrap().as_array().unwrap();
+    assert!(!checks_json.is_empty());
+    for c in checks_json {
+        assert!(c.get("passed").is_some());
+        assert!(c.get("name").unwrap().as_str().is_some());
+    }
+}
+
+/// Structural checks flag a grid whose cells did no work.
+#[test]
+fn structural_checks_catch_dead_cells() {
+    let exp = experiments::by_name("fig2", Scale::Test).unwrap();
+    let mut result = run_experiment(&exp, &RunOptions { threads: 1 });
+    let derived = (exp.derive)(&result);
+    assert!(structural_checks(&result, &derived)
+        .iter()
+        .all(|c| c.passed));
+
+    result.cells[0].cores[0].cycles = 0;
+    let broken = structural_checks(&result, &derived);
+    assert!(
+        broken
+            .iter()
+            .any(|c| c.name == "all_cells_simulated" && !c.passed),
+        "zeroed cell must fail the structural check"
+    );
+}
+
+/// The artifact JSON for the full suite at test scale stays parseable
+/// and every experiment's checks pass — the exact gate CI applies.
+#[test]
+fn all_experiments_pass_their_checks_at_test_scale() {
+    for name in ALL_NAMES {
+        let exp = experiments::by_name(name, Scale::Test).unwrap();
+        let result = run_experiment(&exp, &RunOptions { threads: 2 });
+        let derived = (exp.derive)(&result);
+        let mut checks = structural_checks(&result, &derived);
+        checks.extend((exp.checks)(&result, &derived));
+        for check in &checks {
+            assert!(check.passed, "{name}: {} — {}", check.name, check.detail);
+        }
+        // Serialisation round-trips.
+        let doc = artifact_json(&result, &derived, &checks);
+        assert_eq!(Json::parse(&doc.to_pretty_string()).unwrap(), doc);
+    }
+}

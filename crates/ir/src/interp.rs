@@ -415,6 +415,21 @@ impl Interp {
     /// If called without an active cursor (no `start`, or after `Done`).
     #[inline]
     pub fn step(&mut self, _module: &Module, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
+        self.step_cursor(obs)
+    }
+
+    /// Execute and retire exactly one instruction of the active cursor,
+    /// without needing the source module — the natural shape for callers
+    /// that started from a pre-decoded image ([`Interp::start_with_image`])
+    /// and never held the `Module` at all.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised by the instruction.
+    ///
+    /// # Panics
+    /// If called without an active cursor (no `start`, or after `Done`).
+    #[inline]
+    pub fn step_cursor(&mut self, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
         self.engine.step(&mut self.mem, obs)
     }
 }

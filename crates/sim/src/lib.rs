@@ -43,9 +43,9 @@ pub mod stats;
 pub mod stride;
 pub mod tlb;
 
-pub use machine::{run_on_machine, Machine};
+pub use machine::{run_on_machine, run_on_machine_image, Machine};
 pub use memsys::{AccessKind, MemSys, SharedMem};
-pub use multicore::run_multicore;
+pub use multicore::{run_multicore, run_multicore_image};
 pub use presets::{CoreKind, MachineConfig};
 pub use stats::SimStats;
 

@@ -10,6 +10,8 @@ use crate::cpu::Core;
 use crate::memsys::{MemSys, SharedMem};
 use crate::presets::MachineConfig;
 use crate::stats::SimStats;
+use std::sync::Arc;
+use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Trap};
 use swpf_ir::{FuncId, Module};
 
@@ -79,6 +81,28 @@ impl Machine {
         Ok(self.stats())
     }
 
+    /// Like [`Machine::run`], but from an already-decoded [`ExecImage`] —
+    /// the amortised shape for experiment grids that run one module on
+    /// many machine configurations.
+    ///
+    /// # Errors
+    /// Any [`Trap`] the program raises.
+    pub fn run_image(
+        &mut self,
+        image: Arc<ExecImage>,
+        func: FuncId,
+        interp: &mut Interp,
+        args: &[RtVal],
+    ) -> Result<SimStats, Trap> {
+        let mut obs = TimingObserver {
+            core: &mut self.core,
+            mem: &mut self.mem,
+            shared: &mut self.shared,
+        };
+        interp.run_with_image(image, func, args, &mut obs)?;
+        Ok(self.stats())
+    }
+
     /// Snapshot the statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> SimStats {
@@ -140,6 +164,27 @@ pub fn run_on_machine(
     let mut machine = Machine::new(config.clone());
     machine
         .run(module, func, &mut interp, &args)
+        .unwrap_or_else(|t| panic!("simulation trapped: {t}"))
+}
+
+/// Like [`run_on_machine`], from an already-decoded image (decode once,
+/// simulate on many machine configurations — the experiment-harness
+/// path). `func` must belong to the module `image` was built from.
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machine_image(
+    config: &MachineConfig,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+) -> SimStats {
+    let mut interp = Interp::new();
+    let args = setup(&mut interp);
+    let mut machine = Machine::new(config.clone());
+    machine
+        .run_image(Arc::clone(image), func, &mut interp, &args)
         .unwrap_or_else(|t| panic!("simulation trapped: {t}"))
 }
 

@@ -62,10 +62,31 @@ pub fn run_multicore(
     n_cores: usize,
     module: &Module,
     func: FuncId,
-    mut setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+    setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
 ) -> Vec<SimStats> {
     // Decode the module once; every core's engine shares the image.
-    let image = Arc::new(ExecImage::build(module));
+    run_multicore_image(
+        config,
+        n_cores,
+        &Arc::new(ExecImage::build(module)),
+        func,
+        setup,
+    )
+}
+
+/// Like [`run_multicore`], from an already-decoded image, so callers
+/// that already amortised the decode (the experiment harness) skip it
+/// here too. `func` must belong to the module `image` was built from.
+///
+/// # Panics
+/// If any core's program traps.
+pub fn run_multicore_image(
+    config: &MachineConfig,
+    n_cores: usize,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    mut setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+) -> Vec<SimStats> {
     let mut shared = SharedMem::new(config);
     let mut slots: Vec<CoreSlot> = (0..n_cores)
         .map(|i| {
@@ -84,7 +105,7 @@ pub fn run_multicore(
         .collect();
     for slot in &mut slots {
         slot.interp
-            .start_with_image(Arc::clone(&image), func, &slot.args);
+            .start_with_image(Arc::clone(image), func, &slot.args);
     }
 
     // Interleave: step the core with the smallest local clock.
@@ -106,7 +127,7 @@ pub fn run_multicore(
                 mem: &mut slot.mem,
                 shared: &mut shared,
             };
-            match slot.interp.step(module, &mut obs) {
+            match slot.interp.step_cursor(&mut obs) {
                 Ok(Step::Continue) => {}
                 Ok(Step::Done(_)) => {
                     slot.done = true;

@@ -265,6 +265,47 @@ impl MachineConfig {
         self
     }
 
+    /// The same machine under a different display name — used when one
+    /// base system appears several times in an experiment grid (e.g.
+    /// Fig. 10's `haswell_small` / `haswell_huge` page-policy pair).
+    #[must_use]
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Short label for the pipeline style ("in-order"/"out-of-order").
+    #[must_use]
+    pub fn core_kind_name(&self) -> &'static str {
+        match self.core {
+            CoreKind::InOrder => "in-order",
+            CoreKind::OutOfOrder => "out-of-order",
+        }
+    }
+
+    /// The scalar configuration parameters as `(name, value)` pairs —
+    /// the flat view artifact writers serialise so a results file fully
+    /// identifies the machine model it was produced on (`l3_bytes` is 0
+    /// when the machine has no L3).
+    #[must_use]
+    pub fn parameters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("width", u64::from(self.width)),
+            ("rob", self.rob as u64),
+            ("mshrs", self.mshrs as u64),
+            ("prefetch_queue", self.prefetch_queue as u64),
+            ("l1_bytes", self.l1.capacity),
+            ("l2_bytes", self.l2.capacity),
+            ("l3_bytes", self.l3.map_or(0, |c| c.capacity)),
+            ("tlb_entries", u64::from(self.tlb.entries)),
+            ("page_bits", u64::from(self.tlb.page_bits)),
+            ("tlb_walkers", u64::from(self.tlb.walkers)),
+            ("dram_latency", self.dram.latency),
+            ("dram_bytes_per_cycle", self.dram.bytes_per_cycle),
+            ("hw_stride_prefetcher", u64::from(self.hw_stride_prefetcher)),
+        ]
+    }
+
     /// Issue interval between instructions, in ticks.
     #[must_use]
     pub fn issue_interval_ticks(&self) -> u64 {

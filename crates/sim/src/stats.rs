@@ -72,6 +72,36 @@ impl SimStats {
             self.l1_misses as f64 / total as f64
         }
     }
+
+    /// Every integer counter as `(name, value)` pairs — the flat,
+    /// order-stable view machine-readable artifact writers serialise.
+    /// Names are the JSON keys of the experiment-result schema
+    /// (DESIGN.md §5); extend this list when adding counters so every
+    /// artifact picks them up automatically.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cycles", self.cycles),
+            ("insts_total", self.insts.total),
+            ("insts_loads", self.insts.loads),
+            ("insts_stores", self.insts.stores),
+            ("insts_prefetches", self.insts.prefetches),
+            ("insts_branches", self.insts.branches),
+            ("l1_hits", self.l1_hits),
+            ("l1_misses", self.l1_misses),
+            ("l2_hits", self.l2_hits),
+            ("l2_misses", self.l2_misses),
+            ("tlb_hits", self.tlb_hits),
+            ("tlb_misses", self.tlb_misses),
+            ("dram_lines_read", self.dram_lines_read),
+            ("dram_lines_written", self.dram_lines_written),
+            ("sw_prefetches", self.mem.sw_prefetches),
+            ("sw_prefetches_dropped", self.mem.sw_prefetches_dropped),
+            ("sw_prefetches_redundant", self.mem.sw_prefetches_redundant),
+            ("late_fill_hits", self.mem.late_fill_hits),
+            ("hw_prefetch_fills", self.mem.hw_prefetch_fills),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! the stagger-depth study of Fig. 7.
 
 use crate::util::emit_clamped_lookahead;
-use crate::{Scale, Workload};
+use crate::{KernelVariant, Scale, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use swpf_ir::interp::{Interp, RtVal};
@@ -356,6 +356,21 @@ impl Workload for HashJoin {
 
     fn checksum(&self, _interp: &Interp, _args: &[RtVal], ret: Option<RtVal>) -> u64 {
         ret.map_or(0, |v| v.as_int() as u64)
+    }
+
+    fn build_variant(&self, variant: KernelVariant) -> Option<Module> {
+        match variant {
+            KernelVariant::Baseline => Some(self.build_baseline()),
+            KernelVariant::Manual { look_ahead } => Some(self.build_manual(look_ahead)),
+            // The stagger-depth knob only means something for the
+            // chain-walking HJ-8 configuration.
+            KernelVariant::ManualDepth { look_ahead, depth }
+                if self.epb == ElemsPerBucket::Eight =>
+            {
+                Some(self.build_manual_depth(look_ahead, depth))
+            }
+            _ => None,
+        }
     }
 }
 

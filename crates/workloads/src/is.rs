@@ -13,7 +13,7 @@
 //! staggered pair.
 
 use crate::util::{counted_loop, emit_clamped_lookahead};
-use crate::{Scale, Workload};
+use crate::{KernelVariant, Scale, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use swpf_ir::interp::{Interp, RtVal};
@@ -159,6 +159,15 @@ impl Workload for IntegerSort {
             h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
         }
         h
+    }
+
+    fn build_variant(&self, variant: KernelVariant) -> Option<Module> {
+        match variant {
+            KernelVariant::Baseline => Some(self.build_baseline()),
+            KernelVariant::Manual { look_ahead } => Some(self.build_manual(look_ahead)),
+            KernelVariant::Fig2(scheme) => Some(self.build_fig2_variant(scheme)),
+            KernelVariant::ManualDepth { .. } => None,
+        }
     }
 }
 
