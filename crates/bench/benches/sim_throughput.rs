@@ -7,12 +7,23 @@
 //! one every simulation path now uses) against the original tree-walking
 //! interpreter (`ClassicInterp`, kept as the differential oracle); the
 //! ratio is recorded in `BENCH_interp.json` at the repository root.
+//!
+//! The `trace` group compares a full timed simulation driven by the
+//! interpreter (`direct`) against the same machine driven by a recorded
+//! event trace (`replay`) — the per-cell saving the experiment
+//! harness's record/replay cache banks for every repeated machine cell;
+//! the ratio is recorded in `BENCH_trace.json` and gated by
+//! `--bin bench_gate`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use swpf_ir::classic::ClassicInterp;
+use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Interp, NullObserver};
-use swpf_sim::{run_on_machine, MachineConfig};
+use swpf_sim::{
+    replay_on_machine, run_on_machine, run_on_machine_image, run_on_machine_traced, MachineConfig,
+};
+use swpf_trace::TraceRecorder;
 use swpf_workloads::is::IntegerSort;
 use swpf_workloads::{Scale, Workload};
 
@@ -89,5 +100,53 @@ fn interp_with_timing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engines, interp_only, interp_with_timing);
+/// Direct simulation vs. trace replay of the identical cell: same
+/// machine, same kernel, same input data. `record` measures the
+/// one-time cost of recording while measuring (the trace cache's miss
+/// path).
+fn trace_replay(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let f = m.find_function("kernel").unwrap();
+    let insts = 12 * u64::from(is.num_keys as u32);
+    let image = std::sync::Arc::new(ExecImage::build(&m));
+    let cfg = MachineConfig::haswell();
+    let mut proto = Interp::new();
+    let args = is.setup(&mut proto);
+    let proto_mem = proto.mem_ref().clone();
+    let setup = |interp: &mut Interp| {
+        *interp.mem() = proto_mem.clone();
+        args.clone()
+    };
+    // Record the trace once, outside the timed loops (the amortised
+    // shape: one recording serves every machine cell of a grid row).
+    let mut rec = TraceRecorder::new(1, 0);
+    let _ = run_on_machine_traced(&cfg, &image, f, setup, rec.stream(0));
+    let trace = rec.finish();
+
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("direct/IS", |b| {
+        b.iter(|| black_box(run_on_machine_image(&cfg, &image, f, setup)));
+    });
+    group.bench_function("replay/IS", |b| {
+        b.iter(|| black_box(replay_on_machine(&cfg, &trace)));
+    });
+    group.bench_function("record/IS", |b| {
+        b.iter(|| {
+            let mut rec = TraceRecorder::new(1, 0);
+            let stats = run_on_machine_traced(&cfg, &image, f, setup, rec.stream(0));
+            black_box((stats, rec.finish()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engines,
+    interp_only,
+    interp_with_timing,
+    trace_replay
+);
 criterion_main!(benches);

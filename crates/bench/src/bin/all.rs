@@ -33,6 +33,8 @@ fn main() -> std::process::ExitCode {
             ("jobs", Json::U64(result.cells.len() as u64)),
             ("threads", Json::U64(result.threads as u64)),
             ("wall_seconds", Json::F64(result.wall_s)),
+            ("trace_hits", Json::U64(result.trace_hits() as u64)),
+            ("trace_misses", Json::U64(result.trace_misses() as u64)),
             ("checks", Json::U64(checks.len() as u64)),
             ("check_failures", Json::U64(check_failures as u64)),
         ]));

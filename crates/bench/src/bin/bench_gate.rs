@@ -1,35 +1,36 @@
 //! Bench-regression gate for CI's bench-smoke job.
 //!
 //! Reads the line-oriented records the `criterion` shim appends under
-//! `CRITERION_JSON` and compares engine throughput against the
-//! reference recorded in `BENCH_interp.json`, failing (exit 1) on a
+//! `CRITERION_JSON` and compares relative speedups against the
+//! references recorded at the repository root, failing (exit 1) on a
 //! regression beyond the threshold:
 //!
 //! ```sh
 //! CRITERION_JSON=bench.jsonl cargo bench -p swpf-bench --bench sim_throughput
-//! cargo run --release -p swpf-bench --bin bench_gate -- bench.jsonl BENCH_interp.json
+//! cargo run --release -p swpf-bench --bin bench_gate -- \
+//!     bench.jsonl BENCH_interp.json [BENCH_trace.json]
 //! ```
 //!
 //! Absolute ns/iter numbers are not comparable across hosts (CI
 //! runners, developer laptops, and the container that recorded the
-//! reference all differ), so the gate watches the *relative* speedup of
-//! the pre-decoded engine over the classic tree-walker — both sides
-//! measured in the same process seconds apart. That ratio is what the
-//! engine refactor bought and what a code change can silently lose. The
-//! 30% allowance keeps shared-runner noise from flaking the job; the
-//! gate exists to catch cliffs, not single-digit drift.
+//! references all differ), so the gate watches *relative* speedups —
+//! both sides measured in the same process seconds apart:
+//!
+//! * **engines** (`BENCH_interp.json`): the pre-decoded engine over the
+//!   classic tree-walker — what the engine refactor bought;
+//! * **trace** (`BENCH_trace.json`, optional third argument): trace
+//!   replay over direct simulation of the identical cell — what the
+//!   record/replay cache banks on every repeated machine cell.
+//!
+//! The 30% allowance keeps shared-runner noise from flaking the job;
+//! the gate exists to catch cliffs, not single-digit drift.
 
 use swpf_bench::json::Json;
 
-/// Allowed loss of the engine's relative speedup before failing.
+/// Allowed loss of a reference relative speedup before failing.
 const MAX_REGRESSION: f64 = 1.30;
 
-/// The two benchmarks whose ratio the gate watches.
-const GROUP: &str = "engines";
-const EXEC_BENCH: &str = "exec_image/IS";
-const CLASSIC_BENCH: &str = "classic/IS";
-
-fn ns_from_records(text: &str, bench: &str) -> Option<f64> {
+fn ns_from_records(text: &str, group: &str, bench: &str) -> Option<f64> {
     // Last record wins: CRITERION_JSON is append-only across runs.
     let mut best = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -40,7 +41,7 @@ fn ns_from_records(text: &str, bench: &str) -> Option<f64> {
                 continue;
             }
         };
-        if rec.get("group").and_then(Json::as_str) == Some(GROUP)
+        if rec.get("group").and_then(Json::as_str) == Some(group)
             && rec.get("bench").and_then(Json::as_str) == Some(bench)
         {
             best = rec.get("ns_per_iter").and_then(Json::as_f64);
@@ -49,63 +50,116 @@ fn ns_from_records(text: &str, bench: &str) -> Option<f64> {
     best
 }
 
-fn reference_f64(reference: &Json, path: &str, key: &str) -> Option<f64> {
+fn reference_f64(reference: &Json, path: &str, group_key: &str, key: &str) -> Option<f64> {
     reference
-        .get("engines_group")
+        .get(group_key)
         .and_then(|g| g.get(key))
         .and_then(Json::as_f64)
         .or_else(|| {
-            eprintln!("bench_gate: {path} has no engines_group.{key}");
+            eprintln!("bench_gate: {path} has no {group_key}.{key}");
             None
         })
 }
 
+fn load_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// Gate one relative speedup: `slow_bench / fast_bench`, measured vs.
+/// reference. Returns false on missing records or a regression beyond
+/// the allowance.
+#[allow(clippy::too_many_arguments)]
+fn gate_ratio(
+    records: &str,
+    group: &str,
+    fast_bench: &str,
+    slow_bench: &str,
+    records_path: &str,
+    reference: &Json,
+    reference_path: &str,
+    group_key: &str,
+    fast_key: &str,
+    slow_key: &str,
+) -> bool {
+    let (Some(fast_ns), Some(slow_ns)) = (
+        ns_from_records(records, group, fast_bench),
+        ns_from_records(records, group, slow_bench),
+    ) else {
+        eprintln!(
+            "bench_gate: missing `{group}/{fast_bench}` or `{group}/{slow_bench}` \
+             record in {records_path}"
+        );
+        return false;
+    };
+    let (Some(ref_fast), Some(ref_slow)) = (
+        reference_f64(reference, reference_path, group_key, fast_key),
+        reference_f64(reference, reference_path, group_key, slow_key),
+    ) else {
+        return false;
+    };
+
+    let measured_speedup = slow_ns / fast_ns;
+    let reference_speedup = ref_slow / ref_fast;
+    let floor = reference_speedup / MAX_REGRESSION;
+    println!(
+        "bench_gate: {group_key} speedup ({slow_bench} over {fast_bench}) — measured \
+         {measured_speedup:.3}x ({slow_ns:.0} / {fast_ns:.0} ns), reference \
+         {reference_speedup:.3}x, floor {floor:.3}x (allowance {MAX_REGRESSION}x)"
+    );
+    if measured_speedup >= floor {
+        true
+    } else {
+        eprintln!(
+            "bench_gate: `{fast_bench}`'s advantage over `{slow_bench}` regressed more \
+             than {MAX_REGRESSION}x vs the {reference_path} reference"
+        );
+        false
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut args = std::env::args().skip(1);
-    let (Some(records_path), Some(reference_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_gate <criterion-json-lines> <BENCH_interp.json>");
+    let (Some(records_path), Some(interp_ref_path)) = (args.next(), args.next()) else {
+        eprintln!(
+            "usage: bench_gate <criterion-json-lines> <BENCH_interp.json> [BENCH_trace.json]"
+        );
         return std::process::ExitCode::FAILURE;
     };
+    let trace_ref_path = args.next();
 
     let records = std::fs::read_to_string(&records_path)
         .unwrap_or_else(|e| panic!("cannot read {records_path}: {e}"));
-    let (Some(exec_ns), Some(classic_ns)) = (
-        ns_from_records(&records, EXEC_BENCH),
-        ns_from_records(&records, CLASSIC_BENCH),
-    ) else {
-        eprintln!(
-            "bench_gate: missing `{GROUP}/{EXEC_BENCH}` or `{GROUP}/{CLASSIC_BENCH}` \
-             record in {records_path}"
-        );
-        return std::process::ExitCode::FAILURE;
-    };
 
-    let reference = std::fs::read_to_string(&reference_path)
-        .unwrap_or_else(|e| panic!("cannot read {reference_path}: {e}"));
-    let reference =
-        Json::parse(&reference).unwrap_or_else(|e| panic!("cannot parse {reference_path}: {e}"));
-    let (Some(ref_exec), Some(ref_classic)) = (
-        reference_f64(&reference, &reference_path, "after_exec_image_ns_per_iter"),
-        reference_f64(&reference, &reference_path, "before_classic_ns_per_iter"),
-    ) else {
-        return std::process::ExitCode::FAILURE;
-    };
-
-    let measured_speedup = classic_ns / exec_ns;
-    let reference_speedup = ref_classic / ref_exec;
-    let floor = reference_speedup / MAX_REGRESSION;
-    println!(
-        "bench_gate: engine speedup over classic — measured {measured_speedup:.3}x \
-         ({classic_ns:.0} / {exec_ns:.0} ns), reference {reference_speedup:.3}x, \
-         floor {floor:.3}x (allowance {MAX_REGRESSION}x)"
+    let mut ok = gate_ratio(
+        &records,
+        "engines",
+        "exec_image/IS",
+        "classic/IS",
+        &records_path,
+        &load_json(&interp_ref_path),
+        &interp_ref_path,
+        "engines_group",
+        "after_exec_image_ns_per_iter",
+        "before_classic_ns_per_iter",
     );
-    if measured_speedup >= floor {
+    if let Some(path) = trace_ref_path {
+        ok &= gate_ratio(
+            &records,
+            "trace",
+            "replay/IS",
+            "direct/IS",
+            &records_path,
+            &load_json(&path),
+            &path,
+            "trace_group",
+            "replay_ns_per_iter",
+            "direct_ns_per_iter",
+        );
+    }
+    if ok {
         std::process::ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "bench_gate: the pre-decoded engine's advantage regressed more than \
-             {MAX_REGRESSION}x vs the recorded reference"
-        );
         std::process::ExitCode::FAILURE
     }
 }

@@ -1,0 +1,99 @@
+//! Trace-equivalence gate for CI: run every experiment three times —
+//! direct simulation, a cold traced pass (fused execution, recording
+//! when `--trace-dir` is given), and a warm traced pass (replaying the
+//! just-recorded traces) — and require every counter of every core of
+//! every cell to match bit-for-bit across all three.
+//!
+//! ```sh
+//! SWPF_SCALE=test cargo run --release -p swpf-bench --bin trace_eq -- --trace-dir traces
+//! ```
+//!
+//! With `--trace-dir` the warm pass exercises the full encode → disk →
+//! decode → replay path for every experiment (including multicore), and
+//! the recorded `.trace` files are left behind for the CI
+//! workflow-artifact upload.
+
+use swpf_bench::harness::{cli_options, run_experiment, ExperimentResult, RunOptions, TracePolicy};
+use swpf_bench::{experiments, scale_from_env};
+
+/// Count cells whose counters differ between the two runs, printing
+/// each divergence.
+fn diverging_cells(name: &str, direct: &ExperimentResult, traced: &ExperimentResult) -> usize {
+    assert_eq!(
+        direct.cells.len(),
+        traced.cells.len(),
+        "{name}: traced run changed the grid"
+    );
+    let mut diverged = 0;
+    for (d, t) in direct.cells.iter().zip(&traced.cells) {
+        assert_eq!(
+            (d.machine, d.workload, &d.variant),
+            (t.machine, t.workload, &t.variant),
+            "{name}: traced run reordered cells"
+        );
+        assert_eq!(d.cores.len(), t.cores.len());
+        for (core, (sd, st)) in d.cores.iter().zip(&t.cores).enumerate() {
+            for ((key, vd), (_, vt)) in sd.counters().into_iter().zip(st.counters()) {
+                if vd != vt {
+                    println!(
+                        "DIVERGED {name} {}/{}/{} core {core}: {key} {vd} direct vs {vt} replayed",
+                        d.machine, d.workload, d.variant
+                    );
+                    diverged += 1;
+                }
+            }
+        }
+    }
+    diverged
+}
+
+fn main() -> std::process::ExitCode {
+    let scale = scale_from_env();
+    let opts = cli_options();
+    let mut total_diverged = 0usize;
+    let mut total_replayed = 0usize;
+
+    for name in experiments::ALL_NAMES {
+        let exp = experiments::by_name(name, scale).expect("known name");
+        let direct = run_experiment(
+            &exp,
+            &RunOptions {
+                trace: TracePolicy::Off,
+                ..opts.run.clone()
+            },
+        );
+        let cold = run_experiment(&exp, &opts.run);
+        let warm = run_experiment(&exp, &opts.run);
+        let diverged =
+            diverging_cells(name, &direct, &cold) + diverging_cells(name, &direct, &warm);
+        println!(
+            "trace_eq {name}: {} cells, cold {}/{} warm {}/{} (replayed/interpreted), \
+             {} diverged ({:.2}s direct, {:.2}s cold, {:.2}s warm)",
+            cold.cells.len(),
+            cold.trace_hits(),
+            cold.trace_misses(),
+            warm.trace_hits(),
+            warm.trace_misses(),
+            diverged,
+            direct.wall_s,
+            cold.wall_s,
+            warm.wall_s,
+        );
+        total_diverged += diverged;
+        total_replayed += cold.trace_hits() + warm.trace_hits();
+    }
+
+    println!(
+        "\ntrace_eq: {} experiments at scale={}, {} replayed cells, {} divergences",
+        experiments::ALL_NAMES.len(),
+        scale.label(),
+        total_replayed,
+        total_diverged,
+    );
+    if total_diverged == 0 && total_replayed > 0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("trace_eq: FAILED (replay must cover cells and match direct simulation exactly)");
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -11,13 +11,27 @@
 //! every simulation in a grid is independent, so the grid parallelises
 //! embarrassingly).
 //!
+//! Functional execution is machine-independent, so the harness groups a
+//! grid's jobs by the event stream they share — same workload, same
+//! module, same core count — and **interprets each distinct kernel at
+//! most once per run**: cold, the single interpretation's retire-event
+//! stream fans out to every machine's timing model simultaneously
+//! (recording into the `swpf-trace` cache when persisting); warm
+//! (`--trace-dir` / `SWPF_TRACE_DIR`), the cached trace is decoded once
+//! and fanned out the same way with no interpreter in the loop at all.
+//! Either way each cell's statistics are bit-identical to a dedicated
+//! direct simulation (see [`TracePolicy`]; `--no-trace` opts out).
+//! Multicore cells record and replay per machine instead — their
+//! interleaving schedule is timing-dependent, so they cannot share one
+//! fused pass.
+//!
 //! Each run emits:
 //! * the human-readable table (what the original per-figure binaries
 //!   printed), rendered from derived [`TableSection`]s, and
 //! * a machine-readable JSON artifact `RESULTS/<name>.json` — spec,
-//!   per-cell [`SimStats`] counters, derived tables, shape-check
-//!   verdicts, and wall-clock metadata — so CI can diff the numbers a
-//!   PR changed.
+//!   per-cell [`SimStats`] counters, trace hits/misses, derived tables,
+//!   shape-check verdicts, and wall-clock metadata — so CI can diff the
+//!   numbers a PR changed.
 //!
 //! Shape checks ([`Check`]) turn the suite into an end-to-end
 //! regression oracle: structural checks (grid complete, non-zero
@@ -35,7 +49,12 @@ use std::time::Instant;
 use swpf_core::PassConfig;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::FuncId;
-use swpf_sim::{run_multicore_image, run_on_machine_image, MachineConfig, SimStats};
+use swpf_sim::{
+    replay_multicore, replay_on_machine, replay_on_machines, run_multicore_image,
+    run_multicore_image_traced, run_on_machine_image, run_on_machines_image, MachineConfig,
+    SimStats,
+};
+use swpf_trace::{fnv64, Trace, TraceRecorder};
 use swpf_workloads::{KernelVariant, Scale, Workload, WorkloadId};
 
 /// One axis value of the variant dimension: what kernel to run, and how.
@@ -103,6 +122,28 @@ impl Variant {
             Variant::Icc => "icc".to_string(),
             Variant::Multicore { auto: true, .. } => "auto".to_string(),
             Variant::Multicore { auto: false, .. } => "baseline".to_string(),
+        }
+    }
+
+    /// Key of the recorded event trace this variant can replay: the
+    /// module key, extended with the core count for multicore cells
+    /// (each core count records its own per-core streams). Jobs sharing
+    /// a trace key within one workload interpret once and replay
+    /// everywhere else.
+    #[must_use]
+    pub fn trace_key(&self) -> String {
+        match self {
+            Variant::Multicore { cores, .. } => format!("{}_mc{cores}", self.module_key()),
+            _ => self.module_key(),
+        }
+    }
+
+    /// Simulated core count of this variant's cells.
+    #[must_use]
+    fn core_count(&self) -> usize {
+        match self {
+            Variant::Multicore { cores, .. } => *cores,
+            _ => 1,
         }
     }
 }
@@ -205,6 +246,10 @@ fn support_mask(spec: &ExperimentSpec) -> Vec<bool> {
 struct PreparedModule {
     image: Arc<ExecImage>,
     func: FuncId,
+    /// FNV-1a digest of the module's textual IR, folded into trace
+    /// fingerprints so a cached trace of a changed kernel is re-recorded
+    /// rather than silently replayed.
+    text_hash: u64,
 }
 
 /// The result of one simulated cell.
@@ -218,8 +263,14 @@ pub struct CellResult {
     pub variant: String,
     /// Per-core statistics; single-core cells have exactly one entry.
     pub cores: Vec<SimStats>,
-    /// Host wall-clock time of this simulation in milliseconds.
+    /// Host wall-clock time of this simulation in milliseconds. Cells
+    /// served by one fused group pass (see [`TracePolicy`]) share its
+    /// wall time evenly.
     pub wall_ms: f64,
+    /// Whether the cell was served without its own interpretation —
+    /// from a replayed trace or a fused group pass (`false`: this cell
+    /// paid the interpretation, possibly recording as it ran).
+    pub replayed: bool,
 }
 
 impl CellResult {
@@ -255,9 +306,25 @@ pub struct ExperimentResult {
     pub threads: usize,
     /// Total harness wall time in seconds (prepare + simulate).
     pub wall_s: f64,
+    /// Label of the trace policy the run used ("off", "memory", or the
+    /// trace directory path).
+    pub trace_policy: String,
 }
 
 impl ExperimentResult {
+    /// Cells served without their own interpretation — from a replayed
+    /// trace or a fused group pass.
+    #[must_use]
+    pub fn trace_hits(&self) -> usize {
+        self.cells.iter().filter(|c| c.replayed).count()
+    }
+
+    /// Cells that paid an interpretation (recording or direct).
+    #[must_use]
+    pub fn trace_misses(&self) -> usize {
+        self.cells.len() - self.trace_hits()
+    }
+
     /// Find a cell by its three axis labels.
     #[must_use]
     pub fn cell(&self, machine: &str, workload: &str, variant: &str) -> Option<&CellResult> {
@@ -280,18 +347,48 @@ impl ExperimentResult {
     }
 }
 
+/// How the harness uses the `swpf-trace` record/replay subsystem.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TracePolicy {
+    /// Simulate every cell directly (no recording, no replay).
+    Off,
+    /// Record each distinct kernel while its first cell simulates and
+    /// replay the group's remaining machine cells from the in-memory
+    /// trace, which is dropped when the group completes (the default).
+    #[default]
+    Memory,
+    /// Like [`TracePolicy::Memory`], but persist traces under this
+    /// directory and reuse fingerprint-matching traces across runs and
+    /// experiments (`--trace-dir` / `SWPF_TRACE_DIR`).
+    Dir(PathBuf),
+}
+
+impl TracePolicy {
+    /// Stable label for logs and artifacts.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TracePolicy::Off => "off".to_string(),
+            TracePolicy::Memory => "memory".to_string(),
+            TracePolicy::Dir(d) => d.display().to_string(),
+        }
+    }
+}
+
 /// How to run an experiment's jobs.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Worker threads; `0` (the default) means one per host core.
     pub threads: usize,
+    /// Trace record/replay policy.
+    pub trace: TracePolicy,
 }
 
 impl RunOptions {
-    fn effective_threads(&self, jobs: usize) -> usize {
+    fn effective_threads(&self, units: usize) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let t = if self.threads == 0 { hw } else { self.threads };
-        t.clamp(1, jobs.max(1))
+        t.clamp(1, units.max(1))
     }
 }
 
@@ -369,7 +466,8 @@ pub struct Experiment {
 }
 
 /// Run an experiment: prepare modules, execute the job grid on a thread
-/// pool, and collect per-cell statistics in deterministic order.
+/// pool (grouped by shared kernel trace, see [`TracePolicy`]), and
+/// collect per-cell statistics in deterministic order.
 ///
 /// # Panics
 /// On unsupported spec cells surviving expansion, simulation traps, or
@@ -413,28 +511,51 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
         let func = module
             .find_function("kernel")
             .expect("workload kernels are named `kernel`");
+        let text_hash = fnv64(swpf_ir::printer::print_module(&module).as_bytes());
         modules.insert(
             key,
             PreparedModule {
                 image: Arc::new(ExecImage::build(&module)),
                 func,
+                text_hash,
             },
         );
     }
 
-    // Execute: worker threads self-schedule jobs off an atomic queue
-    // (pull-based stealing — a slow cell never blocks the rest of the
-    // grid behind it).
-    let threads = opts.effective_threads(jobs.len());
+    // Group jobs by the trace they can share: same workload, same
+    // trace key (module + core count). The group's first cell records
+    // while it measures; the rest replay — each distinct kernel is
+    // interpreted exactly once per run (or zero times on a disk hit).
+    let mut group_of: HashMap<(usize, String), usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        let key = (job.workload, spec.variants[job.variant].trace_key());
+        match group_of.get(&key) {
+            Some(&gi) => groups[gi].push(ji),
+            None => {
+                group_of.insert(key, groups.len());
+                groups.push(vec![ji]);
+            }
+        }
+    }
+
+    // Execute: worker threads self-schedule trace groups off an atomic
+    // queue (pull-based stealing — a slow group never blocks the rest
+    // of the grid behind it). Groups are independent, so the grid still
+    // parallelises embarrassingly; results land in job order.
+    let threads = opts.effective_threads(groups.len());
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; jobs.len()]);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let cell = run_job(spec, &workloads, &modules, *job);
-                slots.lock().expect("no panics hold the lock")[i] = Some(cell);
+                let gi = next.fetch_add(1, Ordering::Relaxed);
+                let Some(group) = groups.get(gi) else { break };
+                let cells = run_group(spec, &workloads, &modules, &jobs, group, &opts.trace);
+                let mut slots = slots.lock().expect("no panics hold the lock");
+                for (ji, cell) in cells {
+                    slots[ji] = Some(cell);
+                }
             });
         }
     });
@@ -454,10 +575,196 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
         cells,
         threads,
         wall_s: t0.elapsed().as_secs_f64(),
+        trace_policy: opts.trace.label(),
     }
 }
 
-fn run_job(
+/// Everything the trace fingerprint must cover: the kernel's textual
+/// IR, the workload (whose `setup` fixes the input data), the scale,
+/// and the core count. A cached trace with any of these changed is
+/// re-recorded, never silently replayed.
+fn kernel_fingerprint(workload: &str, scale: Scale, cores: usize, text_hash: u64) -> u64 {
+    fnv64(format!("{workload}|{}|{cores}|{text_hash:016x}", scale.label()).as_bytes())
+}
+
+/// Run one trace group: all jobs sharing a workload and trace key.
+/// Returns `(job index, cell)` pairs.
+fn run_group(
+    spec: &ExperimentSpec,
+    workloads: &[Box<dyn Workload>],
+    modules: &HashMap<(usize, String), PreparedModule>,
+    jobs: &[SimJob],
+    group: &[usize],
+    policy: &TracePolicy,
+) -> Vec<(usize, CellResult)> {
+    let mut out = Vec::with_capacity(group.len());
+    if *policy == TracePolicy::Off {
+        for &ji in group {
+            out.push((ji, run_job_direct(spec, workloads, modules, jobs[ji])));
+        }
+        return out;
+    }
+
+    let first = jobs[group[0]];
+    let variant = &spec.variants[first.variant];
+    let w = workloads[first.workload].as_ref();
+    let prepared = &modules[&(first.workload, variant.module_key())];
+    let fingerprint = kernel_fingerprint(
+        w.name(),
+        spec.scale,
+        variant.core_count(),
+        prepared.text_hash,
+    );
+    let cache_path = match policy {
+        TracePolicy::Dir(dir) => Some(dir.join(format!(
+            "{}_{}_{}.trace",
+            spec.scale.label(),
+            w.name(),
+            variant.trace_key()
+        ))),
+        _ => None,
+    };
+
+    let cached = cache_path
+        .as_deref()
+        .and_then(|p| load_trace(p, fingerprint));
+
+    // Multicore cells interleave their per-core streams on a schedule
+    // that depends on the machine's timing, so they cannot share one
+    // fused pass; the group's first cell records (with step boundaries)
+    // and the rest replay the trace.
+    if matches!(variant, Variant::Multicore { .. }) {
+        let mut remaining = group.iter();
+        let trace = match cached {
+            Some(trace) => trace,
+            None if group.len() == 1 && cache_path.is_none() => {
+                // Nothing would ever replay the recording: skip it.
+                let &ji = remaining.next().expect("groups are non-empty");
+                out.push((ji, run_job_direct(spec, workloads, modules, jobs[ji])));
+                return out;
+            }
+            None => {
+                let &ji = remaining.next().expect("groups are non-empty");
+                let (cell, trace) = run_job_traced(spec, workloads, modules, jobs[ji], fingerprint);
+                out.push((ji, cell));
+                if let Some(path) = &cache_path {
+                    store_trace(path, &trace);
+                }
+                trace
+            }
+        };
+        for &ji in remaining {
+            out.push((ji, run_job_replay(spec, workloads, jobs[ji], &trace)));
+        }
+        return out;
+    }
+
+    // Single-core cells: one event stream serves the whole group at
+    // once. Cold, the interpreter runs a single time with its events
+    // fanned out to every machine's timing model (plus the encoder when
+    // persisting); warm, the cached trace is decoded once and fanned
+    // out the same way. Either way each kernel is interpreted at most
+    // once per run, and the event stream crosses the host caches once
+    // per group, not once per cell.
+    let configs: Vec<&MachineConfig> = group
+        .iter()
+        .map(|&ji| &spec.machines[jobs[ji].machine])
+        .collect();
+    let mut recorded: Option<TraceRecorder> = None;
+    let t0 = Instant::now();
+    let (stats, from_trace) = match cached {
+        Some(trace) => (
+            replay_on_machines(&configs, &trace)
+                .unwrap_or_else(|e| panic!("batched trace replay failed: {e}")),
+            true,
+        ),
+        None => {
+            let mut recorder = cache_path
+                .as_ref()
+                .map(|_| TraceRecorder::new(1, fingerprint));
+            let stats = run_on_machines_image(
+                &configs,
+                &prepared.image,
+                prepared.func,
+                |interp| w.setup(interp),
+                recorder.as_mut().map(|r| r.stream(0)),
+            );
+            recorded = recorder;
+            (stats, false)
+        }
+    };
+    // wall_ms covers the simulation only; persisting the trace (below)
+    // is cache upkeep, not cell cost.
+    let wall_each = t0.elapsed().as_secs_f64() * 1e3 / group.len() as f64;
+    if let (Some(path), Some(recorder)) = (&cache_path, recorded) {
+        store_trace(path, &recorder.finish());
+    }
+    for (k, (&ji, s)) in group.iter().zip(stats).enumerate() {
+        let job = jobs[ji];
+        out.push((
+            ji,
+            CellResult {
+                machine: spec.machines[job.machine].name,
+                workload: w.name(),
+                variant: spec.variants[job.variant].label(),
+                cores: vec![s],
+                wall_ms: wall_each,
+                replayed: from_trace || k > 0,
+            },
+        ));
+    }
+    out
+}
+
+/// Load a cached trace, rejecting stale fingerprints and warning (once
+/// per file, on stderr) about undecodable ones.
+fn load_trace(path: &Path, fingerprint: u64) -> Option<Trace> {
+    let bytes = std::fs::read(path).ok()?;
+    match Trace::from_bytes(&bytes) {
+        Ok(trace) if trace.fingerprint == fingerprint => Some(trace),
+        Ok(_) => None, // kernel, workload, or scale changed: re-record
+        Err(e) => {
+            eprintln!("warning: ignoring trace {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Persist a recorded trace; cache-write failures degrade to a warning
+/// (the run itself does not depend on the cache).
+fn store_trace(path: &Path, trace: &Trace) {
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, trace.to_bytes())
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: cannot cache trace {}: {e}", path.display());
+    }
+}
+
+/// Shared cell bookkeeping: label the result and time the simulation.
+fn make_cell(
+    machine: &MachineConfig,
+    w: &dyn Workload,
+    variant: &Variant,
+    replayed: bool,
+    body: impl FnOnce() -> Vec<SimStats>,
+) -> CellResult {
+    let t0 = Instant::now();
+    let cores = body();
+    CellResult {
+        machine: machine.name,
+        workload: w.name(),
+        variant: variant.label(),
+        cores,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        replayed,
+    }
+}
+
+fn run_job_direct(
     spec: &ExperimentSpec,
     workloads: &[Box<dyn Workload>],
     modules: &HashMap<(usize, String), PreparedModule>,
@@ -467,8 +774,7 @@ fn run_job(
     let machine = &spec.machines[job.machine];
     let w = workloads[job.workload].as_ref();
     let prepared = &modules[&(job.workload, variant.module_key())];
-    let t0 = Instant::now();
-    let cores = match variant {
+    make_cell(machine, w, variant, false, || match variant {
         Variant::Multicore { cores, .. } => run_multicore_image(
             machine,
             *cores,
@@ -482,14 +788,57 @@ fn run_job(
             prepared.func,
             |interp| w.setup(interp),
         )],
+    })
+}
+
+/// Direct multicore simulation that records every core's stream (with
+/// step boundaries) as it runs; the measured stats are identical to an
+/// untraced run. Single-core cells record through the fused group pass
+/// ([`run_on_machines_image`]) instead.
+fn run_job_traced(
+    spec: &ExperimentSpec,
+    workloads: &[Box<dyn Workload>],
+    modules: &HashMap<(usize, String), PreparedModule>,
+    job: SimJob,
+    fingerprint: u64,
+) -> (CellResult, Trace) {
+    let variant = &spec.variants[job.variant];
+    let Variant::Multicore { cores, .. } = variant else {
+        unreachable!("single-core cells record via the fused group pass")
     };
-    CellResult {
-        machine: machine.name,
-        workload: w.name(),
-        variant: variant.label(),
-        cores,
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-    }
+    let machine = &spec.machines[job.machine];
+    let w = workloads[job.workload].as_ref();
+    let prepared = &modules[&(job.workload, variant.module_key())];
+    let mut recorder = TraceRecorder::new(*cores, fingerprint);
+    let cell = make_cell(machine, w, variant, false, || {
+        run_multicore_image_traced(
+            machine,
+            *cores,
+            &prepared.image,
+            prepared.func,
+            |_, interp| w.setup(interp),
+            &mut recorder,
+        )
+    });
+    (cell, recorder.finish())
+}
+
+/// Replay a recorded trace on this cell's machine — no interpreter in
+/// the loop.
+fn run_job_replay(
+    spec: &ExperimentSpec,
+    workloads: &[Box<dyn Workload>],
+    job: SimJob,
+    trace: &Trace,
+) -> CellResult {
+    let variant = &spec.variants[job.variant];
+    let machine = &spec.machines[job.machine];
+    let w = workloads[job.workload].as_ref();
+    make_cell(machine, w, variant, true, || match variant {
+        Variant::Multicore { .. } => replay_multicore(machine, trace)
+            .unwrap_or_else(|e| panic!("multicore trace replay failed: {e}")),
+        _ => vec![replay_on_machine(machine, trace)],
+    })
 }
 
 /// Structural shape checks every experiment gets for free: the grid is
@@ -641,6 +990,7 @@ pub fn artifact_json(
                 ("workload", Json::Str(c.workload.to_string())),
                 ("variant", Json::Str(c.variant.clone())),
                 ("wall_ms", Json::F64(c.wall_ms)),
+                ("replayed", Json::Bool(c.replayed)),
                 ("cores", Json::Arr(cores)),
             ])
         })
@@ -696,6 +1046,14 @@ pub fn artifact_json(
         ("threads", Json::U64(result.threads as u64)),
         ("jobs", Json::U64(result.cells.len() as u64)),
         ("wall_seconds", Json::F64(result.wall_s)),
+        (
+            "trace",
+            Json::obj(vec![
+                ("policy", Json::Str(result.trace_policy.clone())),
+                ("hits", Json::U64(result.trace_hits() as u64)),
+                ("misses", Json::U64(result.trace_misses() as u64)),
+            ]),
+        ),
         ("machines", Json::Arr(machines)),
         ("cells", Json::Arr(cells)),
         ("derived", Json::Arr(derived)),
@@ -721,13 +1079,16 @@ pub fn run_and_report(
     checks.extend((exp.checks)(&result, &derived));
 
     println!(
-        "\n#### {} — {} [scale={}, {} jobs, {} threads, {:.2}s]",
+        "\n#### {} — {} [scale={}, {} jobs, {} threads, {:.2}s, trace {}: {} replayed / {} interpreted]",
         result.name,
         result.title,
         result.scale.label(),
         result.cells.len(),
         result.threads,
         result.wall_s,
+        result.trace_policy,
+        result.trace_hits(),
+        result.trace_misses(),
     );
     print_sections(&derived);
     let path = write_artifact(out_dir, &result, &derived, &checks)
@@ -743,7 +1104,9 @@ pub fn run_and_report(
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
-    /// Worker threads (`--threads N`, `SWPF_THREADS`; 0 = all cores).
+    /// Worker threads (`--threads N`, `SWPF_THREADS`; 0 = all cores)
+    /// and trace policy (`--trace-dir DIR`, `SWPF_TRACE_DIR`,
+    /// `--no-trace`; default: in-memory record/replay).
     pub run: RunOptions,
     /// Artifact directory (`--out DIR`, default `RESULTS`).
     pub out_dir: PathBuf,
@@ -759,6 +1122,10 @@ pub fn cli_options() -> CliOptions {
         .ok()
         .map(|v| v.parse().expect("SWPF_THREADS must be an integer"))
         .unwrap_or(0);
+    let mut trace = match std::env::var_os("SWPF_TRACE_DIR") {
+        Some(dir) => TracePolicy::Dir(PathBuf::from(dir)),
+        None => TracePolicy::default(),
+    };
     let mut out_dir = PathBuf::from("RESULTS");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -770,11 +1137,20 @@ pub fn cli_options() -> CliOptions {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
-            other => panic!("unknown argument `{other}` (expected --threads N | --out DIR)"),
+            "--trace-dir" => {
+                trace = TracePolicy::Dir(PathBuf::from(
+                    args.next().expect("--trace-dir needs a directory"),
+                ));
+            }
+            "--no-trace" => trace = TracePolicy::Off,
+            other => panic!(
+                "unknown argument `{other}` \
+                 (expected --threads N | --out DIR | --trace-dir DIR | --no-trace)"
+            ),
         }
     }
     CliOptions {
-        run: RunOptions { threads },
+        run: RunOptions { threads, trace },
         out_dir,
     }
 }
@@ -867,9 +1243,28 @@ mod tests {
 
     #[test]
     fn run_options_clamp_to_job_count() {
-        let opts = RunOptions { threads: 64 };
+        let opts = RunOptions {
+            threads: 64,
+            ..RunOptions::default()
+        };
         assert_eq!(opts.effective_threads(3), 3);
         assert_eq!(opts.effective_threads(0), 1);
-        assert!(RunOptions { threads: 0 }.effective_threads(1000) >= 1);
+        assert!(RunOptions::default().effective_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn trace_keys_separate_core_counts_but_share_modules() {
+        let one = Variant::Multicore {
+            cores: 1,
+            auto: false,
+        };
+        let four = Variant::Multicore {
+            cores: 4,
+            auto: false,
+        };
+        assert_eq!(one.module_key(), four.module_key());
+        assert_ne!(one.trace_key(), four.trace_key());
+        assert_eq!(Variant::baseline().trace_key(), "baseline");
+        assert_eq!(four.trace_key(), "baseline_mc4");
     }
 }

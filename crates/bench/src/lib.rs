@@ -17,13 +17,18 @@
 //! Every binary is a thin wrapper over the shared [`harness`]: the grid
 //! is declared in [`experiments`], executed on a pool of host threads,
 //! printed as a table, and serialised to `RESULTS/<name>.json`.
-//! `--bin all` runs the full suite and fails on shape-check violations.
+//! `--bin all` runs the full suite and fails on shape-check violations;
+//! `--bin trace_eq` is the replay-equivalence gate (every experiment,
+//! direct vs. record/replay, counters must match bit-for-bit).
 //!
 //! Run with `cargo run --release -p swpf-bench --bin figN`. Set
 //! `SWPF_SCALE=test` for a fast smoke run with tiny inputs (shapes are
 //! noisier but the harness logic is identical); `--threads N` /
 //! `SWPF_THREADS` bound the worker pool, `--out DIR` moves the
-//! artifact directory.
+//! artifact directory. Trace record/replay is on by default (each
+//! distinct kernel is interpreted once per grid and replayed for every
+//! other machine cell); `--trace-dir DIR` / `SWPF_TRACE_DIR` persist
+//! traces across runs, `--no-trace` disables replay (DESIGN.md §6).
 
 pub mod experiments;
 pub mod harness;

@@ -5,9 +5,17 @@
 use swpf_bench::experiments::{self, ALL_NAMES};
 use swpf_bench::harness::{
     artifact_json, expand, run_experiment, structural_checks, write_artifact, RunOptions,
+    TracePolicy,
 };
 use swpf_bench::json::Json;
 use swpf_workloads::Scale;
+
+fn opts(threads: usize) -> RunOptions {
+    RunOptions {
+        threads,
+        ..RunOptions::default()
+    }
+}
 
 /// Grid sizes of every real experiment, pinned. A change here means the
 /// evaluated grid changed — update deliberately, alongside DESIGN.md §5.
@@ -37,8 +45,8 @@ fn experiment_grid_sizes_are_pinned() {
 #[test]
 fn results_are_thread_count_invariant() {
     let exp = experiments::by_name("fig2", Scale::Test).unwrap();
-    let serial = run_experiment(&exp, &RunOptions { threads: 1 });
-    let threaded = run_experiment(&exp, &RunOptions { threads: 4 });
+    let serial = run_experiment(&exp, &opts(1));
+    let threaded = run_experiment(&exp, &opts(4));
     assert_eq!(serial.cells.len(), threaded.cells.len());
     for (a, b) in serial.cells.iter().zip(&threaded.cells) {
         assert_eq!(
@@ -66,7 +74,7 @@ fn results_are_thread_count_invariant() {
 #[test]
 fn artifact_snapshot_at_test_scale() {
     let exp = experiments::by_name("fig9", Scale::Test).unwrap();
-    let result = run_experiment(&exp, &RunOptions { threads: 2 });
+    let result = run_experiment(&exp, &opts(2));
     let derived = (exp.derive)(&result);
     let mut checks = structural_checks(&result, &derived);
     checks.extend((exp.checks)(&result, &derived));
@@ -131,7 +139,7 @@ fn artifact_snapshot_at_test_scale() {
 #[test]
 fn structural_checks_catch_dead_cells() {
     let exp = experiments::by_name("fig2", Scale::Test).unwrap();
-    let mut result = run_experiment(&exp, &RunOptions { threads: 1 });
+    let mut result = run_experiment(&exp, &opts(1));
     let derived = (exp.derive)(&result);
     assert!(structural_checks(&result, &derived)
         .iter()
@@ -153,7 +161,7 @@ fn structural_checks_catch_dead_cells() {
 fn all_experiments_pass_their_checks_at_test_scale() {
     for name in ALL_NAMES {
         let exp = experiments::by_name(name, Scale::Test).unwrap();
-        let result = run_experiment(&exp, &RunOptions { threads: 2 });
+        let result = run_experiment(&exp, &opts(2));
         let derived = (exp.derive)(&result);
         let mut checks = structural_checks(&result, &derived);
         checks.extend((exp.checks)(&result, &derived));
@@ -164,4 +172,117 @@ fn all_experiments_pass_their_checks_at_test_scale() {
         let doc = artifact_json(&result, &derived, &checks);
         assert_eq!(Json::parse(&doc.to_pretty_string()).unwrap(), doc);
     }
+}
+
+/// Compare two runs of the same experiment cell-by-cell: every counter
+/// of every core must match bit-for-bit.
+fn assert_cells_identical(
+    name: &str,
+    a: &swpf_bench::harness::ExperimentResult,
+    b: &swpf_bench::harness::ExperimentResult,
+) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{name}: cell count");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(
+            (ca.machine, ca.workload, &ca.variant),
+            (cb.machine, cb.workload, &cb.variant),
+            "{name}: cell order"
+        );
+        assert_eq!(ca.cores.len(), cb.cores.len());
+        for (sa, sb) in ca.cores.iter().zip(&cb.cores) {
+            assert_eq!(
+                sa.counters(),
+                sb.counters(),
+                "{name}: {}/{}/{} diverged",
+                ca.machine,
+                ca.workload,
+                ca.variant
+            );
+        }
+    }
+}
+
+/// The replay equivalence contract at harness level: the default
+/// record/replay policy produces cell-identical statistics to direct
+/// simulation, including the multicore (fig9) and TLB-sweep (fig10)
+/// grids, and actually replays the machine-axis cells.
+#[test]
+fn traced_runs_match_direct_runs() {
+    for name in ["fig2", "fig9", "fig10"] {
+        let exp = experiments::by_name(name, Scale::Test).unwrap();
+        let direct = run_experiment(
+            &exp,
+            &RunOptions {
+                threads: 2,
+                trace: TracePolicy::Off,
+            },
+        );
+        let traced = run_experiment(&exp, &opts(2));
+        assert_eq!(direct.trace_hits(), 0);
+        assert_cells_identical(name, &direct, &traced);
+        assert_eq!((exp.derive)(&direct), (exp.derive)(&traced));
+    }
+    // fig2 runs 4 machines × 5 variants off 5 traces: 15 replays.
+    let exp = experiments::by_name("fig2", Scale::Test).unwrap();
+    let traced = run_experiment(&exp, &opts(2));
+    assert_eq!(traced.trace_misses(), 5, "one interpretation per kernel");
+    assert_eq!(traced.trace_hits(), 15, "every other machine cell replays");
+}
+
+/// The persistent trace cache: a second run replays every cell from
+/// disk, and the artifact records hits/misses.
+#[test]
+fn trace_dir_caches_across_runs() {
+    let dir = std::env::temp_dir().join(format!("swpf_traces_{}", std::process::id()));
+    let exp = experiments::by_name("fig10", Scale::Test).unwrap();
+    let run = || {
+        run_experiment(
+            &exp,
+            &RunOptions {
+                threads: 1,
+                trace: TracePolicy::Dir(dir.clone()),
+            },
+        )
+    };
+    let cold = run();
+    let warm = run();
+    std::fs::remove_dir_all(&dir).ok();
+    // fig10: 2 page-size machines × 3 workloads × 2 variants, 6 traces.
+    assert_eq!(cold.trace_misses(), 6, "cold run records each kernel once");
+    assert_eq!(warm.trace_misses(), 0, "warm run replays everything");
+    assert_eq!(warm.trace_hits(), 12);
+    assert_cells_identical("fig10", &cold, &warm);
+
+    let doc = artifact_json(&warm, &[], &[]);
+    let trace = doc.get("trace").expect("trace summary in artifact");
+    assert_eq!(trace.get("hits").unwrap().as_u64(), Some(12));
+    assert_eq!(trace.get("misses").unwrap().as_u64(), Some(0));
+    let cells = doc.get("cells").unwrap().as_array().unwrap();
+    assert!(cells
+        .iter()
+        .all(|c| c.get("replayed").unwrap() == &Json::Bool(true)));
+}
+
+/// Multicore traces round-trip through the disk cache too: a warm fig9
+/// run replays every per-core stream with the interleaver's schedule
+/// preserved, bit-identically.
+#[test]
+fn trace_dir_replays_multicore_cells() {
+    let dir = std::env::temp_dir().join(format!("swpf_mc_traces_{}", std::process::id()));
+    let exp = experiments::by_name("fig9", Scale::Test).unwrap();
+    let run = || {
+        run_experiment(
+            &exp,
+            &RunOptions {
+                threads: 1,
+                trace: TracePolicy::Dir(dir.clone()),
+            },
+        )
+    };
+    let cold = run();
+    let warm = run();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(cold.trace_misses(), 6, "six multicore cells, six traces");
+    assert_eq!(warm.trace_hits(), 6, "warm run replays all of them");
+    assert_cells_identical("fig9", &cold, &warm);
 }

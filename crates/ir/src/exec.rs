@@ -802,7 +802,11 @@ impl Engine {
     /// # Panics
     /// If called without an active cursor (no `start`, or after `Done`).
     #[inline]
-    pub fn step(&mut self, mem: &mut Memory, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
+    pub fn step(
+        &mut self,
+        mem: &mut Memory,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Step, Trap> {
         let image = self.image.as_deref().expect("step() without an image");
         self.st.step(image, mem, obs)
     }
@@ -814,7 +818,7 @@ impl Engine {
     pub fn run_to_done(
         &mut self,
         mem: &mut Memory,
-        obs: &mut dyn ExecObserver,
+        obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Option<RtVal>, Trap> {
         let image = self.image.as_deref().expect("run without an image");
         loop {
@@ -833,7 +837,7 @@ impl State {
         &mut self,
         image: &ExecImage,
         mem: &mut Memory,
-        obs: &mut dyn ExecObserver,
+        obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Step, Trap> {
         if self.retired >= self.fuel {
             return Err(Trap::OutOfFuel);
@@ -1060,7 +1064,7 @@ impl State {
         fi: &FuncImage,
         edge: u32,
         frame_id: u64,
-        obs: &mut dyn ExecObserver,
+        obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<(), Trap> {
         let e = fi.edges[edge as usize];
         let moves = &fi.moves[e.moves_at as usize..(e.moves_at + e.moves_len) as usize];

@@ -379,7 +379,7 @@ impl Interp {
         module: &Module,
         func: FuncId,
         args: &[RtVal],
-        obs: &mut dyn ExecObserver,
+        obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Option<RtVal>, Trap> {
         self.start(module, func, args);
         self.engine.run_to_done(&mut self.mem, obs)
@@ -396,7 +396,7 @@ impl Interp {
         image: Arc<ExecImage>,
         func: FuncId,
         args: &[RtVal],
-        obs: &mut dyn ExecObserver,
+        obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Option<RtVal>, Trap> {
         self.engine.start(image, func, args);
         self.engine.run_to_done(&mut self.mem, obs)
@@ -414,7 +414,11 @@ impl Interp {
     /// # Panics
     /// If called without an active cursor (no `start`, or after `Done`).
     #[inline]
-    pub fn step(&mut self, _module: &Module, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
+    pub fn step(
+        &mut self,
+        _module: &Module,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Step, Trap> {
         self.step_cursor(obs)
     }
 
@@ -429,7 +433,7 @@ impl Interp {
     /// # Panics
     /// If called without an active cursor (no `start`, or after `Done`).
     #[inline]
-    pub fn step_cursor(&mut self, obs: &mut dyn ExecObserver) -> Result<Step, Trap> {
+    pub fn step_cursor(&mut self, obs: &mut (impl ExecObserver + ?Sized)) -> Result<Step, Trap> {
         self.engine.step(&mut self.mem, obs)
     }
 }

@@ -27,6 +27,14 @@
 //!   accesses are already fast without software help and only *indirect*
 //!   accesses benefit from the pass, as in the paper's machines.
 //!
+//! Because the timing models consume nothing but the retire-event
+//! stream, every machine supports three equivalent execution paths:
+//! **direct** (interpreter drives the observer), **traced** (direct
+//! plus a `swpf-trace` recording tee'd in), and **replay** (a recorded
+//! trace drives the observer with no interpreter at all) — the replayed
+//! statistics are bit-identical to direct simulation, single- and
+//! multi-core ([`machine`], [`multicore`]).
+//!
 //! Absolute cycle counts are not the point — the paper's authors had
 //! silicon; we have a model. The claims this simulator supports are the
 //! *relative* ones: who wins, by roughly what factor, and where the
@@ -43,9 +51,14 @@ pub mod stats;
 pub mod stride;
 pub mod tlb;
 
-pub use machine::{run_on_machine, run_on_machine_image, Machine};
+pub use machine::{
+    replay_on_machine, replay_on_machines, run_on_machine, run_on_machine_image,
+    run_on_machine_traced, run_on_machines_image, Machine,
+};
 pub use memsys::{AccessKind, MemSys, SharedMem};
-pub use multicore::{run_multicore, run_multicore_image};
+pub use multicore::{
+    replay_multicore, run_multicore, run_multicore_image, run_multicore_image_traced,
+};
 pub use presets::{CoreKind, MachineConfig};
 pub use stats::SimStats;
 

@@ -5,6 +5,13 @@
 //! (inside `Interp::start`) and then executes the dense image, reporting
 //! every retired instruction to the timing model through the
 //! [`ExecObserver`] contract.
+//!
+//! Because the timing model consumes nothing but that event stream, a
+//! machine can also be driven from a recorded [`Trace`] with no
+//! interpreter in the loop at all ([`Machine::replay`]) — the replayed
+//! [`SimStats`] are bit-identical to direct simulation. Recording
+//! composes with timing via [`Machine::run_image_traced`], which tees
+//! the events of a measured run into a [`StreamEncoder`].
 
 use crate::cpu::Core;
 use crate::memsys::{MemSys, SharedMem};
@@ -14,6 +21,7 @@ use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Trap};
 use swpf_ir::{FuncId, Module};
+use swpf_trace::{FanOut, StreamEncoder, Tee, Trace, TraceError};
 
 /// A single simulated core with its full memory hierarchy.
 #[derive(Debug)]
@@ -25,10 +33,13 @@ pub struct Machine {
     shared: SharedMem,
 }
 
-struct TimingObserver<'a> {
-    core: &'a mut Core,
-    mem: &'a mut MemSys,
-    shared: &'a mut SharedMem,
+/// The one observer that wires retire events into a timing model —
+/// every execution path (single-core direct, traced, replayed, and the
+/// multicore interleaver) goes through this adapter.
+pub(crate) struct TimingObserver<'a> {
+    pub(crate) core: &'a mut Core,
+    pub(crate) mem: &'a mut MemSys,
+    pub(crate) shared: &'a mut SharedMem,
 }
 
 impl ExecObserver for TimingObserver<'_> {
@@ -60,6 +71,16 @@ impl Machine {
         }
     }
 
+    /// The timing observer over this machine's core and memory system —
+    /// the single observer-wiring path every run/replay flavour uses.
+    pub(crate) fn observer(&mut self) -> TimingObserver<'_> {
+        TimingObserver {
+            core: &mut self.core,
+            mem: &mut self.mem,
+            shared: &mut self.shared,
+        }
+    }
+
     /// Run `func` to completion on this machine, using `interp` for
     /// architectural state (set up its memory before calling).
     ///
@@ -72,11 +93,7 @@ impl Machine {
         interp: &mut Interp,
         args: &[RtVal],
     ) -> Result<SimStats, Trap> {
-        let mut obs = TimingObserver {
-            core: &mut self.core,
-            mem: &mut self.mem,
-            shared: &mut self.shared,
-        };
+        let mut obs = self.observer();
         interp.run(module, func, args, &mut obs)?;
         Ok(self.stats())
     }
@@ -94,12 +111,52 @@ impl Machine {
         interp: &mut Interp,
         args: &[RtVal],
     ) -> Result<SimStats, Trap> {
-        let mut obs = TimingObserver {
-            core: &mut self.core,
-            mem: &mut self.mem,
-            shared: &mut self.shared,
-        };
+        let mut obs = self.observer();
         interp.run_with_image(image, func, args, &mut obs)?;
+        Ok(self.stats())
+    }
+
+    /// Like [`Machine::run_image`], but additionally records the
+    /// retire-event stream into `enc` while the timing model measures
+    /// it — the record-while-measuring shape the experiment harness
+    /// uses for a grid's first machine cell. The measured [`SimStats`]
+    /// are identical to an untraced run.
+    ///
+    /// Single-core replay never consults step boundaries (they exist to
+    /// reproduce the multicore interleaver's schedule), so this rides
+    /// the engine's fast `run_to_done` loop with a [`Tee`] rather than
+    /// the step-driven [`record_cursor`] the multicore recorder needs.
+    ///
+    /// # Errors
+    /// Any [`Trap`] the program raises.
+    pub fn run_image_traced(
+        &mut self,
+        image: Arc<ExecImage>,
+        func: FuncId,
+        interp: &mut Interp,
+        args: &[RtVal],
+        enc: &mut StreamEncoder,
+    ) -> Result<SimStats, Trap> {
+        let mut obs = self.observer();
+        let mut tee = Tee(enc, &mut obs);
+        interp.run_with_image(image, func, args, &mut tee)?;
+        Ok(self.stats())
+    }
+
+    /// Feed core 0 of a recorded [`Trace`] straight into this machine's
+    /// timing model — no interpreter, no simulated memory, just the
+    /// event stream. Bit-identical to the direct simulation the trace
+    /// was recorded from (the replay equivalence contract; enforced by
+    /// tests and the CI `trace-equivalence` job).
+    ///
+    /// # Errors
+    /// Any [`TraceError`] in the encoded stream.
+    pub fn replay(&mut self, trace: &Trace) -> Result<SimStats, TraceError> {
+        let mut cursor = trace.cursor(0)?;
+        let mut obs = self.observer();
+        while let Some((ev, _)) = cursor.next_event()? {
+            obs.on_event(&ev);
+        }
         Ok(self.stats())
     }
 
@@ -143,6 +200,21 @@ impl MachineStatsParts<'_> {
     }
 }
 
+/// Shared glue of every `run_on_machine*` convenience: build a fresh
+/// interpreter, let `setup` allocate and initialise workload memory
+/// (returning the kernel arguments), build a machine, and treat traps
+/// as fatal configuration errors.
+fn run_fresh(
+    config: &MachineConfig,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+    body: impl FnOnce(&mut Machine, &mut Interp, &[RtVal]) -> Result<SimStats, Trap>,
+) -> SimStats {
+    let mut interp = Interp::new();
+    let args = setup(&mut interp);
+    let mut machine = Machine::new(config.clone());
+    body(&mut machine, &mut interp, &args).unwrap_or_else(|t| panic!("simulation trapped: {t}"))
+}
+
 /// Convenience: build an interpreter, let `setup` allocate and initialise
 /// workload memory (returning the kernel arguments), then simulate
 /// `func_name` on `config`.
@@ -159,12 +231,9 @@ pub fn run_on_machine(
     let func = module
         .find_function(func_name)
         .unwrap_or_else(|| panic!("no function `{func_name}` in module"));
-    let mut interp = Interp::new();
-    let args = setup(&mut interp);
-    let mut machine = Machine::new(config.clone());
-    machine
-        .run(module, func, &mut interp, &args)
-        .unwrap_or_else(|t| panic!("simulation trapped: {t}"))
+    run_fresh(config, setup, |machine, interp, args| {
+        machine.run(module, func, interp, args)
+    })
 }
 
 /// Like [`run_on_machine`], from an already-decoded image (decode once,
@@ -180,12 +249,94 @@ pub fn run_on_machine_image(
     func: FuncId,
     setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
 ) -> SimStats {
+    run_fresh(config, setup, |machine, interp, args| {
+        machine.run_image(Arc::clone(image), func, interp, args)
+    })
+}
+
+/// Like [`run_on_machine_image`], but records the retire-event stream
+/// into `enc` while measuring (see [`Machine::run_image_traced`]).
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machine_traced(
+    config: &MachineConfig,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+    enc: &mut StreamEncoder,
+) -> SimStats {
+    run_fresh(config, setup, |machine, interp, args| {
+        machine.run_image_traced(Arc::clone(image), func, interp, args, enc)
+    })
+}
+
+/// Replay a single-core trace on `config` (see [`Machine::replay`]).
+///
+/// # Panics
+/// On a malformed trace — harness code treats that as a fatal cache
+/// error.
+pub fn replay_on_machine(config: &MachineConfig, trace: &Trace) -> SimStats {
+    Machine::new(config.clone())
+        .replay(trace)
+        .unwrap_or_else(|e| panic!("trace replay failed: {e}"))
+}
+
+/// Simulate one functional execution on every machine of a grid row at
+/// once: the engine's event stream fans out to each machine's timing
+/// observer — and, when `enc` is given, to a trace encoder — so N
+/// cells pay for one interpretation. Each machine's [`SimStats`] are
+/// bit-identical to a dedicated run (events are observer-independent).
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machines_image(
+    configs: &[&MachineConfig],
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+    enc: Option<&mut StreamEncoder>,
+) -> Vec<SimStats> {
     let mut interp = Interp::new();
     let args = setup(&mut interp);
-    let mut machine = Machine::new(config.clone());
-    machine
-        .run_image(Arc::clone(image), func, &mut interp, &args)
-        .unwrap_or_else(|t| panic!("simulation trapped: {t}"))
+    let mut machines: Vec<Machine> = configs.iter().map(|c| Machine::new((*c).clone())).collect();
+    {
+        let mut timing: Vec<TimingObserver<'_>> =
+            machines.iter_mut().map(Machine::observer).collect();
+        let mut receivers: Vec<&mut dyn ExecObserver> = Vec::with_capacity(timing.len() + 1);
+        if let Some(enc) = enc {
+            receivers.push(enc);
+        }
+        receivers.extend(timing.iter_mut().map(|o| o as &mut dyn ExecObserver));
+        let mut fan = FanOut(receivers);
+        interp
+            .run_with_image(Arc::clone(image), func, &args, &mut fan)
+            .unwrap_or_else(|t| panic!("simulation trapped: {t}"));
+    }
+    machines.iter().map(Machine::stats).collect()
+}
+
+/// Replay a single-core trace on every machine of a grid row at once:
+/// the trace is decoded (and its payload streamed through the host
+/// caches) a single time, with each event fanned out to all timing
+/// models — the batched warm-cache shape of the experiment harness.
+///
+/// # Errors
+/// Any [`TraceError`] in the encoded stream.
+pub fn replay_on_machines(
+    configs: &[&MachineConfig],
+    trace: &Trace,
+) -> Result<Vec<SimStats>, TraceError> {
+    let mut machines: Vec<Machine> = configs.iter().map(|c| Machine::new((*c).clone())).collect();
+    let mut cursor = trace.cursor(0)?;
+    while let Some((ev, _)) = cursor.next_event()? {
+        for m in &mut machines {
+            m.observer().on_event(&ev);
+        }
+    }
+    Ok(machines.iter().map(Machine::stats).collect())
 }
 
 #[cfg(test)]
@@ -241,6 +392,83 @@ mod tests {
         assert!(stats.insts.loads >= 4096);
         assert!(stats.l1_hits > stats.l1_misses, "stream mostly hits in L1");
         assert!(stats.ipc() > 0.1);
+    }
+
+    /// The replay equivalence contract at machine level: a run recorded
+    /// while measuring produces the same stats as an untraced run, and
+    /// replaying the trace (round-tripped through the binary envelope)
+    /// on a fresh machine reproduces every counter bit-for-bit — on
+    /// both core models.
+    #[test]
+    fn replay_is_bit_identical_to_direct() {
+        let m = stream_kernel();
+        let f = m.find_function("sum").unwrap();
+        let image = Arc::new(ExecImage::build(&m));
+        let setup = |interp: &mut Interp| {
+            let n = 8192u64;
+            let a = interp.alloc_array(n, 8).unwrap();
+            for i in 0..n {
+                interp.mem().write(a + i * 8, 8, i % 7).unwrap();
+            }
+            vec![RtVal::Int(a as i64), RtVal::Int(n as i64)]
+        };
+        for cfg in [MachineConfig::haswell(), MachineConfig::a53()] {
+            let direct = run_on_machine_image(&cfg, &image, f, setup);
+            let mut rec = swpf_trace::TraceRecorder::new(1, 42);
+            let traced = run_on_machine_traced(&cfg, &image, f, setup, rec.stream(0));
+            let trace = Trace::from_bytes(&rec.finish().to_bytes()).unwrap();
+            let replayed = replay_on_machine(&cfg, &trace);
+            assert_eq!(
+                direct.counters(),
+                traced.counters(),
+                "recording must not perturb timing on {}",
+                cfg.name
+            );
+            assert_eq!(
+                direct.counters(),
+                replayed.counters(),
+                "replay must be bit-identical on {}",
+                cfg.name
+            );
+            assert_eq!(trace.events(0), direct.insts.total);
+        }
+    }
+
+    /// Batched execution and batched replay: one interpretation (or one
+    /// decode pass) driving several machines produces exactly the stats
+    /// of dedicated per-machine runs.
+    #[test]
+    fn fanout_runs_match_dedicated_runs() {
+        let m = stream_kernel();
+        let f = m.find_function("sum").unwrap();
+        let image = Arc::new(ExecImage::build(&m));
+        let setup = |interp: &mut Interp| {
+            let n = 4096u64;
+            let a = interp.alloc_array(n, 8).unwrap();
+            for i in 0..n {
+                interp.mem().write(a + i * 8, 8, i % 5).unwrap();
+            }
+            vec![RtVal::Int(a as i64), RtVal::Int(n as i64)]
+        };
+        let cfgs = [
+            MachineConfig::haswell(),
+            MachineConfig::a53(),
+            MachineConfig::xeon_phi(),
+        ];
+        let refs: Vec<&MachineConfig> = cfgs.iter().collect();
+        let dedicated: Vec<SimStats> = cfgs
+            .iter()
+            .map(|c| run_on_machine_image(c, &image, f, setup))
+            .collect();
+
+        let mut rec = swpf_trace::TraceRecorder::new(1, 0);
+        let fanned = run_on_machines_image(&refs, &image, f, setup, Some(rec.stream(0)));
+        let trace = rec.finish();
+        let batched = replay_on_machines(&refs, &trace).unwrap();
+        for ((d, fo), b) in dedicated.iter().zip(&fanned).zip(&batched) {
+            assert_eq!(d.counters(), fo.counters(), "fan-out must match dedicated");
+            assert_eq!(d.counters(), b.counters(), "batched replay must match");
+        }
     }
 
     #[test]

@@ -9,16 +9,27 @@
 //!
 //! The module is decoded into an [`ExecImage`] once and shared by every
 //! core's engine, so per-core cost is only the (small) frame state.
+//!
+//! Like the single-core [`crate::Machine`], the interleaver can record
+//! each core's retire-event stream while it measures
+//! ([`run_multicore_image_traced`]) and re-drive the timing models from
+//! a recorded trace with no interpreters at all ([`replay_multicore`]).
+//! Replay preserves the direct runner's scheduling exactly: traces
+//! carry interpreter-step boundaries, and both paths interleave cores
+//! by smallest local clock in 64-step batches, so shared-resource
+//! contention — the whole point of Fig. 9 — is reproduced
+//! bit-identically.
 
 use crate::cpu::Core;
-use crate::machine::MachineStatsParts;
+use crate::machine::{MachineStatsParts, TimingObserver};
 use crate::memsys::{MemSys, SharedMem};
 use crate::presets::MachineConfig;
 use crate::stats::SimStats;
 use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
-use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Step};
+use swpf_ir::interp::{ExecObserver, Interp, RtVal, Step};
 use swpf_ir::{FuncId, Module};
+use swpf_trace::{Tee, Trace, TraceError, TraceRecorder};
 
 struct CoreSlot {
     interp: Interp,
@@ -28,23 +39,41 @@ struct CoreSlot {
     done: bool,
 }
 
-struct Obs<'a> {
-    core: &'a mut Core,
-    mem: &'a mut MemSys,
-    shared: &'a mut SharedMem,
-}
-
-impl ExecObserver for Obs<'_> {
-    fn on_event(&mut self, ev: &Event<'_>) {
-        self.core.retire(
-            self.mem,
-            self.shared,
-            ev.kind,
-            ev.frame,
-            ev.result.0,
-            ev.operands,
-            ev.pc,
-        );
+/// Steps one interleaved core batch: 64 interpreter steps (or until the
+/// program finishes), reporting events through the shared
+/// [`TimingObserver`] path, optionally tee'd into a per-core trace
+/// stream.
+fn step_batch(
+    i: usize,
+    slot: &mut CoreSlot,
+    shared: &mut SharedMem,
+    recorder: &mut Option<&mut TraceRecorder>,
+) {
+    for _ in 0..64 {
+        let mut obs = TimingObserver {
+            core: &mut slot.core,
+            mem: &mut slot.mem,
+            shared,
+        };
+        let step = match recorder {
+            Some(rec) => {
+                let step = {
+                    let mut tee = Tee(rec.stream(i), &mut obs);
+                    slot.interp.step_cursor(&mut tee)
+                };
+                rec.stream(i).end_step();
+                step
+            }
+            None => slot.interp.step_cursor(&mut obs),
+        };
+        match step {
+            Ok(Step::Continue) => {}
+            Ok(Step::Done(_)) => {
+                slot.done = true;
+                break;
+            }
+            Err(t) => panic!("core {i} trapped: {t}"),
+        }
     }
 }
 
@@ -85,7 +114,36 @@ pub fn run_multicore_image(
     n_cores: usize,
     image: &Arc<ExecImage>,
     func: FuncId,
+    setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+) -> Vec<SimStats> {
+    run_multicore_inner(config, n_cores, image, func, setup, None)
+}
+
+/// Like [`run_multicore_image`], additionally recording each core's
+/// retire-event stream (with step boundaries) into `recorder` while the
+/// timing models measure. The recorder must have been built with
+/// `n_cores` streams.
+///
+/// # Panics
+/// If any core's program traps, or the recorder has too few streams.
+pub fn run_multicore_image_traced(
+    config: &MachineConfig,
+    n_cores: usize,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+    recorder: &mut TraceRecorder,
+) -> Vec<SimStats> {
+    run_multicore_inner(config, n_cores, image, func, setup, Some(recorder))
+}
+
+fn run_multicore_inner(
+    config: &MachineConfig,
+    n_cores: usize,
+    image: &Arc<ExecImage>,
+    func: FuncId,
     mut setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+    mut recorder: Option<&mut TraceRecorder>,
 ) -> Vec<SimStats> {
     let mut shared = SharedMem::new(config);
     let mut slots: Vec<CoreSlot> = (0..n_cores)
@@ -108,7 +166,10 @@ pub fn run_multicore_image(
             .start_with_image(Arc::clone(image), func, &slot.args);
     }
 
-    // Interleave: step the core with the smallest local clock.
+    // Interleave: step the core with the smallest local clock, in small
+    // batches to amortise scheduling overhead; local clocks advance
+    // slowly per instruction so interleaving stays fine-grained enough
+    // for bandwidth contention.
     loop {
         let next = slots
             .iter()
@@ -117,25 +178,7 @@ pub fn run_multicore_image(
             .min_by_key(|(_, s)| s.core.clock_ticks())
             .map(|(i, _)| i);
         let Some(i) = next else { break };
-        let slot = &mut slots[i];
-        // Step a small batch to amortise scheduling overhead; local
-        // clocks advance slowly per instruction so interleaving stays
-        // fine-grained enough for bandwidth contention.
-        for _ in 0..64 {
-            let mut obs = Obs {
-                core: &mut slot.core,
-                mem: &mut slot.mem,
-                shared: &mut shared,
-            };
-            match slot.interp.step_cursor(&mut obs) {
-                Ok(Step::Continue) => {}
-                Ok(Step::Done(_)) => {
-                    slot.done = true;
-                    break;
-                }
-                Err(t) => panic!("core {i} trapped: {t}"),
-            }
-        }
+        step_batch(i, &mut slots[i], &mut shared, &mut recorder);
     }
 
     slots
@@ -149,6 +192,81 @@ pub fn run_multicore_image(
             .collect()
         })
         .collect()
+}
+
+/// Re-drive `trace.num_cores()` timing models from a recorded multicore
+/// trace — no interpreters, no simulated memory. Scheduling matches
+/// [`run_multicore_image`] exactly (smallest-clock-first, 64-step
+/// batches, using the step boundaries the trace carries), so the
+/// per-core statistics are bit-identical to the direct run the trace
+/// was recorded from.
+///
+/// # Errors
+/// Any [`TraceError`] in the encoded streams.
+pub fn replay_multicore(
+    config: &MachineConfig,
+    trace: &Trace,
+) -> Result<Vec<SimStats>, TraceError> {
+    struct ReplaySlot<'t> {
+        cursor: swpf_trace::EventCursor<'t>,
+        core: Core,
+        mem: MemSys,
+        done: bool,
+    }
+    let mut shared = SharedMem::new(config);
+    let mut slots: Vec<ReplaySlot<'_>> = (0..trace.num_cores())
+        .map(|i| {
+            let mut mem = MemSys::new(config);
+            mem.set_address_space(i as u64);
+            Ok(ReplaySlot {
+                cursor: trace.cursor(i)?,
+                core: Core::new(config),
+                mem,
+                done: false,
+            })
+        })
+        .collect::<Result<_, TraceError>>()?;
+
+    loop {
+        let next = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .min_by_key(|(_, s)| s.core.clock_ticks())
+            .map(|(i, _)| i);
+        let Some(i) = next else { break };
+        let slot = &mut slots[i];
+        'batch: for _ in 0..64 {
+            // One interpreter step = events up to an end-of-step mark.
+            loop {
+                let Some((ev, end_of_step)) = slot.cursor.next_event()? else {
+                    slot.done = true;
+                    break 'batch;
+                };
+                let mut obs = TimingObserver {
+                    core: &mut slot.core,
+                    mem: &mut slot.mem,
+                    shared: &mut shared,
+                };
+                obs.on_event(&ev);
+                if end_of_step {
+                    break;
+                }
+            }
+        }
+    }
+
+    Ok(slots
+        .iter()
+        .map(|s| {
+            MachineStatsParts {
+                core: &s.core,
+                mem: &s.mem,
+                shared: &shared,
+            }
+            .collect()
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -231,5 +349,31 @@ mod tests {
             worst > solo_c,
             "sharing the LLC and DRAM must cost something: {solo_c} vs {worst}"
         );
+    }
+
+    /// Replay equivalence under contention: recording a multicore run
+    /// does not perturb it, and replaying the (envelope round-tripped)
+    /// trace reproduces every core's counters bit-for-bit — the
+    /// step-boundary scheduling contract.
+    #[test]
+    fn multicore_replay_is_bit_identical() {
+        let m = pointer_chase_module();
+        let f = m.find_function("chase").unwrap();
+        let cfg = MachineConfig::haswell();
+        let image = Arc::new(ExecImage::build(&m));
+        let setup = |_: usize, interp: &mut Interp| {
+            let a = setup_ring(interp, 1 << 12);
+            vec![RtVal::Int(a as i64), RtVal::Int(500)]
+        };
+        let direct = run_multicore_image(&cfg, 3, &image, f, setup);
+        let mut rec = TraceRecorder::new(3, 0);
+        let traced = run_multicore_image_traced(&cfg, 3, &image, f, setup, &mut rec);
+        let trace = Trace::from_bytes(&rec.finish().to_bytes()).unwrap();
+        let replayed = replay_multicore(&cfg, &trace).unwrap();
+        assert_eq!(replayed.len(), 3);
+        for (i, ((d, t), r)) in direct.iter().zip(&traced).zip(&replayed).enumerate() {
+            assert_eq!(d.counters(), t.counters(), "recording perturbed core {i}");
+            assert_eq!(d.counters(), r.counters(), "replay diverged on core {i}");
+        }
     }
 }

@@ -1,0 +1,471 @@
+//! # swpf-trace — record/replay event traces for the timing simulator
+//!
+//! Every figure of the paper is a machine × workload × variant grid, and
+//! functional execution is machine-independent: the retire-event stream
+//! the pre-decoded engine reports through [`ExecObserver`] is identical
+//! no matter which timing model is attached (the differential and
+//! thread-invariance suites prove it). This crate decouples the two
+//! halves: **record** the event stream once per kernel, then **replay**
+//! it straight into each machine's timing model (`Core::retire` in
+//! `swpf-sim`) with no interpreter in the loop.
+//!
+//! The format is a compact owned binary (see `stream` for the event
+//! grammar and DESIGN.md §6 for the full layout):
+//!
+//! * a versioned header with a kernel **fingerprint** so stale cached
+//!   traces are detected, not silently replayed;
+//! * one varint + delta-encoded **event section per core**, so multicore
+//!   grids (Fig. 9) record each core's stream and replay preserves the
+//!   direct runner's step-granular interleaving;
+//! * a checksummed **footer** (word-at-a-time FNV-1a per payload,
+//!   combined across cores) rejecting torn or corrupted files.
+//!
+//! Recording composes with timing: [`StreamEncoder`] is itself an
+//! [`ExecObserver`], and [`Tee`] fans one event out to two observers, so
+//! a simulation can *record while it measures* — the experiment harness
+//! records a group's first cell during its direct simulation and replays
+//! the remaining machines from the trace.
+//!
+//! The replay equivalence contract — replayed `SimStats` are
+//! bit-identical to direct simulation — is enforced by `swpf-sim` unit
+//! tests, `swpf-bench`'s harness tests, and the CI `trace-equivalence`
+//! job (all nine experiments).
+
+mod stream;
+mod wire;
+
+pub use stream::{EventCursor, StreamEncoder};
+pub use wire::{fnv64, Fnv64};
+
+use std::fmt;
+use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Step, Trap};
+use wire::{checksum64, checksum_combine, get_u32, get_u64, put_u32, put_u64, CHECKSUM_SEED};
+
+/// Leading file magic.
+const MAGIC: &[u8; 8] = b"SWPFTRCE";
+/// Trailing file magic.
+const END_MAGIC: &[u8; 8] = b"SWPFEND.";
+/// Current format version. Bump on any grammar or envelope change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a trace could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// The leading or trailing magic bytes are wrong.
+    BadMagic,
+    /// The header names a version this build does not speak.
+    UnsupportedVersion(u32),
+    /// The footer checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the footer.
+        stored: u64,
+        /// Checksum computed over the decoded payloads.
+        computed: u64,
+    },
+    /// A structurally invalid stream (the reason names the rule broken).
+    Corrupt(&'static str),
+    /// A replay asked for a core the trace does not contain.
+    MissingCore(usize),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadMagic => write!(f, "not a swpf trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (this build speaks {FORMAT_VERSION})"
+                )
+            }
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+            TraceError::MissingCore(i) => write!(f, "trace has no stream for core {i}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One core's encoded stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CoreTrace {
+    events: u64,
+    payload: Vec<u8>,
+}
+
+/// An owned, encoded retire-event trace: per-core streams plus the
+/// kernel fingerprint they were recorded from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Caller-chosen digest of everything the stream depends on (kernel
+    /// module, workload data, scale, core count). [`Trace::from_bytes`]
+    /// surfaces it so caches can reject stale files.
+    pub fingerprint: u64,
+    cores: Vec<CoreTrace>,
+}
+
+impl Trace {
+    /// Number of per-core streams.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Recorded event count of one core's stream.
+    ///
+    /// # Panics
+    /// If `core` is out of range.
+    #[must_use]
+    pub fn events(&self, core: usize) -> u64 {
+        self.cores[core].events
+    }
+
+    /// Total encoded payload bytes across all cores (reporting only;
+    /// excludes the envelope).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.cores.iter().map(|c| c.payload.len()).sum()
+    }
+
+    /// A streaming decode cursor over one core's events.
+    ///
+    /// # Errors
+    /// [`TraceError::MissingCore`] if the trace has no such stream.
+    pub fn cursor(&self, core: usize) -> Result<EventCursor<'_>, TraceError> {
+        let ct = self.cores.get(core).ok_or(TraceError::MissingCore(core))?;
+        Ok(EventCursor::new(&ct.payload, ct.events))
+    }
+
+    /// Serialise to the versioned on-disk envelope.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self.payload_bytes();
+        let mut out = Vec::with_capacity(payload + 64 + 24 * self.cores.len());
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, self.fingerprint);
+        put_u32(&mut out, self.cores.len() as u32);
+        let mut sum = CHECKSUM_SEED;
+        for c in &self.cores {
+            put_u64(&mut out, c.events);
+            put_u64(&mut out, c.payload.len() as u64);
+            out.extend_from_slice(&c.payload);
+            sum = checksum_combine(sum, checksum64(&c.payload));
+        }
+        put_u64(&mut out, sum);
+        out.extend_from_slice(END_MAGIC);
+        out
+    }
+
+    /// Decode an envelope, verifying magic, version, and checksum.
+    ///
+    /// # Errors
+    /// Any [`TraceError`] the envelope violates. Event payloads are
+    /// validated lazily, by [`EventCursor::next_event`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut pos = 0usize;
+        if bytes.len() < MAGIC.len() {
+            return Err(TraceError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        pos += MAGIC.len();
+        let version = get_u32(bytes, &mut pos)?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let fingerprint = get_u64(bytes, &mut pos)?;
+        let n_cores = get_u32(bytes, &mut pos)? as usize;
+        let mut cores = Vec::with_capacity(n_cores.min(1 << 10));
+        let mut sum = CHECKSUM_SEED;
+        for _ in 0..n_cores {
+            let events = get_u64(bytes, &mut pos)?;
+            let len = get_u64(bytes, &mut pos)?;
+            let len = usize::try_from(len).map_err(|_| TraceError::Truncated)?;
+            let end = pos.checked_add(len).ok_or(TraceError::Truncated)?;
+            let payload = bytes.get(pos..end).ok_or(TraceError::Truncated)?;
+            pos = end;
+            sum = checksum_combine(sum, checksum64(payload));
+            cores.push(CoreTrace {
+                events,
+                payload: payload.to_vec(),
+            });
+        }
+        let stored = get_u64(bytes, &mut pos)?;
+        let computed = sum;
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+        let end = bytes
+            .get(pos..pos + END_MAGIC.len())
+            .ok_or(TraceError::Truncated)?;
+        if end != END_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        if pos + END_MAGIC.len() != bytes.len() {
+            return Err(TraceError::Corrupt("trailing bytes after end magic"));
+        }
+        Ok(Trace { fingerprint, cores })
+    }
+}
+
+/// Accumulates one [`StreamEncoder`] per core and assembles the
+/// [`Trace`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    fingerprint: u64,
+    streams: Vec<StreamEncoder>,
+}
+
+impl TraceRecorder {
+    /// A recorder with `n_cores` empty streams.
+    #[must_use]
+    pub fn new(n_cores: usize, fingerprint: u64) -> Self {
+        TraceRecorder {
+            fingerprint,
+            streams: (0..n_cores).map(|_| StreamEncoder::new()).collect(),
+        }
+    }
+
+    /// The encoder for one core's stream.
+    ///
+    /// # Panics
+    /// If `core` is out of range.
+    pub fn stream(&mut self, core: usize) -> &mut StreamEncoder {
+        &mut self.streams[core]
+    }
+
+    /// Finish every stream and build the trace.
+    #[must_use]
+    pub fn finish(self) -> Trace {
+        Trace {
+            fingerprint: self.fingerprint,
+            cores: self
+                .streams
+                .into_iter()
+                .map(|s| {
+                    let (events, payload) = s.finish();
+                    CoreTrace { events, payload }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Fans each event out to two observers, in order — the composition that
+/// lets a recording stack on a timing model (record while measuring)
+/// or on any other observer.
+pub struct Tee<'a>(
+    /// First receiver.
+    pub &'a mut dyn ExecObserver,
+    /// Second receiver.
+    pub &'a mut dyn ExecObserver,
+);
+
+impl ExecObserver for Tee<'_> {
+    fn on_event(&mut self, ev: &Event<'_>) {
+        self.0.on_event(ev);
+        self.1.on_event(ev);
+    }
+}
+
+/// Fans each event out to any number of observers, in order — the
+/// N-receiver generalisation of [`Tee`]. This is how one functional
+/// execution (or one trace decode pass) drives every machine of a grid
+/// row at once: the event stream is observer-independent, so each
+/// receiver sees exactly what a dedicated run would have shown it.
+pub struct FanOut<'a>(
+    /// Receivers, notified in order.
+    pub Vec<&'a mut dyn ExecObserver>,
+);
+
+impl ExecObserver for FanOut<'_> {
+    fn on_event(&mut self, ev: &Event<'_>) {
+        for obs in &mut self.0 {
+            obs.on_event(ev);
+        }
+    }
+}
+
+/// Drive an already-started interpreter cursor to completion, recording
+/// every event into `enc` (with step boundaries) while also forwarding
+/// to `extra` — pass a timing observer to record during a measured
+/// simulation, or a [`swpf_ir::interp::NullObserver`] for a pure
+/// recording pass.
+///
+/// # Errors
+/// Any [`Trap`] the program raises.
+pub fn record_cursor(
+    interp: &mut Interp,
+    enc: &mut StreamEncoder,
+    extra: &mut dyn ExecObserver,
+) -> Result<Option<RtVal>, Trap> {
+    loop {
+        let step = {
+            let mut tee = Tee(enc, extra);
+            interp.step_cursor(&mut tee)?
+        };
+        enc.end_step();
+        match step {
+            Step::Continue => {}
+            Step::Done(v) => return Ok(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::interp::{CountingObserver, EventKind};
+    use swpf_ir::prelude::*;
+    use swpf_ir::ValueId;
+
+    fn push_alu(rec: &mut TraceRecorder, core: usize, pc: u64) {
+        let e = Event {
+            pc,
+            frame: 0,
+            result: ValueId((pc & 0xffff_ffff) as u32),
+            kind: EventKind::Alu,
+            operands: &[],
+        };
+        rec.stream(core).push(&e);
+        rec.stream(core).end_step();
+    }
+
+    #[test]
+    fn envelope_round_trips_multicore() {
+        let mut rec = TraceRecorder::new(3, 0xdead_beef);
+        push_alu(&mut rec, 0, 1);
+        push_alu(&mut rec, 2, 9);
+        push_alu(&mut rec, 2, 10);
+        // Core 1 stays empty on purpose.
+        let trace = rec.finish();
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.fingerprint, 0xdead_beef);
+        assert_eq!(back.num_cores(), 3);
+        assert_eq!(back.events(0), 1);
+        assert_eq!(back.events(1), 0);
+        assert_eq!(back.events(2), 2);
+        assert!(back.cursor(1).unwrap().next_event().unwrap().is_none());
+        assert_eq!(back.cursor(3).unwrap_err(), TraceError::MissingCore(3));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut rec = TraceRecorder::new(1, 0);
+        for pc in 0..32 {
+            push_alu(&mut rec, 0, pc);
+        }
+        let mut bytes = rec.finish().to_bytes();
+        // Flip one payload byte (past the 24-byte header + 16-byte
+        // section prologue, before the 16-byte footer).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let trace = TraceRecorder::new(1, 0).finish();
+        let mut bytes = trace.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::BadMagic));
+        let mut bytes = trace.to_bytes();
+        bytes[8] = 99; // version field
+        assert_eq!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::UnsupportedVersion(99))
+        );
+        assert_eq!(Trace::from_bytes(&bytes[..4]), Err(TraceError::Truncated));
+    }
+
+    /// Record a real kernel through the engine and replay the cursor
+    /// against a counting observer: the tee'd recording must preserve
+    /// the stream exactly.
+    #[test]
+    fn recorded_stream_matches_live_counts() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (a, n) = (b.arg(0), b.arg(1));
+            let entry = b.entry_block();
+            let header = b.create_block("h");
+            let body = b.create_block("b");
+            let exit = b.create_block("x");
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            b.br(header);
+            b.switch_to(header);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let acc = b.phi(Type::I64, &[(entry, zero)]);
+            let c = b.icmp(Pred::Slt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let g = b.gep(a, i, 8);
+            b.prefetch(g);
+            let v = b.load(Type::I64, g);
+            let acc2 = b.add(acc, v);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.br(header);
+            b.switch_to(exit);
+            b.ret(Some(acc));
+        }
+        let mut interp = Interp::new();
+        let base = interp.alloc_array(64, 8).unwrap();
+        let args = [RtVal::Int(base as i64), RtVal::Int(64)];
+        interp.start(&m, fid, &args);
+
+        let mut live = CountingObserver::default();
+        let mut enc = StreamEncoder::new();
+        let ret = record_cursor(&mut interp, &mut enc, &mut live).unwrap();
+        assert_eq!(ret, Some(RtVal::Int(0)), "array is zero-filled");
+
+        let mut rec = TraceRecorder::new(1, 7);
+        *rec.stream(0) = enc;
+        let trace = rec.finish();
+        assert_eq!(trace.events(0), live.total);
+
+        let mut replayed = CountingObserver::default();
+        let mut cur = trace.cursor(0).unwrap();
+        while let Some((ev, _)) = cur.next_event().unwrap() {
+            replayed.on_event(&ev);
+        }
+        assert_eq!(replayed.total, live.total);
+        assert_eq!(replayed.loads, live.loads);
+        assert_eq!(replayed.prefetches, live.prefetches);
+        assert_eq!(replayed.branches, live.branches);
+    }
+
+    /// The tee forwards to both receivers in order.
+    #[test]
+    fn tee_fans_out() {
+        let mut a = CountingObserver::default();
+        let mut b = CountingObserver::default();
+        let e = Event {
+            pc: 3,
+            frame: 0,
+            result: ValueId(3),
+            kind: EventKind::Branch { taken: true },
+            operands: &[],
+        };
+        Tee(&mut a, &mut b).on_event(&e);
+        assert_eq!((a.total, a.branches), (1, 1));
+        assert_eq!((b.total, b.branches), (1, 1));
+    }
+}

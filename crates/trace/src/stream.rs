@@ -1,0 +1,645 @@
+//! Per-core event streams: the encoder behind the recording observer and
+//! the streaming decode cursor replay feeds from.
+//!
+//! ## Event grammar
+//!
+//! Each retired event is one tag byte followed by varint fields (see
+//! DESIGN.md §6 for the rationale):
+//!
+//! ```text
+//! tag      u8   bits 0-2: kind code (Alu, Load, Store, Prefetch,
+//!               Branch, Call, Ret, Alloc)
+//!               bit 3: kind flag — Branch `taken` / Prefetch `valid` /
+//!                      for Load and Store, "explicit access size
+//!                      follows" (absent: the last size of that kind
+//!                      repeats — almost always, loops touch one width)
+//!               bit 4: MORE — another event follows within the same
+//!                      interpreter step (phi copies retire with their
+//!                      branch; multicore replay schedules by steps)
+//!               bit 5: FRAME — a frame delta follows
+//!               bit 6: OPS — the operand list is encoded inline and
+//!                      defines the next operand-dictionary slot
+//!               bit 7: RESULT — an explicit result id follows (absent:
+//!                      the result is the low 32 bits of the pc, the
+//!                      engine's invariant)
+//! pc       zigzag varint, delta vs. the previous event's pc
+//! [frame]  zigzag varint, delta vs. the previous frame id   (FRAME)
+//! [result] varint u32                                       (RESULT)
+//! Load/Store: addr zigzag varint (delta vs. the last address of the
+//!             same kind), then size varint u32 iff the kind flag is set
+//! Prefetch:   addr zigzag varint (delta vs. the last prefetch address)
+//! [ops]    count varint + one varint u32 per operand id     (OPS)
+//!          absent: zigzag varint referencing an existing dictionary
+//!          slot, biased so sequential reuse encodes as zero
+//! ```
+//!
+//! Operand lists are static per instruction (phis aside, whose chosen
+//! incoming varies by CFG edge), so the stream carries each list once
+//! and back-references it afterwards: the first occurrence is inlined
+//! and appended to a dictionary both sides grow in lockstep; later
+//! occurrences cost one (usually zero-valued) byte.
+
+use crate::wire::{get_delta, get_varint, put_varint};
+use crate::TraceError;
+use std::collections::HashMap;
+use swpf_ir::interp::{Event, EventKind, ExecObserver};
+use swpf_ir::ValueId;
+
+/// Functions covered by the dense pc map; engine pcs index far below.
+const DENSE_FUNCS: usize = 256;
+/// Values per function covered by the dense pc map.
+const DENSE_VALUES: usize = 1 << 16;
+
+/// pc → operand-dictionary slot. Engine pcs are `(func << 32) | value`
+/// with small indices, so lookups — one per encoded event — are dense
+/// two-level array reads in the common case; arbitrary pcs (the codec
+/// stays general for hand-built events) fall back to a hash map.
+#[derive(Debug, Default)]
+struct PcMap {
+    /// `dense[func][value]` holds the slot, `u32::MAX` meaning absent.
+    dense: Vec<Vec<u32>>,
+    spill: HashMap<u64, u32>,
+}
+
+impl PcMap {
+    #[inline(always)]
+    fn split(pc: u64) -> (usize, usize) {
+        ((pc >> 32) as usize, (pc & 0xffff_ffff) as usize)
+    }
+
+    #[inline(always)]
+    fn get(&self, pc: u64) -> Option<u32> {
+        let (f, v) = Self::split(pc);
+        if f < DENSE_FUNCS && v < DENSE_VALUES {
+            match self.dense.get(f).and_then(|d| d.get(v)) {
+                Some(&slot) if slot != u32::MAX => Some(slot),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&pc).copied()
+        }
+    }
+
+    fn set(&mut self, pc: u64, slot: u32) {
+        debug_assert_ne!(slot, u32::MAX, "slot sentinel");
+        let (f, v) = Self::split(pc);
+        if f < DENSE_FUNCS && v < DENSE_VALUES {
+            if self.dense.len() <= f {
+                self.dense.resize_with(f + 1, Vec::new);
+            }
+            let d = &mut self.dense[f];
+            if d.len() <= v {
+                d.resize(v + 1, u32::MAX);
+            }
+            d[v] = slot;
+        } else {
+            self.spill.insert(pc, slot);
+        }
+    }
+}
+
+const KIND_ALU: u8 = 0;
+const KIND_LOAD: u8 = 1;
+const KIND_STORE: u8 = 2;
+const KIND_PREFETCH: u8 = 3;
+const KIND_BRANCH: u8 = 4;
+const KIND_CALL: u8 = 5;
+const KIND_RET: u8 = 6;
+const KIND_ALLOC: u8 = 7;
+
+const TAG_KIND: u8 = 0b0000_0111;
+const TAG_FLAG: u8 = 0b0000_1000;
+const TAG_MORE: u8 = 0b0001_0000;
+const TAG_FRAME: u8 = 0b0010_0000;
+const TAG_OPS: u8 = 0b0100_0000;
+const TAG_RESULT: u8 = 0b1000_0000;
+
+/// Mirrored per-stream delta state (the encoder and the cursor advance
+/// identical copies of this).
+#[derive(Debug, Default, Clone)]
+struct DeltaState {
+    last_pc: u64,
+    last_frame: u64,
+    last_load_addr: u64,
+    last_store_addr: u64,
+    last_pf_addr: u64,
+    /// Last access sizes; 0 (no real access has it) forces the first
+    /// load/store of a stream to carry its size explicitly.
+    last_load_size: u32,
+    last_store_size: u32,
+    /// Last operand-dictionary slot used; `u32::MAX` so the bias
+    /// `last + 1` starts at slot 0.
+    last_slot: u32,
+}
+
+impl DeltaState {
+    fn new() -> Self {
+        DeltaState {
+            last_slot: u32::MAX,
+            ..DeltaState::default()
+        }
+    }
+}
+
+/// Append an LEB128 varint to the per-event stack buffer.
+#[inline(always)]
+fn buf_varint(tmp: &mut [u8; 64], n: &mut usize, mut v: u64) {
+    while v >= 0x80 {
+        tmp[*n] = (v as u8) | 0x80;
+        *n += 1;
+        v >>= 7;
+    }
+    tmp[*n] = v as u8;
+    *n += 1;
+}
+
+/// Append a zigzag-encoded signed delta to the per-event stack buffer.
+#[inline(always)]
+fn buf_delta(tmp: &mut [u8; 64], n: &mut usize, d: i64) {
+    buf_varint(tmp, n, crate::wire::zigzag(d));
+}
+
+/// Encodes one core's retire-event stream. Implements [`ExecObserver`],
+/// so it can sit directly on the engine or stack on a timing observer
+/// through [`crate::Tee`].
+///
+/// Call [`StreamEncoder::end_step`] after every interpreter step so the
+/// stream records step boundaries — multicore replay interleaves cores
+/// at step granularity, exactly like direct multicore simulation.
+#[derive(Debug)]
+pub struct StreamEncoder {
+    payload: Vec<u8>,
+    events: u64,
+    /// Offset of the previous event's tag within the current step, for
+    /// retrofitting the MORE bit when a follower arrives.
+    step_tag_at: Option<usize>,
+    st: DeltaState,
+    /// Operand-dictionary lookup: pc of the defining instruction → slot.
+    dict: PcMap,
+    /// Slot → range into `pool`.
+    lists: Vec<(u32, u32)>,
+    pool: Vec<ValueId>,
+}
+
+impl Default for StreamEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamEncoder {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamEncoder {
+            payload: Vec::new(),
+            events: 0,
+            step_tag_at: None,
+            st: DeltaState::new(),
+            dict: PcMap::default(),
+            lists: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Events encoded so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Encoded payload size in bytes so far.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Append one event.
+    ///
+    /// Sits on the record path's per-event hot path, so the whole
+    /// fixed-size part of the record is assembled in a stack buffer and
+    /// lands in the payload with a single `extend_from_slice`; only the
+    /// rare inline operand list writes to the payload directly.
+    pub fn push(&mut self, ev: &Event<'_>) {
+        // The previous event of this step now has a follower.
+        if let Some(at) = self.step_tag_at {
+            self.payload[at] |= TAG_MORE;
+        }
+
+        let (code, flag) = match ev.kind {
+            EventKind::Alu => (KIND_ALU, false),
+            EventKind::Load { size, .. } => (KIND_LOAD, size != self.st.last_load_size),
+            EventKind::Store { size, .. } => (KIND_STORE, size != self.st.last_store_size),
+            EventKind::Prefetch { valid, .. } => (KIND_PREFETCH, valid),
+            EventKind::Branch { taken } => (KIND_BRANCH, taken),
+            EventKind::Call => (KIND_CALL, false),
+            EventKind::Ret => (KIND_RET, false),
+            EventKind::Alloc => (KIND_ALLOC, false),
+        };
+        let frame_delta = ev.frame.wrapping_sub(self.st.last_frame) as i64;
+        let result_explicit = u64::from(ev.result.0) != ev.pc & 0xffff_ffff;
+        let existing_slot = self.dict.get(ev.pc).filter(|&slot| {
+            let (at, len) = self.lists[slot as usize];
+            self.pool[at as usize..(at + len) as usize] == *ev.operands
+        });
+
+        let mut tag = code;
+        if flag {
+            tag |= TAG_FLAG;
+        }
+        if frame_delta != 0 {
+            tag |= TAG_FRAME;
+        }
+        if result_explicit {
+            tag |= TAG_RESULT;
+        }
+        if existing_slot.is_none() {
+            tag |= TAG_OPS;
+        }
+
+        // Worst case fits easily: tag 1 + pc 10 + frame 10 + result 5
+        // + addr 10 + size 5 + slot backreference 10 = 51 bytes.
+        let mut tmp = [0u8; 64];
+        tmp[0] = tag;
+        let mut n = 1usize;
+        buf_delta(&mut tmp, &mut n, ev.pc.wrapping_sub(self.st.last_pc) as i64);
+        self.st.last_pc = ev.pc;
+        if frame_delta != 0 {
+            buf_delta(&mut tmp, &mut n, frame_delta);
+            self.st.last_frame = ev.frame;
+        }
+        if result_explicit {
+            buf_varint(&mut tmp, &mut n, u64::from(ev.result.0));
+        }
+
+        match ev.kind {
+            EventKind::Load { addr, size } => {
+                buf_delta(
+                    &mut tmp,
+                    &mut n,
+                    addr.wrapping_sub(self.st.last_load_addr) as i64,
+                );
+                self.st.last_load_addr = addr;
+                if flag {
+                    buf_varint(&mut tmp, &mut n, u64::from(size));
+                    self.st.last_load_size = size;
+                }
+            }
+            EventKind::Store { addr, size } => {
+                buf_delta(
+                    &mut tmp,
+                    &mut n,
+                    addr.wrapping_sub(self.st.last_store_addr) as i64,
+                );
+                self.st.last_store_addr = addr;
+                if flag {
+                    buf_varint(&mut tmp, &mut n, u64::from(size));
+                    self.st.last_store_size = size;
+                }
+            }
+            EventKind::Prefetch { addr, .. } => {
+                buf_delta(
+                    &mut tmp,
+                    &mut n,
+                    addr.wrapping_sub(self.st.last_pf_addr) as i64,
+                );
+                self.st.last_pf_addr = addr;
+            }
+            _ => {}
+        }
+
+        if let Some(slot) = existing_slot {
+            let expected = i64::from(self.st.last_slot.wrapping_add(1));
+            buf_delta(&mut tmp, &mut n, i64::from(slot) - expected);
+            self.st.last_slot = slot;
+        }
+
+        self.step_tag_at = Some(self.payload.len());
+        self.payload.extend_from_slice(&tmp[..n]);
+
+        if existing_slot.is_none() {
+            // First sighting of this (pc, operand list): inline it and
+            // grow the dictionary. Rare — loops reuse their lists.
+            put_varint(&mut self.payload, ev.operands.len() as u64);
+            for op in ev.operands {
+                put_varint(&mut self.payload, u64::from(op.0));
+            }
+            let at = self.pool.len() as u32;
+            self.pool.extend_from_slice(ev.operands);
+            let slot = self.lists.len() as u32;
+            self.lists.push((at, ev.operands.len() as u32));
+            self.dict.set(ev.pc, slot);
+            self.st.last_slot = slot;
+        }
+        self.events += 1;
+    }
+
+    /// Mark the end of an interpreter step (the events pushed since the
+    /// previous boundary form one step).
+    pub fn end_step(&mut self) {
+        self.step_tag_at = None;
+    }
+
+    /// Consume the encoder, returning `(event count, payload)`.
+    #[must_use]
+    pub fn finish(self) -> (u64, Vec<u8>) {
+        (self.events, self.payload)
+    }
+}
+
+impl ExecObserver for StreamEncoder {
+    fn on_event(&mut self, ev: &Event<'_>) {
+        self.push(ev);
+    }
+}
+
+/// Streaming decoder over one core's payload. Produced by
+/// [`crate::Trace::cursor`]; yields [`Event`]s in retire order without
+/// materialising the stream.
+#[derive(Debug)]
+pub struct EventCursor<'t> {
+    buf: &'t [u8],
+    pos: usize,
+    remaining: u64,
+    st: DeltaState,
+    lists: Vec<(u32, u32)>,
+    pool: Vec<ValueId>,
+}
+
+impl<'t> EventCursor<'t> {
+    pub(crate) fn new(payload: &'t [u8], events: u64) -> Self {
+        EventCursor {
+            buf: payload,
+            pos: 0,
+            remaining: events,
+            st: DeltaState::new(),
+            lists: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Decode the next event. Returns the event plus `end_of_step`
+    /// (`true` when the event is the last of its interpreter step), or
+    /// `None` when the stream is exhausted.
+    ///
+    /// This sits on replay's per-event hot path (it competes with the
+    /// pre-decoded engine's per-instruction cost), so the decode runs
+    /// on locals and flushes state back to `self` once per event.
+    ///
+    /// # Errors
+    /// [`TraceError::Truncated`] or [`TraceError::Corrupt`] on a
+    /// malformed payload.
+    #[inline]
+    pub fn next_event(&mut self) -> Result<Option<(Event<'_>, bool)>, TraceError> {
+        if self.remaining == 0 {
+            if self.pos != self.buf.len() {
+                return Err(TraceError::Corrupt("trailing bytes after final event"));
+            }
+            return Ok(None);
+        }
+        self.remaining -= 1;
+
+        let buf = self.buf;
+        let mut pos = self.pos;
+        let &tag = buf.get(pos).ok_or(TraceError::Truncated)?;
+        pos += 1;
+        let flag = tag & TAG_FLAG != 0;
+        let end_of_step = tag & TAG_MORE == 0;
+
+        let pc = self
+            .st
+            .last_pc
+            .wrapping_add(get_delta(buf, &mut pos)? as u64);
+        self.st.last_pc = pc;
+
+        if tag & TAG_FRAME != 0 {
+            let d = get_delta(buf, &mut pos)?;
+            self.st.last_frame = self.st.last_frame.wrapping_add(d as u64);
+        }
+        let frame = self.st.last_frame;
+
+        let result = if tag & TAG_RESULT != 0 {
+            let r = get_varint(buf, &mut pos)?;
+            ValueId(u32::try_from(r).map_err(|_| TraceError::Corrupt("result id overflows u32"))?)
+        } else {
+            ValueId((pc & 0xffff_ffff) as u32)
+        };
+
+        let kind = match tag & TAG_KIND {
+            KIND_ALU => EventKind::Alu,
+            KIND_LOAD => {
+                let d = get_delta(buf, &mut pos)?;
+                let addr = self.st.last_load_addr.wrapping_add(d as u64);
+                self.st.last_load_addr = addr;
+                if flag {
+                    let size = get_varint(buf, &mut pos)?;
+                    self.st.last_load_size = u32::try_from(size)
+                        .map_err(|_| TraceError::Corrupt("access size overflows u32"))?;
+                }
+                EventKind::Load {
+                    addr,
+                    size: self.st.last_load_size,
+                }
+            }
+            KIND_STORE => {
+                let d = get_delta(buf, &mut pos)?;
+                let addr = self.st.last_store_addr.wrapping_add(d as u64);
+                self.st.last_store_addr = addr;
+                if flag {
+                    let size = get_varint(buf, &mut pos)?;
+                    self.st.last_store_size = u32::try_from(size)
+                        .map_err(|_| TraceError::Corrupt("access size overflows u32"))?;
+                }
+                EventKind::Store {
+                    addr,
+                    size: self.st.last_store_size,
+                }
+            }
+            KIND_PREFETCH => {
+                let d = get_delta(buf, &mut pos)?;
+                let addr = self.st.last_pf_addr.wrapping_add(d as u64);
+                self.st.last_pf_addr = addr;
+                EventKind::Prefetch { addr, valid: flag }
+            }
+            KIND_BRANCH => EventKind::Branch { taken: flag },
+            KIND_CALL => EventKind::Call,
+            KIND_RET => EventKind::Ret,
+            KIND_ALLOC => EventKind::Alloc,
+            _ => unreachable!("3-bit kind code"),
+        };
+
+        let slot = if tag & TAG_OPS != 0 {
+            let count = get_varint(buf, &mut pos)?;
+            let count = usize::try_from(count)
+                .ok()
+                .filter(|&c| c <= (1 << 24))
+                .ok_or(TraceError::Corrupt("implausible operand count"))?;
+            let at = self.pool.len() as u32;
+            for _ in 0..count {
+                let id = get_varint(buf, &mut pos)?;
+                let id = u32::try_from(id)
+                    .map_err(|_| TraceError::Corrupt("operand id overflows u32"))?;
+                self.pool.push(ValueId(id));
+            }
+            let slot = self.lists.len() as u32;
+            self.lists.push((at, count as u32));
+            slot
+        } else {
+            let expected = i64::from(self.st.last_slot.wrapping_add(1));
+            let slot = expected + get_delta(buf, &mut pos)?;
+            u32::try_from(slot)
+                .ok()
+                .filter(|&s| (s as usize) < self.lists.len())
+                .ok_or(TraceError::Corrupt("operand slot out of range"))?
+        };
+        self.st.last_slot = slot;
+        self.pos = pos;
+
+        // Safety: `slot` was bounds-checked against `lists` above (the
+        // inline arm pushes the entry it indexes), and every `lists`
+        // range is within `pool` by construction — both are only ever
+        // extended together, immediately before this point. Same
+        // validate-then-unchecked shape as the engine's register file
+        // (`swpf_ir::exec::rd`).
+        debug_assert!((slot as usize) < self.lists.len());
+        let (at, len) = unsafe { *self.lists.get_unchecked(slot as usize) };
+        debug_assert!((at + len) as usize <= self.pool.len());
+        let operands = unsafe { self.pool.get_unchecked(at as usize..(at + len) as usize) };
+        Ok(Some((
+            Event {
+                pc,
+                frame,
+                result,
+                kind,
+                operands,
+            },
+            end_of_step,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: u64, frame: u64, kind: EventKind, operands: &[ValueId]) -> (Event<'_>, bool) {
+        (
+            Event {
+                pc,
+                frame,
+                result: ValueId((pc & 0xffff_ffff) as u32),
+                kind,
+                operands,
+            },
+            true,
+        )
+    }
+
+    #[test]
+    fn encodes_and_decodes_a_small_stream() {
+        let mut enc = StreamEncoder::new();
+        let ops_a = [ValueId(1), ValueId(2)];
+        let ops_b = [ValueId(3)];
+        let events = [
+            ev(5, 0, EventKind::Alu, &ops_a),
+            ev(
+                6,
+                0,
+                EventKind::Load {
+                    addr: 0x1_0000,
+                    size: 8,
+                },
+                &ops_b,
+            ),
+            ev(5, 0, EventKind::Alu, &ops_a), // dict reuse
+            ev(7, 1, EventKind::Branch { taken: false }, &[]),
+        ];
+        for (e, _) in &events {
+            enc.push(e);
+            enc.end_step();
+        }
+        let (n, payload) = enc.finish();
+        assert_eq!(n, 4);
+        let mut cur = EventCursor::new(&payload, n);
+        for (want, _) in &events {
+            let (got, end) = cur.next_event().unwrap().expect("event present");
+            assert!(end);
+            assert_eq!(got.pc, want.pc);
+            assert_eq!(got.frame, want.frame);
+            assert_eq!(got.result, want.result);
+            assert_eq!(got.kind, want.kind);
+            assert_eq!(got.operands, want.operands);
+        }
+        assert!(cur.next_event().unwrap().is_none());
+    }
+
+    #[test]
+    fn more_bit_marks_step_structure() {
+        let mut enc = StreamEncoder::new();
+        let (a, _) = ev(1, 0, EventKind::Alu, &[]);
+        let (b, _) = ev(2, 0, EventKind::Branch { taken: true }, &[]);
+        let (c, _) = ev(3, 0, EventKind::Ret, &[]);
+        // Step 1: phi copy + branch. Step 2: ret.
+        enc.push(&a);
+        enc.push(&b);
+        enc.end_step();
+        enc.push(&c);
+        enc.end_step();
+        let (n, payload) = enc.finish();
+        let mut cur = EventCursor::new(&payload, n);
+        assert!(!cur.next_event().unwrap().unwrap().1, "phi copy continues");
+        assert!(cur.next_event().unwrap().unwrap().1, "branch ends step 1");
+        assert!(cur.next_event().unwrap().unwrap().1, "ret ends step 2");
+    }
+
+    #[test]
+    fn dict_reuse_is_one_byte_per_repeat() {
+        let mut enc = StreamEncoder::new();
+        let ops = [ValueId(7), ValueId(8)];
+        let (e, _) = ev(9, 0, EventKind::Alu, &ops);
+        enc.push(&e);
+        enc.end_step();
+        let first = enc.payload_len();
+        for _ in 0..10 {
+            enc.push(&e);
+            enc.end_step();
+        }
+        let per_repeat = (enc.payload_len() - first) / 10;
+        // tag + zero pc delta + slot backreference = 3 bytes.
+        assert!(per_repeat <= 3, "repeat costs {per_repeat} bytes");
+    }
+
+    #[test]
+    fn explicit_result_round_trips() {
+        let mut enc = StreamEncoder::new();
+        let e = Event {
+            pc: 42,
+            frame: 0,
+            result: ValueId(7), // != pc & 0xffffffff
+            kind: EventKind::Alloc,
+            operands: &[],
+        };
+        enc.push(&e);
+        enc.end_step();
+        let (n, payload) = enc.finish();
+        let mut cur = EventCursor::new(&payload, n);
+        let (got, _) = cur.next_event().unwrap().unwrap();
+        assert_eq!(got.result, ValueId(7));
+        assert_eq!(got.kind, EventKind::Alloc);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = StreamEncoder::new();
+        let (e, _) = ev(1, 0, EventKind::Alu, &[]);
+        enc.push(&e);
+        let (n, mut payload) = enc.finish();
+        payload.push(0);
+        let mut cur = EventCursor::new(&payload, n);
+        cur.next_event().unwrap();
+        assert!(matches!(
+            cur.next_event(),
+            Err(TraceError::Corrupt("trailing bytes after final event"))
+        ));
+    }
+}

@@ -1,0 +1,229 @@
+//! Wire primitives: LEB128 varints, zigzag signed deltas, and the FNV-1a
+//! checksum. Everything the trace format stores is built from these plus
+//! fixed-width little-endian header fields.
+
+use crate::TraceError;
+
+/// Append an LEB128-encoded `u64` (7 payload bits per byte, continuation
+/// in the high bit; 1 byte for values below 128).
+#[inline(always)]
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Multi-byte continuation of [`get_varint`], out of the hot path
+/// (almost every field of a loop-resident stream is a 1-byte delta).
+#[cold]
+fn get_varint_multi(buf: &[u8], pos: &mut usize, first: u8) -> Result<u64, TraceError> {
+    let mut v = u64::from(first & 0x7f);
+    let mut shift = 7u32;
+    loop {
+        let &b = buf.get(*pos).ok_or(TraceError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return Err(TraceError::Corrupt("varint overflows 64 bits"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// Decode an LEB128 `u64` at `*pos`, advancing it.
+#[inline(always)]
+pub(crate) fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let &b = buf.get(*pos).ok_or(TraceError::Truncated)?;
+    *pos += 1;
+    if b < 0x80 {
+        return Ok(u64::from(b));
+    }
+    get_varint_multi(buf, pos, b)
+}
+
+/// Map a signed delta onto an unsigned varint-friendly value
+/// (0, -1, 1, -2, ... become 0, 1, 2, 3, ...).
+#[inline(always)]
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline(always)]
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decode a zigzag-encoded signed delta.
+#[inline(always)]
+pub(crate) fn get_delta(buf: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    Ok(unzigzag(get_varint(buf, pos)?))
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Running FNV-1a 64-bit hash, used both for the trace footer checksum
+/// and for kernel fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte string.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Payload checksum: FNV-1a over 64-bit little-endian words with a
+/// zero-padded tail, mixed with the length (so padding cannot alias).
+/// Not byte-compatible with [`fnv64`] — this one exists because the
+/// footer checksum runs over multi-hundred-megabyte payloads on every
+/// trace load and store, where byte-at-a-time hashing costs seconds.
+#[must_use]
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h ^ u64::from_le_bytes(c.try_into().expect("8 bytes"))).wrapping_mul(FNV_PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(FNV_PRIME);
+    }
+    h ^ bytes.len() as u64
+}
+
+/// Seed for combining per-core payload checksums into the footer value.
+pub(crate) const CHECKSUM_SEED: u64 = FNV_OFFSET;
+
+/// Fold one per-core checksum into the footer combination.
+pub(crate) fn checksum_combine(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Append a fixed-width little-endian `u64` (header/footer fields).
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a fixed-width little-endian `u32` (header fields).
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a fixed-width little-endian `u64` at `*pos`, advancing it.
+pub(crate) fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let end = pos.checked_add(8).ok_or(TraceError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(TraceError::Truncated)?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// Read a fixed-width little-endian `u32` at `*pos`, advancing it.
+pub(crate) fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
+    let end = pos.checked_add(4).ok_or(TraceError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(TraceError::Truncated)?;
+    *pos = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_single_byte_below_128() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn zigzag_round_trips_sign_flips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 0x7fff_ffff, -4096] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small regardless of sign.
+        assert!(zigzag(-64) < 0x80);
+        assert!(zigzag(63) < 0x80);
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a("a") from the reference implementation.
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b""), FNV_OFFSET);
+    }
+}
