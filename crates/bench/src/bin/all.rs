@@ -6,9 +6,14 @@
 //! check counts. Exits non-zero if any shape check fails, which is what
 //! the CI `experiments` job keys on.
 //!
+//! `--list` prints the experiment catalogue (including the searched
+//! `tune` experiment, which `--bin tune` runs), the machine models, and
+//! the workloads, without running anything.
+//!
 //! ```sh
 //! SWPF_SCALE=test cargo run --release -p swpf-bench --bin all
 //! cargo run --release -p swpf-bench --bin all -- --threads 1
+//! cargo run --release -p swpf-bench --bin all -- --list
 //! ```
 
 use std::time::Instant;
@@ -17,6 +22,10 @@ use swpf_bench::json::Json;
 use swpf_bench::{experiments, scale_from_env};
 
 fn main() -> std::process::ExitCode {
+    if std::env::args().skip(1).any(|a| a == "--list") {
+        experiments::print_catalog();
+        return std::process::ExitCode::SUCCESS;
+    }
     let scale = scale_from_env();
     let opts = cli_options();
     let t0 = Instant::now();

@@ -20,9 +20,18 @@ use swpf_sim::{CoreKind, MachineConfig};
 use swpf_workloads::is::Fig2Scheme;
 use swpf_workloads::{KernelVariant, Scale, WorkloadId};
 
-/// Every experiment name, in the paper's figure order.
+/// Every *grid* experiment name, in the paper's figure order (the
+/// declarative specs [`by_name`] resolves; what `--bin all` runs).
 pub const ALL_NAMES: [&str; 9] = [
     "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+];
+
+/// The complete experiment catalogue: the grid experiments plus the
+/// searched `tune` experiment (run by `--bin tune` through
+/// [`crate::tune::run_tune`]). This is what `--bin all -- --list`
+/// enumerates.
+pub const EXPERIMENTS: [&str; 10] = [
+    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tune",
 ];
 
 /// The default manual-variant label (`c = 64`, the paper's choice).
@@ -762,6 +771,49 @@ fn fig10(scale: Scale) -> Experiment {
     }
 }
 
+// ---- tune ----------------------------------------------------------------
+
+/// The searched `tune` experiment: find the best look-ahead (and
+/// stride-companion toggle, for hill-climbing) per workload × machine,
+/// and quantify how close the paper's static `c = 64` heuristic sits to
+/// the exhaustive oracle. Tuning targets the in-order systems — the
+/// machines that cannot hide indirect misses themselves, where the
+/// distance actually decides the outcome — over the Fig. 6 sweep
+/// workloads.
+#[must_use]
+pub fn tune(scale: Scale) -> crate::tune::TuneExperiment {
+    crate::tune::TuneExperiment {
+        name: "tune",
+        title: "Tuning — searched look-ahead vs. the paper's c=64 heuristic",
+        scale,
+        machines: vec![MachineConfig::xeon_phi(), MachineConfig::a53()],
+        workloads: WorkloadId::FIG6.to_vec(),
+        space: swpf_tune::SearchSpace::paper_default(),
+        hill_budget: 16,
+    }
+}
+
+/// Print the experiment catalogue, machine models, and workloads —
+/// the `--list` mode of the `all` driver. Runs nothing.
+pub fn print_catalog() {
+    println!("experiments:");
+    for name in EXPERIMENTS {
+        let title = match by_name(name, Scale::Test) {
+            Some(exp) => exp.spec.title,
+            None => tune(Scale::Test).title,
+        };
+        println!("  {name:<8} {title}");
+    }
+    println!("\nmachines:");
+    for m in MachineConfig::all_systems() {
+        println!("  {:<10} ({})", m.name, m.core_kind_name());
+    }
+    println!("\nworkloads:");
+    for w in WorkloadId::ALL {
+        println!("  {}", w.name());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,6 +825,16 @@ mod tests {
             assert!(by_name(name, Scale::Test).is_some(), "{name}");
         }
         assert!(by_name("fig3", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn catalogue_is_the_grid_experiments_plus_tune() {
+        assert_eq!(EXPERIMENTS[..ALL_NAMES.len()], ALL_NAMES);
+        assert_eq!(EXPERIMENTS[ALL_NAMES.len()], "tune");
+        assert!(by_name("tune", Scale::Test).is_none(), "tune is searched");
+        let exp = tune(Scale::Test);
+        assert!(exp.machines.len() >= 2);
+        assert!(exp.workloads.len() >= 3);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use swpf_core::PassConfig;
+use swpf_core::{ParamValue, PassConfig};
 use swpf_ir::exec::ExecImage;
 use swpf_ir::FuncId;
 use swpf_sim::{
@@ -144,6 +144,36 @@ impl Variant {
         match self {
             Variant::Multicore { cores, .. } => *cores,
             _ => 1,
+        }
+    }
+
+    /// The effective prefetch-pass parameters of this variant's cells,
+    /// recorded in the artifact so the numbers are self-describing (and
+    /// diff cleanly against tuner output). Pass-compiled variants carry
+    /// the full [`PassConfig`] surface; manual kernels carry the knobs
+    /// that are actually theirs (look-ahead, and stagger depth for
+    /// Fig. 7); baselines and the hand-written Fig. 2 schemes carry
+    /// none.
+    #[must_use]
+    pub fn pass_params(&self) -> Vec<(&'static str, ParamValue)> {
+        match self {
+            Variant::Auto { config, .. } => config.parameters(),
+            // The harness compiles ICC and multicore-auto cells at the
+            // default configuration (see `run_experiment`).
+            Variant::Icc | Variant::Multicore { auto: true, .. } => {
+                PassConfig::default().parameters()
+            }
+            Variant::Kernel(KernelVariant::Manual { look_ahead }) => {
+                vec![("look_ahead", ParamValue::Int(*look_ahead))]
+            }
+            Variant::Kernel(KernelVariant::ManualDepth { look_ahead, depth }) => vec![
+                ("look_ahead", ParamValue::Int(*look_ahead)),
+                (
+                    "max_indirect_depth",
+                    ParamValue::Int(i64::try_from(*depth).unwrap_or(i64::MAX)),
+                ),
+            ],
+            Variant::Kernel(_) | Variant::Multicore { auto: false, .. } => Vec::new(),
         }
     }
 }
@@ -271,6 +301,10 @@ pub struct CellResult {
     /// from a replayed trace or a fused group pass (`false`: this cell
     /// paid the interpretation, possibly recording as it ran).
     pub replayed: bool,
+    /// Effective prefetch-pass parameters of the cell's kernel
+    /// ([`Variant::pass_params`]); empty for cells without prefetch
+    /// code. Serialised as the additive `params` member of the cell.
+    pub params: Vec<(&'static str, ParamValue)>,
 }
 
 impl CellResult {
@@ -710,6 +744,7 @@ fn run_group(
                 cores: vec![s],
                 wall_ms: wall_each,
                 replayed: from_trace || k > 0,
+                params: spec.variants[job.variant].pass_params(),
             },
         ));
     }
@@ -761,6 +796,7 @@ fn make_cell(
         cores,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         replayed,
+        params: variant.pass_params(),
     }
 }
 
@@ -949,6 +985,31 @@ pub fn write_artifact(
     Ok(path)
 }
 
+/// Serialise a cell's effective pass parameters ([`ParamValue`]s) as a
+/// JSON object.
+#[must_use]
+pub fn params_json(params: &[(&'static str, ParamValue)]) -> Json {
+    Json::obj(
+        params
+            .iter()
+            .map(|&(k, v)| {
+                (
+                    k,
+                    match v {
+                        // Non-negative ints as U64, the type the parser
+                        // reads them back as (keeps round-trips exact).
+                        ParamValue::Int(i) => match u64::try_from(i) {
+                            Ok(u) => Json::U64(u),
+                            Err(_) => Json::I64(i),
+                        },
+                        ParamValue::Bool(b) => Json::Bool(b),
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
 /// The artifact document (schema v1; see DESIGN.md §5).
 #[must_use]
 pub fn artifact_json(
@@ -985,14 +1046,18 @@ pub fn artifact_json(
                     Json::obj(members)
                 })
                 .collect();
-            Json::obj(vec![
+            let mut members = vec![
                 ("machine", Json::Str(c.machine.to_string())),
                 ("workload", Json::Str(c.workload.to_string())),
                 ("variant", Json::Str(c.variant.clone())),
                 ("wall_ms", Json::F64(c.wall_ms)),
                 ("replayed", Json::Bool(c.replayed)),
-                ("cores", Json::Arr(cores)),
-            ])
+            ];
+            if !c.params.is_empty() {
+                members.push(("params", params_json(&c.params)));
+            }
+            members.push(("cores", Json::Arr(cores)));
+            Json::obj(members)
         })
         .collect();
     let derived = derived

@@ -33,6 +33,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod json;
+pub mod tune;
 
 use swpf_core::PassConfig;
 use swpf_ir::Module;

@@ -120,6 +120,29 @@ fn artifact_snapshot_at_test_scale() {
         assert!(core.get("ipc").unwrap().as_f64().unwrap() > 0.0);
     }
 
+    // Pass-compiled cells are self-describing: the additive `params`
+    // member records the effective PassConfig (look-ahead and enabled
+    // transforms); baseline cells, which run no prefetch code, omit it.
+    let params = quad.get("params").expect("auto cell records its params");
+    assert_eq!(params.get("look_ahead").unwrap().as_u64(), Some(64));
+    assert_eq!(
+        params
+            .get("stride_companion")
+            .map(|j| j == &Json::Bool(true)),
+        Some(true)
+    );
+    assert_eq!(
+        params
+            .get("enable_hoisting")
+            .map(|j| j == &Json::Bool(true)),
+        Some(true)
+    );
+    let base = cells
+        .iter()
+        .find(|c| c.get("variant").unwrap().as_str() == Some("mc4_baseline"))
+        .expect("4-core baseline cell present");
+    assert!(base.get("params").is_none(), "baselines have no params");
+
     // Derived tables mirror the printed figure.
     let derived_json = doc.get("derived").unwrap().as_array().unwrap();
     assert_eq!(derived_json.len(), 1);
@@ -167,6 +190,20 @@ fn all_experiments_pass_their_checks_at_test_scale() {
         checks.extend((exp.checks)(&result, &derived));
         for check in &checks {
             assert!(check.passed, "{name}: {} — {}", check.name, check.detail);
+        }
+        // Every prefetching cell carries its effective pass parameters;
+        // cells without prefetch code carry none.
+        for cell in &result.cells {
+            let prefetching = cell.variant.starts_with("auto")
+                || cell.variant.starts_with("manual_")
+                || cell.variant.ends_with("_auto")
+                || cell.variant == "icc";
+            assert_eq!(
+                !cell.params.is_empty(),
+                prefetching,
+                "{name}: {} params",
+                cell.variant
+            );
         }
         // Serialisation round-trips.
         let doc = artifact_json(&result, &derived, &checks);

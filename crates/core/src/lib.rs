@@ -88,7 +88,7 @@ use swpf_ir::{FuncId, Module};
 /// The defaults reproduce the paper's configuration: `c = 64` for every
 /// system (§5), stride companion prefetches on (§4.3, Fig. 5), no call
 /// duplication, hoisting enabled (§4.6).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PassConfig {
     /// The look-ahead constant `c` of eq. (1): the offset, in loop
     /// iterations, for the first load in a prefetch sequence.
@@ -122,6 +122,28 @@ impl Default for PassConfig {
     }
 }
 
+/// One scalar value of the pass's parameter space — the common currency
+/// between [`PassConfig::parameters`], result artifacts (which attach
+/// the effective configuration to every simulated cell), and the
+/// `swpf-tune` search subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamValue {
+    /// An integer knob (`look_ahead`, `max_indirect_depth` — where
+    /// `i64::MAX` stands for "unbounded").
+    Int(i64),
+    /// A pass toggle (`stride_companion`, `enable_hoisting`, ...).
+    Bool(bool),
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
 impl PassConfig {
     /// Config with a different look-ahead constant, other fields default.
     #[must_use]
@@ -130,6 +152,46 @@ impl PassConfig {
             look_ahead: c,
             ..PassConfig::default()
         }
+    }
+
+    /// The tunable parameters as `(name, value)` pairs in a stable
+    /// order: the pass's parameter-space surface. Result artifacts
+    /// attach this to every pass-compiled cell so the numbers are
+    /// self-describing, and the tuner derives its evaluation-cache key
+    /// from it (see [`PassConfig::cache_key`]).
+    #[must_use]
+    pub fn parameters(&self) -> Vec<(&'static str, ParamValue)> {
+        let depth = i64::try_from(self.max_indirect_depth).unwrap_or(i64::MAX);
+        vec![
+            ("look_ahead", ParamValue::Int(self.look_ahead)),
+            ("stride_companion", ParamValue::Bool(self.stride_companion)),
+            ("max_indirect_depth", ParamValue::Int(depth)),
+            ("allow_pure_calls", ParamValue::Bool(self.allow_pure_calls)),
+            ("enable_hoisting", ParamValue::Bool(self.enable_hoisting)),
+        ]
+    }
+
+    /// Compact stable key naming this point of the parameter space
+    /// (`"c64"`, `"c32_nostride"`, ...): non-default toggles append a
+    /// suffix, so two configs share a key iff they generate identical
+    /// prefetch code. Used as the tuner's per-(workload, machine-set)
+    /// evaluation-cache key and as artifact cell labels.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        let mut key = format!("c{}", self.look_ahead);
+        if self.max_indirect_depth != usize::MAX {
+            key.push_str(&format!("_d{}", self.max_indirect_depth));
+        }
+        if !self.stride_companion {
+            key.push_str("_nostride");
+        }
+        if !self.enable_hoisting {
+            key.push_str("_nohoist");
+        }
+        if self.allow_pure_calls {
+            key.push_str("_purecalls");
+        }
+        key
     }
 }
 
@@ -145,4 +207,57 @@ pub fn run_on_module(m: &mut Module, config: &PassConfig) -> PassReport {
         report.functions.push(run_on_function(m, f, config));
     }
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_cover_every_knob_in_stable_order() {
+        let names: Vec<&str> = PassConfig::default()
+            .parameters()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "look_ahead",
+                "stride_companion",
+                "max_indirect_depth",
+                "allow_pure_calls",
+                "enable_hoisting",
+            ]
+        );
+        assert_eq!(PassConfig::default().parameters()[0].1, ParamValue::Int(64));
+    }
+
+    #[test]
+    fn cache_keys_name_non_default_points() {
+        assert_eq!(PassConfig::default().cache_key(), "c64");
+        assert_eq!(PassConfig::with_look_ahead(16).cache_key(), "c16");
+        let cfg = PassConfig {
+            look_ahead: 32,
+            stride_companion: false,
+            max_indirect_depth: 2,
+            enable_hoisting: false,
+            ..PassConfig::default()
+        };
+        assert_eq!(cfg.cache_key(), "c32_d2_nostride_nohoist");
+    }
+
+    #[test]
+    fn configs_share_a_key_iff_equal() {
+        let a = PassConfig::default();
+        let b = PassConfig::with_look_ahead(64);
+        assert_eq!(a, b);
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = PassConfig {
+            stride_companion: false,
+            ..PassConfig::default()
+        };
+        assert_ne!(a, c);
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
 }

@@ -1,0 +1,111 @@
+//! Property tests for the look-ahead scheduler (paper §4.4, eq. 1) and
+//! its round trip through the pass: the offsets `codegen` actually
+//! emits must be exactly the eq.-1 schedule for the configured `c`.
+
+use proptest::prelude::*;
+use swpf_core::schedule::offset;
+use swpf_core::{run_on_module, PassConfig};
+use swpf_ir::parser::parse_module;
+
+/// The two-load indirect kernel of the crate example (`a[b[i]]`): one
+/// stride load feeding one indirect load, chain length `t = 2`.
+fn indirect_kernel() -> swpf_ir::Module {
+    parse_module(
+        "module tune_props\n\n\
+         func @kernel(%0: ptr, %1: ptr, %2: i64) -> void {\n\
+           %3 = const 0: i64\n\
+           %4 = const 1: i64\n\
+         bb0:\n\
+           br bb1\n\
+         bb1:\n\
+           %5: i64 = phi [bb0: %3], [bb2: %11]\n\
+           %6: i1 = icmp slt %5, %2\n\
+           br %6, bb2, bb3\n\
+         bb2:\n\
+           %7: ptr = gep %1, %5 x 8\n\
+           %8: i64 = load i64, %7\n\
+           %9: ptr = gep %0, %8 x 8\n\
+           %10: i64 = load i64, %9\n\
+           %11: i64 = add %5, %4\n\
+           br bb1\n\
+         bb3:\n\
+           ret\n\
+         }\n",
+    )
+    .expect("kernel parses")
+}
+
+proptest! {
+    // Offsets never grow along a chain: the load closest to the
+    // induction variable is prefetched furthest ahead, each later link
+    // strictly no further (monotone in position).
+    #[test]
+    fn offsets_are_monotone_in_chain_position(c in 0i64..1_000_000, t in 1usize..64) {
+        let mut prev = i64::MAX;
+        for l in 0..t {
+            let o = offset(c, t, l);
+            prop_assert!(o <= prev, "offset grew along the chain at {l}");
+            prop_assert!(o >= 1, "offsets are at least one iteration");
+            prev = o;
+        }
+    }
+
+    // Every offset is the eq.-1 multiple of c — `c·(t−l)/t`, integer
+    // division, floored at 1 — so it is bounded by c above and the
+    // chain's positions divide c evenly: position 0 gets the full c,
+    // and consecutive positions differ by at most ⌈c/t⌉.
+    #[test]
+    fn offsets_are_the_eq1_multiples_of_c(c in 1i64..1_000_000, t in 1usize..64) {
+        let t_i = t as i64;
+        for l in 0..t {
+            let o = offset(c, t, l);
+            prop_assert_eq!(o, (c * (t_i - l as i64) / t_i).max(1));
+            prop_assert!(o <= c, "bounded by the full look-ahead");
+        }
+        prop_assert_eq!(offset(c, t, 0), c, "first link gets the whole c");
+        for l in 1..t {
+            let step = offset(c, t, l - 1) - offset(c, t, l);
+            prop_assert!(step <= c / t_i + 1, "even stagger spacing");
+        }
+    }
+
+    // Round trip into generated code: compiling the two-load kernel
+    // with `PassConfig::with_look_ahead(c)` must emit exactly the
+    // eq.-1 offsets for a chain of two — [c, c/2] (stride companion
+    // first), i.e. the config's look-ahead survives scheduling and
+    // codegen verbatim.
+    #[test]
+    fn with_look_ahead_round_trips_into_codegen(c in 1i64..4096) {
+        let mut m = indirect_kernel();
+        let report = run_on_module(&mut m, &PassConfig::with_look_ahead(c));
+        swpf_ir::verifier::verify_module(&m).expect("pass output verifies");
+
+        let recs: Vec<_> = report.functions.iter().flat_map(|f| &f.prefetches).collect();
+        prop_assert_eq!(recs.len(), 1, "one prefetched chain");
+        prop_assert_eq!(recs[0].chain_len, 2);
+        let want: Vec<i64> = (0..2).map(|l| offset(c, 2, l)).collect();
+        prop_assert_eq!(&recs[0].offsets, &want);
+
+        // And the config's own parameter surface reports the same c.
+        let cfg = PassConfig::with_look_ahead(c);
+        prop_assert_eq!(
+            cfg.parameters()[0],
+            ("look_ahead", swpf_core::ParamValue::Int(c))
+        );
+    }
+
+    // Disabling the stride companion drops the position-0 companion
+    // prefetch but never changes the indirect offset.
+    #[test]
+    fn stride_companion_toggle_preserves_the_indirect_offset(c in 1i64..4096) {
+        let mut m = indirect_kernel();
+        let config = PassConfig {
+            stride_companion: false,
+            ..PassConfig::with_look_ahead(c)
+        };
+        let report = run_on_module(&mut m, &config);
+        let recs: Vec<_> = report.functions.iter().flat_map(|f| &f.prefetches).collect();
+        prop_assert_eq!(recs.len(), 1);
+        prop_assert_eq!(&recs[0].offsets, &vec![offset(c, 2, 1)]);
+    }
+}

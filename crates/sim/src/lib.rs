@@ -52,8 +52,8 @@ pub mod stride;
 pub mod tlb;
 
 pub use machine::{
-    replay_on_machine, replay_on_machines, run_on_machine, run_on_machine_image,
-    run_on_machine_traced, run_on_machines_image, Machine,
+    replay_on_machine, replay_on_machines, run_module_on_machines, run_on_machine,
+    run_on_machine_image, run_on_machine_traced, run_on_machines_image, Machine,
 };
 pub use memsys::{AccessKind, MemSys, SharedMem};
 pub use multicore::{

@@ -318,6 +318,29 @@ pub fn run_on_machines_image(
     machines.iter().map(Machine::stats).collect()
 }
 
+/// Candidate-evaluation entry point for search-driven tuning
+/// (`swpf-tune`): decode `module` once, interpret `func_name` once, and
+/// fan the retire-event stream out to every machine of `configs`
+/// simultaneously — so evaluating one candidate kernel on an N-machine
+/// grid costs one interpretation, not N. Statistics are bit-identical
+/// to N dedicated [`run_on_machine`] calls.
+///
+/// # Panics
+/// If the function does not exist or the program traps — callers treat
+/// both as fatal configuration errors.
+pub fn run_module_on_machines(
+    configs: &[&MachineConfig],
+    module: &Module,
+    func_name: &str,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+) -> Vec<SimStats> {
+    let func = module
+        .find_function(func_name)
+        .unwrap_or_else(|| panic!("no function `{func_name}` in module"));
+    let image = Arc::new(ExecImage::build(module));
+    run_on_machines_image(configs, &image, func, setup, None)
+}
+
 /// Replay a single-core trace on every machine of a grid row at once:
 /// the trace is decoded (and its payload streamed through the host
 /// caches) a single time, with each event fanned out to all timing

@@ -1,0 +1,174 @@
+//! The candidate evaluator: one interpretation per configuration
+//! point, fanned out to every machine of the grid row.
+//!
+//! An [`Evaluator`] is constructed per (workload, machine set); its
+//! point cache is keyed by [`PassConfig::cache_key`], so the full cache
+//! key is conceptually `(workload, machine-set, config)` — two
+//! strategies (or two machines' searches) requesting the same point pay
+//! for it once. Evaluating a point compiles the candidate kernel
+//! through `swpf-core`, verifies it, interprets it **once**, and fans
+//! the retire-event stream out to all machines' timing models via the
+//! `swpf-sim` replay paths ([`swpf_sim::run_module_on_machines`]) — so
+//! cost scales with candidates, not candidates × machines.
+//!
+//! Everything is deterministic: workloads build deterministic inputs,
+//! simulation is execution-driven, and the cache only memoises — a
+//! tuning run's every reported number is a pure function of (workload,
+//! machine set, search space, strategy).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use swpf_core::PassConfig;
+use swpf_sim::{run_module_on_machines, MachineConfig, SimStats};
+use swpf_workloads::Workload;
+
+/// One evaluated point of the parameter space: the configuration, what
+/// the pass did with it, and the timing of the resulting kernel on
+/// every machine of the evaluator's set.
+#[derive(Debug, Clone)]
+pub struct EvaluatedPoint {
+    /// The configuration the candidate kernel was compiled with.
+    pub config: PassConfig,
+    /// Per-machine statistics, in the evaluator's machine order.
+    pub stats: Vec<SimStats>,
+    /// Prefetch instructions the pass emitted at this point.
+    pub prefetches: usize,
+}
+
+/// Compiles, interprets, and times candidate configurations for one
+/// workload on one machine set, memoising by configuration point.
+pub struct Evaluator<'a> {
+    workload: &'a dyn Workload,
+    machines: &'a [MachineConfig],
+    index: HashMap<String, usize>,
+    points: Vec<Arc<EvaluatedPoint>>,
+    interpretations: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator for `workload` on `machines` with an empty cache.
+    #[must_use]
+    pub fn new(workload: &'a dyn Workload, machines: &'a [MachineConfig]) -> Self {
+        Evaluator {
+            workload,
+            machines,
+            index: HashMap::new(),
+            points: Vec::new(),
+            interpretations: 0,
+        }
+    }
+
+    /// The machine set results are reported over.
+    #[must_use]
+    pub fn machines(&self) -> &[MachineConfig] {
+        self.machines
+    }
+
+    /// Display name of the workload being tuned.
+    #[must_use]
+    pub fn workload_name(&self) -> &'static str {
+        self.workload.name()
+    }
+
+    /// Evaluate one configuration point: on a cache miss, build the
+    /// workload's baseline kernel, run the pass with `config`, verify
+    /// the output, and simulate it on every machine off a single
+    /// interpretation. Cached points are returned without any work.
+    ///
+    /// # Panics
+    /// If the pass output fails verification or the simulation traps —
+    /// both are fatal configuration errors.
+    pub fn eval(&mut self, config: &PassConfig) -> Arc<EvaluatedPoint> {
+        let key = config.cache_key();
+        if let Some(&i) = self.index.get(&key) {
+            return Arc::clone(&self.points[i]);
+        }
+        let mut module = self.workload.build_baseline();
+        let report = swpf_core::run_on_module(&mut module, config);
+        swpf_ir::verifier::verify_module(&module).expect("pass output verifies");
+        let configs: Vec<&MachineConfig> = self.machines.iter().collect();
+        let stats = run_module_on_machines(&configs, &module, "kernel", |interp| {
+            self.workload.setup(interp)
+        });
+        self.interpretations += 1;
+        let point = Arc::new(EvaluatedPoint {
+            config: config.clone(),
+            stats,
+            prefetches: report.total_prefetches(),
+        });
+        self.index.insert(key, self.points.len());
+        self.points.push(Arc::clone(&point));
+        point
+    }
+
+    /// Simulated cycles of `config` on machine index `machine`.
+    ///
+    /// # Panics
+    /// If `machine` is out of range of the machine set.
+    pub fn cycles(&mut self, config: &PassConfig, machine: usize) -> u64 {
+        assert!(machine < self.machines.len(), "machine index out of range");
+        self.eval(config).stats[machine].cycles
+    }
+
+    /// Interpretations actually paid (cache misses) — with an
+    /// N-machine set, the fan-out makes this the whole cost: it counts
+    /// candidates, not candidates × machines.
+    #[must_use]
+    pub fn interpretations(&self) -> usize {
+        self.interpretations
+    }
+
+    /// Every distinct point evaluated so far, in first-request order.
+    #[must_use]
+    pub fn points(&self) -> &[Arc<EvaluatedPoint>] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_workloads::{Scale, WorkloadId};
+
+    #[test]
+    fn points_are_cached_by_config_key_and_fan_out_to_all_machines() {
+        let w = WorkloadId::Is.instantiate(Scale::Test);
+        let machines = [MachineConfig::xeon_phi(), MachineConfig::a53()];
+        let mut ev = Evaluator::new(w.as_ref(), &machines);
+
+        let a = ev.eval(&PassConfig::default());
+        assert_eq!(a.stats.len(), 2, "one SimStats per machine");
+        assert!(a.stats.iter().all(|s| s.cycles > 0));
+        assert!(a.prefetches > 0, "IS has an indirect access to prefetch");
+        assert_eq!(ev.interpretations(), 1);
+
+        // Same point (even via a differently-constructed equal config):
+        // served from cache, no new interpretation.
+        let b = ev.eval(&PassConfig::with_look_ahead(64));
+        assert_eq!(ev.interpretations(), 1);
+        assert_eq!(a.stats[0].cycles, b.stats[0].cycles);
+
+        // A genuinely different point pays one more interpretation.
+        let _ = ev.eval(&PassConfig::with_look_ahead(8));
+        assert_eq!(ev.interpretations(), 2);
+        assert_eq!(ev.points().len(), 2);
+    }
+
+    #[test]
+    fn fan_out_matches_dedicated_single_machine_runs() {
+        let w = WorkloadId::Hj2.instantiate(Scale::Test);
+        let machines = [MachineConfig::xeon_phi(), MachineConfig::a53()];
+        let mut ev = Evaluator::new(w.as_ref(), &machines);
+        let fanned = ev.eval(&PassConfig::with_look_ahead(16));
+
+        for (i, m) in machines.iter().enumerate() {
+            let mut solo = Evaluator::new(w.as_ref(), std::slice::from_ref(m));
+            let alone = solo.eval(&PassConfig::with_look_ahead(16));
+            assert_eq!(
+                alone.stats[0].cycles, fanned.stats[i].cycles,
+                "fan-out must be bit-identical to a dedicated run on {}",
+                m.name
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! # swpf-tune — search-based auto-tuning of prefetch parameters
+//!
+//! The paper's headline knob is the look-ahead distance `c`: Fig. 2
+//! shows the too-small/too-big cliff, Fig. 6 sweeps it, and §Scheduling
+//! argues the static heuristic `c = 64` lands near the optimum on every
+//! evaluated system. This crate turns that claim into a measurement:
+//! given a workload × machine grid, it *searches* for the best
+//! [`PassConfig`] and reports how close the heuristic actually sits to
+//! the oracle, per workload × machine.
+//!
+//! The subsystem is three layers:
+//!
+//! * [`SearchSpace`] ([`space`]) — the searchable slice of the pass's
+//!   parameter space: a look-ahead distance axis (primary) plus pass
+//!   toggles such as the stride companion (secondary).
+//! * [`Evaluator`] ([`eval`]) — the cost model that makes search
+//!   affordable: each candidate config is compiled through `swpf-core`
+//!   and interpreted **once**, with its retire-event stream fanned out
+//!   to every machine's timing model via the `swpf-sim` fan-out/replay
+//!   paths — cost scales with candidates, not candidates × machines.
+//!   Points are cached by `(workload, machine-set, config)` (the
+//!   evaluator is per workload × machine-set; [`PassConfig::cache_key`]
+//!   keys the config), so strategies and machines share evaluations.
+//! * [`Strategy`] ([`search`]) — [`Exhaustive`] grid (the oracle),
+//!   [`GoldenSection`] bracketing over the unimodal distance curve, and
+//!   budgeted [`HillClimb`] over the full space.
+//!
+//! **Determinism contract:** a tuning run is a pure function of
+//! (workload, machine set, search space, strategy). Workload inputs are
+//! deterministic, simulation is execution-driven, probe orders are
+//! fixed, ties break to the earliest visit, and the point cache only
+//! memoises. Every strategy evaluates the paper heuristic first, so a
+//! tuned config is **never worse than the heuristic** by construction.
+//!
+//! ```
+//! use swpf_sim::MachineConfig;
+//! use swpf_tune::{tune_cell, Evaluator, GoldenSection, SearchSpace};
+//! use swpf_workloads::{Scale, WorkloadId};
+//!
+//! let workload = WorkloadId::Is.instantiate(Scale::Test);
+//! let machines = [MachineConfig::a53()];
+//! let space = SearchSpace::paper_default();
+//! let mut eval = Evaluator::new(workload.as_ref(), &machines);
+//! let report = tune_cell(&GoldenSection, &space, 0, &mut eval, None);
+//! assert!(report.chosen_cycles <= report.heuristic_cycles);
+//! ```
+
+pub mod eval;
+pub mod report;
+pub mod search;
+pub mod space;
+
+pub use eval::{EvaluatedPoint, Evaluator};
+pub use report::{EvalPoint, Outcome, TuneReport};
+pub use search::{strictly_unimodal, Exhaustive, GoldenSection, HillClimb, Strategy};
+pub use space::{SearchSpace, PAPER_DISTANCES};
+
+use swpf_core::PassConfig;
+
+/// Tune one (workload, machine) cell with one strategy and fold the
+/// outcome into a [`TuneReport`]. `oracle_cycles` is the exhaustive
+/// sweep's optimum when one was run (enables `pct_of_oracle`).
+///
+/// # Panics
+/// If `machine` is out of range of the evaluator's machine set.
+pub fn tune_cell(
+    strategy: &dyn Strategy,
+    space: &SearchSpace,
+    machine: usize,
+    eval: &mut Evaluator<'_>,
+    oracle_cycles: Option<u64>,
+) -> TuneReport {
+    let outcome = strategy.tune(space, machine, eval);
+    // The strategy already evaluated the heuristic (seed point), so
+    // this is a cache hit, never a new interpretation.
+    let heuristic_cycles = eval.cycles(&space.heuristic, machine);
+    let machine_name = eval.machines()[machine].name;
+    TuneReport {
+        workload: eval.workload_name().to_string(),
+        machine: machine_name,
+        strategy: outcome.strategy,
+        chosen: outcome.best_config().clone(),
+        chosen_cycles: outcome.best_cycles(),
+        heuristic_cycles,
+        oracle_cycles,
+        points: outcome.visited,
+    }
+}
+
+/// The distance-axis cycle curve of a tuned cell, in axis order, from
+/// an exhaustive outcome's visited points — the series whose
+/// (strict) unimodality decides whether the golden-section ≡ oracle
+/// equivalence applies (see [`strictly_unimodal`]).
+#[must_use]
+pub fn distance_curve(space: &SearchSpace, points: &[EvalPoint]) -> Vec<u64> {
+    space
+        .look_aheads
+        .iter()
+        .filter_map(|&c| {
+            points
+                .iter()
+                .find(|p| {
+                    p.config
+                        == PassConfig {
+                            look_ahead: c,
+                            ..space.heuristic.clone()
+                        }
+                })
+                .map(|p| p.cycles)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_sim::MachineConfig;
+    use swpf_workloads::{Scale, WorkloadId};
+
+    #[test]
+    fn tune_cell_fills_the_report_and_shares_the_cache() {
+        let w = WorkloadId::Is.instantiate(Scale::Test);
+        let machines = [MachineConfig::xeon_phi(), MachineConfig::a53()];
+        let space = SearchSpace::paper_default();
+        let mut eval = Evaluator::new(w.as_ref(), &machines);
+
+        let oracle = tune_cell(&Exhaustive, &space, 0, &mut eval, None);
+        let after_oracle = eval.interpretations();
+        let golden = tune_cell(
+            &GoldenSection,
+            &space,
+            0,
+            &mut eval,
+            Some(oracle.chosen_cycles),
+        );
+        assert_eq!(
+            eval.interpretations(),
+            after_oracle,
+            "golden re-probes points the exhaustive sweep evaluated: all cache hits"
+        );
+        assert_eq!(golden.workload, "IS");
+        assert_eq!(golden.machine, "xeon_phi");
+        assert!(golden.chosen_cycles <= golden.heuristic_cycles);
+        assert!(golden.pct_of_oracle() <= 100.0 + 1e-9);
+
+        // The second machine's search reuses the same fanned-out
+        // evaluations: zero new interpretations for the whole cell.
+        let other = tune_cell(&Exhaustive, &space, 1, &mut eval, None);
+        assert_eq!(eval.interpretations(), after_oracle);
+        assert_eq!(other.machine, "a53");
+    }
+
+    #[test]
+    fn distance_curve_is_in_axis_order() {
+        let space = SearchSpace::distance_only(vec![4, 8, 16]);
+        let points = vec![
+            EvalPoint {
+                config: PassConfig::with_look_ahead(16),
+                cycles: 30,
+            },
+            EvalPoint {
+                config: PassConfig::with_look_ahead(4),
+                cycles: 10,
+            },
+            EvalPoint {
+                config: PassConfig::with_look_ahead(8),
+                cycles: 20,
+            },
+        ];
+        assert_eq!(distance_curve(&space, &points), vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,143 @@
+//! The searchable slice of the pass's parameter space.
+//!
+//! The primary axis is the look-ahead distance `c` of eq. (1) — the
+//! knob Fig. 2 motivates and Fig. 6 sweeps. Secondary axes are pass
+//! toggles (the stride companion of §4.3, hoisting of §4.6) that
+//! strategies exploring the full space (hill-climbing) may flip.
+
+use swpf_core::PassConfig;
+
+/// Candidate look-ahead distances of [`SearchSpace::paper_default`]:
+/// 2–256 iterations in ~1.25× steps. Dense enough that bracketing
+/// search has real work to do (25 points vs. Fig. 6's 7), wide enough
+/// to cover both mis-scheduling cliffs, and containing the paper's
+/// heuristic choice `c = 64` so the heuristic is always a candidate.
+pub const PAPER_DISTANCES: [i64; 25] = [
+    2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128, 160, 192,
+    256,
+];
+
+/// The slice of [`PassConfig`] space a tuning run searches.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Candidate look-ahead distances, strictly ascending.
+    pub look_aheads: Vec<i64>,
+    /// Allow strategies that explore the full space to toggle the
+    /// stride companion (§4.3).
+    pub toggle_stride_companion: bool,
+    /// Allow strategies that explore the full space to toggle hoisting
+    /// (§4.6).
+    pub toggle_hoisting: bool,
+    /// The reference configuration: the paper's static heuristic
+    /// (`c = 64`, all transforms on). Every strategy evaluates it, so a
+    /// tuned result is never worse than the heuristic by construction,
+    /// and non-distance knobs of distance-only searches come from here.
+    pub heuristic: PassConfig,
+}
+
+impl SearchSpace {
+    /// The default tuning space: [`PAPER_DISTANCES`] plus the stride
+    /// toggle, anchored at the paper's heuristic configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SearchSpace {
+            look_aheads: PAPER_DISTANCES.to_vec(),
+            toggle_stride_companion: true,
+            toggle_hoisting: false,
+            heuristic: PassConfig::default(),
+        }
+    }
+
+    /// A distance-only space over the given axis (no toggles).
+    #[must_use]
+    pub fn distance_only(look_aheads: Vec<i64>) -> Self {
+        SearchSpace {
+            look_aheads,
+            toggle_stride_companion: false,
+            toggle_hoisting: false,
+            heuristic: PassConfig::default(),
+        }
+    }
+
+    /// Number of points on the distance axis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.look_aheads.len()
+    }
+
+    /// Whether the distance axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.look_aheads.is_empty()
+    }
+
+    /// The config at distance-axis index `i`, all other knobs taken
+    /// from the heuristic.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    #[must_use]
+    pub fn at(&self, i: usize) -> PassConfig {
+        PassConfig {
+            look_ahead: self.look_aheads[i],
+            ..self.heuristic.clone()
+        }
+    }
+
+    /// Index of the distance-axis point closest to the heuristic's
+    /// look-ahead — the hill-climber's deterministic starting cell.
+    ///
+    /// # Panics
+    /// If the axis is empty.
+    #[must_use]
+    pub fn heuristic_index(&self) -> usize {
+        assert!(!self.is_empty(), "empty distance axis");
+        self.look_aheads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| (c - self.heuristic.look_ahead).abs())
+            .map(|(i, _)| i)
+            .expect("non-empty axis")
+    }
+
+    /// Validate the axis shape strategies rely on: non-empty and
+    /// strictly ascending (bracketing search assumes an ordered axis).
+    ///
+    /// # Panics
+    /// On an empty or unsorted axis — a tuning-configuration error.
+    pub fn assert_well_formed(&self) {
+        assert!(!self.is_empty(), "empty look-ahead axis");
+        assert!(
+            self.look_aheads.windows(2).all(|w| w[0] < w[1]),
+            "look-ahead axis must be strictly ascending: {:?}",
+            self.look_aheads
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_well_formed_and_contains_the_heuristic() {
+        let space = SearchSpace::paper_default();
+        space.assert_well_formed();
+        let hi = space.heuristic_index();
+        assert_eq!(space.look_aheads[hi], 64);
+        assert_eq!(space.at(hi), PassConfig::default());
+    }
+
+    #[test]
+    fn heuristic_index_snaps_to_the_nearest_axis_point() {
+        let mut space = SearchSpace::distance_only(vec![4, 16, 256]);
+        space.heuristic = PassConfig::with_look_ahead(64);
+        assert_eq!(space.heuristic_index(), 1, "16 is nearer 64 than 256 is");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_axes_are_rejected() {
+        SearchSpace::distance_only(vec![16, 4]).assert_well_formed();
+    }
+}

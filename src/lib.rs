@@ -4,4 +4,5 @@ pub use swpf_core as pass;
 pub use swpf_ir as ir;
 pub use swpf_sim as sim;
 pub use swpf_trace as trace;
+pub use swpf_tune as tune;
 pub use swpf_workloads as workloads;
