@@ -161,6 +161,70 @@ pub fn store_roots_in(f: &Function, blocks: &[swpf_ir::BlockId]) -> Vec<ObjectRo
     roots
 }
 
+/// Memoised object roots for every value of one function.
+///
+/// [`object_root`] and [`object_roots`] are bounded graph walks; the
+/// prefetch pass asks them once per candidate base and once per chain
+/// load per store-aliasing test, and a pass-manager analysis cache wants
+/// a product it can compute once and invalidate on mutation. This
+/// analysis walks every value eagerly and answers both query shapes in
+/// O(1), with results identical to the free functions (the single-root
+/// and multi-root walks deliberately differ — see [`object_roots`]).
+#[derive(Debug)]
+pub struct RootsAnalysis {
+    single: Vec<ObjectRoot>,
+    multi: Vec<Vec<ObjectRoot>>,
+}
+
+impl RootsAnalysis {
+    /// Walk every value of `f` once.
+    #[must_use]
+    pub fn compute(f: &Function) -> Self {
+        let n = f.num_values();
+        let mut single = Vec::with_capacity(n);
+        let mut multi = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = ValueId(i as u32);
+            single.push(object_root(f, v));
+            multi.push(object_roots(f, v));
+        }
+        RootsAnalysis { single, multi }
+    }
+
+    /// The single collapsed root of `v` (≡ [`object_root`]).
+    #[must_use]
+    pub fn root_of(&self, v: ValueId) -> ObjectRoot {
+        self.single[v.index()]
+    }
+
+    /// All possible roots of `v` (≡ [`object_roots`]).
+    #[must_use]
+    pub fn roots_of(&self, v: ValueId) -> &[ObjectRoot] {
+        &self.multi[v.index()]
+    }
+
+    /// The roots of every store address within `blocks`
+    /// (≡ [`store_roots_in`]), answered from the memo.
+    #[must_use]
+    pub fn store_roots_in(&self, f: &Function, blocks: &[swpf_ir::BlockId]) -> Vec<ObjectRoot> {
+        let mut roots = Vec::new();
+        for &b in blocks {
+            for &v in &f.block(b).insts {
+                if let Some(InstKind::Store { addr, .. }) = f.inst(v).map(|i| &i.kind) {
+                    roots.extend_from_slice(self.roots_of(*addr));
+                }
+            }
+        }
+        roots.sort_unstable_by_key(|r| match r {
+            ObjectRoot::Alloc(v) => (0u8, v.0),
+            ObjectRoot::Arg(i) => (1, *i),
+            ObjectRoot::Unknown => (2, 0),
+        });
+        roots.dedup();
+        roots
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +292,35 @@ mod tests {
             assert_eq!(object_root(f, same), ObjectRoot::Arg(0));
             assert_eq!(object_root(f, diff), ObjectRoot::Unknown);
         }
+    }
+
+    #[test]
+    fn memoised_roots_match_the_free_functions() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::Ptr, Type::I64], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (p, n) = (b.arg(0), b.arg(1));
+            let heap = b.alloc(n, 8);
+            let g1 = b.gep(p, n, 8);
+            let g2 = b.gep(heap, n, 8);
+            let q = b.load(Type::Ptr, g1);
+            let g3 = b.gep(q, n, 8);
+            b.store(n, g2);
+            b.store(n, g3);
+            b.ret(None);
+        }
+        let f = m.function(fid);
+        let memo = RootsAnalysis::compute(f);
+        for i in 0..f.num_values() {
+            let v = ValueId(i as u32);
+            assert_eq!(memo.root_of(v), object_root(f, v), "single root of {v}");
+            assert_eq!(memo.roots_of(v), object_roots(f, v), "multi roots of {v}");
+        }
+        assert_eq!(
+            memo.store_roots_in(f, &[BlockId(0)]),
+            store_roots_in(f, &[BlockId(0)])
+        );
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! 4. **Invariance and object roots** ([`invariance`]) — loop-invariance
 //!    of values, and a conservative "which allocation does this address
 //!    derive from" analysis used to reject prefetch candidates whose
-//!    address-generating arrays are stored to inside the loop.
+//!    address-generating arrays are stored to inside the loop. The
+//!    per-value root walks are memoised by [`invariance::RootsAnalysis`].
 //!
-//! [`FuncAnalysis::compute`] bundles all of them.
+//! [`FuncAnalysis::compute`] bundles all of them. Each component sits
+//! behind an [`Arc`] so a pass-manager analysis cache (`swpf-pass`) can
+//! hand out shared results and fork cheaply; `FuncAnalysis` itself is a
+//! cheap bundle of clones of those `Arc`s.
 
 pub mod dom;
 pub mod indvar;
@@ -26,29 +30,38 @@ pub mod loops;
 
 pub use dom::DomTree;
 pub use indvar::{InductionVar, IvAnalysis, LoopBound};
-pub use invariance::{object_root, object_roots, roots_may_alias, ObjectRoot};
+pub use invariance::{object_root, object_roots, roots_may_alias, ObjectRoot, RootsAnalysis};
 pub use loops::{Loop, LoopForest, LoopId};
 
+use std::sync::Arc;
 use swpf_ir::Function;
 
-/// All per-function analyses bundled together.
-#[derive(Debug)]
+/// All per-function analyses bundled together, individually shareable.
+#[derive(Debug, Clone)]
 pub struct FuncAnalysis {
     /// Dominator tree.
-    pub dom: DomTree,
+    pub dom: Arc<DomTree>,
     /// Natural-loop forest.
-    pub loops: LoopForest,
+    pub loops: Arc<LoopForest>,
     /// Induction variables and loop bounds.
-    pub ivs: IvAnalysis,
+    pub ivs: Arc<IvAnalysis>,
+    /// Memoised object roots of every value (invariance/aliasing).
+    pub roots: Arc<RootsAnalysis>,
 }
 
 impl FuncAnalysis {
     /// Run every analysis on `f`.
     #[must_use]
     pub fn compute(f: &Function) -> Self {
-        let dom = DomTree::compute(f);
-        let loops = LoopForest::compute(f, &dom);
-        let ivs = IvAnalysis::compute(f, &loops);
-        FuncAnalysis { dom, loops, ivs }
+        let dom = Arc::new(DomTree::compute(f));
+        let loops = Arc::new(LoopForest::compute(f, &dom));
+        let ivs = Arc::new(IvAnalysis::compute(f, &loops));
+        let roots = Arc::new(RootsAnalysis::compute(f));
+        FuncAnalysis {
+            dom,
+            loops,
+            ivs,
+            roots,
+        }
     }
 }

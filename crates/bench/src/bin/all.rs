@@ -1,44 +1,103 @@
-//! Run the full experiment suite — all nine figure/table reproductions
-//! through the shared harness — and summarise.
+//! Run the experiment suite — the figure/table reproductions (plus the
+//! pass-pipeline ablation) through the shared harness — and summarise.
 //!
 //! Every experiment writes its `RESULTS/<name>.json` artifact; a
 //! `RESULTS/suite.json` summary records per-experiment wall time and
 //! check counts. Exits non-zero if any shape check fails, which is what
 //! the CI `experiments` job keys on.
 //!
-//! `--list` prints the experiment catalogue (including the searched
-//! `tune` experiment, which `--bin tune` runs), the machine models, and
-//! the workloads, without running anything.
+//! `--only <name>` / `--skip <name>` filter the catalogue (repeatable,
+//! or comma-separated), so smoke jobs can run one experiment instead of
+//! re-running everything: CI's `ablation-smoke` job is
+//! `--only ablation`. The searched `tune` experiment is not in the
+//! default set (it has its own `--bin tune`), but `--only tune` runs it
+//! here. `--list` prints the experiment catalogue, the filter syntax,
+//! the machine models, and the workloads, without running anything.
 //!
 //! ```sh
 //! SWPF_SCALE=test cargo run --release -p swpf-bench --bin all
 //! cargo run --release -p swpf-bench --bin all -- --threads 1
+//! cargo run --release -p swpf-bench --bin all -- --only ablation
+//! cargo run --release -p swpf-bench --bin all -- --skip fig4 --skip fig9
 //! cargo run --release -p swpf-bench --bin all -- --list
 //! ```
 
 use std::time::Instant;
-use swpf_bench::harness::{cli_options, run_and_report};
+use swpf_bench::harness::{cli_options_from, run_and_report};
 use swpf_bench::json::Json;
 use swpf_bench::{experiments, scale_from_env};
 
+/// A name list from `--only`/`--skip` values, validated against the
+/// experiment catalogue.
+fn push_names(out: &mut Vec<String>, flag: &str, value: Option<String>) {
+    let value = value.unwrap_or_else(|| panic!("{flag} needs an experiment name"));
+    for name in value.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        assert!(
+            experiments::EXPERIMENTS.contains(&name),
+            "{flag}: unknown experiment `{name}` (see --list for the catalogue)"
+        );
+        out.push(name.to_string());
+    }
+}
+
 fn main() -> std::process::ExitCode {
-    if std::env::args().skip(1).any(|a| a == "--list") {
+    // Strip the driver-specific arguments; everything else goes to the
+    // shared harness CLI parser.
+    let mut only: Vec<String> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => push_names(&mut only, "--only", args.next()),
+            "--skip" => push_names(&mut skip, "--skip", args.next()),
+            "--list" => list = true,
+            _ => rest.push(arg),
+        }
+    }
+    if list {
         experiments::print_catalog();
         return std::process::ExitCode::SUCCESS;
     }
+
+    // Selection: `--only` picks from the full catalogue (in catalogue
+    // order, so `--only tune` works); otherwise the grid experiments,
+    // minus `--skip`.
+    let selected: Vec<&str> = if only.is_empty() {
+        experiments::ALL_NAMES
+            .iter()
+            .copied()
+            .filter(|n| !skip.iter().any(|s| s == n))
+            .collect()
+    } else {
+        experiments::EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|n| only.iter().any(|o| o == n))
+            .filter(|n| !skip.iter().any(|s| s == n))
+            .collect()
+    };
+    assert!(!selected.is_empty(), "the filters selected no experiments");
+
     let scale = scale_from_env();
-    let opts = cli_options();
+    let opts = cli_options_from(rest.into_iter());
     let t0 = Instant::now();
     let mut summaries = Vec::new();
     let mut failed = 0usize;
 
-    for name in experiments::ALL_NAMES {
-        let exp = experiments::by_name(name, scale).expect("known name");
-        let (result, checks) = run_and_report(&exp, &opts.run, &opts.out_dir);
+    for name in &selected {
+        let (result, checks) = match experiments::by_name(name, scale) {
+            Some(exp) => run_and_report(&exp, &opts.run, &opts.out_dir),
+            None => {
+                assert_eq!(*name, "tune", "non-grid experiments: tune only");
+                swpf_bench::tune::run_and_report(&experiments::tune(scale), &opts.out_dir)
+            }
+        };
         let check_failures = checks.iter().filter(|c| !c.passed).count();
         failed += check_failures;
         summaries.push(Json::obj(vec![
-            ("experiment", Json::Str(name.to_string())),
+            ("experiment", Json::Str((*name).to_string())),
             ("jobs", Json::U64(result.cells.len() as u64)),
             ("threads", Json::U64(result.threads as u64)),
             ("wall_seconds", Json::F64(result.wall_s)),
@@ -60,8 +119,8 @@ fn main() -> std::process::ExitCode {
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 
     println!(
-        "\nsuite: {} experiments in {:.2}s, {} check failure(s) — {}",
-        experiments::ALL_NAMES.len(),
+        "\nsuite: {} experiment(s) in {:.2}s, {} check failure(s) — {}",
+        selected.len(),
         t0.elapsed().as_secs_f64(),
         failed,
         path.display(),

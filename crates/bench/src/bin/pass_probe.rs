@@ -1,0 +1,124 @@
+//! Compile-time probe for the pass-manager analysis cache: the A/B
+//! source of `BENCH_pass.json`.
+//!
+//! The `swpf-tune` evaluator compiles every candidate configuration
+//! from a clone of one pristine baseline module, so its pre-mutation
+//! analyses (dominators, loops, induction variables, object roots) are
+//! identical across candidates. The pass-manager path computes them
+//! once in a shared primed `AnalysisManager` and forks it per candidate
+//! ([`Evaluator`]); the pre-pass-manager behaviour recomputed all of
+//! them per candidate. This probe measures exactly that compile phase —
+//! clone + pass pipeline + verify for every point of the default
+//! 25-point search space — with the cache on and off, interleaved
+//! A/B within each repetition so the container's wall-clock drift
+//! cancels (compare within a rep, not across reps).
+//!
+//! ```sh
+//! cargo run --release -p swpf-bench --bin pass_probe -- [--reps N]
+//! ```
+//!
+//! Output: one JSON document on stdout with per-workload wall times,
+//! cached/uncached ratios, and the analyses-computed counters that
+//! explain them.
+
+use std::time::Instant;
+use swpf_bench::json::Json;
+use swpf_sim::MachineConfig;
+use swpf_tune::{Evaluator, SearchSpace};
+use swpf_workloads::{Scale, WorkloadId};
+
+/// One full compile sweep: every point of `space` through a fresh
+/// evaluator. Returns (outer wall seconds incl. construction/priming,
+/// evaluator-reported compile seconds, analyses computed during the
+/// sweep).
+fn sweep(
+    id: WorkloadId,
+    machines: &[MachineConfig],
+    space: &SearchSpace,
+    cached: bool,
+) -> (f64, f64, usize) {
+    let w = id.instantiate(Scale::Paper);
+    let t0 = Instant::now();
+    let mut ev = if cached {
+        Evaluator::new(w.as_ref(), machines)
+    } else {
+        Evaluator::new(w.as_ref(), machines).without_analysis_caching()
+    };
+    for i in 0..space.len() {
+        let _ = ev.compile_candidate(&space.at(i));
+    }
+    (
+        t0.elapsed().as_secs_f64(),
+        ev.compile_seconds(),
+        ev.analyses_computed(),
+    )
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs an integer");
+            }
+            other => panic!("unknown argument `{other}` (expected --reps N)"),
+        }
+    }
+
+    let machines = [MachineConfig::a53()];
+    let space = SearchSpace::paper_default();
+    let workloads = WorkloadId::FIG6;
+
+    let mut rows = Vec::new();
+    let mut total_cached = 0.0;
+    let mut total_uncached = 0.0;
+    for &id in &workloads {
+        let mut cached_walls = Vec::new();
+        let mut uncached_walls = Vec::new();
+        let mut analyses = (0usize, 0usize);
+        for _ in 0..reps {
+            // Interleave within the rep: drift cancels inside a pair.
+            let (wall_c, _, an_c) = sweep(id, &machines, &space, true);
+            let (wall_u, _, an_u) = sweep(id, &machines, &space, false);
+            cached_walls.push(wall_c);
+            uncached_walls.push(wall_u);
+            analyses = (an_c, an_u);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (c, u) = (mean(&cached_walls), mean(&uncached_walls));
+        total_cached += c;
+        total_uncached += u;
+        rows.push((
+            id.name(),
+            Json::obj(vec![
+                ("cached_wall_s", Json::F64(c)),
+                ("uncached_wall_s", Json::F64(u)),
+                ("uncached_over_cached", Json::F64(u / c)),
+                ("analyses_computed_cached", Json::U64(analyses.0 as u64)),
+                ("analyses_computed_uncached", Json::U64(analyses.1 as u64)),
+            ]),
+        ));
+    }
+
+    let doc = Json::obj(vec![
+        ("reps", Json::U64(reps as u64)),
+        ("points_per_sweep", Json::U64(space.len() as u64)),
+        ("workloads", Json::obj(rows.into_iter().collect::<Vec<_>>())),
+        (
+            "total",
+            Json::obj(vec![
+                ("cached_wall_s", Json::F64(total_cached)),
+                ("uncached_wall_s", Json::F64(total_uncached)),
+                (
+                    "uncached_over_cached",
+                    Json::F64(total_uncached / total_cached),
+                ),
+            ]),
+        ),
+    ]);
+    println!("{}", doc.to_pretty_string());
+}

@@ -20,18 +20,19 @@ use swpf_sim::{CoreKind, MachineConfig};
 use swpf_workloads::is::Fig2Scheme;
 use swpf_workloads::{KernelVariant, Scale, WorkloadId};
 
-/// Every *grid* experiment name, in the paper's figure order (the
-/// declarative specs [`by_name`] resolves; what `--bin all` runs).
-pub const ALL_NAMES: [&str; 9] = [
-    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+/// Every *grid* experiment name: the paper's figures/tables in figure
+/// order, plus the pass-pipeline `ablation` study (the declarative
+/// specs [`by_name`] resolves; what `--bin all` runs by default).
+pub const ALL_NAMES: [&str; 10] = [
+    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
 ];
 
 /// The complete experiment catalogue: the grid experiments plus the
 /// searched `tune` experiment (run by `--bin tune` through
-/// [`crate::tune::run_tune`]). This is what `--bin all -- --list`
-/// enumerates.
-pub const EXPERIMENTS: [&str; 10] = [
-    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tune",
+/// [`crate::tune::run_tune`], or by `--bin all -- --only tune`). This
+/// is what `--bin all -- --list` enumerates.
+pub const EXPERIMENTS: [&str; 11] = [
+    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "tune",
 ];
 
 /// The default manual-variant label (`c = 64`, the paper's choice).
@@ -56,6 +57,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Experiment> {
         "fig8" => Some(fig8(scale)),
         "fig9" => Some(fig9(scale)),
         "fig10" => Some(fig10(scale)),
+        "ablation" => Some(ablation(scale)),
         _ => None,
     }
 }
@@ -771,6 +773,195 @@ fn fig10(scale: Scale) -> Experiment {
     }
 }
 
+// ---- ablation ------------------------------------------------------------
+
+/// The pass pipelines the ablation compares: the bare prefetch pass,
+/// DCE alone, and CSE + DCE — the paper's "later passes clean up the
+/// generated address code" step (§4/§5), made measurable. Each entry is
+/// `(variant label, pipeline spec)`; this const is the single source of
+/// the experiment's variant axis, its static-cost columns, and its
+/// speedup tables. The first entry must be the bare pass (the
+/// reference the others are checked against) and entries must only add
+/// cleanup (the monotonicity check assumes it).
+pub const ABLATION_PIPELINES: [(&str, &str); 3] = [
+    ("swpf", "swpf"),
+    ("swpf_dce", "swpf,dce"),
+    ("swpf_cse_dce", "swpf,cse,dce"),
+];
+
+/// Static cost of one workload's kernel per ablation pipeline
+/// (deterministic pure functions of workload × scale × pipeline):
+/// placed instructions in the baseline, placed instructions after each
+/// [`ABLATION_PIPELINES`] entry, and each entry's emitted prefetches.
+struct StaticCost {
+    base: usize,
+    placed: Vec<usize>,
+    prefetches: Vec<usize>,
+}
+
+/// Compile every workload through every ablation pipeline and count.
+fn ablation_static_costs(scale: Scale) -> Vec<(WorkloadId, StaticCost)> {
+    let placed = |m: &swpf_ir::Module| -> usize {
+        m.func_ids().map(|f| m.function(f).num_placed_insts()).sum()
+    };
+    WorkloadId::ALL
+        .iter()
+        .map(|&id| {
+            let w = id.instantiate(scale);
+            let mut cost = StaticCost {
+                base: placed(&w.build_baseline()),
+                placed: Vec::new(),
+                prefetches: Vec::new(),
+            };
+            for (_, spec) in ABLATION_PIPELINES {
+                let mut m = w.build_baseline();
+                let report = swpf_core::run_on_module(&mut m, &PassConfig::with_pipeline(spec));
+                cost.placed.push(placed(&m));
+                cost.prefetches.push(report.total_prefetches());
+            }
+            (id, cost)
+        })
+        .collect()
+}
+
+fn ablation(scale: Scale) -> Experiment {
+    let mut variants = vec![Variant::baseline()];
+    variants.extend(
+        ABLATION_PIPELINES
+            .iter()
+            .map(|&(label, spec)| Variant::Auto {
+                label,
+                config: PassConfig::with_pipeline(spec),
+            }),
+    );
+    Experiment {
+        spec: ExperimentSpec {
+            name: "ablation",
+            title: "Ablation — pass pipelines: static cleanup × speedup",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: WorkloadId::ALL.to_vec(),
+            variants,
+            filter: None,
+        },
+        derive: |res| {
+            // Static pipeline costs: what the pass cloned, what the
+            // cleanup passes took back (recomputed here — they are
+            // deterministic functions of workload × scale × pipeline,
+            // and compiling is milliseconds next to simulation).
+            // `cloned` is relative to the bare first pipeline,
+            // `eliminated` what the last (full-cleanup) one removed of
+            // it; `pf_drift` must be 0 — cleanup never touches
+            // prefetches (checked below from this table).
+            let labels: Vec<&str> = ABLATION_PIPELINES.iter().map(|(l, _)| *l).collect();
+            let mut columns = vec!["base".to_string()];
+            columns.extend(labels.iter().map(ToString::to_string));
+            columns.extend(["cloned", "eliminated", "prefetches", "pf_drift"].map(String::from));
+            let static_rows = ablation_static_costs(res.scale)
+                .into_iter()
+                .map(|(w, c)| {
+                    let bare = c.placed[0];
+                    let full = *c.placed.last().expect("non-empty pipeline list");
+                    let drift = c
+                        .prefetches
+                        .iter()
+                        .map(|&p| p.abs_diff(c.prefetches[0]))
+                        .max()
+                        .unwrap_or(0);
+                    let mut values = vec![c.base as f64];
+                    values.extend(c.placed.iter().map(|&p| p as f64));
+                    values.extend([
+                        (bare - c.base) as f64,
+                        (bare - full) as f64,
+                        c.prefetches[0] as f64,
+                        drift as f64,
+                    ]);
+                    Row {
+                        name: w.name().to_string(),
+                        values,
+                    }
+                })
+                .collect();
+            let mut sections = vec![TableSection::new(
+                "Ablation (static) — placed instructions per pipeline",
+                columns,
+                static_rows,
+            )];
+            // Speedup over no-prefetch per machine, per pipeline.
+            sections.extend(res.machines.iter().map(|m| {
+                TableSection::new(
+                    format!("Ablation ({}) — speedup vs. no prefetching", m.name),
+                    labels.iter().map(ToString::to_string).collect(),
+                    speedup_rows(res, m.name, &WorkloadId::ALL, &labels),
+                )
+            }));
+            sections
+        },
+        checks: |res, derived| {
+            let (bare, full) = (
+                ABLATION_PIPELINES[0].0,
+                ABLATION_PIPELINES[ABLATION_PIPELINES.len() - 1].0,
+            );
+            let mut checks = Vec::new();
+            let stat = find_section(derived, "(static)").expect("static section");
+            // The cleanup passes must strictly win somewhere: on at
+            // least one workload, cse+dce removes part of what the
+            // prefetch pass cloned. Static, so asserted at every scale.
+            let reduced = stat
+                .rows
+                .iter()
+                .filter(|r| row_value(stat, &r.name, "eliminated") > 0.0)
+                .count();
+            checks.push(Check::new(
+                "cleanup_strictly_reduces_cloned_code",
+                reduced >= 1,
+                format!(
+                    "cse+dce eliminated instructions on {reduced} of {} workloads",
+                    stat.rows.len()
+                ),
+            ));
+            // Cleanup only removes: each added cleanup pass may only
+            // shrink the kernel, and it never touches the emitted
+            // prefetches (pf_drift is the max deviation from the bare
+            // pipeline's count).
+            let monotone = stat.rows.iter().all(|r| {
+                ABLATION_PIPELINES
+                    .windows(2)
+                    .all(|w| row_value(stat, &r.name, w[1].0) <= row_value(stat, &r.name, w[0].0))
+            });
+            checks.push(Check::new(
+                "cleanup_is_monotone",
+                monotone,
+                "each added cleanup pass only shrinks the kernel".to_string(),
+            ));
+            let prefetches_kept = stat
+                .rows
+                .iter()
+                .all(|r| row_value(stat, &r.name, "pf_drift") == 0.0);
+            checks.push(Check::new(
+                "cleanup_preserves_prefetches",
+                prefetches_kept,
+                format!("{bare} and {full} emit identical prefetch counts"),
+            ));
+            // Cleanup shrinks the address code but must not change what
+            // is prefetched: per machine, the geomean speedup of the
+            // full pipeline stays within 10% of the bare pass.
+            for m in &res.machines {
+                let section =
+                    find_section(derived, &format!("({})", m.name)).expect("machine section");
+                let bare_v = row_value(section, "Geomean", bare);
+                let full_v = row_value(section, "Geomean", full);
+                checks.push(Check::new(
+                    format!("cleanup_speedup_within_tolerance_{}", m.name),
+                    full_v >= bare_v * 0.9 && full_v <= bare_v * 1.1,
+                    format!("full-pipeline geomean {full_v:.3} vs bare {bare_v:.3}"),
+                ));
+            }
+            checks
+        },
+    }
+}
+
 // ---- tune ----------------------------------------------------------------
 
 /// The searched `tune` experiment: find the best look-ahead (and
@@ -804,6 +995,14 @@ pub fn print_catalog() {
         };
         println!("  {name:<8} {title}");
     }
+    println!(
+        "\nfilters (--bin all):\n  \
+         --only <name>   run only the named experiment(s); repeatable, or\n                  \
+         comma-separated (e.g. `--only ablation` or `--only fig4,fig9,tune`)\n  \
+         --skip <name>   run the default set without the named experiment(s)\n  \
+         (default set: every experiment above except `tune`, which `--bin tune`\n  \
+         runs; `--only tune` includes it here)"
+    );
     println!("\nmachines:");
     for m in MachineConfig::all_systems() {
         println!("  {:<10} ({})", m.name, m.core_kind_name());

@@ -1183,6 +1183,17 @@ pub struct CliOptions {
 /// On malformed arguments (this is a bench CLI; fail loudly).
 #[must_use]
 pub fn cli_options() -> CliOptions {
+    cli_options_from(std::env::args().skip(1))
+}
+
+/// [`cli_options`] over an explicit argument stream — for drivers (the
+/// `all` binary) that strip their own arguments (`--only`, `--skip`,
+/// `--list`) before delegating the shared ones here.
+///
+/// # Panics
+/// On malformed arguments (this is a bench CLI; fail loudly).
+#[must_use]
+pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
     let mut threads: usize = std::env::var("SWPF_THREADS")
         .ok()
         .map(|v| v.parse().expect("SWPF_THREADS must be an integer"))
@@ -1192,7 +1203,7 @@ pub fn cli_options() -> CliOptions {
         None => TracePolicy::default(),
     };
     let mut out_dir = PathBuf::from("RESULTS");
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {

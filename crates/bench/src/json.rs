@@ -1,6 +1,6 @@
 //! Minimal JSON tree, writer, and parser — no external dependencies
 //! (the build container has no crates.io access, so `serde` is not an
-//! option; see DESIGN.md §8).
+//! option; see DESIGN.md §9).
 //!
 //! The writer produces the `RESULTS/<experiment>.json` artifacts; the
 //! parser reads them back (snapshot tests, PR diffing tools) and reads

@@ -13,6 +13,7 @@
 //! | `fig8`  | Fig. 8 — dynamic instruction overhead |
 //! | `fig9`  | Fig. 9 — IS multicore throughput |
 //! | `fig10` | Fig. 10 — small vs. huge pages |
+//! | `ablation` | pass-pipeline ablation — static cleanup × speedup (via `--bin all -- --only ablation`) |
 //!
 //! Every binary is a thin wrapper over the shared [`harness`]: the grid
 //! is declared in [`experiments`], executed on a pool of host threads,

@@ -29,8 +29,9 @@ fn experiment_grid_sizes_are_pinned() {
         ("fig6", 4 * 4 * 8),     // baseline + 7 distances
         ("fig7", 4 * 5),         // HJ-8 only, baseline + 4 depths
         ("fig8", 7 * 3),
-        ("fig9", 6),          // {1,2,4} cores × {baseline, auto}
-        ("fig10", 2 * 3 * 2), // two page policies
+        ("fig9", 6),             // {1,2,4} cores × {baseline, auto}
+        ("fig10", 2 * 3 * 2),    // two page policies
+        ("ablation", 4 * 7 * 4), // baseline + three pass pipelines
     ];
     assert_eq!(expected.map(|(n, _)| n), ALL_NAMES);
     for (name, jobs) in expected {
@@ -197,6 +198,7 @@ fn all_experiments_pass_their_checks_at_test_scale() {
             let prefetching = cell.variant.starts_with("auto")
                 || cell.variant.starts_with("manual_")
                 || cell.variant.ends_with("_auto")
+                || cell.variant.starts_with("swpf")
                 || cell.variant == "icc";
             assert_eq!(
                 !cell.params.is_empty(),

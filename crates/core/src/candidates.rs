@@ -117,86 +117,139 @@ pub struct PlannedPrefetch {
     pub placement: Placement,
 }
 
-/// Run discovery, filtering and code generation on one function.
-pub fn run(m: &mut Module, fid: FuncId, config: &PassConfig) -> FunctionReport {
-    let mut report = FunctionReport {
-        name: m.function(fid).name.clone(),
-        ..FunctionReport::default()
-    };
-    let mut planned: Vec<PlannedPrefetch> = Vec::new();
-    {
-        let f = m.function(fid);
-        let analysis = FuncAnalysis::compute(f);
-
-        // Loads inside loops, in block order (paper line 30).
-        let mut loads: Vec<ValueId> = Vec::new();
-        for b in f.block_ids() {
-            if analysis.loops.innermost(b).is_none() {
-                continue;
-            }
-            for &v in &f.block(b).insts {
-                if matches!(f.inst(v).map(|i| &i.kind), Some(InstKind::Load { .. })) {
-                    loads.push(v);
-                }
-            }
+/// Stage 1 — **discovery** (Algorithm 1 lines 29–33): walk every load
+/// inside a loop, in block order, and DFS its data dependences back to
+/// an induction variable. Returns the raw candidates plus a skip record
+/// for every load no path reaches an induction variable from.
+#[must_use]
+pub fn discover(
+    f: &Function,
+    analysis: &FuncAnalysis,
+) -> (Vec<(ValueId, DfsResult)>, Vec<SkipRecord>) {
+    // Loads inside loops, in block order (paper line 30).
+    let mut loads: Vec<ValueId> = Vec::new();
+    for b in f.block_ids() {
+        if analysis.loops.innermost(b).is_none() {
+            continue;
         }
-
-        let mut raw: Vec<(ValueId, DfsResult)> = Vec::new();
-        for load in loads {
-            match find_iv_paths(f, &analysis, load) {
-                Some(r) => raw.push((load, r)),
-                None => report.skipped.push(SkipRecord {
-                    load,
-                    reason: SkipReason::NoInductionVariable,
-                }),
-            }
-        }
-
-        // Longest chains first so shorter chains they cover are subsumed.
-        raw.sort_by_key(|(_, r)| std::cmp::Reverse(r.set.len()));
-        let mut covered: BTreeSet<ValueId> = BTreeSet::new();
-        // (base, index, elem_size) of accepted targets' address geps, for
-        // line-granularity deduplication: prefetching `bucket.k0` already
-        // fetches `bucket.k1`'s line.
-        let mut line_keys: Vec<(ValueId, ValueId, u64, u64)> = Vec::new();
-        for (load, r) in raw {
-            if covered.contains(&load) {
-                report.skipped.push(SkipRecord {
-                    load,
-                    reason: SkipReason::Subsumed,
-                });
-                continue;
-            }
-            if let Some(key) = target_gep_key(f, load) {
-                if line_keys.iter().any(|k| {
-                    k.0 == key.0 && k.1 == key.1 && k.2 == key.2 && k.3.abs_diff(key.3) < 64
-                }) {
-                    report.skipped.push(SkipRecord {
-                        load,
-                        reason: SkipReason::SameLineCovered,
-                    });
-                    continue;
-                }
-            }
-            match validate(f, &analysis, load, &r, config) {
-                Ok(plan) => {
-                    covered.extend(plan.chain.iter().map(|c| c.load));
-                    if let Some(key) = target_gep_key(f, load) {
-                        line_keys.push(key);
-                    }
-                    planned.push(plan);
-                }
-                Err(reason) => report.skipped.push(SkipRecord { load, reason }),
+        for &v in &f.block(b).insts {
+            if matches!(f.inst(v).map(|i| &i.kind), Some(InstKind::Load { .. })) {
+                loads.push(v);
             }
         }
     }
 
-    // Generation (mutates the function).
+    let mut raw: Vec<(ValueId, DfsResult)> = Vec::new();
+    let mut skipped: Vec<SkipRecord> = Vec::new();
+    for load in loads {
+        match find_iv_paths(f, analysis, load) {
+            Some(r) => raw.push((load, r)),
+            None => skipped.push(SkipRecord {
+                load,
+                reason: SkipReason::NoInductionVariable,
+            }),
+        }
+    }
+    (raw, skipped)
+}
+
+/// Stage 2 — **filtering** (Algorithm 1 lines 34–42, §4.2): deduplicate
+/// the raw candidates (subsumption by longer chains, cache-line
+/// coverage) and apply every safety filter, turning survivors into
+/// fully-validated [`PlannedPrefetch`]es.
+#[must_use]
+pub fn filter(
+    f: &Function,
+    analysis: &FuncAnalysis,
+    mut raw: Vec<(ValueId, DfsResult)>,
+    config: &PassConfig,
+) -> (Vec<PlannedPrefetch>, Vec<SkipRecord>) {
+    let mut planned: Vec<PlannedPrefetch> = Vec::new();
+    let mut skipped: Vec<SkipRecord> = Vec::new();
+
+    // Longest chains first so shorter chains they cover are subsumed.
+    raw.sort_by_key(|(_, r)| std::cmp::Reverse(r.set.len()));
+    let mut covered: BTreeSet<ValueId> = BTreeSet::new();
+    // (base, index, elem_size) of accepted targets' address geps, for
+    // line-granularity deduplication: prefetching `bucket.k0` already
+    // fetches `bucket.k1`'s line.
+    let mut line_keys: Vec<(ValueId, ValueId, u64, u64)> = Vec::new();
+    for (load, r) in raw {
+        if covered.contains(&load) {
+            skipped.push(SkipRecord {
+                load,
+                reason: SkipReason::Subsumed,
+            });
+            continue;
+        }
+        if let Some(key) = target_gep_key(f, load) {
+            if line_keys
+                .iter()
+                .any(|k| k.0 == key.0 && k.1 == key.1 && k.2 == key.2 && k.3.abs_diff(key.3) < 64)
+            {
+                skipped.push(SkipRecord {
+                    load,
+                    reason: SkipReason::SameLineCovered,
+                });
+                continue;
+            }
+        }
+        match validate(f, analysis, load, &r, config) {
+            Ok(plan) => {
+                covered.extend(plan.chain.iter().map(|c| c.load));
+                if let Some(key) = target_gep_key(f, load) {
+                    line_keys.push(key);
+                }
+                planned.push(plan);
+            }
+            Err(reason) => skipped.push(SkipRecord { load, reason }),
+        }
+    }
+    (planned, skipped)
+}
+
+/// Run the pass stages on one function using caller-provided analyses
+/// (the pass-manager path: `swpf_core::SwpfPass` feeds analyses from
+/// the `swpf-pass` [`AnalysisManager`](swpf_pass::AnalysisManager)
+/// cache). `analysis` must describe `m.function(fid)`'s current body.
+///
+/// Stages: [`discover`] → [`filter`] → scheduling + generation
+/// ([`crate::codegen::emit`], which applies [`crate::schedule`]'s
+/// look-ahead offsets while cloning).
+pub fn run_with_analysis(
+    m: &mut Module,
+    fid: FuncId,
+    config: &PassConfig,
+    analysis: &FuncAnalysis,
+) -> FunctionReport {
+    let mut report = FunctionReport {
+        name: m.function(fid).name.clone(),
+        ..FunctionReport::default()
+    };
+    let planned = {
+        let f = m.function(fid);
+        let (raw, no_iv) = discover(f, analysis);
+        report.skipped.extend(no_iv);
+        let (planned, rejected) = filter(f, analysis, raw, config);
+        report.skipped.extend(rejected);
+        planned
+    };
+
+    // Stages 3 + 4 — scheduling and generation (mutates the function).
     for plan in &planned {
         let record = codegen::emit(m.function_mut(fid), plan, config);
         report.prefetches.push(record);
     }
     report
+}
+
+/// Run discovery, filtering and code generation on one function,
+/// computing every analysis from scratch — the original monolithic
+/// shape, kept as the differential-testing oracle for the pipelined
+/// path (see `swpf_core::run_on_module_monolithic`).
+pub fn run(m: &mut Module, fid: FuncId, config: &PassConfig) -> FunctionReport {
+    let analysis = FuncAnalysis::compute(m.function(fid));
+    run_with_analysis(m, fid, config, &analysis)
 }
 
 /// The `(base, index, elem_size, offset)` of a load's address gep, used
@@ -308,13 +361,14 @@ fn validate(
     // Store aliasing (§4.2): arrays read by the address-generation code
     // (all chain loads except the target, whose clone is a prefetch) must
     // not be written inside the induction variable's loop.
-    let store_roots = invariance::store_roots_in(f, &analysis.loops.get(iv.in_loop).blocks);
+    let store_roots = analysis
+        .roots
+        .store_roots_in(f, &analysis.loops.get(iv.in_loop).blocks);
     for c in chain.iter().filter(|c| c.load != target) {
         let Some(InstKind::Load { addr, .. }) = f.inst(c.load).map(|i| &i.kind) else {
             unreachable!();
         };
-        let roots = invariance::object_roots(f, *addr);
-        if invariance::roots_may_alias(&store_roots, &roots) {
+        if invariance::roots_may_alias(&store_roots, analysis.roots.roots_of(*addr)) {
             return Err(SkipReason::MayAliasStore);
         }
     }
@@ -409,7 +463,7 @@ fn clamp_source(
     let mut alloc_count: Option<ValueId> = None;
     let mut all_same_alloc = !level0_bases.is_empty();
     for &base in level0_bases {
-        match invariance::object_root(f, base) {
+        match analysis.roots.root_of(base) {
             ObjectRoot::Alloc(a) => {
                 let Some(InstKind::Alloc { count, .. }) = f.inst(a).map(|i| &i.kind) else {
                     unreachable!("alloc root is an alloc");

@@ -6,12 +6,19 @@
 //! `prefetch`, and splices the clones in just before the original target
 //! load (or in a preheader, for hoisted plans).
 //!
-//! Clamping (§4.2) is only materialised when the generated code contains
-//! *real* intermediate loads (`l ≥ 1`): the prefetch instruction itself
-//! cannot fault, so a pure stride prefetch (`l = 0`) skips the clamp —
-//! exactly as in the paper's Fig. 3(c), where the prefetch of `a[i+64]`
-//! is unclamped while the chain through the real load of `a[min(i+32,
-//! asize)]` is clamped.
+//! Clamping (§4.2): every chain position computes its fault-avoidance
+//! *limit* (Algorithm 1's uniform rule — the generator is deliberately
+//! naive here, like the paper's prototype), but the clamp itself
+//! (`min(iv+off, limit)`) is only *applied* where the generated code
+//! contains real intermediate loads (`l ≥ 1`): the prefetch instruction
+//! cannot fault, so a pure stride prefetch (`l = 0`) uses the unclamped
+//! look-ahead — the paper's Fig. 3(c), where `a[i+64]` is prefetched
+//! unclamped while the chain loads `a[min(i+32, asize)]`. The limit an
+//! unclamped position computed anyway is left for the pipeline's
+//! cleanup passes, exactly as the paper leaves its redundant address
+//! code to `-O3`: `dce` sweeps it, or `cse` merges it with a clamped
+//! sibling position's identical limit (measured by the `ablation`
+//! experiment).
 
 use crate::candidates::{ChainLoad, ClampSource, Placement, PlannedPrefetch};
 use crate::report::PrefetchRecord;
@@ -82,9 +89,24 @@ fn emit_one(
     );
     place(f, iv_off, &mut inserted);
 
-    // Clamp only when real loads are generated (level >= 1).
+    // Every position computes its fault-avoidance limit (the naive
+    // Algorithm 1 rule)…
+    let (limit, cmp_pred) = clamp_limit(f, plan, iv_ty, block, anchor, &mut inserted);
+    // …but the clamp is applied only where real loads are generated
+    // (level >= 1): prefetches cannot fault (Fig. 3(c)). An unclamped
+    // position's limit is dead code for the cleanup passes.
     let lookahead_iv = if chain_load.level >= 1 {
-        clamp(f, plan, iv_off, iv_ty, block, anchor, &mut inserted)
+        clamp_apply(
+            f,
+            plan,
+            iv_off,
+            limit,
+            cmp_pred,
+            iv_ty,
+            block,
+            anchor,
+            &mut inserted,
+        )
     } else {
         iv_off
     };
@@ -122,21 +144,22 @@ fn emit_one(
     inserted
 }
 
-/// Emit `min(iv_off, limit)` (or `max` for down-counting loops).
-fn clamp(
+/// Emit the fault-avoidance limit of a plan's clamp source: the last
+/// in-bounds index, plus the predicate comparing against it. Places at
+/// most one `sub` (none when the bound is usable as-is).
+fn clamp_limit(
     f: &mut Function,
     plan: &PlannedPrefetch,
-    iv_off: ValueId,
     iv_ty: Type,
     block: swpf_ir::BlockId,
     anchor: ValueId,
     inserted: &mut usize,
-) -> ValueId {
+) -> (ValueId, Pred) {
     let place = |f: &mut Function, v: ValueId, n: &mut usize| {
         f.insert_before(anchor, v);
         *n += 1;
     };
-    let (limit, cmp_pred) = match plan.clamp {
+    match plan.clamp {
         ClampSource::AllocCount { count } => {
             let one = f.add_const(Constant::Int(1, iv_ty));
             let lim = f.create_inst(
@@ -174,6 +197,25 @@ fn clamp(
                 (bound, pred)
             }
         }
+    }
+}
+
+/// Emit `min(iv_off, limit)` (or `max 0` for down-counting loops).
+#[allow(clippy::too_many_arguments)]
+fn clamp_apply(
+    f: &mut Function,
+    plan: &PlannedPrefetch,
+    iv_off: ValueId,
+    limit: ValueId,
+    cmp_pred: Pred,
+    iv_ty: Type,
+    block: swpf_ir::BlockId,
+    anchor: ValueId,
+    inserted: &mut usize,
+) -> ValueId {
+    let place = |f: &mut Function, v: ValueId, n: &mut usize| {
+        f.insert_before(anchor, v);
+        *n += 1;
     };
     // Up-counting: clamped = min(iv_off, limit). Down-counting loops
     // overrun towards zero instead, so clamp from below at 0.

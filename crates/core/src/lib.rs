@@ -32,6 +32,12 @@
 //!    an outer loop are hoisted to the inner loop's preheader
 //!    ([`hoist`], paper §4.6).
 //!
+//! The stages run as a [`SwpfPass`] under the `swpf-pass` manager with
+//! cached analyses, composable with the cleanup passes the paper
+//! delegates to later compiler phases: [`PassConfig::pipeline`] names
+//! the pipeline textually (`"swpf"` by default, `"swpf,cse,dce"` for
+//! the measurable "let `-O3` clean it up" step) — see [`pipeline`].
+//!
 //! [`icc_like`] provides the deliberately weaker stride-indirect-only
 //! baseline pass modelled on the Intel Xeon Phi compiler's prefetcher,
 //! used by the evaluation's Fig. 4(d) comparison.
@@ -75,20 +81,25 @@ pub mod codegen;
 pub mod dfs;
 pub mod hoist;
 pub mod icc_like;
+pub mod pipeline;
 pub mod report;
 pub mod schedule;
 
 pub use candidates::{ClampSource, PlannedPrefetch, SkipReason};
+pub use pipeline::{run_pipeline, PassName, Pipeline, SwpfPass};
 pub use report::{FunctionReport, PassReport, PrefetchRecord, SkipRecord};
 
 use swpf_ir::{FuncId, Module};
+use swpf_pass::AnalysisManager;
 
-/// Tuning knobs for the prefetch-generation pass.
+/// Tuning knobs for the prefetch-generation pass — plus the pass
+/// [`Pipeline`] the module is compiled through.
 ///
 /// The defaults reproduce the paper's configuration: `c = 64` for every
 /// system (§5), stride companion prefetches on (§4.3, Fig. 5), no call
-/// duplication, hoisting enabled (§4.6).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// duplication, hoisting enabled (§4.6), and the bare `"swpf"` pipeline
+/// (no cleanup passes — the shape the paper evaluates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PassConfig {
     /// The look-ahead constant `c` of eq. (1): the offset, in loop
     /// iterations, for the first load in a prefetch sequence.
@@ -108,6 +119,11 @@ pub struct PassConfig {
     /// Hoist prefetch code out of inner loops when the induction variable
     /// belongs to an outer loop (§4.6).
     pub enable_hoisting: bool,
+    /// The pass pipeline [`run_on_module`] compiles with. The default
+    /// `"swpf"` runs the prefetch pass alone; `"swpf,cse,dce"` adds the
+    /// paper's "later passes clean it up" step (§4/§5) as measurable
+    /// cleanup passes. See [`pipeline`].
+    pub pipeline: Pipeline,
 }
 
 impl Default for PassConfig {
@@ -118,6 +134,7 @@ impl Default for PassConfig {
             max_indirect_depth: usize::MAX,
             allow_pure_calls: false,
             enable_hoisting: true,
+            pipeline: Pipeline::default(),
         }
     }
 }
@@ -154,11 +171,26 @@ impl PassConfig {
         }
     }
 
-    /// The tunable parameters as `(name, value)` pairs in a stable
-    /// order: the pass's parameter-space surface. Result artifacts
-    /// attach this to every pass-compiled cell so the numbers are
-    /// self-describing, and the tuner derives its evaluation-cache key
-    /// from it (see [`PassConfig::cache_key`]).
+    /// Config with the given pipeline spec, other fields default.
+    ///
+    /// # Panics
+    /// On an invalid spec — a static configuration error.
+    #[must_use]
+    pub fn with_pipeline(spec: &str) -> Self {
+        PassConfig {
+            pipeline: spec
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid pipeline spec `{spec}`: {e}")),
+            ..PassConfig::default()
+        }
+    }
+
+    /// The tunable *scalar* parameters as `(name, value)` pairs in a
+    /// stable order: the pass's parameter-space surface. Result
+    /// artifacts attach this to every pass-compiled cell so the numbers
+    /// are self-describing, and the tuner searches over it. The
+    /// (non-scalar) pipeline is not listed here; it is carried by
+    /// [`PassConfig::cache_key`] and by experiment variant labels.
     #[must_use]
     pub fn parameters(&self) -> Vec<(&'static str, ParamValue)> {
         let depth = i64::try_from(self.max_indirect_depth).unwrap_or(i64::MAX);
@@ -191,17 +223,40 @@ impl PassConfig {
         if self.allow_pure_calls {
             key.push_str("_purecalls");
         }
+        if !self.pipeline.is_default() {
+            key.push('_');
+            key.push_str(&self.pipeline.key());
+        }
         key
     }
 }
 
-/// Run the prefetch-generation pass on one function.
+/// Run the prefetch-generation pass (alone — no cleanup pipeline) on
+/// one function, computing analyses from scratch.
 pub fn run_on_function(m: &mut Module, f: FuncId, config: &PassConfig) -> FunctionReport {
     candidates::run(m, f, config)
 }
 
-/// Run the prefetch-generation pass on every function of a module.
+/// Run `config`'s pass pipeline on every function of a module.
+///
+/// This is a thin wrapper over the pass manager: it builds the pipeline
+/// named by [`PassConfig::pipeline`] (default: the prefetch pass alone)
+/// and runs it with a fresh analysis cache — see [`pipeline`] and the
+/// `swpf-pass` crate. With the default configuration the output module
+/// and report are bit-identical to [`run_on_module_monolithic`], the
+/// original single-function shape (proven by the
+/// `pipeline_differential` integration suite).
 pub fn run_on_module(m: &mut Module, config: &PassConfig) -> PassReport {
+    let mut am = AnalysisManager::new();
+    pipeline::run_pipeline(m, config, &mut am)
+}
+
+/// The original monolithic pass driver: per function, recompute every
+/// analysis and run discovery/filter/codegen in one call, ignoring
+/// [`PassConfig::pipeline`]. Kept as the differential-testing oracle
+/// for the pass-manager path ([`run_on_module`] ≡ this, for the
+/// default pipeline).
+pub fn run_on_module_monolithic(m: &mut Module, config: &PassConfig) -> PassReport {
     let mut report = PassReport::default();
     for f in m.func_ids().collect::<Vec<_>>() {
         report.functions.push(run_on_function(m, f, config));
@@ -245,6 +300,33 @@ mod tests {
             ..PassConfig::default()
         };
         assert_eq!(cfg.cache_key(), "c32_d2_nostride_nohoist");
+    }
+
+    #[test]
+    fn cache_keys_name_non_default_pipelines() {
+        assert_eq!(PassConfig::with_pipeline("swpf").cache_key(), "c64");
+        assert_eq!(
+            PassConfig::with_pipeline("swpf,cse,dce").cache_key(),
+            "c64_swpf+cse+dce"
+        );
+        let cfg = PassConfig {
+            look_ahead: 16,
+            ..PassConfig::with_pipeline("swpf,dce")
+        };
+        assert_eq!(cfg.cache_key(), "c16_swpf+dce");
+    }
+
+    #[test]
+    fn configs_are_hashable_by_value() {
+        let mut set = std::collections::HashSet::new();
+        assert!(set.insert(PassConfig::default()));
+        assert!(
+            !set.insert(PassConfig::with_look_ahead(64)),
+            "equal configs collide"
+        );
+        assert!(set.insert(PassConfig::with_pipeline("swpf,cse,dce")));
+        assert!(set.insert(PassConfig::with_look_ahead(8)));
+        assert_eq!(set.len(), 3);
     }
 
     #[test]

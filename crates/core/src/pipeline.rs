@@ -1,0 +1,254 @@
+//! The pass pipeline: textual specs, the staged `SwpfPass`, and the
+//! driver gluing `swpf-core` onto the `swpf-pass` manager.
+//!
+//! The paper's prototype emits redundant address-generation code and
+//! relies on later compiler passes to clean it up (§4/§5). This module
+//! makes that pipeline explicit and configurable: a [`Pipeline`] is a
+//! comma-separated spec such as `"swpf,cse,dce"`, carried inside
+//! [`PassConfig`], naming the passes [`run_pipeline`] composes:
+//!
+//! | name | pass |
+//! |------|------|
+//! | `swpf` | the staged prefetch-generation pass ([`SwpfPass`]) |
+//! | `cse` | local common-subexpression elimination ([`swpf_pass::LocalCse`]) |
+//! | `dce` | dead-code elimination ([`swpf_pass::Dce`]) |
+//! | `verify` | an explicit IR-invariant checkpoint ([`swpf_pass::VerifyPass`]) |
+//!
+//! Setting the `SWPF_VERIFY_PASSES` environment variable (to anything
+//! but `0`) additionally verifies the module after *every* pass — the
+//! verify-between-passes debug mode, attributing the first breakage to
+//! the pass that caused it.
+
+use crate::{candidates, PassConfig, PassReport};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::str::FromStr;
+use swpf_ir::{FuncId, Module};
+use swpf_pass::{
+    AnalysisManager, Dce, FunctionPass, LocalCse, PassEffect, PassManager, VerifyPass,
+};
+
+/// One named pass of a [`Pipeline`] spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassName {
+    /// The prefetch-generation pass itself.
+    Swpf,
+    /// Local common-subexpression elimination over generated code.
+    Cse,
+    /// Dead-code elimination.
+    Dce,
+    /// An explicit verification checkpoint.
+    Verify,
+}
+
+impl PassName {
+    /// The spec token naming this pass.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PassName::Swpf => "swpf",
+            PassName::Cse => "cse",
+            PassName::Dce => "dce",
+            PassName::Verify => "verify",
+        }
+    }
+
+    /// Inverse of [`PassName::as_str`].
+    ///
+    /// # Errors
+    /// Names the unknown token and lists the valid ones.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "swpf" => Ok(PassName::Swpf),
+            "cse" => Ok(PassName::Cse),
+            "dce" => Ok(PassName::Dce),
+            "verify" => Ok(PassName::Verify),
+            other => Err(format!(
+                "unknown pass `{other}` (expected swpf | cse | dce | verify)"
+            )),
+        }
+    }
+}
+
+/// An ordered pass pipeline, parsed from a comma-separated spec
+/// (`"swpf,cse,dce"`). The default pipeline is the bare prefetch pass,
+/// which reproduces the original monolithic `run_on_module` exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pipeline(Vec<PassName>);
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline(vec![PassName::Swpf])
+    }
+}
+
+impl Pipeline {
+    /// A pipeline from an explicit pass list (may be empty: a no-op).
+    #[must_use]
+    pub fn new(passes: Vec<PassName>) -> Self {
+        Pipeline(passes)
+    }
+
+    /// The passes in execution order.
+    #[must_use]
+    pub fn passes(&self) -> &[PassName] {
+        &self.0
+    }
+
+    /// Whether this is the default `"swpf"` pipeline (whose results,
+    /// cache keys, and artifact labels must match the legacy pass).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.0 == [PassName::Swpf]
+    }
+
+    /// The spec suffix appended to [`PassConfig::cache_key`] for
+    /// non-default pipelines (`"swpf+cse+dce"`).
+    #[must_use]
+    pub fn key(&self) -> String {
+        self.0
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+impl FromStr for Pipeline {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let passes: Vec<PassName> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(PassName::parse)
+            .collect::<Result<_, _>>()?;
+        if passes.is_empty() {
+            return Err("empty pipeline spec".to_string());
+        }
+        Ok(Pipeline(passes))
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            f.write_str(p.as_str())?;
+        }
+        Ok(())
+    }
+}
+
+/// The prefetch-generation pass as a staged function pass: discovery →
+/// filtering → scheduling + generation ([`candidates::discover`],
+/// [`candidates::filter`], [`crate::codegen`]), with every analysis
+/// served by the driver's [`AnalysisManager`] instead of recomputed.
+///
+/// Per-function [`crate::FunctionReport`]s accumulate into the shared
+/// report handed to [`SwpfPass::new`] (shared so [`run_pipeline`] can
+/// retrieve it back out of the type-erased pipeline).
+pub struct SwpfPass {
+    config: PassConfig,
+    report: Rc<RefCell<PassReport>>,
+}
+
+impl SwpfPass {
+    /// A prefetch pass writing its outcome into `report`.
+    #[must_use]
+    pub fn new(config: PassConfig, report: Rc<RefCell<PassReport>>) -> Self {
+        SwpfPass { config, report }
+    }
+}
+
+impl FunctionPass for SwpfPass {
+    fn name(&self) -> &'static str {
+        "swpf"
+    }
+
+    fn run(&mut self, m: &mut Module, fid: FuncId, am: &mut AnalysisManager) -> PassEffect {
+        let analysis = am.func_analysis(m.function(fid), fid);
+        let fr = candidates::run_with_analysis(m, fid, &self.config, &analysis);
+        let changed = !fr.prefetches.is_empty();
+        self.report.borrow_mut().functions.push(fr);
+        if changed {
+            PassEffect::changed()
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
+
+/// Run `config`'s pipeline over `m`, reading analyses through `am`.
+///
+/// This is the engine under [`crate::run_on_module`]; callers compiling
+/// many variants of one pristine module (the `swpf-tune` evaluator)
+/// pass a [`fork`](AnalysisManager::fork) of a shared primed manager so
+/// pre-mutation analyses are computed once across all variants.
+///
+/// # Panics
+/// If a pass breaks module invariants while verification is enabled
+/// (the `verify` pipeline pass or `SWPF_VERIFY_PASSES`) — a pass bug,
+/// attributed to the offending pass in the panic message.
+pub fn run_pipeline(m: &mut Module, config: &PassConfig, am: &mut AnalysisManager) -> PassReport {
+    let report = Rc::new(RefCell::new(PassReport::default()));
+    let verify_each = std::env::var_os("SWPF_VERIFY_PASSES").is_some_and(|v| v != "0");
+    let mut pm = PassManager::new().verify_between(verify_each);
+    for pass in config.pipeline.passes() {
+        match pass {
+            PassName::Swpf => {
+                pm.add_function_pass(Box::new(SwpfPass::new(config.clone(), Rc::clone(&report))))
+            }
+            PassName::Cse => pm.add_function_pass(Box::new(LocalCse::default())),
+            PassName::Dce => pm.add_function_pass(Box::new(Dce::default())),
+            PassName::Verify => pm.add_module_pass(Box::new(VerifyPass)),
+        }
+    }
+    let runs = pm
+        .run(m, am)
+        .unwrap_or_else(|e| panic!("prefetch pipeline failed: {e}"));
+    let mut out = std::mem::take(&mut *report.borrow_mut());
+    out.eliminated_insts = runs.iter().map(|r| r.removed_insts).sum();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_round_trip() {
+        for spec in ["swpf", "swpf,cse,dce", "swpf,verify,dce", "cse , dce"] {
+            let p: Pipeline = spec.parse().unwrap();
+            let canonical = p.to_string();
+            assert_eq!(canonical.parse::<Pipeline>().unwrap(), p, "{spec}");
+        }
+        assert_eq!(
+            "swpf,cse,dce".parse::<Pipeline>().unwrap().passes(),
+            [PassName::Swpf, PassName::Cse, PassName::Dce]
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("".parse::<Pipeline>().is_err());
+        assert!(",".parse::<Pipeline>().is_err());
+        assert!("swpf,o3".parse::<Pipeline>().unwrap_err().contains("o3"));
+    }
+
+    #[test]
+    fn default_pipeline_is_the_bare_pass() {
+        let p = Pipeline::default();
+        assert!(p.is_default());
+        assert_eq!(p.to_string(), "swpf");
+        assert!(!"swpf,dce".parse::<Pipeline>().unwrap().is_default());
+        assert_eq!(
+            "swpf,cse,dce".parse::<Pipeline>().unwrap().key(),
+            "swpf+cse+dce"
+        );
+    }
+}

@@ -50,11 +50,15 @@ impl FunctionReport {
     }
 }
 
-/// Whole-module outcome of the pass.
+/// Whole-module outcome of the pass pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct PassReport {
-    /// One report per function, in module order.
+    /// One report per function, in module order (one batch per `swpf`
+    /// pipeline stage; the default pipeline has exactly one).
     pub functions: Vec<FunctionReport>,
+    /// Instructions removed by the cleanup passes of the pipeline
+    /// (`cse` + `dce`); zero for the default bare-pass pipeline.
+    pub eliminated_insts: usize,
 }
 
 impl PassReport {

@@ -1,0 +1,65 @@
+//! # swpf-pass — a pass manager for composable IR transformations
+//!
+//! The CGO'17 prefetching pass explicitly relies on *later compiler
+//! passes* to clean up the address-generation code it emits (§4/§5 of
+//! the paper: the prototype leaves redundancy for `-O3` to remove).
+//! Reproducing that requires what the original monolithic
+//! `run_on_module` could not express: a pipeline of independent passes
+//! over the same module, sharing analyses instead of recomputing them.
+//!
+//! This crate provides that substrate, shaped like a miniature LLVM
+//! new-pass-manager:
+//!
+//! * [`FunctionPass`] / [`ModulePass`] — a transformation over one
+//!   function or a whole module. A pass **never mutates the analysis
+//!   cache itself**; it *declares* what it did through the returned
+//!   [`PassEffect`], and the driver invalidates accordingly.
+//! * [`AnalysisManager`] — lazily computes and caches the
+//!   `swpf-analysis` products (dominators, loops, induction variables,
+//!   object roots) per function behind `Arc`s. Results are shared, and
+//!   [`AnalysisManager::fork`] clones the cache in O(entries) so a
+//!   caller compiling many variants of one pristine module (the
+//!   `swpf-tune` evaluator) pays for each analysis once, not once per
+//!   variant.
+//! * [`PassManager`] — runs a pipeline in order, invalidates caches on
+//!   declared mutation, and (in the verify-between-passes debug mode)
+//!   checks module invariants after every pass, attributing the first
+//!   breakage to the pass that caused it.
+//! * [`cleanup`] — the composable cleanup passes themselves:
+//!   [`cleanup::LocalCse`] and [`cleanup::Dce`], the measurable "let
+//!   `-O3` clean it up" step over generated address code.
+//!
+//! ## Invalidation contract
+//!
+//! An analysis cached for function `f` is valid as long as `f`'s body
+//! is unchanged. The driver maintains this: when a pass returns
+//! [`PassEffect::changed`] for `f` (or for the module), every cached
+//! analysis of `f` (of every function) is dropped before the next pass
+//! runs. There is no finer-grained preservation tier: the analyses
+//! reference instruction `ValueId`s, which any mutation can detach, so
+//! partial preservation would be unsound without per-analysis proofs.
+//!
+//! ```
+//! use swpf_pass::{AnalysisManager, PassManager};
+//! use swpf_pass::cleanup::{Dce, LocalCse};
+//! use swpf_ir::parser::parse_module;
+//!
+//! let mut m = parse_module(
+//!     "module demo\n\nfunc @f(%0: i64) -> i64 {\nbb0:\n  %1: i64 = add %0, %0\n  %2: i64 = add %0, %0\n  %3: i64 = add %1, %2\n  ret %3\n}\n",
+//! )
+//! .unwrap();
+//! let mut am = AnalysisManager::new();
+//! let mut pm = PassManager::new().verify_between(true);
+//! pm.add_function_pass(Box::new(LocalCse::default()));
+//! pm.add_function_pass(Box::new(Dce::default()));
+//! let runs = pm.run(&mut m, &mut am).unwrap();
+//! assert_eq!(runs.iter().map(|r| r.removed_insts).sum::<usize>(), 1);
+//! ```
+
+pub mod cleanup;
+pub mod manager;
+
+pub use cleanup::{Dce, LocalCse, VerifyPass};
+pub use manager::{
+    AnalysisManager, FunctionPass, ModulePass, PassEffect, PassManager, PassRun, PipelineError,
+};

@@ -1,0 +1,486 @@
+//! The driver: pass traits, the analysis cache, and the pipeline runner.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use swpf_analysis::{DomTree, FuncAnalysis, IvAnalysis, LoopForest, RootsAnalysis};
+use swpf_ir::{FuncId, Function, Module};
+
+/// What one pass execution did, as declared by the pass itself.
+///
+/// The driver turns this declaration into cache maintenance: a changed
+/// function's analyses are invalidated before the next pass runs. A
+/// pass that lies (mutates but reports [`PassEffect::unchanged`]) hands
+/// stale analyses to its successors — the verify-between-passes mode
+/// ([`PassManager::verify_between`]) exists to catch the fallout early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassEffect {
+    /// Whether the pass mutated the IR it ran on.
+    pub changed: bool,
+    /// Instructions the pass removed from blocks (cleanup-pass metric;
+    /// zero for passes that only insert or rewrite).
+    pub removed_insts: usize,
+}
+
+impl PassEffect {
+    /// The pass left the IR untouched; analyses stay valid.
+    #[must_use]
+    pub fn unchanged() -> Self {
+        PassEffect {
+            changed: false,
+            removed_insts: 0,
+        }
+    }
+
+    /// The pass mutated the IR (inserting or rewriting; nothing removed).
+    #[must_use]
+    pub fn changed() -> Self {
+        PassEffect {
+            changed: true,
+            removed_insts: 0,
+        }
+    }
+
+    /// The pass removed `n` instructions (changed iff `n > 0`).
+    #[must_use]
+    pub fn removed(n: usize) -> Self {
+        PassEffect {
+            changed: n > 0,
+            removed_insts: n,
+        }
+    }
+}
+
+/// A transformation over one function.
+pub trait FunctionPass {
+    /// Stable pass name ("swpf", "cse", ...) for pipeline specs, logs,
+    /// and verify-failure attribution.
+    fn name(&self) -> &'static str;
+
+    /// Transform `m`'s function `fid`, reading analyses through `am`.
+    ///
+    /// The pass must not invalidate `am` itself — it reports mutation
+    /// through the returned [`PassEffect`] and the driver invalidates.
+    fn run(&mut self, m: &mut Module, fid: FuncId, am: &mut AnalysisManager) -> PassEffect;
+}
+
+/// A transformation (or check) over a whole module.
+pub trait ModulePass {
+    /// Stable pass name for pipeline specs, logs, and attribution.
+    fn name(&self) -> &'static str;
+
+    /// Transform or check `m`. Returning an `Err` aborts the pipeline
+    /// (used by verification passes).
+    ///
+    /// # Errors
+    /// A pass-specific diagnostic; the driver wraps it with the pass
+    /// name into a [`PipelineError`].
+    fn run(&mut self, m: &mut Module, am: &mut AnalysisManager) -> Result<PassEffect, String>;
+}
+
+/// Cached per-function analyses.
+#[derive(Debug, Default, Clone)]
+struct FuncEntry {
+    dom: Option<Arc<DomTree>>,
+    loops: Option<Arc<LoopForest>>,
+    ivs: Option<Arc<IvAnalysis>>,
+    roots: Option<Arc<RootsAnalysis>>,
+}
+
+/// Lazily computes and caches `swpf-analysis` results per function.
+///
+/// Each product (dominators, loops, induction variables, object roots)
+/// is cached independently behind an `Arc`, computed on first request
+/// and handed out by clone afterwards. [`AnalysisManager::invalidate`]
+/// drops a function's entries; [`AnalysisManager::fork`] clones the
+/// cache cheaply (`Arc` clones) so pipelines over clones of one pristine
+/// module can share its pre-mutation analyses without any of their
+/// invalidations leaking back.
+#[derive(Debug, Default)]
+pub struct AnalysisManager {
+    entries: HashMap<FuncId, FuncEntry>,
+    computed: usize,
+    hits: usize,
+}
+
+impl AnalysisManager {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        AnalysisManager::default()
+    }
+
+    /// A new manager sharing this one's cached results (cheap `Arc`
+    /// clones). The fork's invalidations and statistics are its own.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        AnalysisManager {
+            entries: self.entries.clone(),
+            computed: 0,
+            hits: 0,
+        }
+    }
+
+    /// Individual analyses computed so far (cache misses).
+    #[must_use]
+    pub fn analyses_computed(&self) -> usize {
+        self.computed
+    }
+
+    /// Requests served from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Drop every cached analysis of `fid`.
+    pub fn invalidate(&mut self, fid: FuncId) {
+        self.entries.remove(&fid);
+    }
+
+    /// Drop the whole cache (after a module-level mutation).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The dominator tree of `f` (`fid` must identify `f` in its module).
+    pub fn dom(&mut self, f: &Function, fid: FuncId) -> Arc<DomTree> {
+        let entry = self.entries.entry(fid).or_default();
+        if let Some(dom) = &entry.dom {
+            self.hits += 1;
+            return Arc::clone(dom);
+        }
+        let dom = Arc::new(DomTree::compute(f));
+        self.computed += 1;
+        entry.dom = Some(Arc::clone(&dom));
+        dom
+    }
+
+    /// The natural-loop forest of `f`.
+    pub fn loops(&mut self, f: &Function, fid: FuncId) -> Arc<LoopForest> {
+        if let Some(loops) = self.entries.entry(fid).or_default().loops.clone() {
+            self.hits += 1;
+            return loops;
+        }
+        let dom = self.dom(f, fid);
+        let loops = Arc::new(LoopForest::compute(f, &dom));
+        self.computed += 1;
+        self.entries.entry(fid).or_default().loops = Some(Arc::clone(&loops));
+        loops
+    }
+
+    /// The induction-variable analysis of `f`.
+    pub fn ivs(&mut self, f: &Function, fid: FuncId) -> Arc<IvAnalysis> {
+        if let Some(ivs) = self.entries.entry(fid).or_default().ivs.clone() {
+            self.hits += 1;
+            return ivs;
+        }
+        let loops = self.loops(f, fid);
+        let ivs = Arc::new(IvAnalysis::compute(f, &loops));
+        self.computed += 1;
+        self.entries.entry(fid).or_default().ivs = Some(Arc::clone(&ivs));
+        ivs
+    }
+
+    /// The memoised object roots of `f`.
+    pub fn roots(&mut self, f: &Function, fid: FuncId) -> Arc<RootsAnalysis> {
+        let entry = self.entries.entry(fid).or_default();
+        if let Some(roots) = &entry.roots {
+            self.hits += 1;
+            return Arc::clone(roots);
+        }
+        let roots = Arc::new(RootsAnalysis::compute(f));
+        self.computed += 1;
+        entry.roots = Some(Arc::clone(&roots));
+        roots
+    }
+
+    /// The full bundle the prefetch pass consumes, assembled from the
+    /// cache (each component computed at most once per validity window).
+    pub fn func_analysis(&mut self, f: &Function, fid: FuncId) -> FuncAnalysis {
+        FuncAnalysis {
+            dom: self.dom(f, fid),
+            loops: self.loops(f, fid),
+            ivs: self.ivs(f, fid),
+            roots: self.roots(f, fid),
+        }
+    }
+}
+
+/// A pipeline failure: which pass broke the module, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// Name of the pass after which the failure was detected.
+    pub pass: &'static str,
+    /// The underlying diagnostic (verifier message, pass error).
+    pub message: String,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pass `{}`: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// What one pipeline stage did, aggregated over the functions it ran on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRun {
+    /// The pass's name.
+    pub name: &'static str,
+    /// Whether any function (or the module) was mutated.
+    pub changed: bool,
+    /// Total instructions removed by this stage.
+    pub removed_insts: usize,
+}
+
+/// One pipeline stage: a function pass (driven over every function) or
+/// a module pass.
+enum Stage<'p> {
+    Function(Box<dyn FunctionPass + 'p>),
+    Module(Box<dyn ModulePass + 'p>),
+}
+
+/// Runs a pass pipeline over a module, maintaining the analysis cache.
+///
+/// Passes execute in insertion order. After each function a function
+/// pass changed, that function's analyses are invalidated; after a
+/// module pass that reports change, the whole cache is. With
+/// [`PassManager::verify_between`] enabled, module invariants are
+/// checked after every stage and the first breakage is attributed to
+/// the stage that introduced it.
+#[derive(Default)]
+pub struct PassManager<'p> {
+    stages: Vec<Stage<'p>>,
+    verify_between: bool,
+}
+
+impl<'p> PassManager<'p> {
+    /// An empty pipeline.
+    #[must_use]
+    pub fn new() -> Self {
+        PassManager {
+            stages: Vec::new(),
+            verify_between: false,
+        }
+    }
+
+    /// Enable (or disable) the verify-between-passes debug mode.
+    #[must_use]
+    pub fn verify_between(mut self, on: bool) -> Self {
+        self.verify_between = on;
+        self
+    }
+
+    /// Append a function pass (driven over every function in module
+    /// order).
+    pub fn add_function_pass(&mut self, pass: Box<dyn FunctionPass + 'p>) {
+        self.stages.push(Stage::Function(pass));
+    }
+
+    /// Append a module pass.
+    pub fn add_module_pass(&mut self, pass: Box<dyn ModulePass + 'p>) {
+        self.stages.push(Stage::Module(pass));
+    }
+
+    /// Number of stages in the pipeline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Run every stage in order over `m`, reading and maintaining `am`.
+    ///
+    /// # Errors
+    /// The first module-pass error, or (with verification enabled) the
+    /// first post-stage verifier failure, attributed to its stage.
+    pub fn run(
+        &mut self,
+        m: &mut Module,
+        am: &mut AnalysisManager,
+    ) -> Result<Vec<PassRun>, PipelineError> {
+        let mut runs = Vec::with_capacity(self.stages.len());
+        for stage in &mut self.stages {
+            let run = match stage {
+                Stage::Function(pass) => {
+                    let mut changed = false;
+                    let mut removed = 0usize;
+                    for fid in m.func_ids().collect::<Vec<_>>() {
+                        let effect = pass.run(m, fid, am);
+                        if effect.changed {
+                            am.invalidate(fid);
+                            changed = true;
+                        }
+                        removed += effect.removed_insts;
+                    }
+                    PassRun {
+                        name: pass.name(),
+                        changed,
+                        removed_insts: removed,
+                    }
+                }
+                Stage::Module(pass) => {
+                    let effect = pass.run(m, am).map_err(|message| PipelineError {
+                        pass: pass.name(),
+                        message,
+                    })?;
+                    if effect.changed {
+                        am.invalidate_all();
+                    }
+                    PassRun {
+                        name: pass.name(),
+                        changed: effect.changed,
+                        removed_insts: effect.removed_insts,
+                    }
+                }
+            };
+            if self.verify_between {
+                swpf_ir::verifier::verify_module(m).map_err(|e| PipelineError {
+                    pass: run.name,
+                    message: format!("module invariants broken after this pass: {e}"),
+                })?;
+            }
+            runs.push(run);
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swpf_ir::parser::parse_module;
+
+    const LOOP_KERNEL: &str = "module t\n\n\
+        func @k(%0: ptr, %1: ptr, %2: i64) -> void {\n\
+          %3 = const 0: i64\n\
+          %4 = const 1: i64\n\
+        bb0:\n\
+          br bb1\n\
+        bb1:\n\
+          %5: i64 = phi [bb0: %3], [bb2: %11]\n\
+          %6: i1 = icmp slt %5, %2\n\
+          br %6, bb2, bb3\n\
+        bb2:\n\
+          %7: ptr = gep %1, %5 x 8\n\
+          %8: i64 = load i64, %7\n\
+          %9: ptr = gep %0, %8 x 8\n\
+          %10: i64 = load i64, %9\n\
+          %11: i64 = add %5, %4\n\
+          br bb1\n\
+        bb3:\n\
+          ret\n\
+        }\n";
+
+    #[test]
+    fn analyses_are_computed_once_and_shared() {
+        let m = parse_module(LOOP_KERNEL).unwrap();
+        let fid = m.find_function("k").unwrap();
+        let mut am = AnalysisManager::new();
+
+        let a = am.func_analysis(m.function(fid), fid);
+        assert_eq!(am.analyses_computed(), 4, "dom, loops, ivs, roots");
+        let hits_after_first = am.cache_hits();
+
+        let b = am.func_analysis(m.function(fid), fid);
+        assert_eq!(am.analyses_computed(), 4, "second request is all hits");
+        assert!(am.cache_hits() > hits_after_first);
+        assert!(Arc::ptr_eq(&a.dom, &b.dom), "shared, not recomputed");
+        assert!(Arc::ptr_eq(&a.roots, &b.roots));
+    }
+
+    #[test]
+    fn invalidation_forces_recomputation() {
+        let m = parse_module(LOOP_KERNEL).unwrap();
+        let fid = m.find_function("k").unwrap();
+        let mut am = AnalysisManager::new();
+        let a = am.dom(m.function(fid), fid);
+        am.invalidate(fid);
+        let b = am.dom(m.function(fid), fid);
+        assert!(!Arc::ptr_eq(&a, &b), "invalidate drops the cached tree");
+        assert_eq!(am.analyses_computed(), 2);
+    }
+
+    #[test]
+    fn forks_share_results_but_not_invalidations() {
+        let m = parse_module(LOOP_KERNEL).unwrap();
+        let fid = m.find_function("k").unwrap();
+        let mut shared = AnalysisManager::new();
+        let a = shared.func_analysis(m.function(fid), fid);
+
+        let mut fork = shared.fork();
+        let b = fork.func_analysis(m.function(fid), fid);
+        assert_eq!(fork.analyses_computed(), 0, "all served from the fork");
+        assert!(Arc::ptr_eq(&a.loops, &b.loops));
+
+        fork.invalidate(fid);
+        let _ = fork.dom(m.function(fid), fid);
+        assert_eq!(fork.analyses_computed(), 1);
+        // The shared cache still holds the original result.
+        let c = shared.dom(m.function(fid), fid);
+        assert!(Arc::ptr_eq(&a.dom, &c));
+    }
+
+    /// A pass that deliberately breaks SSA (truncates the entry block),
+    /// used to prove the verify-between mode attributes breakage.
+    struct Vandal;
+    impl FunctionPass for Vandal {
+        fn name(&self) -> &'static str {
+            "vandal"
+        }
+        fn run(&mut self, m: &mut Module, fid: FuncId, _am: &mut AnalysisManager) -> PassEffect {
+            let entry = m.function(fid).entry();
+            m.function_mut(fid).block_mut(entry).insts.clear();
+            PassEffect::changed()
+        }
+    }
+
+    struct Nop;
+    impl FunctionPass for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&mut self, _m: &mut Module, _f: FuncId, _am: &mut AnalysisManager) -> PassEffect {
+            PassEffect::unchanged()
+        }
+    }
+
+    #[test]
+    fn verify_between_attributes_breakage_to_the_offending_pass() {
+        let mut m = parse_module(LOOP_KERNEL).unwrap();
+        let mut am = AnalysisManager::new();
+        let mut pm = PassManager::new().verify_between(true);
+        pm.add_function_pass(Box::new(Nop));
+        pm.add_function_pass(Box::new(Vandal));
+        let err = pm.run(&mut m, &mut am).unwrap_err();
+        assert_eq!(err.pass, "vandal");
+        assert!(err.message.contains("invariants broken"), "{err}");
+    }
+
+    #[test]
+    fn driver_invalidates_only_changed_functions() {
+        let mut m = parse_module(LOOP_KERNEL).unwrap();
+        let fid = m.find_function("k").unwrap();
+        let mut am = AnalysisManager::new();
+        let before = am.dom(m.function(fid), fid);
+
+        // An unchanged pass leaves the cache alone…
+        let mut pm = PassManager::new();
+        pm.add_function_pass(Box::new(Nop));
+        pm.run(&mut m, &mut am).unwrap();
+        assert!(Arc::ptr_eq(&before, &am.dom(m.function(fid), fid)));
+
+        // …a mutating pass drops it.
+        let mut pm = PassManager::new();
+        pm.add_function_pass(Box::new(Vandal));
+        let runs = pm.run(&mut m, &mut am).unwrap();
+        assert!(runs[0].changed);
+        assert!(!Arc::ptr_eq(&before, &am.dom(m.function(fid), fid)));
+    }
+}

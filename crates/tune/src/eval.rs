@@ -2,14 +2,26 @@
 //! point, fanned out to every machine of the grid row.
 //!
 //! An [`Evaluator`] is constructed per (workload, machine set); its
-//! point cache is keyed by [`PassConfig::cache_key`], so the full cache
-//! key is conceptually `(workload, machine-set, config)` — two
-//! strategies (or two machines' searches) requesting the same point pay
-//! for it once. Evaluating a point compiles the candidate kernel
-//! through `swpf-core`, verifies it, interprets it **once**, and fans
-//! the retire-event stream out to all machines' timing models via the
-//! `swpf-sim` replay paths ([`swpf_sim::run_module_on_machines`]) — so
-//! cost scales with candidates, not candidates × machines.
+//! point cache is keyed by the [`PassConfig`] value itself (`Eq +
+//! Hash`), so the full cache key is conceptually `(workload,
+//! machine-set, config)` — two strategies (or two machines' searches)
+//! requesting the same point pay for it once. Evaluating a point
+//! compiles the candidate kernel through `swpf-core`'s pass pipeline,
+//! verifies it, interprets it **once**, and fans the retire-event
+//! stream out to all machines' timing models via the `swpf-sim` replay
+//! paths ([`swpf_sim::run_module_on_machines`]) — so cost scales with
+//! candidates, not candidates × machines.
+//!
+//! **Compile cost is shared too.** The evaluator builds the workload's
+//! baseline module once and clones it per candidate (IDs are
+//! preserved), so one primed `swpf-pass`
+//! [`AnalysisManager`] serves every candidate's pre-mutation analyses:
+//! each pipeline run gets a [`fork`](AnalysisManager::fork) of the
+//! shared cache, and its post-mutation invalidations stay in the fork.
+//! Across a 25-point search the dominators/loops/induction-variable/
+//! root analyses are computed once instead of once per candidate
+//! (measured in `BENCH_pass.json`; disable with
+//! [`Evaluator::without_analysis_caching`] for A/B runs).
 //!
 //! Everything is deterministic: workloads build deterministic inputs,
 //! simulation is execution-driven, and the cache only memoises — a
@@ -18,7 +30,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use swpf_core::PassConfig;
+use std::time::Instant;
+use swpf_core::{PassConfig, PassReport};
+use swpf_ir::Module;
+use swpf_pass::AnalysisManager;
 use swpf_sim::{run_module_on_machines, MachineConfig, SimStats};
 use swpf_workloads::Workload;
 
@@ -40,22 +55,50 @@ pub struct EvaluatedPoint {
 pub struct Evaluator<'a> {
     workload: &'a dyn Workload,
     machines: &'a [MachineConfig],
-    index: HashMap<String, usize>,
+    /// The pristine kernel, built once; candidates compile clones.
+    baseline: Module,
+    /// Analyses of `baseline`, primed on the first compile and forked
+    /// per candidate compile.
+    shared_analyses: AnalysisManager,
+    analysis_caching: bool,
+    /// Whether the shared cache has been primed yet (lazily, inside the
+    /// first timed compile, so the priming cost is attributed to the
+    /// cached mode that benefits from it — and never paid when caching
+    /// is disabled).
+    primed: bool,
+    index: HashMap<PassConfig, usize>,
     points: Vec<Arc<EvaluatedPoint>>,
     interpretations: usize,
+    compile_ns: u128,
+    analyses_computed: usize,
 }
 
 impl<'a> Evaluator<'a> {
-    /// An evaluator for `workload` on `machines` with an empty cache.
+    /// An evaluator for `workload` on `machines` with empty caches.
     #[must_use]
     pub fn new(workload: &'a dyn Workload, machines: &'a [MachineConfig]) -> Self {
         Evaluator {
             workload,
             machines,
+            baseline: workload.build_baseline(),
+            shared_analyses: AnalysisManager::new(),
+            analysis_caching: true,
+            primed: false,
             index: HashMap::new(),
             points: Vec::new(),
             interpretations: 0,
+            compile_ns: 0,
+            analyses_computed: 0,
         }
+    }
+
+    /// Disable the shared analysis cache: every candidate compile
+    /// recomputes all analyses from scratch (the pre-pass-manager
+    /// behaviour). Used by the `pass_probe` A/B benchmark.
+    #[must_use]
+    pub fn without_analysis_caching(mut self) -> Self {
+        self.analysis_caching = false;
+        self
     }
 
     /// The machine set results are reported over.
@@ -70,22 +113,52 @@ impl<'a> Evaluator<'a> {
         self.workload.name()
     }
 
-    /// Evaluate one configuration point: on a cache miss, build the
-    /// workload's baseline kernel, run the pass with `config`, verify
-    /// the output, and simulate it on every machine off a single
-    /// interpretation. Cached points are returned without any work.
+    /// Compile one candidate: clone the pristine baseline, run
+    /// `config`'s pass pipeline over a fork of the shared analysis
+    /// cache, and verify the output. Every call pays (no memoisation —
+    /// [`Evaluator::eval`] memoises whole points); the accumulated cost
+    /// is readable via [`Evaluator::compile_seconds`].
+    ///
+    /// # Panics
+    /// If the pipeline output fails verification — a pass bug.
+    pub fn compile_candidate(&mut self, config: &PassConfig) -> (Module, PassReport) {
+        let t0 = Instant::now();
+        if self.analysis_caching && !self.primed {
+            // Prime once, inside the timed region: the one-off cost of
+            // the shared cache is honestly part of the cached mode.
+            for fid in self.baseline.func_ids().collect::<Vec<_>>() {
+                let _ = self
+                    .shared_analyses
+                    .func_analysis(self.baseline.function(fid), fid);
+            }
+            self.primed = true;
+        }
+        let mut module = self.baseline.clone();
+        let mut am = if self.analysis_caching {
+            self.shared_analyses.fork()
+        } else {
+            AnalysisManager::new()
+        };
+        let report = swpf_core::run_pipeline(&mut module, config, &mut am);
+        swpf_ir::verifier::verify_module(&module).expect("pass output verifies");
+        self.compile_ns += t0.elapsed().as_nanos();
+        self.analyses_computed += am.analyses_computed();
+        (module, report)
+    }
+
+    /// Evaluate one configuration point: on a cache miss, compile the
+    /// candidate ([`Evaluator::compile_candidate`]) and simulate it on
+    /// every machine off a single interpretation. Cached points are
+    /// returned without any work.
     ///
     /// # Panics
     /// If the pass output fails verification or the simulation traps —
     /// both are fatal configuration errors.
     pub fn eval(&mut self, config: &PassConfig) -> Arc<EvaluatedPoint> {
-        let key = config.cache_key();
-        if let Some(&i) = self.index.get(&key) {
+        if let Some(&i) = self.index.get(config) {
             return Arc::clone(&self.points[i]);
         }
-        let mut module = self.workload.build_baseline();
-        let report = swpf_core::run_on_module(&mut module, config);
-        swpf_ir::verifier::verify_module(&module).expect("pass output verifies");
+        let (module, report) = self.compile_candidate(config);
         let configs: Vec<&MachineConfig> = self.machines.iter().collect();
         let stats = run_module_on_machines(&configs, &module, "kernel", |interp| {
             self.workload.setup(interp)
@@ -96,7 +169,7 @@ impl<'a> Evaluator<'a> {
             stats,
             prefetches: report.total_prefetches(),
         });
-        self.index.insert(key, self.points.len());
+        self.index.insert(config.clone(), self.points.len());
         self.points.push(Arc::clone(&point));
         point
     }
@@ -118,6 +191,23 @@ impl<'a> Evaluator<'a> {
         self.interpretations
     }
 
+    /// Host seconds spent compiling candidates (clone + pipeline +
+    /// verify), across every [`Evaluator::compile_candidate`] call.
+    #[must_use]
+    pub fn compile_seconds(&self) -> f64 {
+        self.compile_ns as f64 * 1e-9
+    }
+
+    /// Individual analyses computed during candidate compiles (forks'
+    /// cache misses), *excluding* the one-time lazy priming of the
+    /// shared cache (whose wall cost [`Evaluator::compile_seconds`]
+    /// does include). Zero when every candidate was served entirely
+    /// from the primed cache.
+    #[must_use]
+    pub fn analyses_computed(&self) -> usize {
+        self.analyses_computed
+    }
+
     /// Every distinct point evaluated so far, in first-request order.
     #[must_use]
     pub fn points(&self) -> &[Arc<EvaluatedPoint>] {
@@ -131,7 +221,7 @@ mod tests {
     use swpf_workloads::{Scale, WorkloadId};
 
     #[test]
-    fn points_are_cached_by_config_key_and_fan_out_to_all_machines() {
+    fn points_are_cached_by_config_value_and_fan_out_to_all_machines() {
         let w = WorkloadId::Is.instantiate(Scale::Test);
         let machines = [MachineConfig::xeon_phi(), MachineConfig::a53()];
         let mut ev = Evaluator::new(w.as_ref(), &machines);
@@ -152,6 +242,10 @@ mod tests {
         let _ = ev.eval(&PassConfig::with_look_ahead(8));
         assert_eq!(ev.interpretations(), 2);
         assert_eq!(ev.points().len(), 2);
+
+        // A different pipeline is a different point of the space.
+        let _ = ev.eval(&PassConfig::with_pipeline("swpf,cse,dce"));
+        assert_eq!(ev.interpretations(), 3);
     }
 
     #[test]
@@ -170,5 +264,43 @@ mod tests {
                 m.name
             );
         }
+    }
+
+    #[test]
+    fn shared_analysis_cache_serves_every_candidate() {
+        let w = WorkloadId::Is.instantiate(Scale::Test);
+        let machines = [MachineConfig::a53()];
+        let mut cached = Evaluator::new(w.as_ref(), &machines);
+        for c in [2, 8, 32, 128] {
+            let _ = cached.eval(&PassConfig::with_look_ahead(c));
+        }
+        assert_eq!(
+            cached.analyses_computed(),
+            0,
+            "all pre-mutation analyses come from the primed shared cache"
+        );
+
+        let mut uncached = Evaluator::new(w.as_ref(), &machines).without_analysis_caching();
+        for c in [2, 8, 32, 128] {
+            let _ = uncached.eval(&PassConfig::with_look_ahead(c));
+        }
+        assert!(
+            uncached.analyses_computed() >= 4 * 4,
+            "uncached: ≥ 4 analyses × 4 candidates, got {}",
+            uncached.analyses_computed()
+        );
+    }
+
+    #[test]
+    fn caching_does_not_change_results() {
+        let w = WorkloadId::Cg.instantiate(Scale::Test);
+        let machines = [MachineConfig::xeon_phi()];
+        let config = PassConfig::with_look_ahead(24);
+        let mut cached = Evaluator::new(w.as_ref(), &machines);
+        let mut uncached = Evaluator::new(w.as_ref(), &machines).without_analysis_caching();
+        let a = cached.eval(&config);
+        let b = uncached.eval(&config);
+        assert_eq!(a.stats[0].cycles, b.stats[0].cycles);
+        assert_eq!(a.prefetches, b.prefetches);
     }
 }

@@ -42,10 +42,12 @@ pub trait Strategy {
 /// each *distinct* configuration the search requests exactly once (the
 /// honest per-search cost, independent of what the cross-strategy cache
 /// already holds) and remembers the visit order for the [`Outcome`].
+/// Like the evaluator's point cache, the memo is keyed on the
+/// [`PassConfig`] value itself.
 struct Probe<'e, 'a> {
     eval: &'e mut Evaluator<'a>,
     machine: usize,
-    seen: HashMap<String, u64>,
+    seen: HashMap<PassConfig, u64>,
     visited: Vec<EvalPoint>,
 }
 
@@ -61,12 +63,11 @@ impl<'e, 'a> Probe<'e, 'a> {
 
     /// Cycles of `config` on the target machine; re-requests are free.
     fn cycles(&mut self, config: &PassConfig) -> u64 {
-        let key = config.cache_key();
-        if let Some(&c) = self.seen.get(&key) {
+        if let Some(&c) = self.seen.get(config) {
             return c;
         }
         let cycles = self.eval.cycles(config, self.machine);
-        self.seen.insert(key, cycles);
+        self.seen.insert(config.clone(), cycles);
         self.visited.push(EvalPoint {
             config: config.clone(),
             cycles,

@@ -9,6 +9,7 @@
 //!   -c <n>         look-ahead constant (default 64)
 //!   --no-stride    disable the stride companion prefetch
 //!   --max-depth <n> cap the indirect stagger depth
+//!   --passes <spec> pass pipeline, e.g. swpf,cse,dce (default swpf)
 //!   --icc-like     run the restricted stride-indirect baseline instead
 //!   --report-only  print only the report, not the module
 //! ```
@@ -37,10 +38,18 @@ fn main() {
             }
             "--allow-pure-calls" => config.allow_pure_calls = true,
             "--no-hoisting" => config.enable_hoisting = false,
+            "--passes" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("`--passes` needs a spec"));
+                config.pipeline = spec
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad pipeline spec: {e}")));
+            }
             "--icc-like" => use_icc = true,
             "--report-only" => report_only = true,
             "-h" | "--help" => {
-                eprintln!("usage: swpf-opt [-c N] [--no-stride] [--max-depth N] [--allow-pure-calls] [--no-hoisting] [--icc-like] [--report-only] [input.swir]");
+                eprintln!("usage: swpf-opt [-c N] [--no-stride] [--max-depth N] [--allow-pure-calls] [--no-hoisting] [--passes SPEC] [--icc-like] [--report-only] [input.swir]");
                 return;
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),

@@ -1,0 +1,227 @@
+//! Differential test: the pass-manager pipeline against the legacy
+//! monolithic driver.
+//!
+//! PR 5 re-layered `swpf-core` onto the `swpf-pass` manager: analyses
+//! now come from a shared invalidation-aware cache, and the pass runs
+//! as staged `discover → filter → schedule+codegen` under a driver.
+//! None of that may change what the compiler *produces*: for the
+//! default (bare `"swpf"`) pipeline, the pipelined path must be
+//! **bit-identical** to the legacy monolithic shape — same printed
+//! module text, same retire-event stream, same report — on every
+//! workload and for off-default knob settings. The legacy entry point
+//! survives as `run_on_module_monolithic`, the oracle this suite
+//! compares against.
+//!
+//! The cleanup pipelines (`"swpf,cse,dce"`) are *meant* to change the
+//! module; for those the suite asserts semantic preservation instead:
+//! identical architectural results and memory, prefetches kept, and
+//! strictly fewer retired instructions than the bare pipeline.
+
+use swpf::pass::{run_on_module, run_on_module_monolithic, PassConfig};
+use swpf::workloads::{suite, Scale, Workload};
+use swpf_ir::interp::{Event, EventKind, ExecObserver, Interp, RtVal, Trap, HEAP_BASE};
+use swpf_ir::printer::print_module;
+use swpf_ir::Module;
+
+/// An owned copy of one observer event.
+#[derive(Debug, Clone, PartialEq)]
+struct OwnedEvent {
+    pc: u64,
+    frame: u64,
+    result: u32,
+    kind: EventKind,
+    operands: Vec<u32>,
+}
+
+#[derive(Default)]
+struct Recorder {
+    events: Vec<OwnedEvent>,
+}
+
+impl ExecObserver for Recorder {
+    fn on_event(&mut self, ev: &Event<'_>) {
+        self.events.push(OwnedEvent {
+            pc: ev.pc,
+            frame: ev.frame,
+            result: ev.result.0,
+            kind: ev.kind,
+            operands: ev.operands.iter().map(|v| v.0).collect(),
+        });
+    }
+}
+
+/// FNV-1a over all allocated simulated memory.
+fn mem_digest(mem: &swpf_ir::interp::Memory) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let len = mem.allocated();
+    let mut off = 0u64;
+    while off + 8 <= len {
+        let v = mem.read(HEAP_BASE + off, 8).expect("in bounds");
+        h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+        off += 8;
+    }
+    while off < len {
+        let v = mem.read(HEAP_BASE + off, 1).expect("in bounds");
+        h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+        off += 1;
+    }
+    h
+}
+
+struct Outcome {
+    result: Result<Option<RtVal>, Trap>,
+    retired: u64,
+    mem_digest: u64,
+    events: Vec<OwnedEvent>,
+}
+
+fn execute(m: &Module, w: &dyn Workload) -> Outcome {
+    let mut interp = Interp::new();
+    let args = w.setup(&mut interp);
+    let mut rec = Recorder::default();
+    let f = m.find_function("kernel").expect("kernel exists");
+    let result = interp.run(m, f, &args, &mut rec);
+    Outcome {
+        retired: interp.retired(),
+        mem_digest: mem_digest(interp.mem_ref()),
+        result,
+        events: rec.events,
+    }
+}
+
+/// The knob settings the differential covers, beyond the default.
+fn configs() -> Vec<(&'static str, PassConfig)> {
+    vec![
+        ("default", PassConfig::default()),
+        ("c16", PassConfig::with_look_ahead(16)),
+        (
+            "nostride",
+            PassConfig {
+                stride_companion: false,
+                ..PassConfig::default()
+            },
+        ),
+        (
+            "d1_nohoist",
+            PassConfig {
+                max_indirect_depth: 1,
+                enable_hoisting: false,
+                ..PassConfig::default()
+            },
+        ),
+    ]
+}
+
+/// The headline contract: for the bare pipeline, pipelined ≡ monolith —
+/// identical module text, identical retire-event stream, identical
+/// report — on all 7 workloads × 4 configurations.
+#[test]
+fn pipelined_pass_is_bit_identical_to_the_monolith() {
+    for w in suite(Scale::Test) {
+        for (label, config) in configs() {
+            let name = format!("{}/{label}", w.name());
+
+            let mut legacy = w.build_baseline();
+            let legacy_report = run_on_module_monolithic(&mut legacy, &config);
+            let mut piped = w.build_baseline();
+            let piped_report = run_on_module(&mut piped, &config);
+
+            assert_eq!(
+                print_module(&legacy),
+                print_module(&piped),
+                "{name}: module text diverges"
+            );
+            assert_eq!(
+                legacy_report.total_prefetches(),
+                piped_report.total_prefetches(),
+                "{name}: prefetch count"
+            );
+            assert_eq!(
+                legacy_report.total_skipped(),
+                piped_report.total_skipped(),
+                "{name}: skip count"
+            );
+            assert_eq!(piped_report.eliminated_insts, 0, "{name}: bare pipeline");
+
+            let a = execute(&legacy, w.as_ref());
+            let b = execute(&piped, w.as_ref());
+            assert_eq!(a.result, b.result, "{name}: architectural result");
+            assert_eq!(a.retired, b.retired, "{name}: retired count");
+            assert_eq!(a.mem_digest, b.mem_digest, "{name}: final memory");
+            assert_eq!(a.events.len(), b.events.len(), "{name}: event count");
+            for (i, (ea, eb)) in a.events.iter().zip(&b.events).enumerate() {
+                assert_eq!(ea, eb, "{name}: event #{i} diverges");
+            }
+        }
+    }
+}
+
+/// The cleanup pipelines change the module (that is their job) but must
+/// not change what it computes: identical results and memory vs. the
+/// bare pipeline, identical prefetch counts, and strictly fewer retired
+/// instructions (the eliminated address code was executing every
+/// iteration).
+#[test]
+fn cleanup_pipelines_preserve_semantics_and_shrink_execution() {
+    for w in suite(Scale::Test) {
+        let mut bare = w.build_baseline();
+        let bare_report = run_on_module(&mut bare, &PassConfig::default());
+        let bare_out = execute(&bare, w.as_ref());
+
+        let mut full = w.build_baseline();
+        let full_report = run_on_module(&mut full, &PassConfig::with_pipeline("swpf,cse,dce"));
+        swpf_ir::verifier::verify_module(&full).expect("cleaned module verifies");
+        let full_out = execute(&full, w.as_ref());
+
+        let name = w.name();
+        assert!(full_report.eliminated_insts > 0, "{name}: cleanup fired");
+        assert_eq!(
+            bare_report.total_prefetches(),
+            full_report.total_prefetches(),
+            "{name}: cleanup never drops prefetches"
+        );
+        assert_eq!(bare_out.result, full_out.result, "{name}: results");
+        assert_eq!(bare_out.mem_digest, full_out.mem_digest, "{name}: memory");
+        assert!(
+            full_out.retired < bare_out.retired,
+            "{name}: cleanup must shrink execution ({} vs {})",
+            full_out.retired,
+            bare_out.retired
+        );
+        let full_prefetches = full_out
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Prefetch { .. }))
+            .count();
+        let bare_prefetches = bare_out
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Prefetch { .. }))
+            .count();
+        assert_eq!(
+            bare_prefetches, full_prefetches,
+            "{name}: dynamic prefetch stream preserved"
+        );
+    }
+}
+
+/// The verify-between-passes debug mode accepts every healthy pipeline:
+/// explicit `verify` stages interleaved anywhere must be no-ops.
+#[test]
+fn explicit_verify_stages_are_transparent() {
+    for w in suite(Scale::Test) {
+        let mut plain = w.build_baseline();
+        run_on_module(&mut plain, &PassConfig::with_pipeline("swpf,cse,dce"));
+        let mut checked = w.build_baseline();
+        run_on_module(
+            &mut checked,
+            &PassConfig::with_pipeline("verify,swpf,verify,cse,verify,dce,verify"),
+        );
+        assert_eq!(
+            print_module(&plain),
+            print_module(&checked),
+            "{}: verify stages must not affect the output",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Parser/printer round-trips of post-pass modules: every workload
+//! kernel through every pipeline spec must re-parse, verify, and
+//! re-print to identical text.
+//!
+//! The printer renumbers canonically, so `print ∘ parse ∘ print` is the
+//! identity on any *valid* module — but pipeline output is exactly
+//! where that invariant is easiest to break: code generation splices
+//! detached-then-placed clones, CSE rewrites operands function-wide,
+//! and DCE leaves detached arena values behind. This suite pins the
+//! invariant deterministically over the full workload × pipeline-spec
+//! matrix, and property-tests it over random configuration points.
+
+use proptest::prelude::*;
+use swpf::pass::{run_on_module, PassConfig, Pipeline};
+use swpf::workloads::{suite, Scale};
+use swpf_ir::parser::parse_module;
+use swpf_ir::printer::print_module;
+use swpf_ir::verifier::verify_module;
+
+/// Every pipeline spec the suite exercises (the catalogue of composable
+/// stages, in meaningful orders).
+const SPECS: [&str; 6] = [
+    "swpf",
+    "swpf,dce",
+    "swpf,cse",
+    "swpf,cse,dce",
+    "swpf,dce,cse",
+    "verify,swpf,verify,cse,verify,dce,verify",
+];
+
+/// Compile, then prove the text round-trips: print → parse → verify →
+/// print must reproduce the first print exactly.
+fn assert_round_trips(name: &str, config: &PassConfig) {
+    for w in suite(Scale::Test) {
+        let mut m = w.build_baseline();
+        run_on_module(&mut m, config);
+        verify_module(&m).unwrap_or_else(|e| panic!("{name}/{}: output: {e}", w.name()));
+
+        let text = print_module(&m);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{name}/{}: reparse: {e}\n{text}", w.name()));
+        verify_module(&reparsed)
+            .unwrap_or_else(|e| panic!("{name}/{}: reparsed module: {e}", w.name()));
+        let reprinted = print_module(&reparsed);
+        assert_eq!(
+            text,
+            reprinted,
+            "{name}/{}: round-trip must be the identity",
+            w.name()
+        );
+    }
+}
+
+/// Deterministic coverage: each workload kernel through every pipeline
+/// spec at the default knob settings.
+#[test]
+fn every_workload_round_trips_through_every_pipeline_spec() {
+    for spec in SPECS {
+        assert_round_trips(spec, &PassConfig::with_pipeline(spec));
+    }
+}
+
+/// Pipeline specs themselves round-trip through their textual form.
+#[test]
+fn pipeline_specs_round_trip_as_text() {
+    for spec in SPECS {
+        let p: Pipeline = spec.parse().expect("valid spec");
+        assert_eq!(p.to_string().parse::<Pipeline>().unwrap(), p, "{spec}");
+    }
+}
+
+// Random configuration points × random pipeline specs: the round-trip
+// identity holds across the whole parameter space, not just the
+// defaults.
+proptest! {
+    #[test]
+    fn random_config_points_round_trip(
+        spec_idx in 0usize..SPECS.len(),
+        look_ahead in 2i64..256,
+        stride in 0u8..2,
+        hoist in 0u8..2,
+        depth in 1usize..5,
+    ) {
+        let config = PassConfig {
+            look_ahead,
+            stride_companion: stride == 1,
+            enable_hoisting: hoist == 1,
+            max_indirect_depth: depth,
+            ..PassConfig::with_pipeline(SPECS[spec_idx])
+        };
+        assert_round_trips(&format!("{}(c={look_ahead})", SPECS[spec_idx]), &config);
+    }
+}
