@@ -17,9 +17,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use swpf_ir::bytecode::{BcEngine, BcImage};
 use swpf_ir::classic::ClassicInterp;
 use swpf_ir::exec::ExecImage;
-use swpf_ir::interp::{Interp, NullObserver};
+use swpf_ir::interp::{Interp, NullObserver, Tier};
 use swpf_sim::{
     replay_on_machine, run_on_machine, run_on_machine_image, run_on_machine_traced, MachineConfig,
 };
@@ -46,7 +47,9 @@ fn engines(c: &mut Criterion) {
     group.throughput(Throughput::Elements(insts));
     group.bench_function("exec_image/IS", |b| {
         b.iter(|| {
-            let mut interp = Interp::new();
+            // Pin the engine tier: `Interp::new` defaults to bytecode
+            // (measured separately in the `bytecode` group).
+            let mut interp = Interp::with_tier(Tier::Engine);
             *interp.mem() = proto_mem.clone();
             let r = interp
                 .run_with_image(std::sync::Arc::clone(&image), f, &args, &mut NullObserver)
@@ -59,6 +62,58 @@ fn engines(c: &mut Criterion) {
             let mut interp = ClassicInterp::new();
             *interp.mem() = proto_mem.clone();
             let r = interp.run(&m, f, &args, &mut NullObserver).unwrap();
+            black_box(r);
+        });
+    });
+    group.finish();
+}
+
+/// The bytecode tier against the exec-image engine: the A/B the
+/// `bytecode` tier must win (`bench_gate` enforces the ratio recorded
+/// in `BENCH_interp.json`). The two sides run back to back in one group
+/// under identical conditions — same pre-built image, same cloned input
+/// memory, same facade entry point — so the comparison isolates
+/// dispatch-loop cost alone. `unfused` runs the same flat words with
+/// superinstruction fusion disabled, sizing the catalogue's own
+/// contribution.
+fn bytecode_tier(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let f = m.find_function("kernel").unwrap();
+    let insts = 12 * u64::from(is.num_keys as u32);
+    let mut proto = Interp::new();
+    let args = is.setup(&mut proto);
+    let proto_mem = proto.mem_ref().clone();
+    let image = std::sync::Arc::new(ExecImage::build(&m));
+    let unfused = std::sync::Arc::new(BcImage::lower_unfused(&image).expect("IS lowers"));
+    let mut group = c.benchmark_group("bytecode");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("bytecode/IS", |b| {
+        b.iter(|| {
+            let mut interp = Interp::with_tier(Tier::Bytecode);
+            *interp.mem() = proto_mem.clone();
+            let r = interp
+                .run_with_image(std::sync::Arc::clone(&image), f, &args, &mut NullObserver)
+                .unwrap();
+            black_box(r);
+        });
+    });
+    group.bench_function("engine/IS", |b| {
+        b.iter(|| {
+            let mut interp = Interp::with_tier(Tier::Engine);
+            *interp.mem() = proto_mem.clone();
+            let r = interp
+                .run_with_image(std::sync::Arc::clone(&image), f, &args, &mut NullObserver)
+                .unwrap();
+            black_box(r);
+        });
+    });
+    group.bench_function("unfused/IS", |b| {
+        b.iter(|| {
+            let mut mem = proto_mem.clone();
+            let mut eng = BcEngine::new();
+            eng.start(std::sync::Arc::clone(&unfused), f, &args);
+            let r = eng.run_to_done(&mut mem, &mut NullObserver).unwrap();
             black_box(r);
         });
     });
@@ -145,6 +200,7 @@ fn trace_replay(c: &mut Criterion) {
 criterion_group!(
     benches,
     engines,
+    bytecode_tier,
     interp_only,
     interp_with_timing,
     trace_replay

@@ -18,6 +18,9 @@
 //!
 //! * **engines** (`BENCH_interp.json`): the pre-decoded engine over the
 //!   classic tree-walker — what the engine refactor bought;
+//! * **bytecode** (`BENCH_interp.json`): the fixed-width bytecode tier
+//!   over the exec-image engine — what the threaded-code lowering and
+//!   the superinstruction catalogue bought;
 //! * **trace** (`BENCH_trace.json`, optional third argument): trace
 //!   replay over direct simulation of the identical cell — what the
 //!   record/replay cache banks on every repeated machine cell.
@@ -131,17 +134,30 @@ fn main() -> std::process::ExitCode {
     let records = std::fs::read_to_string(&records_path)
         .unwrap_or_else(|e| panic!("cannot read {records_path}: {e}"));
 
+    let interp_ref = load_json(&interp_ref_path);
     let mut ok = gate_ratio(
         &records,
         "engines",
         "exec_image/IS",
         "classic/IS",
         &records_path,
-        &load_json(&interp_ref_path),
+        &interp_ref,
         &interp_ref_path,
         "engines_group",
         "after_exec_image_ns_per_iter",
         "before_classic_ns_per_iter",
+    );
+    ok &= gate_ratio(
+        &records,
+        "bytecode",
+        "bytecode/IS",
+        "engine/IS",
+        &records_path,
+        &interp_ref,
+        &interp_ref_path,
+        "bytecode_group",
+        "bytecode_ns_per_iter",
+        "engine_ns_per_iter",
     );
     if let Some(path) = trace_ref_path {
         ok &= gate_ratio(

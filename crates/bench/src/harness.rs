@@ -48,6 +48,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use swpf_core::{ParamValue, PassConfig};
 use swpf_ir::exec::ExecImage;
+use swpf_ir::interp::Tier;
 use swpf_ir::FuncId;
 use swpf_sim::{
     replay_multicore, replay_on_machine, replay_on_machines, run_multicore_image,
@@ -305,6 +306,12 @@ pub struct CellResult {
     /// ([`Variant::pass_params`]); empty for cells without prefetch
     /// code. Serialised as the additive `params` member of the cell.
     pub params: Vec<(&'static str, ParamValue)>,
+    /// Active execution tier (`SWPF_TIER`) of the run that produced
+    /// this cell. Replayed cells record the run's configured tier even
+    /// though no interpreter ran — the label describes the experiment
+    /// configuration, not the cache hit. Serialised as the additive
+    /// `tier` member of the cell.
+    pub tier: &'static str,
 }
 
 impl CellResult {
@@ -745,6 +752,7 @@ fn run_group(
                 wall_ms: wall_each,
                 replayed: from_trace || k > 0,
                 params: spec.variants[job.variant].pass_params(),
+                tier: Tier::from_env().label(),
             },
         ));
     }
@@ -797,6 +805,7 @@ fn make_cell(
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         replayed,
         params: variant.pass_params(),
+        tier: Tier::from_env().label(),
     }
 }
 
@@ -1052,6 +1061,7 @@ pub fn artifact_json(
                 ("variant", Json::Str(c.variant.clone())),
                 ("wall_ms", Json::F64(c.wall_ms)),
                 ("replayed", Json::Bool(c.replayed)),
+                ("tier", Json::Str(c.tier.to_string())),
             ];
             if !c.params.is_empty() {
                 members.push(("params", params_json(&c.params)));

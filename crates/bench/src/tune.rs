@@ -101,6 +101,7 @@ fn run_strategy(
                 wall_ms: wall_each,
                 replayed: mi > 0,
                 params: point.config.parameters(),
+                tier: swpf_ir::interp::Tier::from_env().label(),
             });
         }
     }

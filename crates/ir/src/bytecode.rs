@@ -1,0 +1,1771 @@
+//! Bytecode execution tier: fixed-width threaded code with fused
+//! superinstructions.
+//!
+//! The [`crate::exec`] engine already decodes a module once, but its
+//! execute loop still matches on enum-shaped [`Op`](crate::exec::Op)
+//! values (24-byte variants behind a discriminant) and re-acquires the
+//! active frame, function image and slice bounds on every step. This
+//! module lowers an [`ExecImage`] one level further, into a flat array
+//! of fixed-width 8-byte instruction words:
+//!
+//! ```text
+//!  bit 63      50 49      36 35      22 21       8 7        0
+//!      +----------+----------+----------+----------+--------+
+//!      |    d     |    c     |    b     |    a     | opcode |
+//!      +----------+----------+----------+----------+--------+
+//!        14 bits    14 bits    14 bits    14 bits    8 bits
+//! ```
+//!
+//! The opcode byte drives a tight `match`-on-`u8` dispatch loop; the
+//! four 14-bit fields carry frame-slot indices, pre-resolved CFG-edge
+//! indices, or indices into a per-function 64-bit immediate pool (cast
+//! masks, `gep` element sizes). Code indices are identical to the
+//! [`ExecImage`] instruction indices — each decoded instruction lowers
+//! to exactly one word — so branch targets, entry points and the
+//! observer metadata (event `pc`, result id, operand list) carry over
+//! unchanged into side tables the dispatch loop only touches when an
+//! instruction retires.
+//!
+//! All slot / edge / immediate indices are validated once at lowering
+//! time ([`BcImage::lower`] returns [`LowerError`] when a function
+//! exceeds a 14-bit capacity, and asserts internal consistency), which
+//! is what lets the dispatch loop use unchecked accesses — the same
+//! decode-time-validation contract as `exec::validate_image`.
+//!
+//! # Superinstructions
+//!
+//! On top of the flat encoding, lowering runs a peephole pass that
+//! *fuses* frequent adjacent instruction pairs (mined from the
+//! swpf-trace corpus across all seven workloads — see the `mine_pairs`
+//! bin in `swpf-bench` and DESIGN.md for the frequency table). Fusion
+//! only rewrites the opcode byte of the *first* word of a pair; its
+//! operand fields and the entire second word stay intact. A fused
+//! handler executes both halves — two architectural effects, two retire
+//! events, one dispatch. Because the second word is untouched, a branch
+//! into the middle of a pair executes it standalone, and the
+//! single-stepping entry point ([`BcEngine::step`]) simply demotes a
+//! fused opcode to its first component ([`unfuse`]) — so stepped
+//! execution (multicore interleaving, trace step boundaries) retires
+//! exactly one instruction per call and one fused image serves both
+//! paths with bit-identical event streams.
+//!
+//! The tier is reached through the [`crate::interp::Interp`] facade
+//! (`SWPF_TIER=bytecode`, the default); the classic tree-walker and the
+//! exec engine remain as differential oracles.
+
+use crate::exec::{self, rd, wr, ExecImage, Op};
+use crate::function::FuncId;
+use crate::inst::{BinOp, Pred};
+use crate::interp::{
+    decode_scalar, encode_scalar, eval_binary, eval_icmp, Event, EventKind, ExecObserver, Memory,
+    RtVal, Step, Trap,
+};
+use crate::types::Type;
+use crate::value::ValueId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Width of each packed operand field.
+pub const FIELD_BITS: u32 = 14;
+/// Mask (and maximum value) of a packed operand field.
+pub const FIELD_MASK: u32 = (1 << FIELD_BITS) - 1;
+/// In-word sentinel for "no slot" (void `ret`). Lowering guarantees no
+/// real slot index reaches this value.
+pub const BC_NO_SLOT: u32 = FIELD_MASK;
+
+const A_SHIFT: u32 = 8;
+const B_SHIFT: u32 = 22;
+const C_SHIFT: u32 = 36;
+const D_SHIFT: u32 = 50;
+
+/// Pack an instruction word.
+#[inline]
+#[must_use]
+pub fn encode_word(opcode: u8, a: u32, b: u32, c: u32, d: u32) -> u64 {
+    debug_assert!(a <= FIELD_MASK && b <= FIELD_MASK && c <= FIELD_MASK && d <= FIELD_MASK);
+    u64::from(opcode)
+        | (u64::from(a) << A_SHIFT)
+        | (u64::from(b) << B_SHIFT)
+        | (u64::from(c) << C_SHIFT)
+        | (u64::from(d) << D_SHIFT)
+}
+
+#[inline(always)]
+fn fa(w: u64) -> u32 {
+    ((w >> A_SHIFT) as u32) & FIELD_MASK
+}
+#[inline(always)]
+fn fb(w: u64) -> u32 {
+    ((w >> B_SHIFT) as u32) & FIELD_MASK
+}
+#[inline(always)]
+fn fc(w: u64) -> u32 {
+    ((w >> C_SHIFT) as u32) & FIELD_MASK
+}
+#[inline(always)]
+fn fd(w: u64) -> u32 {
+    ((w >> D_SHIFT) as u32) & FIELD_MASK
+}
+
+/// The opcode space. Base opcodes below [`op::FUSED_BASE`], fused
+/// superinstruction opcodes at and above it.
+#[allow(missing_docs)]
+pub mod op {
+    pub const RET: u8 = 0; // a = value slot | BC_NO_SLOT
+    pub const BR: u8 = 1; // a = edge index
+    pub const CBR: u8 = 2; // a = cond, b = then edge, c = else edge
+    pub const ADD: u8 = 3; // binaries: a = lhs, b = rhs, c = dst
+    pub const SUB: u8 = 4;
+    pub const MUL: u8 = 5;
+    pub const SDIV: u8 = 6;
+    pub const UDIV: u8 = 7;
+    pub const SREM: u8 = 8;
+    pub const UREM: u8 = 9;
+    pub const AND: u8 = 10;
+    pub const OR: u8 = 11;
+    pub const XOR: u8 = 12;
+    pub const SHL: u8 = 13;
+    pub const LSHR: u8 = 14;
+    pub const ASHR: u8 = 15;
+    pub const FADD: u8 = 16;
+    pub const FSUB: u8 = 17;
+    pub const FMUL: u8 = 18;
+    pub const FDIV: u8 = 19;
+    pub const ICMP: u8 = 20; // a = lhs, b = rhs, c = dst, d = predicate code
+    pub const SELECT: u8 = 21; // a = cond, b = then, c = else, d = dst
+    pub const MASK: u8 = 22; // a = src, b = dst, c = imm index (mask)
+    pub const SEXT: u8 = 23; // a = src, b = dst, c = shift amount
+    pub const COPY: u8 = 24; // a = src, b = dst
+    pub const ALLOC: u8 = 25; // a = count, b = dst, c = imm index (elem size)
+    pub const GEP: u8 = 26; // a = base, b = index, c = dst, d = imm pair index
+    pub const LD_I1: u8 = 27; // loads: a = addr, b = dst; type in opcode
+    pub const LD_I8: u8 = 28;
+    pub const LD_I16: u8 = 29;
+    pub const LD_I32: u8 = 30;
+    pub const LD_I64: u8 = 31;
+    pub const LD_F64: u8 = 32;
+    pub const ST_1: u8 = 33; // stores: a = addr, b = value; width in opcode
+    pub const ST_2: u8 = 34;
+    pub const ST_4: u8 = 35;
+    pub const ST_8: u8 = 36;
+    pub const PREFETCH: u8 = 37; // a = addr
+    pub const CALL: u8 = 38; // a = callee function index, b = dst
+    pub const FALLOFF: u8 = 39; // block without terminator (panics)
+
+    /// First fused opcode; everything below is a base opcode.
+    pub const FUSED_BASE: u8 = 64;
+    // The superinstruction catalogue: the 12 most frequent fusible
+    // adjacent pairs mined from the swpf-trace corpus across all 7
+    // workloads x {baseline, manual, auto} by `mine_pairs` in
+    // swpf-bench (see DESIGN.md for the full frequency table).
+    pub const GEP_LD64: u8 = 64; // gep ; ld_i64     (indirect access)
+    pub const LD64_GEP: u8 = 65; // ld_i64 ; gep     (index load -> address)
+    pub const ICMP_CBR: u8 = 66; // icmp ; cbr       (loop back-edge test)
+    pub const GEP_PF: u8 = 67; // gep ; prefetch   (prefetch address gen)
+    pub const ICMP_SEL: u8 = 68; // icmp ; select    (branchless min/max)
+    pub const LD64_ICMP: u8 = 69; // ld_i64 ; icmp    (loaded-value test)
+    pub const SEL_GEP: u8 = 70; // select ; gep     (clamped index -> address)
+    pub const ADD_SUB: u8 = 71; // add ; sub        (paired index arithmetic)
+    pub const PF_ADD: u8 = 72; // prefetch ; add   (prefetch then induction)
+    pub const LD64_MUL: u8 = 73; // ld_i64 ; mul     (hash mixing)
+    pub const MUL_LSHR: u8 = 74; // mul ; lshr       (multiplicative hash)
+    pub const ADD_ICMP: u8 = 75; // add ; icmp       (increment then test)
+    pub const GEP_LDF64: u8 = 76; // gep ; ld_f64     (float gather, CG)
+}
+
+/// The fusion catalogue: `(first opcode, second opcode, fused opcode)`.
+/// Lowering fuses a pair by replacing the first word's opcode byte; the
+/// second word is left intact.
+pub const FUSE_TABLE: &[(u8, u8, u8)] = &[
+    (op::GEP, op::LD_I64, op::GEP_LD64),
+    (op::LD_I64, op::GEP, op::LD64_GEP),
+    (op::ICMP, op::CBR, op::ICMP_CBR),
+    (op::GEP, op::PREFETCH, op::GEP_PF),
+    (op::ICMP, op::SELECT, op::ICMP_SEL),
+    (op::LD_I64, op::ICMP, op::LD64_ICMP),
+    (op::SELECT, op::GEP, op::SEL_GEP),
+    (op::ADD, op::SUB, op::ADD_SUB),
+    (op::PREFETCH, op::ADD, op::PF_ADD),
+    (op::LD_I64, op::MUL, op::LD64_MUL),
+    (op::MUL, op::LSHR, op::MUL_LSHR),
+    (op::ADD, op::ICMP, op::ADD_ICMP),
+    (op::GEP, op::LD_F64, op::GEP_LDF64),
+];
+
+/// Demote an opcode to its first component: identity for base opcodes,
+/// the first half for fused opcodes. [`BcEngine::step`] dispatches on
+/// the demoted opcode so stepped execution stays single-instruction
+/// granular (the second half has kept its own opcode and runs on the
+/// next step).
+#[inline]
+#[must_use]
+pub fn unfuse(opcode: u8) -> u8 {
+    if opcode < op::FUSED_BASE {
+        return opcode;
+    }
+    for &(first, _, fused) in FUSE_TABLE {
+        if fused == opcode {
+            return first;
+        }
+    }
+    opcode
+}
+
+/// Predicate codes for the `d` field of `ICMP`, in table order.
+const PREDS: [Pred; 10] = [
+    Pred::Eq,
+    Pred::Ne,
+    Pred::Slt,
+    Pred::Sle,
+    Pred::Sgt,
+    Pred::Sge,
+    Pred::Ult,
+    Pred::Ule,
+    Pred::Ugt,
+    Pred::Uge,
+];
+
+fn pred_code(p: Pred) -> u32 {
+    PREDS.iter().position(|&q| q == p).expect("pred in table") as u32
+}
+
+/// A lowering failure: the function exceeds a capacity of the 14-bit
+/// packed-field encoding. The [`crate::interp::Interp`] facade falls
+/// back to the engine tier when lowering fails; nothing is ever
+/// rejected (or trusted) at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerError {
+    /// A function has more values than slot indices can express.
+    TooManySlots {
+        /// Function index.
+        func: usize,
+        /// Its frame-slot count.
+        slots: usize,
+    },
+    /// A function has more CFG edges than edge indices can express.
+    TooManyEdges {
+        /// Function index.
+        func: usize,
+        /// Its edge count.
+        edges: usize,
+    },
+    /// A function needs more pooled immediates than indices can express.
+    TooManyImms {
+        /// Function index.
+        func: usize,
+        /// Its immediate-pool length.
+        imms: usize,
+    },
+    /// The module has more functions than callee indices can express.
+    TooManyFuncs {
+        /// The function count.
+        funcs: usize,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cap = FIELD_MASK;
+        match self {
+            LowerError::TooManySlots { func, slots } => {
+                write!(f, "function {func} has {slots} slots (max {cap})")
+            }
+            LowerError::TooManyEdges { func, edges } => {
+                write!(f, "function {func} has {edges} CFG edges (max {})", cap + 1)
+            }
+            LowerError::TooManyImms { func, imms } => {
+                write!(
+                    f,
+                    "function {func} needs {imms} pooled immediates (max {})",
+                    cap + 1
+                )
+            }
+            LowerError::TooManyFuncs { funcs } => {
+                write!(f, "module has {funcs} functions (max {})", cap + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Per-word observer metadata, parallel to [`BcFunc::code`]; only read
+/// when the instruction retires.
+#[derive(Debug, Clone, Copy)]
+struct BcMeta {
+    /// Static event pc: `(function index << 32) | value index`.
+    pc: u64,
+    /// The instruction's own value id.
+    result: ValueId,
+    /// Range into [`BcFunc::operands`].
+    ops_at: u32,
+    ops_len: u32,
+}
+
+/// A pre-compiled CFG edge (same shape as the exec engine's).
+#[derive(Debug, Clone, Copy)]
+struct BcEdge {
+    target: u32,
+    moves_at: u32,
+    moves_len: u32,
+}
+
+/// One function in bytecode form.
+#[derive(Debug)]
+pub struct BcFunc {
+    /// Fixed-width instruction words; indices coincide with the
+    /// [`ExecImage`] instruction indices of the same function.
+    code: Vec<u64>,
+    /// Observer metadata, parallel to `code`.
+    meta: Vec<BcMeta>,
+    edges: Vec<BcEdge>,
+    moves: Vec<exec::PhiMove>,
+    operands: Vec<ValueId>,
+    /// Pooled 64-bit immediates (cast masks, alloc/gep element sizes,
+    /// gep offsets) referenced by 14-bit in-word indices.
+    imms: Vec<u64>,
+    consts: Vec<(u32, RtVal)>,
+    num_slots: u32,
+    num_params: u32,
+    entry_ip: u32,
+}
+
+impl BcFunc {
+    /// A fresh frame register file: zeroed, constants materialised, the
+    /// leading slots filled from `args`.
+    fn new_regs(&self, args: &[RtVal]) -> Vec<RtVal> {
+        let mut regs = vec![RtVal::Int(0); self.num_slots as usize];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = *a;
+        }
+        for &(slot, v) in &self.consts {
+            regs[slot as usize] = v;
+        }
+        regs
+    }
+
+    /// The raw instruction words (tooling / tests).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.code
+    }
+
+    /// Number of fused superinstruction heads in this function.
+    #[must_use]
+    pub fn fused_count(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|&&w| (w as u8) >= op::FUSED_BASE)
+            .count()
+    }
+}
+
+/// A module in bytecode form: one [`BcFunc`] per function, same
+/// indices as the source [`ExecImage`].
+#[derive(Debug)]
+pub struct BcImage {
+    funcs: Vec<BcFunc>,
+}
+
+impl BcImage {
+    /// Lower a decoded image to bytecode, fuse the superinstruction
+    /// catalogue, and validate every encoded index (slots, edges,
+    /// immediates) so the dispatch loop can run unchecked.
+    ///
+    /// # Errors
+    /// [`LowerError`] when the image exceeds a 14-bit field capacity.
+    ///
+    /// # Panics
+    /// If the source image violates its own validation invariants
+    /// (internal consistency; cannot happen for [`ExecImage::build`]
+    /// output).
+    pub fn lower(image: &ExecImage) -> Result<BcImage, LowerError> {
+        Self::lower_impl(image, true)
+    }
+
+    /// [`BcImage::lower`] without the superinstruction pass — every word
+    /// keeps its base opcode. Used by tests and by the throughput bench
+    /// to isolate the fusion contribution.
+    ///
+    /// # Errors
+    /// [`LowerError`] when the image exceeds a 14-bit field capacity.
+    pub fn lower_unfused(image: &ExecImage) -> Result<BcImage, LowerError> {
+        Self::lower_impl(image, false)
+    }
+
+    fn lower_impl(image: &ExecImage, fuse: bool) -> Result<BcImage, LowerError> {
+        if image.funcs.len() > FIELD_MASK as usize + 1 {
+            return Err(LowerError::TooManyFuncs {
+                funcs: image.funcs.len(),
+            });
+        }
+        let mut funcs = Vec::with_capacity(image.funcs.len());
+        for (fidx, fi) in image.funcs.iter().enumerate() {
+            let mut bf = lower_function(fidx, fi)?;
+            validate_bc(fidx, &bf, image.funcs.len());
+            if fuse {
+                fuse_function(&mut bf);
+            }
+            funcs.push(bf);
+        }
+        Ok(BcImage { funcs })
+    }
+
+    /// Number of lowered functions.
+    #[must_use]
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// The bytecode of `func` (tooling / tests).
+    #[must_use]
+    pub fn func(&self, func: FuncId) -> &BcFunc {
+        &self.funcs[func.index()]
+    }
+}
+
+/// Lower one function. Instruction indices are preserved 1:1, so edges,
+/// entry point and observer metadata copy over unchanged.
+#[allow(clippy::too_many_lines)]
+fn lower_function(fidx: usize, fi: &exec::FuncImage) -> Result<BcFunc, LowerError> {
+    if fi.num_slots > FIELD_MASK {
+        return Err(LowerError::TooManySlots {
+            func: fidx,
+            slots: fi.num_slots as usize,
+        });
+    }
+    if fi.edges.len() > FIELD_MASK as usize + 1 {
+        return Err(LowerError::TooManyEdges {
+            func: fidx,
+            edges: fi.edges.len(),
+        });
+    }
+
+    let mut imms: Vec<u64> = Vec::new();
+    let mut single_pool: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut pair_pool: std::collections::HashMap<(u64, u64), u32> =
+        std::collections::HashMap::new();
+    let mut imm_of = |imms: &mut Vec<u64>, v: u64| -> u32 {
+        *single_pool.entry(v).or_insert_with(|| {
+            imms.push(v);
+            (imms.len() - 1) as u32
+        })
+    };
+    let mut imm_pair_of = |imms: &mut Vec<u64>, a: u64, b: u64| -> u32 {
+        *pair_pool.entry((a, b)).or_insert_with(|| {
+            imms.push(a);
+            imms.push(b);
+            (imms.len() - 2) as u32
+        })
+    };
+
+    let mut code = Vec::with_capacity(fi.code.len());
+    let mut meta = Vec::with_capacity(fi.code.len());
+    for d in &fi.code {
+        let w = match d.op {
+            Op::Bin { op, lhs, rhs, dst } => {
+                let opc = match op {
+                    BinOp::Add => op::ADD,
+                    BinOp::Sub => op::SUB,
+                    BinOp::Mul => op::MUL,
+                    BinOp::Sdiv => op::SDIV,
+                    BinOp::Udiv => op::UDIV,
+                    BinOp::Srem => op::SREM,
+                    BinOp::Urem => op::UREM,
+                    BinOp::And => op::AND,
+                    BinOp::Or => op::OR,
+                    BinOp::Xor => op::XOR,
+                    BinOp::Shl => op::SHL,
+                    BinOp::Lshr => op::LSHR,
+                    BinOp::Ashr => op::ASHR,
+                    BinOp::Fadd => op::FADD,
+                    BinOp::Fsub => op::FSUB,
+                    BinOp::Fmul => op::FMUL,
+                    BinOp::Fdiv => op::FDIV,
+                };
+                encode_word(opc, lhs, rhs, dst, 0)
+            }
+            Op::ICmp {
+                pred,
+                lhs,
+                rhs,
+                dst,
+            } => encode_word(op::ICMP, lhs, rhs, dst, pred_code(pred)),
+            Op::Select {
+                cond,
+                then_val,
+                else_val,
+                dst,
+            } => encode_word(op::SELECT, cond, then_val, else_val, dst),
+            Op::Mask { src, mask, dst } => {
+                let idx = imm_of(&mut imms, mask as u64);
+                if idx > FIELD_MASK {
+                    return Err(LowerError::TooManyImms {
+                        func: fidx,
+                        imms: imms.len(),
+                    });
+                }
+                encode_word(op::MASK, src, dst, idx, 0)
+            }
+            Op::SignExtend { src, shift, dst } => encode_word(op::SEXT, src, dst, shift, 0),
+            Op::Copy { src, dst } => encode_word(op::COPY, src, dst, 0, 0),
+            Op::Alloc {
+                count,
+                elem_size,
+                dst,
+            } => {
+                let idx = imm_of(&mut imms, elem_size);
+                if idx > FIELD_MASK {
+                    return Err(LowerError::TooManyImms {
+                        func: fidx,
+                        imms: imms.len(),
+                    });
+                }
+                encode_word(op::ALLOC, count, dst, idx, 0)
+            }
+            Op::Gep {
+                base,
+                index,
+                elem_size,
+                offset,
+                dst,
+            } => {
+                let idx = imm_pair_of(&mut imms, elem_size, offset);
+                if idx > FIELD_MASK {
+                    return Err(LowerError::TooManyImms {
+                        func: fidx,
+                        imms: imms.len(),
+                    });
+                }
+                encode_word(op::GEP, base, index, dst, idx)
+            }
+            Op::Load { addr, ty, dst, .. } => {
+                let opc = match ty {
+                    Type::I1 => op::LD_I1,
+                    Type::I8 => op::LD_I8,
+                    Type::I16 => op::LD_I16,
+                    Type::I32 => op::LD_I32,
+                    Type::I64 | Type::Ptr => op::LD_I64,
+                    Type::F64 => op::LD_F64,
+                };
+                encode_word(opc, addr, dst, 0, 0)
+            }
+            Op::Store { addr, val, size } => {
+                let opc = match size {
+                    1 => op::ST_1,
+                    2 => op::ST_2,
+                    4 => op::ST_4,
+                    8 => op::ST_8,
+                    other => panic!("unsupported store width {other}"),
+                };
+                encode_word(opc, addr, val, 0, 0)
+            }
+            Op::Prefetch { addr } => encode_word(op::PREFETCH, addr, 0, 0, 0),
+            Op::Call { callee, dst } => {
+                if callee > FIELD_MASK {
+                    return Err(LowerError::TooManyFuncs {
+                        funcs: callee as usize + 1,
+                    });
+                }
+                encode_word(op::CALL, callee, dst, 0, 0)
+            }
+            Op::Br { edge } => encode_word(op::BR, edge, 0, 0, 0),
+            Op::CondBr {
+                cond,
+                then_edge,
+                else_edge,
+            } => encode_word(op::CBR, cond, then_edge, else_edge, 0),
+            Op::Ret { val } => {
+                let a = if val == exec::NO_SLOT {
+                    BC_NO_SLOT
+                } else {
+                    val
+                };
+                encode_word(op::RET, a, 0, 0, 0)
+            }
+            Op::FallOff => encode_word(op::FALLOFF, 0, 0, 0, 0),
+        };
+        code.push(w);
+        meta.push(BcMeta {
+            pc: d.pc,
+            result: d.result,
+            ops_at: d.ops_at,
+            ops_len: d.ops_len,
+        });
+    }
+
+    Ok(BcFunc {
+        code,
+        meta,
+        edges: fi
+            .edges
+            .iter()
+            .map(|e| BcEdge {
+                target: e.target,
+                moves_at: e.moves_at,
+                moves_len: e.moves_len,
+            })
+            .collect(),
+        moves: fi.moves.clone(),
+        operands: fi.operands.clone(),
+        imms,
+        consts: fi.consts.clone(),
+        num_slots: fi.num_slots,
+        num_params: fi.num_params,
+        entry_ip: fi.entry_ip,
+    })
+}
+
+/// The superinstruction peephole: greedy left-to-right scan replacing
+/// the opcode byte of the first word of every catalogued pair. After a
+/// fusion the scan skips past the pair, so a word is only ever
+/// rewritten as a head and second words always keep their original
+/// opcode (fused handlers re-decode them, and branches into the middle
+/// of a pair execute them standalone).
+fn fuse_function(bf: &mut BcFunc) {
+    let mut ip = 0;
+    while ip + 1 < bf.code.len() {
+        let first = bf.code[ip] as u8;
+        let second = bf.code[ip + 1] as u8;
+        let fused = FUSE_TABLE
+            .iter()
+            .find(|&&(f, s, _)| f == first && s == second)
+            .map(|&(_, _, z)| z);
+        if let Some(z) = fused {
+            bf.code[ip] = (bf.code[ip] & !0xFF) | u64::from(z);
+            ip += 2;
+        } else {
+            ip += 1;
+        }
+    }
+}
+
+/// Lowering-time validation establishing the dispatch loop's safety
+/// invariant: every encoded slot index is within the frame register
+/// file, every edge/immediate index is within its pool, every edge
+/// target and the entry point are valid code indices, and every pool
+/// range is in bounds. Runs on the unfused lowering (fusion only
+/// rewrites opcode bytes). Violations are internal lowering bugs, so
+/// they panic rather than surface as [`LowerError`].
+#[allow(clippy::too_many_lines)]
+fn validate_bc(fidx: usize, bf: &BcFunc, num_funcs: usize) {
+    assert_eq!(bf.code.len(), bf.meta.len(), "meta not parallel to code");
+    let ns = bf.num_slots;
+    let slot = |s: u32| assert!(s < ns, "fn {fidx}: slot {s} out of range ({ns} slots)");
+    let edge = |e: u32| {
+        assert!(
+            (e as usize) < bf.edges.len(),
+            "fn {fidx}: edge {e} out of range"
+        );
+    };
+    let imm = |i: u32, span: u32| {
+        assert!(
+            (i as usize) + (span as usize) <= bf.imms.len(),
+            "fn {fidx}: imm {i}+{span} out of pool"
+        );
+    };
+    for (m, &w) in bf.meta.iter().zip(&bf.code) {
+        assert!(
+            m.ops_at as usize + m.ops_len as usize <= bf.operands.len(),
+            "fn {fidx}: operand range out of pool"
+        );
+        let (a, b, c, d) = (fa(w), fb(w), fc(w), fd(w));
+        match w as u8 {
+            op::RET => assert!(
+                a == BC_NO_SLOT || a < ns,
+                "fn {fidx}: ret slot out of range"
+            ),
+            op::BR => edge(a),
+            op::CBR => {
+                slot(a);
+                edge(b);
+                edge(c);
+            }
+            op::ADD..=op::FDIV => {
+                slot(a);
+                slot(b);
+                slot(c);
+            }
+            op::ICMP => {
+                slot(a);
+                slot(b);
+                slot(c);
+                assert!((d as usize) < PREDS.len(), "fn {fidx}: bad predicate code");
+            }
+            op::SELECT => {
+                slot(a);
+                slot(b);
+                slot(c);
+                slot(d);
+            }
+            op::MASK | op::ALLOC => {
+                slot(a);
+                slot(b);
+                imm(c, 1);
+            }
+            op::SEXT => {
+                slot(a);
+                slot(b);
+                assert!(c < 64, "fn {fidx}: sext shift out of range");
+            }
+            op::COPY => {
+                slot(a);
+                slot(b);
+            }
+            op::GEP => {
+                slot(a);
+                slot(b);
+                slot(c);
+                imm(d, 2);
+            }
+            op::LD_I1..=op::LD_F64 => {
+                slot(a);
+                slot(b);
+            }
+            op::ST_1..=op::ST_8 => {
+                slot(a);
+                slot(b);
+            }
+            op::PREFETCH => slot(a),
+            op::CALL => {
+                assert!((a as usize) < num_funcs, "fn {fidx}: callee out of range");
+                slot(b);
+            }
+            op::FALLOFF => {}
+            other => panic!("fn {fidx}: invalid opcode {other} in unfused code"),
+        }
+    }
+    // Event operand ids double as caller-frame slots for call arguments.
+    for v in &bf.operands {
+        slot(v.0);
+    }
+    for e in &bf.edges {
+        assert!(
+            (e.target as usize) < bf.code.len(),
+            "fn {fidx}: edge target OOB"
+        );
+        assert!(
+            e.moves_at as usize + e.moves_len as usize <= bf.moves.len(),
+            "fn {fidx}: move range out of pool"
+        );
+    }
+    for mv in &bf.moves {
+        slot(mv.dst);
+        slot(mv.src);
+    }
+    assert!(
+        (bf.entry_ip as usize) < bf.code.len(),
+        "fn {fidx}: entry ip out of range"
+    );
+    assert!(bf.num_params <= ns, "fn {fidx}: more params than slots");
+}
+
+/// One activation record.
+#[derive(Debug)]
+struct BcFrame {
+    func: u32,
+    frame_id: u64,
+    ip: u32,
+    /// Slot in the *caller's* frame receiving our return value
+    /// ([`exec::NO_SLOT`] for the top-level frame).
+    ret_slot: u32,
+    regs: Vec<RtVal>,
+}
+
+/// Mutable execution state, split from the image handle so stepping
+/// borrows the image and the state disjointly (same split as the exec
+/// engine).
+#[derive(Debug)]
+struct BcState {
+    frames: Vec<BcFrame>,
+    next_frame_id: u64,
+    fuel: u64,
+    retired: u64,
+    max_depth: usize,
+    move_buf: Vec<RtVal>,
+}
+
+/// How one dispatched instruction left the control state.
+enum Flow {
+    /// Stay in the current frame (ip already updated).
+    Next,
+    /// Push a callee frame (the call event has been emitted).
+    Call {
+        callee: u32,
+        dst: u32,
+        regs: Vec<RtVal>,
+    },
+    /// Pop the current frame (the ret event has been emitted).
+    Ret { val: Option<RtVal> },
+}
+
+/// The bytecode execute layer: a resumable cursor over a [`BcImage`],
+/// API-compatible with [`exec::Engine`].
+#[derive(Debug)]
+pub struct BcEngine {
+    image: Option<Arc<BcImage>>,
+    st: BcState,
+}
+
+impl Default for BcEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BcEngine {
+    /// An idle engine with no image and no cursor.
+    #[must_use]
+    pub fn new() -> Self {
+        BcEngine {
+            image: None,
+            st: BcState {
+                frames: Vec::new(),
+                next_frame_id: 0,
+                fuel: u64::MAX,
+                retired: 0,
+                max_depth: 1 << 10,
+                move_buf: Vec::new(),
+            },
+        }
+    }
+
+    /// Total instructions retired since construction.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.st.retired
+    }
+
+    /// Limit the number of instructions that may retire before
+    /// [`Trap::OutOfFuel`]; defaults to unlimited.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.st.fuel = fuel;
+    }
+
+    /// Begin executing `func` with `args`. Any previous cursor state is
+    /// discarded; the retired count and frame-id sequence continue.
+    ///
+    /// # Panics
+    /// If the argument count does not match the function's arity.
+    pub fn start(&mut self, image: Arc<BcImage>, func: FuncId, args: &[RtVal]) {
+        let bf = &image.funcs[func.index()];
+        assert_eq!(
+            args.len(),
+            bf.num_params as usize,
+            "argument count mismatch"
+        );
+        let regs = bf.new_regs(args);
+        let entry_ip = bf.entry_ip;
+        self.st.frames.clear();
+        let id = self.st.next_frame_id;
+        self.st.next_frame_id += 1;
+        self.st.frames.push(BcFrame {
+            func: func.0,
+            frame_id: id,
+            ip: entry_ip,
+            ret_slot: exec::NO_SLOT,
+            regs,
+        });
+        self.image = Some(image);
+    }
+
+    /// Execute and retire exactly one instruction (plus the phi copies
+    /// of a taken branch, which retire with it). Fused heads are
+    /// demoted to their first component, so stepping never retires two
+    /// instructions at once — multicore interleavings and trace step
+    /// boundaries match the exec engine exactly.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised by the instruction.
+    ///
+    /// # Panics
+    /// If called without an active cursor (no `start`, or after `Done`).
+    #[inline]
+    pub fn step(
+        &mut self,
+        mem: &mut Memory,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Step, Trap> {
+        let image = self.image.as_deref().expect("step() without an image");
+        self.st.step(image, mem, obs)
+    }
+
+    /// Run the current cursor to completion through the fused fast
+    /// loop.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised during execution.
+    ///
+    /// # Panics
+    /// If called without an active cursor.
+    pub fn run_to_done(
+        &mut self,
+        mem: &mut Memory,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Option<RtVal>, Trap> {
+        let image = self.image.as_deref().expect("run without an image");
+        self.st.run_to_done(image, mem, obs)
+    }
+}
+
+/// Execute the instruction at the current ip. With `STEPPING`, fused
+/// opcodes are demoted to their first component so exactly one
+/// instruction retires; without, fused handlers execute both halves
+/// back to back (checking fuel in between, so an exhausted budget
+/// leaves the cursor parked on the second half exactly like the exec
+/// engine would).
+///
+/// Slot/edge/imm/meta accesses are unchecked: `validate_bc` established
+/// their bounds at lowering time.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+#[inline(always)]
+fn exec_one<const STEPPING: bool>(
+    image: &BcImage,
+    bf: &BcFunc,
+    regs: &mut [RtVal],
+    ip: &mut u32,
+    frame_id: u64,
+    depth: usize,
+    max_depth: usize,
+    retired: &mut u64,
+    fuel: u64,
+    move_buf: &mut Vec<RtVal>,
+    mem: &mut Memory,
+    obs: &mut (impl ExecObserver + ?Sized),
+) -> Result<Flow, Trap> {
+    let cur = *ip as usize;
+    debug_assert!(cur < bf.code.len(), "ip out of range");
+    let w = unsafe { *bf.code.get_unchecked(cur) };
+    let opc = if STEPPING { unfuse(w as u8) } else { w as u8 };
+
+    /// Retire the instruction at code index `$i` with event kind `$k`.
+    macro_rules! emit {
+        ($i:expr, $k:expr) => {{
+            *retired += 1;
+            let m = unsafe { bf.meta.get_unchecked($i) };
+            let ops = unsafe {
+                bf.operands
+                    .get_unchecked(m.ops_at as usize..(m.ops_at + m.ops_len) as usize)
+            };
+            obs.on_event(&Event {
+                pc: m.pc,
+                frame: frame_id,
+                result: m.result,
+                kind: $k,
+                operands: ops,
+            });
+        }};
+    }
+
+    /// Apply a CFG edge: parallel phi copy, jump, phi retire events
+    /// (after the copy, before the branch's own event), with the exec
+    /// engine's exact fuel accounting.
+    macro_rules! take_edge {
+        ($e:expr) => {{
+            let e = unsafe { *bf.edges.get_unchecked($e as usize) };
+            let moves = unsafe {
+                bf.moves
+                    .get_unchecked(e.moves_at as usize..(e.moves_at + e.moves_len) as usize)
+            };
+            if !moves.is_empty() {
+                move_buf.clear();
+                move_buf.extend(moves.iter().map(|mv| rd(regs, mv.src)));
+                for (mv, &v) in moves.iter().zip(move_buf.iter()) {
+                    wr(regs, mv.dst, v);
+                }
+            }
+            *ip = e.target;
+            for mv in moves {
+                *retired += 1;
+                if *retired > fuel {
+                    return Err(Trap::OutOfFuel);
+                }
+                let ops = [mv.incoming];
+                obs.on_event(&Event {
+                    pc: mv.pc,
+                    frame: frame_id,
+                    result: mv.result,
+                    kind: EventKind::Alu,
+                    operands: &ops,
+                });
+            }
+        }};
+    }
+
+    // Micro-op bodies. Each takes its own word `$w` and code index `$i`
+    // so fused handlers can compose them for both halves of a pair.
+    macro_rules! bin {
+        ($w:expr, $i:expr, $op:expr) => {{
+            let r = eval_binary($op, rd(regs, fa($w)), rd(regs, fb($w)))?;
+            wr(regs, fc($w), r);
+            *ip = $i as u32 + 1;
+            emit!($i, EventKind::Alu);
+        }};
+    }
+    macro_rules! icmp {
+        ($w:expr, $i:expr) => {{
+            let p = PREDS[fd($w) as usize];
+            let r = eval_icmp(p, rd(regs, fa($w)).as_int(), rd(regs, fb($w)).as_int());
+            wr(regs, fc($w), RtVal::Int(i64::from(r)));
+            *ip = $i as u32 + 1;
+            emit!($i, EventKind::Alu);
+        }};
+    }
+    macro_rules! sel {
+        ($w:expr, $i:expr) => {{
+            let c = rd(regs, fa($w)).as_int() != 0;
+            let v = if c {
+                rd(regs, fb($w))
+            } else {
+                rd(regs, fc($w))
+            };
+            wr(regs, fd($w), v);
+            *ip = $i as u32 + 1;
+            emit!($i, EventKind::Alu);
+        }};
+    }
+    macro_rules! gep {
+        ($w:expr, $i:expr) => {{
+            let base = rd(regs, fa($w)).as_int() as u64;
+            let idx = rd(regs, fb($w)).as_int();
+            let at = fd($w) as usize;
+            let elem = unsafe { *bf.imms.get_unchecked(at) };
+            let off = unsafe { *bf.imms.get_unchecked(at + 1) };
+            let addr = base
+                .wrapping_add((idx as u64).wrapping_mul(elem))
+                .wrapping_add(off);
+            wr(regs, fc($w), RtVal::Int(addr as i64));
+            *ip = $i as u32 + 1;
+            emit!($i, EventKind::Alu);
+        }};
+    }
+    macro_rules! load {
+        ($w:expr, $i:expr, $ty:expr, $size:expr) => {{
+            let a = rd(regs, fa($w)).as_int() as u64;
+            let raw = mem.read(a, $size)?;
+            wr(regs, fb($w), decode_scalar(raw, $ty));
+            *ip = $i as u32 + 1;
+            emit!(
+                $i,
+                EventKind::Load {
+                    addr: a,
+                    size: $size
+                }
+            );
+        }};
+    }
+    macro_rules! store {
+        ($w:expr, $i:expr, $size:expr) => {{
+            let a = rd(regs, fa($w)).as_int() as u64;
+            let v = rd(regs, fb($w));
+            mem.write(a, $size, encode_scalar(v))?;
+            *ip = $i as u32 + 1;
+            emit!(
+                $i,
+                EventKind::Store {
+                    addr: a,
+                    size: $size
+                }
+            );
+        }};
+    }
+    macro_rules! prefetch {
+        ($w:expr, $i:expr) => {{
+            let a = rd(regs, fa($w)).as_int() as u64;
+            // Prefetches never fault: an unmapped hint is dropped.
+            let valid = mem.is_valid(a, 1);
+            *ip = $i as u32 + 1;
+            emit!($i, EventKind::Prefetch { addr: a, valid });
+        }};
+    }
+    macro_rules! br {
+        ($w:expr, $i:expr) => {{
+            take_edge!(fa($w));
+            emit!($i, EventKind::Branch { taken: true });
+        }};
+    }
+    macro_rules! cbr {
+        ($w:expr, $i:expr) => {{
+            let c = rd(regs, fa($w)).as_int() != 0;
+            take_edge!(if c { fb($w) } else { fc($w) });
+            emit!($i, EventKind::Branch { taken: c });
+        }};
+    }
+    /// Between the halves of a fused pair: if the first half consumed
+    /// the last fuel, park on the second half (the next step/iteration
+    /// raises `OutOfFuel`, matching the unfused engines).
+    macro_rules! fuel_gate {
+        () => {{
+            if *retired >= fuel {
+                return Ok(Flow::Next);
+            }
+        }};
+    }
+
+    match opc {
+        op::RET => {
+            let a = fa(w);
+            let rv = if a == BC_NO_SLOT {
+                None
+            } else {
+                Some(rd(regs, a))
+            };
+            emit!(cur, EventKind::Ret);
+            return Ok(Flow::Ret { val: rv });
+        }
+        op::BR => br!(w, cur),
+        op::CBR => cbr!(w, cur),
+        op::ADD => bin!(w, cur, BinOp::Add),
+        op::SUB => bin!(w, cur, BinOp::Sub),
+        op::MUL => bin!(w, cur, BinOp::Mul),
+        op::SDIV => bin!(w, cur, BinOp::Sdiv),
+        op::UDIV => bin!(w, cur, BinOp::Udiv),
+        op::SREM => bin!(w, cur, BinOp::Srem),
+        op::UREM => bin!(w, cur, BinOp::Urem),
+        op::AND => bin!(w, cur, BinOp::And),
+        op::OR => bin!(w, cur, BinOp::Or),
+        op::XOR => bin!(w, cur, BinOp::Xor),
+        op::SHL => bin!(w, cur, BinOp::Shl),
+        op::LSHR => bin!(w, cur, BinOp::Lshr),
+        op::ASHR => bin!(w, cur, BinOp::Ashr),
+        op::FADD => bin!(w, cur, BinOp::Fadd),
+        op::FSUB => bin!(w, cur, BinOp::Fsub),
+        op::FMUL => bin!(w, cur, BinOp::Fmul),
+        op::FDIV => bin!(w, cur, BinOp::Fdiv),
+        op::ICMP => icmp!(w, cur),
+        op::SELECT => sel!(w, cur),
+        op::MASK => {
+            let x = rd(regs, fa(w)).as_int();
+            let mask = unsafe { *bf.imms.get_unchecked(fc(w) as usize) } as i64;
+            wr(regs, fb(w), RtVal::Int(x & mask));
+            *ip = cur as u32 + 1;
+            emit!(cur, EventKind::Alu);
+        }
+        op::SEXT => {
+            let x = rd(regs, fa(w)).as_int();
+            let shift = fc(w);
+            wr(regs, fb(w), RtVal::Int((x << shift) >> shift));
+            *ip = cur as u32 + 1;
+            emit!(cur, EventKind::Alu);
+        }
+        op::COPY => {
+            let x = rd(regs, fa(w)).as_int();
+            wr(regs, fb(w), RtVal::Int(x));
+            *ip = cur as u32 + 1;
+            emit!(cur, EventKind::Alu);
+        }
+        op::ALLOC => {
+            let n = rd(regs, fa(w)).as_int();
+            let elem = unsafe { *bf.imms.get_unchecked(fc(w) as usize) };
+            let size = u64::try_from(n.max(0)).expect("non-negative") * elem;
+            let addr = mem.alloc(size)?;
+            wr(regs, fb(w), RtVal::Int(addr as i64));
+            *ip = cur as u32 + 1;
+            emit!(cur, EventKind::Alloc);
+        }
+        op::GEP => gep!(w, cur),
+        op::LD_I1 => load!(w, cur, Type::I1, 1),
+        op::LD_I8 => load!(w, cur, Type::I8, 1),
+        op::LD_I16 => load!(w, cur, Type::I16, 2),
+        op::LD_I32 => load!(w, cur, Type::I32, 4),
+        op::LD_I64 => load!(w, cur, Type::I64, 8),
+        op::LD_F64 => load!(w, cur, Type::F64, 8),
+        op::ST_1 => store!(w, cur, 1),
+        op::ST_2 => store!(w, cur, 2),
+        op::ST_4 => store!(w, cur, 4),
+        op::ST_8 => store!(w, cur, 8),
+        op::PREFETCH => prefetch!(w, cur),
+        op::CALL => {
+            if depth >= max_depth {
+                return Err(Trap::StackOverflow);
+            }
+            let callee = fa(w);
+            let dst = fb(w);
+            let cf = &image.funcs[callee as usize];
+            let m = &bf.meta[cur];
+            let args = &bf.operands[m.ops_at as usize..(m.ops_at + m.ops_len) as usize];
+            let mut new_regs = vec![RtVal::Int(0); cf.num_slots as usize];
+            for (k, &arg) in args.iter().enumerate() {
+                new_regs[k] = rd(regs, arg.0);
+            }
+            for &(slot, v) in &cf.consts {
+                new_regs[slot as usize] = v;
+            }
+            *ip = cur as u32 + 1; // resume after the call on return
+            emit!(cur, EventKind::Call);
+            return Ok(Flow::Call {
+                callee,
+                dst,
+                regs: new_regs,
+            });
+        }
+        op::FALLOFF => panic!("fell off block end"),
+
+        // Fused superinstructions: first half from the head word (whose
+        // operand fields are intact), second half from the untouched
+        // next word.
+        op::GEP_LD64 => {
+            gep!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            load!(w2, cur + 1, Type::I64, 8);
+        }
+        op::LD64_GEP => {
+            load!(w, cur, Type::I64, 8);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            gep!(w2, cur + 1);
+        }
+        op::ICMP_CBR => {
+            icmp!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            cbr!(w2, cur + 1);
+        }
+        op::GEP_PF => {
+            gep!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            prefetch!(w2, cur + 1);
+        }
+        op::ICMP_SEL => {
+            icmp!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            sel!(w2, cur + 1);
+        }
+        op::LD64_ICMP => {
+            load!(w, cur, Type::I64, 8);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            icmp!(w2, cur + 1);
+        }
+        op::SEL_GEP => {
+            sel!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            gep!(w2, cur + 1);
+        }
+        op::ADD_SUB => {
+            bin!(w, cur, BinOp::Add);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            bin!(w2, cur + 1, BinOp::Sub);
+        }
+        op::PF_ADD => {
+            prefetch!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            bin!(w2, cur + 1, BinOp::Add);
+        }
+        op::LD64_MUL => {
+            load!(w, cur, Type::I64, 8);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            bin!(w2, cur + 1, BinOp::Mul);
+        }
+        op::MUL_LSHR => {
+            bin!(w, cur, BinOp::Mul);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            bin!(w2, cur + 1, BinOp::Lshr);
+        }
+        op::ADD_ICMP => {
+            bin!(w, cur, BinOp::Add);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            icmp!(w2, cur + 1);
+        }
+        op::GEP_LDF64 => {
+            gep!(w, cur);
+            fuel_gate!();
+            let w2 = unsafe { *bf.code.get_unchecked(cur + 1) };
+            load!(w2, cur + 1, Type::F64, 8);
+        }
+        other => unreachable!("invalid opcode {other}"),
+    }
+    Ok(Flow::Next)
+}
+
+impl BcState {
+    /// One observable step (see [`BcEngine::step`]).
+    #[inline]
+    fn step(
+        &mut self,
+        image: &BcImage,
+        mem: &mut Memory,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Step, Trap> {
+        if self.retired >= self.fuel {
+            return Err(Trap::OutOfFuel);
+        }
+        let depth = self.frames.len();
+        assert!(depth > 0, "step() without an active cursor");
+        let frame = self.frames.last_mut().expect("non-empty");
+        let bf = &image.funcs[frame.func as usize];
+        let frame_id = frame.frame_id;
+        let BcFrame { ip, regs, .. } = &mut *frame;
+        let flow = exec_one::<true>(
+            image,
+            bf,
+            regs.as_mut_slice(),
+            ip,
+            frame_id,
+            depth,
+            self.max_depth,
+            &mut self.retired,
+            self.fuel,
+            &mut self.move_buf,
+            mem,
+            obs,
+        )?;
+        match flow {
+            Flow::Next => Ok(Step::Continue),
+            Flow::Call { callee, dst, regs } => {
+                self.push_frame(image, callee, dst, regs);
+                Ok(Step::Continue)
+            }
+            Flow::Ret { val } => Ok(self.pop_frame(val)),
+        }
+    }
+
+    /// The fused fast loop: frame state (code, register file, ip) is
+    /// re-acquired only on calls and returns, and fused heads dispatch
+    /// once for two instructions.
+    fn run_to_done(
+        &mut self,
+        image: &BcImage,
+        mem: &mut Memory,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Option<RtVal>, Trap> {
+        'frames: loop {
+            let depth = self.frames.len();
+            let frame = self
+                .frames
+                .last_mut()
+                .expect("run_to_done() without an active cursor");
+            let bf = &image.funcs[frame.func as usize];
+            let frame_id = frame.frame_id;
+            let BcFrame { ip, regs, .. } = &mut *frame;
+            let regs = regs.as_mut_slice();
+            loop {
+                if self.retired >= self.fuel {
+                    return Err(Trap::OutOfFuel);
+                }
+                match exec_one::<false>(
+                    image,
+                    bf,
+                    regs,
+                    ip,
+                    frame_id,
+                    depth,
+                    self.max_depth,
+                    &mut self.retired,
+                    self.fuel,
+                    &mut self.move_buf,
+                    mem,
+                    obs,
+                )? {
+                    Flow::Next => {}
+                    Flow::Call { callee, dst, regs } => {
+                        self.push_frame(image, callee, dst, regs);
+                        continue 'frames;
+                    }
+                    Flow::Ret { val } => match self.pop_frame(val) {
+                        Step::Done(v) => return Ok(v),
+                        Step::Continue => continue 'frames,
+                    },
+                }
+            }
+        }
+    }
+
+    fn push_frame(&mut self, image: &BcImage, callee: u32, dst: u32, regs: Vec<RtVal>) {
+        let id = self.next_frame_id;
+        self.next_frame_id += 1;
+        self.frames.push(BcFrame {
+            func: callee,
+            frame_id: id,
+            ip: image.funcs[callee as usize].entry_ip,
+            ret_slot: dst,
+            regs,
+        });
+    }
+
+    fn pop_frame(&mut self, val: Option<RtVal>) -> Step {
+        let finished = self.frames.pop().expect("non-empty");
+        if let Some(parent) = self.frames.last_mut() {
+            if let (true, Some(v)) = (finished.ret_slot != exec::NO_SLOT, val) {
+                parent.regs[finished.ret_slot as usize] = v;
+            }
+            Step::Continue
+        } else {
+            Step::Done(val)
+        }
+    }
+}
+
+/// A decoded view of one instruction word, for tooling and the
+/// round-trip tests. Decoding a *fused* word yields its first
+/// component (the head word's fields are intact); the second half of
+/// the pair is the next word, which kept its own opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum DecodedOp {
+    Ret {
+        val: Option<u32>,
+    },
+    Br {
+        edge: u32,
+    },
+    CondBr {
+        cond: u32,
+        then_edge: u32,
+        else_edge: u32,
+    },
+    Bin {
+        opcode: u8,
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+    },
+    ICmp {
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+        pred: u32,
+    },
+    Select {
+        cond: u32,
+        then_val: u32,
+        else_val: u32,
+        dst: u32,
+    },
+    Mask {
+        src: u32,
+        dst: u32,
+        imm: u32,
+    },
+    SignExtend {
+        src: u32,
+        dst: u32,
+        shift: u32,
+    },
+    Copy {
+        src: u32,
+        dst: u32,
+    },
+    Alloc {
+        count: u32,
+        dst: u32,
+        imm: u32,
+    },
+    Gep {
+        base: u32,
+        index: u32,
+        dst: u32,
+        imm: u32,
+    },
+    Load {
+        opcode: u8,
+        addr: u32,
+        dst: u32,
+    },
+    Store {
+        opcode: u8,
+        addr: u32,
+        val: u32,
+    },
+    Prefetch {
+        addr: u32,
+    },
+    Call {
+        callee: u32,
+        dst: u32,
+    },
+    FallOff,
+}
+
+impl DecodedOp {
+    /// Re-encode to the (unfused) instruction word.
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        match *self {
+            DecodedOp::Ret { val } => encode_word(op::RET, val.unwrap_or(BC_NO_SLOT), 0, 0, 0),
+            DecodedOp::Br { edge } => encode_word(op::BR, edge, 0, 0, 0),
+            DecodedOp::CondBr {
+                cond,
+                then_edge,
+                else_edge,
+            } => encode_word(op::CBR, cond, then_edge, else_edge, 0),
+            DecodedOp::Bin {
+                opcode,
+                lhs,
+                rhs,
+                dst,
+            } => encode_word(opcode, lhs, rhs, dst, 0),
+            DecodedOp::ICmp {
+                lhs,
+                rhs,
+                dst,
+                pred,
+            } => encode_word(op::ICMP, lhs, rhs, dst, pred),
+            DecodedOp::Select {
+                cond,
+                then_val,
+                else_val,
+                dst,
+            } => encode_word(op::SELECT, cond, then_val, else_val, dst),
+            DecodedOp::Mask { src, dst, imm } => encode_word(op::MASK, src, dst, imm, 0),
+            DecodedOp::SignExtend { src, dst, shift } => encode_word(op::SEXT, src, dst, shift, 0),
+            DecodedOp::Copy { src, dst } => encode_word(op::COPY, src, dst, 0, 0),
+            DecodedOp::Alloc { count, dst, imm } => encode_word(op::ALLOC, count, dst, imm, 0),
+            DecodedOp::Gep {
+                base,
+                index,
+                dst,
+                imm,
+            } => encode_word(op::GEP, base, index, dst, imm),
+            DecodedOp::Load { opcode, addr, dst } => encode_word(opcode, addr, dst, 0, 0),
+            DecodedOp::Store { opcode, addr, val } => encode_word(opcode, addr, val, 0, 0),
+            DecodedOp::Prefetch { addr } => encode_word(op::PREFETCH, addr, 0, 0, 0),
+            DecodedOp::Call { callee, dst } => encode_word(op::CALL, callee, dst, 0, 0),
+            DecodedOp::FallOff => encode_word(op::FALLOFF, 0, 0, 0, 0),
+        }
+    }
+}
+
+/// Decode one instruction word (fused opcodes decode as their first
+/// component; see [`DecodedOp`]).
+///
+/// # Panics
+/// On an opcode byte outside the defined space.
+#[must_use]
+pub fn decode_word(w: u64) -> DecodedOp {
+    let (a, b, c, d) = (fa(w), fb(w), fc(w), fd(w));
+    match unfuse(w as u8) {
+        op::RET => DecodedOp::Ret {
+            val: (a != BC_NO_SLOT).then_some(a),
+        },
+        op::BR => DecodedOp::Br { edge: a },
+        op::CBR => DecodedOp::CondBr {
+            cond: a,
+            then_edge: b,
+            else_edge: c,
+        },
+        opc @ op::ADD..=op::FDIV => DecodedOp::Bin {
+            opcode: opc,
+            lhs: a,
+            rhs: b,
+            dst: c,
+        },
+        op::ICMP => DecodedOp::ICmp {
+            lhs: a,
+            rhs: b,
+            dst: c,
+            pred: d,
+        },
+        op::SELECT => DecodedOp::Select {
+            cond: a,
+            then_val: b,
+            else_val: c,
+            dst: d,
+        },
+        op::MASK => DecodedOp::Mask {
+            src: a,
+            dst: b,
+            imm: c,
+        },
+        op::SEXT => DecodedOp::SignExtend {
+            src: a,
+            dst: b,
+            shift: c,
+        },
+        op::COPY => DecodedOp::Copy { src: a, dst: b },
+        op::ALLOC => DecodedOp::Alloc {
+            count: a,
+            dst: b,
+            imm: c,
+        },
+        op::GEP => DecodedOp::Gep {
+            base: a,
+            index: b,
+            dst: c,
+            imm: d,
+        },
+        opc @ op::LD_I1..=op::LD_F64 => DecodedOp::Load {
+            opcode: opc,
+            addr: a,
+            dst: b,
+        },
+        opc @ op::ST_1..=op::ST_8 => DecodedOp::Store {
+            opcode: opc,
+            addr: a,
+            val: b,
+        },
+        op::PREFETCH => DecodedOp::Prefetch { addr: a },
+        op::CALL => DecodedOp::Call { callee: a, dst: b },
+        op::FALLOFF => DecodedOp::FallOff,
+        other => panic!("invalid opcode {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::NullObserver;
+    use crate::module::Module;
+
+    fn sum_module() -> Module {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("sum", &[Type::Ptr, Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let (a, n) = (b.arg(0), b.arg(1));
+            let entry = b.entry_block();
+            let header = b.create_block("h");
+            let body = b.create_block("b");
+            let exit = b.create_block("x");
+            let zero = b.const_i64(0);
+            b.br(header);
+            b.switch_to(header);
+            let i = b.phi(Type::I64, &[(entry, zero)]);
+            let acc = b.phi(Type::I64, &[(entry, zero)]);
+            let c = b.icmp(Pred::Slt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let addr = b.gep(a, i, 8);
+            let v = b.load(Type::I64, addr);
+            let acc2 = b.add(acc, v);
+            let one = b.const_i64(1);
+            let i2 = b.add(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.br(header);
+            b.switch_to(exit);
+            b.ret(Some(acc));
+        }
+        m
+    }
+
+    #[test]
+    fn word_roundtrip_all_fields() {
+        let w = encode_word(op::SELECT, 1, 2, 3, 16000);
+        assert_eq!(w as u8, op::SELECT);
+        assert_eq!((fa(w), fb(w), fc(w), fd(w)), (1, 2, 3, 16000));
+        let dec = decode_word(w);
+        assert_eq!(dec.encode(), w);
+    }
+
+    #[test]
+    fn lowering_preserves_code_indices_and_roundtrips() {
+        let m = sum_module();
+        let image = ExecImage::build(&m);
+        let bc = BcImage::lower_unfused(&image).unwrap();
+        let bf = bc.func(FuncId(0));
+        assert_eq!(bf.words().len(), image.code_len(FuncId(0)));
+        assert_eq!(bf.fused_count(), 0);
+        for &w in bf.words() {
+            assert_eq!(decode_word(w).encode(), w, "word is not canonical");
+        }
+    }
+
+    #[test]
+    fn fusion_rewrites_heads_only() {
+        let m = sum_module();
+        let image = ExecImage::build(&m);
+        let plain = BcImage::lower_unfused(&image).unwrap();
+        let fused = BcImage::lower(&image).unwrap();
+        let (p, f) = (plain.func(FuncId(0)), fused.func(FuncId(0)));
+        assert_eq!(p.words().len(), f.words().len());
+        assert!(f.fused_count() > 0, "loop body should fuse something");
+        for (&pw, &fw) in p.words().iter().zip(f.words()) {
+            // Fields never change; only head opcode bytes do.
+            assert_eq!(pw >> 8, fw >> 8);
+            assert_eq!(unfuse(fw as u8), pw as u8);
+        }
+    }
+
+    #[test]
+    fn bytecode_runs_the_sum_loop() {
+        let m = sum_module();
+        let image = ExecImage::build(&m);
+        let bc = Arc::new(BcImage::lower(&image).unwrap());
+        let mut mem = Memory::with_limit(1 << 20);
+        let base = mem.alloc(10 * 8).unwrap();
+        for i in 0..10u64 {
+            mem.write(base + i * 8, 8, i + 1).unwrap();
+        }
+        let mut eng = BcEngine::new();
+        eng.start(bc, FuncId(0), &[RtVal::Int(base as i64), RtVal::Int(10)]);
+        let r = eng.run_to_done(&mut mem, &mut NullObserver).unwrap();
+        assert_eq!(r, Some(RtVal::Int(55)));
+    }
+
+    #[test]
+    fn stepped_and_fused_execution_agree() {
+        let m = sum_module();
+        let image = ExecImage::build(&m);
+        let bc = Arc::new(BcImage::lower(&image).unwrap());
+        let mut mem_a = Memory::with_limit(1 << 20);
+        let base = mem_a.alloc(10 * 8).unwrap();
+        for i in 0..10u64 {
+            mem_a.write(base + i * 8, 8, 7 * i + 1).unwrap();
+        }
+        let mut mem_b = mem_a.clone();
+        let args = [RtVal::Int(base as i64), RtVal::Int(10)];
+
+        let mut fast = BcEngine::new();
+        fast.start(Arc::clone(&bc), FuncId(0), &args);
+        let fast_r = fast.run_to_done(&mut mem_a, &mut NullObserver).unwrap();
+
+        let mut slow = BcEngine::new();
+        slow.start(bc, FuncId(0), &args);
+        let slow_r = loop {
+            match slow.step(&mut mem_b, &mut NullObserver).unwrap() {
+                Step::Continue => {}
+                Step::Done(v) => break v,
+            }
+        };
+        assert_eq!(fast_r, slow_r);
+        assert_eq!(fast.retired(), slow.retired());
+    }
+
+    #[test]
+    fn oversized_function_rejected_at_lowering() {
+        let mut m = Module::new("big");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let mut v = b.arg(0);
+            for _ in 0..FIELD_MASK {
+                v = b.add(v, v);
+            }
+            b.ret(Some(v));
+        }
+        let image = ExecImage::build(&m);
+        assert!(matches!(
+            BcImage::lower(&image),
+            Err(LowerError::TooManySlots { .. })
+        ));
+        // The facade path degrades to the engine tier instead of
+        // trusting the encoding at dispatch.
+        assert!(image.bytecode().is_none());
+    }
+
+    #[test]
+    fn invalid_slot_encoding_is_a_lowering_panic_not_a_dispatch_hazard() {
+        // Hand-corrupt a word to reference an out-of-range slot: the
+        // lowering validator must reject it before any engine sees it.
+        let m = sum_module();
+        let image = ExecImage::build(&m);
+        let mut bc = BcImage::lower_unfused(&image).unwrap();
+        let bf = &mut bc.funcs[0];
+        bf.code[bf.entry_ip as usize] = encode_word(op::COPY, FIELD_MASK - 1, 0, 0, 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            validate_bc(0, &bc.funcs[0], 1);
+        }));
+        assert!(caught.is_err(), "corrupt slot must fail validation");
+    }
+}

@@ -50,13 +50,13 @@ use crate::value::{Constant, ValueId, ValueKind};
 use std::sync::Arc;
 
 /// Sentinel slot meaning "absent" (void return value / no return slot).
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// A decoded instruction. Operand fields are dense frame-slot indices;
 /// control-flow fields index [`FuncImage::edges`] (branches) or carry the
 /// callee function index (calls). `dst` is the instruction's own slot.
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// Integer/float arithmetic.
     Bin {
         op: BinOp,
@@ -129,41 +129,41 @@ enum Op {
 /// One decoded instruction plus its observer-facing static metadata,
 /// stored together so the execute loop touches one array entry per step.
 #[derive(Debug, Clone)]
-struct DecInst {
+pub(crate) struct DecInst {
     /// The operation.
-    op: Op,
+    pub(crate) op: Op,
     /// `(function index << 32) | value index` — stable across iterations.
-    pc: u64,
+    pub(crate) pc: u64,
     /// The instruction's own value id.
-    result: ValueId,
+    pub(crate) result: ValueId,
     /// Range into [`FuncImage::operands`]: the event operand list.
-    ops_at: u32,
-    ops_len: u32,
+    pub(crate) ops_at: u32,
+    pub(crate) ops_len: u32,
 }
 
 /// One phi of a CFG edge's parallel copy, with its retire-event fields.
 #[derive(Debug, Clone, Copy)]
-struct PhiMove {
+pub(crate) struct PhiMove {
     /// Destination slot (the phi's own value id).
-    dst: u32,
+    pub(crate) dst: u32,
     /// Source slot (the incoming chosen for this edge).
-    src: u32,
+    pub(crate) src: u32,
     /// Event pc of the phi.
-    pc: u64,
+    pub(crate) pc: u64,
     /// The phi's value id.
-    result: ValueId,
+    pub(crate) result: ValueId,
     /// The chosen incoming's value id (the event's single operand).
-    incoming: ValueId,
+    pub(crate) incoming: ValueId,
 }
 
 /// A pre-compiled CFG edge: where to jump and which phi moves to apply.
 #[derive(Debug, Clone, Copy)]
-struct Edge {
+pub(crate) struct Edge {
     /// Instruction index of the target block's first non-phi instruction.
-    target: u32,
+    pub(crate) target: u32,
     /// Range into [`FuncImage::moves`].
-    moves_at: u32,
-    moves_len: u32,
+    pub(crate) moves_at: u32,
+    pub(crate) moves_len: u32,
 }
 
 /// Static per-instruction classification, exposed for observers and
@@ -184,23 +184,23 @@ pub struct StaticMeta {
 #[derive(Debug)]
 pub struct FuncImage {
     /// Flat instruction array, blocks concatenated in creation order.
-    code: Vec<DecInst>,
+    pub(crate) code: Vec<DecInst>,
     /// CFG edges referenced by `Br`/`CondBr`.
-    edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
     /// Pooled phi moves referenced by `edges`.
-    moves: Vec<PhiMove>,
+    pub(crate) moves: Vec<PhiMove>,
     /// Pooled event-operand lists referenced by `meta`. For calls this
     /// doubles as the argument list: slot `k` of an operand id is the
     /// id's own index (slots and value ids coincide).
-    operands: Vec<ValueId>,
+    pub(crate) operands: Vec<ValueId>,
     /// `(slot, value)` pairs to materialise when a frame is created.
-    consts: Vec<(u32, RtVal)>,
+    pub(crate) consts: Vec<(u32, RtVal)>,
     /// Frame size in slots (the function's value-arena length).
-    num_slots: u32,
+    pub(crate) num_slots: u32,
     /// Formal parameter count, for the `start` arity check.
-    num_params: u32,
+    pub(crate) num_params: u32,
     /// Instruction index where execution of the function begins.
-    entry_ip: u32,
+    pub(crate) entry_ip: u32,
 }
 
 impl FuncImage {
@@ -226,7 +226,10 @@ impl FuncImage {
 /// decode.
 #[derive(Debug)]
 pub struct ExecImage {
-    funcs: Vec<FuncImage>,
+    pub(crate) funcs: Vec<FuncImage>,
+    /// Lazily-lowered bytecode form (`None` once lowering has failed, so
+    /// the failure is not retried); see [`ExecImage::bytecode`].
+    bc: std::sync::OnceLock<Option<Arc<crate::bytecode::BcImage>>>,
 }
 
 impl ExecImage {
@@ -247,7 +250,51 @@ impl ExecImage {
                 .func_ids()
                 .map(|f| decode_function(module, f))
                 .collect(),
+            bc: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The bytecode-tier lowering of this image (see [`crate::bytecode`]),
+    /// built on first use and cached, so every engine sharing this image
+    /// (e.g. the cores of a multicore simulation) pays for lowering once.
+    ///
+    /// Returns `None` when the image exceeds the bytecode encoding's
+    /// 14-bit field capacities ([`crate::bytecode::LowerError`]); callers
+    /// are expected to fall back to the [`Engine`] tier.
+    #[must_use]
+    pub fn bytecode(&self) -> Option<Arc<crate::bytecode::BcImage>> {
+        self.bc
+            .get_or_init(|| match crate::bytecode::BcImage::lower(self) {
+                Ok(b) => Some(Arc::new(b)),
+                Err(e) => {
+                    eprintln!(
+                        "swpf-ir: bytecode lowering unavailable ({e}); \
+                         falling back to the engine tier"
+                    );
+                    None
+                }
+            })
+            .clone()
+    }
+
+    /// Mnemonic class of the instruction retiring at each event `pc`,
+    /// including phis (which live on CFG edges, not in the code array,
+    /// but appear in retire streams). Intended for trace analytics such
+    /// as the superinstruction pair miner.
+    #[must_use]
+    pub fn op_class_table(&self) -> std::collections::HashMap<u64, &'static str> {
+        let mut table = std::collections::HashMap::new();
+        for fi in &self.funcs {
+            for d in &fi.code {
+                if !matches!(d.op, Op::FallOff) {
+                    table.insert(d.pc, op_class_name(&d.op));
+                }
+            }
+            for mv in &fi.moves {
+                table.insert(mv.pc, "phi");
+            }
+        }
+        table
     }
 
     /// Number of decoded functions.
@@ -293,6 +340,59 @@ impl ExecImage {
             is_prefetch,
             width,
         })
+    }
+}
+
+/// Mnemonic for one decoded op, aligned with the bytecode tier's opcode
+/// names so mined pair tables read like the superinstruction catalogue.
+pub(crate) fn op_class_name(op: &Op) -> &'static str {
+    match op {
+        Op::Bin { op, .. } => match op {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Sdiv => "sdiv",
+            BinOp::Udiv => "udiv",
+            BinOp::Srem => "srem",
+            BinOp::Urem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Lshr => "lshr",
+            BinOp::Ashr => "ashr",
+            BinOp::Fadd => "fadd",
+            BinOp::Fsub => "fsub",
+            BinOp::Fmul => "fmul",
+            BinOp::Fdiv => "fdiv",
+        },
+        Op::ICmp { .. } => "icmp",
+        Op::Select { .. } => "select",
+        Op::Mask { .. } => "mask",
+        Op::SignExtend { .. } => "sext",
+        Op::Copy { .. } => "copy",
+        Op::Alloc { .. } => "alloc",
+        Op::Gep { .. } => "gep",
+        Op::Load { ty, .. } => match ty {
+            Type::I1 => "ld_i1",
+            Type::I8 => "ld_i8",
+            Type::I16 => "ld_i16",
+            Type::I32 => "ld_i32",
+            Type::I64 | Type::Ptr => "ld_i64",
+            Type::F64 => "ld_f64",
+        },
+        Op::Store { size, .. } => match size {
+            1 => "st1",
+            2 => "st2",
+            4 => "st4",
+            _ => "st8",
+        },
+        Op::Prefetch { .. } => "prefetch",
+        Op::Call { .. } => "call",
+        Op::Br { .. } => "br",
+        Op::CondBr { .. } => "cbr",
+        Op::Ret { .. } => "ret",
+        Op::FallOff => "falloff",
     }
 }
 
@@ -675,14 +775,14 @@ fn validate_image(img: &FuncImage) {
 /// [`FuncImage::new_regs`] to `num_slots` and every decoded slot index
 /// was checked against `num_slots`.
 #[inline(always)]
-fn rd(regs: &[RtVal], slot: u32) -> RtVal {
+pub(crate) fn rd(regs: &[RtVal], slot: u32) -> RtVal {
     debug_assert!((slot as usize) < regs.len(), "slot out of range");
     unsafe { *regs.get_unchecked(slot as usize) }
 }
 
 /// Write a frame slot; bounds guaranteed as for [`rd`].
 #[inline(always)]
-fn wr(regs: &mut [RtVal], slot: u32, v: RtVal) {
+pub(crate) fn wr(regs: &mut [RtVal], slot: u32, v: RtVal) {
     debug_assert!((slot as usize) < regs.len(), "slot out of range");
     unsafe {
         *regs.get_unchecked_mut(slot as usize) = v;

@@ -17,6 +17,8 @@
 //! execution. The original tree-walking engine survives as
 //! [`crate::classic::ClassicInterp`], the differential-testing oracle.
 
+use crate::bytecode::BcEngine;
+use crate::classic::ClassicInterp;
 use crate::exec::{Engine, ExecImage};
 use crate::function::FuncId;
 use crate::inst::{BinOp, Pred};
@@ -285,15 +287,95 @@ pub enum Step {
     Done(Option<RtVal>),
 }
 
-/// The interpreter: simulated memory plus a resumable execution cursor,
-/// running on the pre-decoded engine of [`crate::exec`].
+/// Which execution tier the [`Interp`] facade drives. All three tiers
+/// are bit-identical in architectural results and retire-event streams;
+/// they differ only in throughput. `Classic` and `Engine` survive as
+/// differential oracles for the bytecode tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The original tree-walking interpreter (`crate::classic`).
+    Classic,
+    /// The decoded [`ExecImage`] engine (`crate::exec`).
+    Engine,
+    /// The fixed-width bytecode engine with fused superinstructions
+    /// (`crate::bytecode`); the default.
+    Bytecode,
+}
+
+impl Tier {
+    /// Read the tier from `SWPF_TIER` (`classic` | `engine` |
+    /// `bytecode`); unset or empty defaults to [`Tier::Bytecode`].
+    ///
+    /// # Panics
+    /// On an unrecognised value — a misspelled tier silently running a
+    /// different engine would invalidate comparisons.
+    #[must_use]
+    pub fn from_env() -> Tier {
+        match std::env::var("SWPF_TIER") {
+            Ok(v) if v.is_empty() => Tier::Bytecode,
+            Ok(v) => match v.as_str() {
+                "classic" => Tier::Classic,
+                "engine" => Tier::Engine,
+                "bytecode" => Tier::Bytecode,
+                other => panic!("SWPF_TIER must be classic|engine|bytecode, got {other:?}"),
+            },
+            Err(_) => Tier::Bytecode,
+        }
+    }
+
+    /// Stable lowercase name (artifact metadata, logs).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Classic => "classic",
+            Tier::Engine => "engine",
+            Tier::Bytecode => "bytecode",
+        }
+    }
+}
+
+/// Forward an observer generically so the classic tier's `&mut dyn`
+/// API can accept the facade's `impl ExecObserver + ?Sized` parameter.
+struct DynObs<'a, O: ExecObserver + ?Sized>(&'a mut O);
+
+impl<O: ExecObserver + ?Sized> ExecObserver for DynObs<'_, O> {
+    #[inline]
+    fn on_event(&mut self, ev: &Event<'_>) {
+        self.0.on_event(ev);
+    }
+}
+
+/// The active execution cursor. `Classic` carries its own memory (the
+/// tree-walker predates the split); the other tiers use the facade's.
+enum Cursor {
+    Engine(Engine),
+    Bytecode(BcEngine),
+    Classic(Box<ClassicInterp>),
+}
+
+/// The interpreter facade: simulated memory plus a resumable execution
+/// cursor on one of three [`Tier`]s (default: the bytecode tier, or
+/// `SWPF_TIER` if set).
 ///
 /// [`Interp::start`] decodes the module into an [`ExecImage`]; callers
 /// that run the same module on many interpreters (e.g. multicore
 /// simulations) should decode once and use [`Interp::start_with_image`].
+///
+/// Tier-selection caveats: the classic tier needs the source `Module`
+/// on every step, so image-only entry points ([`Interp::start_with_image`],
+/// [`Interp::run_with_image`]) transparently drop to the engine tier
+/// under `SWPF_TIER=classic` (the retired count and fuel budget carry
+/// over). The bytecode tier drops to the engine tier for images that
+/// exceed its 14-bit encoding capacities (`bytecode::LowerError`) —
+/// lowering failures are never an execution error.
 pub struct Interp {
     mem: Memory,
-    engine: Engine,
+    tier: Tier,
+    cursor: Cursor,
+    /// Configured fuel budget (facade-level; survives cursor switches).
+    fuel: u64,
+    /// Instructions retired by previous cursors (before a tier switch).
+    retired_base: u64,
 }
 
 impl Default for Interp {
@@ -303,7 +385,8 @@ impl Default for Interp {
 }
 
 impl Interp {
-    /// Create an interpreter with a 1 GiB heap limit.
+    /// Create an interpreter with a 1 GiB heap limit on the tier
+    /// selected by `SWPF_TIER` (default: bytecode).
     #[must_use]
     pub fn new() -> Self {
         Self::with_heap_limit(1 << 30)
@@ -312,33 +395,77 @@ impl Interp {
     /// Create an interpreter with an explicit heap limit in bytes.
     #[must_use]
     pub fn with_heap_limit(limit: u64) -> Self {
+        Self::with_heap_limit_and_tier(limit, Tier::from_env())
+    }
+
+    /// Create an interpreter on an explicit tier (ignoring `SWPF_TIER`)
+    /// with a 1 GiB heap limit.
+    #[must_use]
+    pub fn with_tier(tier: Tier) -> Self {
+        Self::with_heap_limit_and_tier(1 << 30, tier)
+    }
+
+    /// Create an interpreter with an explicit heap limit and tier.
+    #[must_use]
+    pub fn with_heap_limit_and_tier(limit: u64, tier: Tier) -> Self {
+        let cursor = match tier {
+            Tier::Classic => Cursor::Classic(Box::new(ClassicInterp::with_heap_limit(limit))),
+            Tier::Engine => Cursor::Engine(Engine::new()),
+            Tier::Bytecode => Cursor::Bytecode(BcEngine::new()),
+        };
         Interp {
             mem: Memory::with_limit(limit),
-            engine: Engine::new(),
+            tier,
+            cursor,
+            fuel: u64::MAX,
+            retired_base: 0,
         }
+    }
+
+    /// The tier this interpreter was constructed on.
+    #[must_use]
+    pub fn tier(&self) -> Tier {
+        self.tier
     }
 
     /// Access the simulated memory (e.g. to initialise workload arrays).
     pub fn mem(&mut self) -> &mut Memory {
-        &mut self.mem
+        match &mut self.cursor {
+            Cursor::Classic(c) => c.mem(),
+            _ => &mut self.mem,
+        }
     }
 
     /// Read-only view of the simulated memory.
     #[must_use]
     pub fn mem_ref(&self) -> &Memory {
-        &self.mem
+        match &self.cursor {
+            Cursor::Classic(c) => c.mem_ref(),
+            _ => &self.mem,
+        }
     }
 
     /// Total instructions retired since construction.
     #[must_use]
     pub fn retired(&self) -> u64 {
-        self.engine.retired()
+        self.retired_base
+            + match &self.cursor {
+                Cursor::Engine(e) => e.retired(),
+                Cursor::Bytecode(b) => b.retired(),
+                Cursor::Classic(c) => c.retired(),
+            }
     }
 
     /// Limit the number of instructions that may retire before
     /// [`Trap::OutOfFuel`]; defaults to unlimited.
     pub fn set_fuel(&mut self, fuel: u64) {
-        self.engine.set_fuel(fuel);
+        self.fuel = fuel;
+        let local = fuel.saturating_sub(self.retired_base);
+        match &mut self.cursor {
+            Cursor::Engine(e) => e.set_fuel(local),
+            Cursor::Bytecode(b) => b.set_fuel(local),
+            Cursor::Classic(c) => c.set_fuel(local),
+        }
     }
 
     /// Allocate and zero-fill an array; convenience for workload setup.
@@ -346,28 +473,107 @@ impl Interp {
     /// # Errors
     /// [`Trap::OutOfMemory`] if the heap limit would be exceeded.
     pub fn alloc_array(&mut self, elems: u64, elem_size: u32) -> Result<u64, Trap> {
-        self.mem.alloc(elems * u64::from(elem_size))
+        self.mem().alloc(elems * u64::from(elem_size))
+    }
+
+    /// Switch the cursor, folding the outgoing cursor's retired count
+    /// into the base and re-deriving the new cursor's local fuel so the
+    /// facade-level budget is unaffected by the switch. The classic
+    /// tier owns its memory, so switching away (or back) migrates the
+    /// heap.
+    fn switch_cursor(&mut self, make: impl FnOnce() -> Cursor) {
+        self.retired_base = self.retired();
+        let mut next = make();
+        if let Cursor::Classic(old) = &mut self.cursor {
+            // Leaving classic: adopt its heap as the facade's.
+            self.mem = std::mem::replace(old.mem(), Memory::with_limit(0));
+        }
+        if let Cursor::Classic(new) = &mut next {
+            // Entering classic: hand the facade's heap over.
+            *new.mem() = std::mem::replace(&mut self.mem, Memory::with_limit(0));
+        }
+        self.cursor = next;
+        let local = self.fuel.saturating_sub(self.retired_base);
+        match &mut self.cursor {
+            Cursor::Engine(e) => e.set_fuel(local),
+            Cursor::Bytecode(b) => b.set_fuel(local),
+            Cursor::Classic(c) => c.set_fuel(local),
+        }
+    }
+
+    /// The engine cursor, switching to it if another tier is active.
+    fn ensure_engine(&mut self) -> &mut Engine {
+        if !matches!(self.cursor, Cursor::Engine(_)) {
+            self.switch_cursor(|| Cursor::Engine(Engine::new()));
+        }
+        match &mut self.cursor {
+            Cursor::Engine(e) => e,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The bytecode cursor, switching to it if another tier is active.
+    fn ensure_bytecode(&mut self) -> &mut BcEngine {
+        if !matches!(self.cursor, Cursor::Bytecode(_)) {
+            self.switch_cursor(|| Cursor::Bytecode(BcEngine::new()));
+        }
+        match &mut self.cursor {
+            Cursor::Bytecode(b) => b,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The classic cursor, switching to it if another tier is active.
+    fn ensure_classic(&mut self) -> &mut ClassicInterp {
+        if !matches!(self.cursor, Cursor::Classic(_)) {
+            self.switch_cursor(|| Cursor::Classic(Box::new(ClassicInterp::with_heap_limit(0))));
+        }
+        match &mut self.cursor {
+            Cursor::Classic(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Route an image start to the tier-appropriate cursor (the shared
+    /// tail of every image-bearing entry point).
+    fn start_image(&mut self, image: Arc<ExecImage>, func: FuncId, args: &[RtVal]) {
+        if self.tier == Tier::Bytecode {
+            if let Some(bc) = image.bytecode() {
+                self.ensure_bytecode().start(bc, func, args);
+                return;
+            }
+            // Lowering failed (capacity overflow): degrade to the
+            // engine tier for this image. `ExecImage::bytecode` warns
+            // once per image.
+        }
+        self.ensure_engine().start(image, func, args);
     }
 
     /// Begin executing `func` with `args`, decoding `module` into a
-    /// fresh [`ExecImage`]. Any previous cursor state is discarded;
-    /// allocated memory is retained.
+    /// fresh [`ExecImage`] (or walking it directly on the classic
+    /// tier). Any previous cursor state is discarded; allocated memory
+    /// is retained.
     ///
     /// # Panics
     /// If the argument count does not match the signature.
     pub fn start(&mut self, module: &Module, func: FuncId, args: &[RtVal]) {
-        self.engine
-            .start(Arc::new(ExecImage::build(module)), func, args);
+        if self.tier == Tier::Classic {
+            self.ensure_classic().start(module, func, args);
+            return;
+        }
+        self.start_image(Arc::new(ExecImage::build(module)), func, args);
     }
 
     /// Begin executing `func` from an already-decoded image, skipping
     /// the decode pass. The image must have been built from the module
-    /// later passed to [`Interp::step`].
+    /// later passed to [`Interp::step`]. Image-only, so the classic
+    /// tier (which re-reads the module each step) drops to the engine
+    /// tier here.
     ///
     /// # Panics
     /// If the argument count does not match the signature.
     pub fn start_with_image(&mut self, image: Arc<ExecImage>, func: FuncId, args: &[RtVal]) {
-        self.engine.start(image, func, args);
+        self.start_image(image, func, args);
     }
 
     /// Run to completion with the given observer.
@@ -381,13 +587,23 @@ impl Interp {
         args: &[RtVal],
         obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Option<RtVal>, Trap> {
+        if self.tier == Tier::Classic {
+            let c = self.ensure_classic();
+            return c.run(module, func, args, &mut DynObs(obs));
+        }
         self.start(module, func, args);
-        self.engine.run_to_done(&mut self.mem, obs)
+        match &mut self.cursor {
+            Cursor::Engine(e) => e.run_to_done(&mut self.mem, obs),
+            Cursor::Bytecode(b) => b.run_to_done(&mut self.mem, obs),
+            Cursor::Classic(_) => unreachable!("non-classic start"),
+        }
     }
 
     /// Run to completion from an already-decoded image, skipping the
     /// decode pass (the amortised shape every repeated-simulation caller
     /// wants; the throughput bench and multicore runner use it).
+    /// Image-only: see [`Interp::start_with_image`] for the classic-tier
+    /// caveat.
     ///
     /// # Errors
     /// Any [`Trap`] raised during execution.
@@ -398,15 +614,19 @@ impl Interp {
         args: &[RtVal],
         obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Option<RtVal>, Trap> {
-        self.engine.start(image, func, args);
-        self.engine.run_to_done(&mut self.mem, obs)
+        self.start_image(image, func, args);
+        match &mut self.cursor {
+            Cursor::Engine(e) => e.run_to_done(&mut self.mem, obs),
+            Cursor::Bytecode(b) => b.run_to_done(&mut self.mem, obs),
+            Cursor::Classic(_) => unreachable!("image starts never select classic"),
+        }
     }
 
     /// Execute and retire exactly one instruction.
     ///
     /// `module` must be the module whose image the cursor was started
-    /// with; it is accepted (and ignored) for API compatibility with the
-    /// classic engine, which re-read it on every step.
+    /// with; the classic tier re-reads it every step, the other tiers
+    /// accept (and ignore) it for API compatibility.
     ///
     /// # Errors
     /// Any [`Trap`] raised by the instruction.
@@ -416,10 +636,13 @@ impl Interp {
     #[inline]
     pub fn step(
         &mut self,
-        _module: &Module,
+        module: &Module,
         obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Step, Trap> {
-        self.step_cursor(obs)
+        match &mut self.cursor {
+            Cursor::Classic(c) => c.step(module, &mut DynObs(obs)),
+            _ => self.step_cursor(obs),
+        }
     }
 
     /// Execute and retire exactly one instruction of the active cursor,
@@ -431,13 +654,23 @@ impl Interp {
     /// Any [`Trap`] raised by the instruction.
     ///
     /// # Panics
-    /// If called without an active cursor (no `start`, or after `Done`).
+    /// If called without an active cursor (no `start`, or after `Done`),
+    /// or on a classic-tier cursor (the classic engine cannot step
+    /// without its module — use [`Interp::step`]).
     #[inline]
     pub fn step_cursor(&mut self, obs: &mut (impl ExecObserver + ?Sized)) -> Result<Step, Trap> {
-        self.engine.step(&mut self.mem, obs)
+        match &mut self.cursor {
+            Cursor::Engine(e) => e.step(&mut self.mem, obs),
+            Cursor::Bytecode(b) => b.step(&mut self.mem, obs),
+            Cursor::Classic(_) => panic!(
+                "step_cursor() on the classic tier: the classic engine re-reads the module \
+                 every step; use Interp::step(module, obs) or another SWPF_TIER"
+            ),
+        }
     }
 }
 
+#[inline(always)]
 pub(crate) fn decode_scalar(raw: u64, ty: Type) -> RtVal {
     match ty {
         Type::F64 => RtVal::Float(f64::from_bits(raw)),
@@ -449,6 +682,7 @@ pub(crate) fn decode_scalar(raw: u64, ty: Type) -> RtVal {
     }
 }
 
+#[inline(always)]
 pub(crate) fn encode_scalar(v: RtVal) -> u64 {
     match v {
         RtVal::Int(x) => x as u64,
@@ -456,6 +690,7 @@ pub(crate) fn encode_scalar(v: RtVal) -> u64 {
     }
 }
 
+#[inline(always)]
 pub(crate) fn eval_binary(op: BinOp, lhs: RtVal, rhs: RtVal) -> Result<RtVal, Trap> {
     if op.is_float() {
         let (a, b) = (lhs.as_f64(), rhs.as_f64());
@@ -508,6 +743,7 @@ pub(crate) fn eval_binary(op: BinOp, lhs: RtVal, rhs: RtVal) -> Result<RtVal, Tr
     Ok(RtVal::Int(r))
 }
 
+#[inline(always)]
 pub(crate) fn eval_icmp(pred: Pred, a: i64, b: i64) -> bool {
     let (ua, ub) = (a as u64, b as u64);
     match pred {

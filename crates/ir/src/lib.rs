@@ -70,6 +70,7 @@
 
 pub mod block;
 pub mod builder;
+pub mod bytecode;
 pub mod classic;
 pub mod exec;
 pub mod function;
@@ -84,9 +85,11 @@ pub mod verifier;
 
 pub use block::{Block, BlockId};
 pub use builder::FunctionBuilder;
+pub use bytecode::{BcEngine, BcImage, LowerError};
 pub use exec::ExecImage;
 pub use function::{FuncId, Function};
 pub use inst::{BinOp, CastOp, Inst, InstKind, Pred};
+pub use interp::Tier;
 pub use module::Module;
 pub use types::Type;
 pub use value::{Constant, ValueData, ValueId, ValueKind};
@@ -98,7 +101,7 @@ pub mod prelude {
     pub use crate::exec::ExecImage;
     pub use crate::function::{FuncId, Function};
     pub use crate::inst::{BinOp, CastOp, Inst, InstKind, Pred};
-    pub use crate::interp::{ExecObserver, Interp, RtVal};
+    pub use crate::interp::{ExecObserver, Interp, RtVal, Tier};
     pub use crate::module::Module;
     pub use crate::types::Type;
     pub use crate::value::{Constant, ValueId, ValueKind};

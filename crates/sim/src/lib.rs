@@ -53,14 +53,17 @@ pub mod tlb;
 
 pub use machine::{
     replay_on_machine, replay_on_machines, run_module_on_machines, run_on_machine,
-    run_on_machine_image, run_on_machine_traced, run_on_machines_image, Machine,
+    run_on_machine_image, run_on_machine_image_tier, run_on_machine_traced, run_on_machines_image,
+    Machine,
 };
 pub use memsys::{AccessKind, MemSys, SharedMem};
 pub use multicore::{
-    replay_multicore, run_multicore, run_multicore_image, run_multicore_image_traced,
+    replay_multicore, run_multicore, run_multicore_image, run_multicore_image_tier,
+    run_multicore_image_traced,
 };
 pub use presets::{CoreKind, MachineConfig};
 pub use stats::SimStats;
+pub use swpf_ir::interp::Tier;
 
 /// Sub-cycle resolution: all internal times are in ticks.
 ///

@@ -19,7 +19,7 @@ use crate::presets::MachineConfig;
 use crate::stats::SimStats;
 use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
-use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Trap};
+use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Tier, Trap};
 use swpf_ir::{FuncId, Module};
 use swpf_trace::{FanOut, StreamEncoder, Tee, Trace, TraceError};
 
@@ -252,6 +252,29 @@ pub fn run_on_machine_image(
     run_fresh(config, setup, |machine, interp, args| {
         machine.run_image(Arc::clone(image), func, interp, args)
     })
+}
+
+/// Like [`run_on_machine_image`], but on an explicit execution [`Tier`]
+/// instead of the `SWPF_TIER` environment default — the shape the
+/// differential suites use to compare tiers side by side without racing
+/// on process-global environment state.
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machine_image_tier(
+    config: &MachineConfig,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    tier: Tier,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+) -> SimStats {
+    let mut interp = Interp::with_tier(tier);
+    let args = setup(&mut interp);
+    let mut machine = Machine::new(config.clone());
+    machine
+        .run_image(Arc::clone(image), func, &mut interp, &args)
+        .unwrap_or_else(|t| panic!("simulation trapped: {t}"))
 }
 
 /// Like [`run_on_machine_image`], but records the retire-event stream

@@ -27,7 +27,7 @@ use crate::presets::MachineConfig;
 use crate::stats::SimStats;
 use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
-use swpf_ir::interp::{ExecObserver, Interp, RtVal, Step};
+use swpf_ir::interp::{ExecObserver, Interp, RtVal, Step, Tier};
 use swpf_ir::{FuncId, Module};
 use swpf_trace::{Tee, Trace, TraceError, TraceRecorder};
 
@@ -116,7 +116,25 @@ pub fn run_multicore_image(
     func: FuncId,
     setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
 ) -> Vec<SimStats> {
-    run_multicore_inner(config, n_cores, image, func, setup, None)
+    run_multicore_inner(config, n_cores, image, func, setup, None, None)
+}
+
+/// Like [`run_multicore_image`], but on an explicit execution [`Tier`]
+/// instead of the `SWPF_TIER` environment default — the shape the
+/// differential suites use to prove tier-identical contention schedules
+/// without racing on process-global environment state.
+///
+/// # Panics
+/// If any core's program traps.
+pub fn run_multicore_image_tier(
+    config: &MachineConfig,
+    n_cores: usize,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    tier: Tier,
+    setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+) -> Vec<SimStats> {
+    run_multicore_inner(config, n_cores, image, func, setup, Some(tier), None)
 }
 
 /// Like [`run_multicore_image`], additionally recording each core's
@@ -134,7 +152,7 @@ pub fn run_multicore_image_traced(
     setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
     recorder: &mut TraceRecorder,
 ) -> Vec<SimStats> {
-    run_multicore_inner(config, n_cores, image, func, setup, Some(recorder))
+    run_multicore_inner(config, n_cores, image, func, setup, None, Some(recorder))
 }
 
 fn run_multicore_inner(
@@ -143,12 +161,13 @@ fn run_multicore_inner(
     image: &Arc<ExecImage>,
     func: FuncId,
     mut setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+    tier: Option<Tier>,
     mut recorder: Option<&mut TraceRecorder>,
 ) -> Vec<SimStats> {
     let mut shared = SharedMem::new(config);
     let mut slots: Vec<CoreSlot> = (0..n_cores)
         .map(|i| {
-            let mut interp = Interp::new();
+            let mut interp = tier.map_or_else(Interp::new, Interp::with_tier);
             let args = setup(i, &mut interp);
             let mut mem = MemSys::new(config);
             mem.set_address_space(i as u64);

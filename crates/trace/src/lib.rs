@@ -31,9 +31,11 @@
 //! tests, `swpf-bench`'s harness tests, and the CI `trace-equivalence`
 //! job (all nine experiments).
 
+pub mod analytics;
 mod stream;
 mod wire;
 
+pub use analytics::{count_pairs_in_trace, PairCounter};
 pub use stream::{EventCursor, StreamEncoder};
 pub use wire::{fnv64, Fnv64};
 

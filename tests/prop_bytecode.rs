@@ -1,0 +1,242 @@
+//! Property tests for the bytecode tier.
+//!
+//! Three families:
+//! 1. randomly generated kernels (op mix, constants, trip counts drawn
+//!    by proptest) must execute observably identically on the bytecode,
+//!    engine, and classic tiers — results, retired counts, and the full
+//!    retire-event stream;
+//! 2. the fixed-width encoding round-trips: `decode(encode(w)) == w`
+//!    for every word of every lowered workload function, and fusion
+//!    rewrites only head opcode bytes;
+//! 3. encodings that do not fit the 14-bit operand fields are rejected
+//!    at lowering time (`LowerError`), never reaching dispatch.
+
+use proptest::prelude::*;
+use swpf_ir::bytecode::{decode_word, op, unfuse, BcImage, LowerError};
+use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Tier};
+use swpf_ir::prelude::*;
+use swpf_workloads::{suite, Scale};
+
+#[derive(Default, Debug, PartialEq)]
+struct Stream(Vec<(u64, u64, u32, Vec<u32>)>);
+
+impl ExecObserver for Stream {
+    fn on_event(&mut self, ev: &Event<'_>) {
+        self.0.push((
+            ev.pc,
+            ev.frame,
+            ev.result.0,
+            ev.operands.iter().map(|v| v.0).collect(),
+        ));
+    }
+}
+
+/// The binop palette for random kernels: total ops only, so generated
+/// programs never trap and every draw runs to completion on all tiers.
+const PALETTE: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Lshr,
+    BinOp::Ashr,
+];
+
+/// Build a kernel from drawn parameters: a counted loop that runs a
+/// random binop chain over an accumulator, stores it into a small
+/// buffer, loads it back, compares/selects, and prefetches ahead.
+fn random_kernel(ops: &[usize], consts: &[i64], trips: i64) -> Module {
+    let mut m = Module::new("rand");
+    let fid = m.declare_function("kernel", &[Type::Ptr, Type::I64], Type::I64);
+    let mut b = FunctionBuilder::new(m.function_mut(fid));
+    let (buf, n) = (b.arg(0), b.arg(1));
+    let entry = b.entry_block();
+    let header = b.create_block("h");
+    let body = b.create_block("b");
+    let exit = b.create_block("x");
+    let zero = b.const_i64(0);
+    let one = b.const_i64(1);
+    let seven = b.const_i64(7);
+    let trips_v = b.const_i64(trips);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64, &[(entry, zero)]);
+    let acc = b.phi(Type::I64, &[(entry, one)]);
+    let c = b.icmp(Pred::Slt, i, trips_v);
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let mut v = acc;
+    for (k, &opi) in ops.iter().enumerate() {
+        let cst = b.const_i64(consts[k % consts.len()]);
+        v = b.binary(PALETTE[opi % PALETTE.len()], v, cst);
+    }
+    let slot = b.binary(BinOp::And, i, seven);
+    let g = b.gep(buf, slot, 8);
+    b.store(v, g);
+    let back = b.load(Type::I64, g);
+    let bigger = b.icmp(Pred::Sgt, back, acc);
+    let picked = b.select(bigger, back, acc);
+    let mixed = b.binary(BinOp::Xor, picked, v);
+    let ahead = b.add(i, n);
+    let pg = b.gep(buf, ahead, 8);
+    b.prefetch(pg);
+    let i2 = b.add(i, one);
+    b.add_phi_incoming(i, body, i2);
+    b.add_phi_incoming(acc, body, mixed);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(Some(acc));
+    m
+}
+
+fn run_tier(tier: Tier, m: &Module) -> (Result<Option<RtVal>, Trap>, u64, Stream) {
+    let mut interp = Interp::with_tier(tier);
+    let buf = interp.alloc_array(8, 8).expect("small alloc");
+    let args = [RtVal::Int(buf as i64), RtVal::Int(8)];
+    let mut rec = Stream::default();
+    let f = m.find_function("kernel").unwrap();
+    let result = interp.run(m, f, &args, &mut rec);
+    (result, interp.retired(), rec)
+}
+
+use swpf_ir::interp::Trap;
+
+proptest! {
+    #[test]
+    fn random_kernels_are_tier_invariant(
+        ops in prop::collection::vec(0usize..9, 1..12),
+        consts in prop::collection::vec(-1000i64..1000, 1..6),
+        trips in 0i64..24,
+    ) {
+        let m = random_kernel(&ops, &consts, trips);
+        swpf_ir::verifier::verify_module(&m).expect("generated kernel verifies");
+        let (br, bret, bev) = run_tier(Tier::Bytecode, &m);
+        let (er, eret, eev) = run_tier(Tier::Engine, &m);
+        let (cr, cret, cev) = run_tier(Tier::Classic, &m);
+        prop_assert_eq!(&br, &er, "bytecode vs engine result");
+        prop_assert_eq!(&br, &cr, "bytecode vs classic result");
+        prop_assert_eq!(bret, eret, "retired vs engine");
+        prop_assert_eq!(bret, cret, "retired vs classic");
+        prop_assert_eq!(&bev, &eev, "event stream vs engine");
+        prop_assert_eq!(&bev, &cev, "event stream vs classic");
+    }
+
+    // Random fuel budgets on a random kernel: both tiers park at the
+    // same event prefix with the same `OutOfFuel` outcome, even when
+    // the budget lands between the halves of a fused pair.
+    #[test]
+    fn random_fuel_budgets_are_tier_invariant(
+        ops in prop::collection::vec(0usize..9, 1..6),
+        fuel in 1u64..400,
+    ) {
+        let m = random_kernel(&ops, &[3, -7], 16);
+        let mut outcomes = Vec::new();
+        for tier in [Tier::Bytecode, Tier::Engine, Tier::Classic] {
+            let mut interp = Interp::with_tier(tier);
+            let buf = interp.alloc_array(8, 8).expect("small alloc");
+            interp.set_fuel(fuel);
+            let mut rec = Stream::default();
+            let f = m.find_function("kernel").unwrap();
+            let result = interp.run(&m, f, &[RtVal::Int(buf as i64), RtVal::Int(8)], &mut rec);
+            outcomes.push((result, interp.retired(), rec));
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "bytecode vs engine under fuel");
+        prop_assert_eq!(&outcomes[0], &outcomes[2], "bytecode vs classic under fuel");
+    }
+}
+
+/// Every word of every lowered workload image round-trips through the
+/// decoder: `decode_word(w).encode() == w`. This pins the packed layout
+/// — any field overlap or shift error breaks the identity.
+#[test]
+fn decode_encode_roundtrips_over_the_workload_corpus() {
+    let mut words = 0usize;
+    for w in suite(Scale::Test) {
+        let m = w.build_baseline();
+        let image = ExecImage::build(&m);
+        let bc = BcImage::lower_unfused(&image).expect("workloads lower");
+        for f in 0..bc.num_funcs() {
+            for &word in bc.func(FuncId(f as u32)).words() {
+                assert_eq!(
+                    decode_word(word).encode(),
+                    word,
+                    "{}: word {word:#018x} does not round-trip",
+                    w.name()
+                );
+                words += 1;
+            }
+        }
+    }
+    assert!(words > 100, "corpus should exercise many words");
+}
+
+/// Fusion only rewrites head opcode bytes: the fused image's words are
+/// identical to the unfused image's except that some opcodes are
+/// promoted, and `unfuse` recovers the original opcode exactly.
+#[test]
+fn fusion_is_an_opcode_only_rewrite_everywhere() {
+    let mut fused_total = 0usize;
+    for w in suite(Scale::Test) {
+        let m = w.build_baseline();
+        let image = ExecImage::build(&m);
+        let plain = BcImage::lower_unfused(&image).expect("lowers");
+        let fused = BcImage::lower(&image).expect("lowers");
+        for f in 0..plain.num_funcs() {
+            let (pf, ff) = (plain.func(FuncId(f as u32)), fused.func(FuncId(f as u32)));
+            assert_eq!(pf.words().len(), ff.words().len(), "fusion never resizes");
+            for (pw, fw) in pf.words().iter().zip(ff.words()) {
+                assert_eq!(pw >> 8, fw >> 8, "operand fields must not change");
+                assert_eq!(
+                    unfuse(*fw as u8),
+                    *pw as u8,
+                    "unfuse must recover the original opcode"
+                );
+                if *fw as u8 >= op::FUSED_BASE {
+                    fused_total += 1;
+                }
+            }
+        }
+    }
+    assert!(fused_total > 0, "corpus should contain fused pairs");
+}
+
+/// A function whose value count exceeds the 14-bit slot space is
+/// rejected with `LowerError::TooManySlots` at lowering; the facade's
+/// cached `bytecode()` returns `None` (and the `Interp` silently falls
+/// back to the engine tier) — nothing invalid ever reaches dispatch.
+#[test]
+fn oversized_functions_are_rejected_at_lowering_not_dispatch() {
+    let mut m = Module::new("huge");
+    let fid = m.declare_function("kernel", &[Type::I64], Type::I64);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(fid));
+        let mut v = b.arg(0);
+        let one = b.const_i64(1);
+        for _ in 0..17_000 {
+            v = b.add(v, one);
+        }
+        b.ret(Some(v));
+    }
+    let image = ExecImage::build(&m);
+    assert!(matches!(
+        BcImage::lower(&image),
+        Err(LowerError::TooManySlots { .. })
+    ));
+    assert!(image.bytecode().is_none(), "facade cache agrees");
+
+    // The fallback still executes the module correctly on the bytecode
+    // tier setting — via the engine.
+    let mut interp = Interp::with_tier(Tier::Bytecode);
+    let r = interp
+        .run(
+            &m,
+            fid,
+            &[RtVal::Int(5)],
+            &mut swpf_ir::interp::NullObserver,
+        )
+        .unwrap();
+    assert_eq!(r, Some(RtVal::Int(5 + 17_000)));
+}
