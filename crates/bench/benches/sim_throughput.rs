@@ -22,9 +22,10 @@ use swpf_ir::classic::ClassicInterp;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Interp, NullObserver, Tier};
 use swpf_sim::{
-    replay_on_machine, run_on_machine, run_on_machine_image, run_on_machine_traced, MachineConfig,
+    replay_on_machine, run_on_machine, run_on_machine_image, run_on_machine_traced,
+    streaming_replay_on_machine, MachineConfig,
 };
-use swpf_trace::TraceRecorder;
+use swpf_trace::{StreamingReplay, TraceRecorder};
 use swpf_workloads::is::IntegerSort;
 use swpf_workloads::{Scale, Workload};
 
@@ -187,6 +188,16 @@ fn trace_replay(c: &mut Criterion) {
     group.bench_function("replay/IS", |b| {
         b.iter(|| black_box(replay_on_machine(&cfg, &trace)));
     });
+    // Streaming replay: same cell, but decoded block-at-a-time from the
+    // persisted (compressed) file — the bounded-memory warm path.
+    let path = std::env::temp_dir().join(format!("swpf_bench_stream_{}.trace", std::process::id()));
+    std::fs::write(&path, trace.to_bytes()).expect("trace file written");
+    let replay = StreamingReplay::open(&path).expect("trace file opens");
+    group.bench_function("stream_replay/IS", |b| {
+        b.iter(|| {
+            black_box(streaming_replay_on_machine(&cfg, &replay).expect("streaming replay runs"))
+        });
+    });
     group.bench_function("record/IS", |b| {
         b.iter(|| {
             let mut rec = TraceRecorder::new(1, 0);
@@ -195,6 +206,7 @@ fn trace_replay(c: &mut Criterion) {
         });
     });
     group.finish();
+    std::fs::remove_file(&path).ok();
 }
 
 criterion_group!(

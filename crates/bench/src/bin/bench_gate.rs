@@ -23,7 +23,14 @@
 //!   the superinstruction catalogue bought;
 //! * **trace** (`BENCH_trace.json`, optional third argument): trace
 //!   replay over direct simulation of the identical cell — what the
-//!   record/replay cache banks on every repeated machine cell.
+//!   record/replay cache banks on every repeated machine cell; plus the
+//!   block-at-a-time streaming replay of the same cell from its
+//!   persisted file (the bounded-memory warm path must stay within the
+//!   allowance of direct simulation too);
+//! * **compression** (`BENCH_trace.json`): the v2 block-compressed
+//!   envelope's size advantage over the uncompressed v1 layout,
+//!   measured deterministically in-process on a freshly recorded IS
+//!   trace — byte counts, not wall-clock, so this leg is host-exact.
 //!
 //! The 30% allowance keeps shared-runner noise from flaking the job;
 //! the gate exists to catch cliffs, not single-digit drift.
@@ -121,6 +128,59 @@ fn gate_ratio(
     }
 }
 
+/// Gate the v2 envelope's compression ratio on a freshly recorded IS
+/// trace: record in-process (byte-deterministic — no wall-clock in this
+/// leg), encode both layouts, and require the measured v1/v2 ratio to
+/// stay within the allowance of the reference ratio.
+fn gate_compression(reference: &Json, reference_path: &str) -> bool {
+    use std::sync::Arc;
+    use swpf_ir::exec::ExecImage;
+    use swpf_ir::interp::Interp;
+    use swpf_workloads::{Scale, Workload};
+
+    let is = swpf_workloads::is::IntegerSort::new(Scale::Test);
+    let module = is.build_baseline();
+    let func = module.find_function("kernel").expect("kernel exists");
+    let mut interp = Interp::new();
+    let args = is.setup(&mut interp);
+    let mut rec = swpf_trace::TraceRecorder::new(1, 0);
+    interp
+        .run_with_image(
+            Arc::new(ExecImage::build(&module)),
+            func,
+            &args,
+            rec.stream(0),
+        )
+        .expect("IS kernel runs");
+    let trace = rec.finish();
+    let v1 = trace.to_bytes_v1().len() as f64;
+    let v2 = trace.to_bytes().len() as f64;
+
+    let (Some(ref_v1), Some(ref_v2)) = (
+        reference_f64(reference, reference_path, "compression", "v1_bytes"),
+        reference_f64(reference, reference_path, "compression", "v2_bytes"),
+    ) else {
+        return false;
+    };
+    let measured = v1 / v2;
+    let reference_ratio = ref_v1 / ref_v2;
+    let floor = reference_ratio / MAX_REGRESSION;
+    println!(
+        "bench_gate: compression ratio (v1 over v2 bytes, IS test trace) — measured \
+         {measured:.3}x ({v1:.0} / {v2:.0} B), reference {reference_ratio:.3}x, \
+         floor {floor:.3}x (allowance {MAX_REGRESSION}x)"
+    );
+    if measured >= floor {
+        true
+    } else {
+        eprintln!(
+            "bench_gate: the v2 envelope's compression ratio regressed more than \
+             {MAX_REGRESSION}x vs the {reference_path} reference"
+        );
+        false
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(records_path), Some(interp_ref_path)) = (args.next(), args.next()) else {
@@ -160,18 +220,32 @@ fn main() -> std::process::ExitCode {
         "engine_ns_per_iter",
     );
     if let Some(path) = trace_ref_path {
+        let trace_ref = load_json(&path);
         ok &= gate_ratio(
             &records,
             "trace",
             "replay/IS",
             "direct/IS",
             &records_path,
-            &load_json(&path),
+            &trace_ref,
             &path,
             "trace_group",
             "replay_ns_per_iter",
             "direct_ns_per_iter",
         );
+        ok &= gate_ratio(
+            &records,
+            "trace",
+            "stream_replay/IS",
+            "direct/IS",
+            &records_path,
+            &trace_ref,
+            &path,
+            "trace_group",
+            "stream_replay_ns_per_iter",
+            "direct_ns_per_iter",
+        );
+        ok &= gate_compression(&trace_ref, &path);
     }
     if ok {
         std::process::ExitCode::SUCCESS

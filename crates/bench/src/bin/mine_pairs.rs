@@ -13,16 +13,26 @@
 //! they are exactly the fusible candidates; the rest are reported but
 //! marked unfusible.
 //!
+//! With `--trace-dir` (or `SWPF_TRACE_DIR`) the miner shares the
+//! harness's persistent trace cache: fingerprint-matching kernels are
+//! streamed from disk block-at-a-time instead of re-interpreted, and
+//! fresh recordings are stored back for the next consumer.
+//!
 //! ```sh
 //! SWPF_SCALE=test cargo run --release -p swpf-bench --bin mine_pairs
 //! cargo run --release -p swpf-bench --bin mine_pairs -- --top 30 --json RESULTS/pairs.json
+//! cargo run --release -p swpf-bench --bin mine_pairs -- --trace-dir traces
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use swpf_bench::harness::{kernel_fingerprint, trace_cache_path};
 use swpf_bench::{auto_module, scale_from_env};
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::Interp;
-use swpf_trace::{count_pairs_in_trace, PairCounter, TraceRecorder};
+use swpf_trace::{
+    count_pairs_in_trace, count_pairs_streaming, PairCounter, StreamingReplay, TraceRecorder,
+};
 use swpf_workloads::{suite, KernelVariant};
 
 /// Can this pair be fused into a superinstruction? The second word of a
@@ -41,6 +51,7 @@ fn fusible(first: &str, second: &str) -> bool {
 fn main() {
     let mut top = 20usize;
     let mut json_out: Option<String> = None;
+    let mut trace_dir: Option<PathBuf> = std::env::var_os("SWPF_TRACE_DIR").map(PathBuf::from);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -51,8 +62,13 @@ fn main() {
                     .unwrap_or_else(|| panic!("--top needs a number"));
             }
             "--json" => json_out = Some(args.next().expect("--json needs a path")),
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(
+                    args.next().expect("--trace-dir needs a directory"),
+                ));
+            }
             other => {
-                eprintln!("usage: mine_pairs [--top N] [--json FILE]");
+                eprintln!("usage: mine_pairs [--top N] [--json FILE] [--trace-dir DIR]");
                 panic!("unknown argument `{other}`");
             }
         }
@@ -75,20 +91,56 @@ fn main() {
             let image = Arc::new(ExecImage::build(&module));
             let classes = image.op_class_table();
 
-            // Record the kernel into the corpus format, then read the
-            // pair statistics back out of the encoded stream.
-            let mut interp = Interp::new();
-            let args = w.setup(&mut interp);
-            let mut rec = TraceRecorder::new(1, 0);
-            interp
-                .run_with_image(Arc::clone(&image), func, &args, rec.stream(0))
-                .unwrap_or_else(|t| panic!("{}/{variant} trapped: {t}", w.name()));
-            let trace = rec.finish();
+            // Harness-compatible cache identity: same trace key (the
+            // variant's module key) and same fingerprint recipe, so the
+            // miner and the figure grids share one corpus on disk.
+            let trace_key = match variant {
+                "manual" => "manual_c64",
+                key => key,
+            };
+            let text_hash = swpf_trace::fnv64(swpf_ir::printer::print_module(&module).as_bytes());
+            let fingerprint = kernel_fingerprint(w.name(), scale, 1, text_hash);
+            let path = trace_dir
+                .as_deref()
+                .map(|d| trace_cache_path(d, scale, w.name(), trace_key));
 
-            let pairs = count_pairs_in_trace(&trace, |ev| classes.get(&ev.pc).copied())
-                .expect("freshly recorded trace decodes");
+            // Warm path: stream the cached recording block-at-a-time.
+            let cached = path
+                .as_deref()
+                .and_then(|p| match StreamingReplay::open(p) {
+                    Ok(replay) if replay.fingerprint() == fingerprint => {
+                        count_pairs_streaming(&replay, |ev| classes.get(&ev.pc).copied()).ok()
+                    }
+                    _ => None,
+                });
+            let (pairs, from) = match cached {
+                Some(pairs) => (pairs, "cache"),
+                None => {
+                    // Record the kernel into the corpus format, then
+                    // read the pair statistics back out of the encoded
+                    // stream (persisting it when a cache dir is set).
+                    let mut interp = Interp::new();
+                    let args = w.setup(&mut interp);
+                    let mut rec = TraceRecorder::new(1, fingerprint);
+                    interp
+                        .run_with_image(Arc::clone(&image), func, &args, rec.stream(0))
+                        .unwrap_or_else(|t| panic!("{}/{variant} trapped: {t}", w.name()));
+                    let trace = rec.finish();
+                    if let Some(p) = &path {
+                        if let Some(dir) = p.parent() {
+                            std::fs::create_dir_all(dir).ok();
+                        }
+                        if let Err(e) = std::fs::write(p, trace.to_bytes()) {
+                            eprintln!("warning: cannot store {}: {e}", p.display());
+                        }
+                    }
+                    let pairs = count_pairs_in_trace(&trace, |ev| classes.get(&ev.pc).copied())
+                        .expect("freshly recorded trace decodes");
+                    (pairs, "interp")
+                }
+            };
             println!(
-                "  {:<6} {variant:<8} {:>12} events",
+                "  {:<6} {variant:<8} {:>12} events  ({from})",
                 w.name(),
                 pairs.observed()
             );

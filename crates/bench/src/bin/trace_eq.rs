@@ -1,20 +1,35 @@
-//! Trace-equivalence gate for CI: run every experiment three times —
+//! Trace-equivalence gate for CI: run every experiment four times —
 //! direct simulation, a cold traced pass (fused execution, recording
-//! when `--trace-dir` is given), and a warm traced pass (replaying the
-//! just-recorded traces) — and require every counter of every core of
-//! every cell to match bit-for-bit across all three.
+//! when `--trace-dir` is given), a warm traced pass (replaying the
+//! just-recorded traces), and a warm *streaming* pass (block-at-a-time
+//! decode of the compressed files, bounded memory) — and require every
+//! counter of every core of every cell to match bit-for-bit across all
+//! of them.
 //!
 //! ```sh
 //! SWPF_SCALE=test cargo run --release -p swpf-bench --bin trace_eq -- --trace-dir traces
 //! ```
 //!
-//! With `--trace-dir` the warm pass exercises the full encode → disk →
-//! decode → replay path for every experiment (including multicore), and
-//! the recorded `.trace` files are left behind for the CI
+//! With `--trace-dir` the warm passes exercise the full encode → disk →
+//! decode → replay path for every experiment (including multicore), the
+//! corpus is gated on its compressed density (bytes per event must stay
+//! under [`MAX_BYTES_PER_EVENT`] — a broken or disabled block coder
+//! roughly triples it), and a `compression_summary.json` describing
+//! every file is written into the trace directory for the CI
 //! workflow-artifact upload.
 
+use std::path::Path;
 use swpf_bench::harness::{cli_options, run_experiment, ExperimentResult, RunOptions, TracePolicy};
 use swpf_bench::{experiments, scale_from_env};
+use swpf_trace::StreamingReplay;
+
+/// Compressed-corpus density ceiling in bytes per recorded event. The
+/// uncompressed event payload measures ~3.5 B/event on the test-scale
+/// corpus (short traces never reach the cheap steady-state deltas); the
+/// v2 block coder brings it to ~0.54 B/event. The ceiling sits between
+/// the two with margin for workload drift: crossing it means block
+/// compression stopped working, not that the corpus grew.
+const MAX_BYTES_PER_EVENT: f64 = 2.0;
 
 /// Count cells whose counters differ between the two runs, printing
 /// each divergence.
@@ -47,9 +62,91 @@ fn diverging_cells(name: &str, direct: &ExperimentResult, traced: &ExperimentRes
     diverged
 }
 
+/// Audit the recorded corpus: per-file size, event count, and density;
+/// write `compression_summary.json` next to the traces; fail when the
+/// corpus-wide density exceeds [`MAX_BYTES_PER_EVENT`].
+fn audit_corpus(dir: &Path) -> bool {
+    let mut files: Vec<(String, u64, u64)> = Vec::new(); // (name, bytes, events)
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        eprintln!("trace_eq: cannot read trace dir {}", dir.display());
+        return false;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "trace") {
+            continue;
+        }
+        let bytes = entry.metadata().map_or(0, |m| m.len());
+        match StreamingReplay::open(&path) {
+            Ok(replay) => {
+                let events: u64 = (0..replay.num_cores()).map(|c| replay.events(c)).sum();
+                let name = path
+                    .file_name()
+                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+                files.push((name, bytes, events));
+            }
+            Err(e) => {
+                eprintln!("trace_eq: corpus file {} is damaged: {e}", path.display());
+                return false;
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("trace_eq: no .trace files in {}", dir.display());
+        return false;
+    }
+    files.sort();
+
+    let total_bytes: u64 = files.iter().map(|f| f.1).sum();
+    let total_events: u64 = files.iter().map(|f| f.2).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let density = total_bytes as f64 / total_events as f64;
+
+    #[allow(clippy::cast_precision_loss)]
+    let rows: Vec<String> = files
+        .iter()
+        .map(|(name, bytes, events)| {
+            format!(
+                "    {{\"file\": \"{name}\", \"bytes\": {bytes}, \"events\": {events}, \
+                 \"bytes_per_event\": {:.4}}}",
+                *bytes as f64 / (*events).max(1) as f64
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"files\": {},\n  \"total_bytes\": {total_bytes},\n  \
+         \"total_events\": {total_events},\n  \"bytes_per_event\": {density:.4},\n  \
+         \"ceiling_bytes_per_event\": {MAX_BYTES_PER_EVENT},\n  \"traces\": [\n{}\n  ]\n}}\n",
+        files.len(),
+        rows.join(",\n")
+    );
+    let out = dir.join("compression_summary.json");
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("trace_eq: cannot write {}: {e}", out.display());
+        return false;
+    }
+
+    println!(
+        "trace_eq corpus: {} files, {total_bytes} bytes / {total_events} events = \
+         {density:.4} B/event (ceiling {MAX_BYTES_PER_EVENT}) — {}",
+        files.len(),
+        out.display()
+    );
+    if density <= MAX_BYTES_PER_EVENT {
+        true
+    } else {
+        eprintln!(
+            "trace_eq: corpus density {density:.4} B/event exceeds the {MAX_BYTES_PER_EVENT} \
+             ceiling — block compression is not working"
+        );
+        false
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let scale = scale_from_env();
     let opts = cli_options();
+    let on_disk = matches!(opts.run.trace, TracePolicy::Dir(_));
     let mut total_diverged = 0usize;
     let mut total_replayed = 0usize;
 
@@ -64,11 +161,30 @@ fn main() -> std::process::ExitCode {
         );
         let cold = run_experiment(&exp, &opts.run);
         let warm = run_experiment(&exp, &opts.run);
-        let diverged =
+        let mut diverged =
             diverging_cells(name, &direct, &cold) + diverging_cells(name, &direct, &warm);
+        let mut streamed_note = String::new();
+        if on_disk {
+            // The bounded-memory path: same files, decoded one block at
+            // a time instead of materialising the payload.
+            let streamed = run_experiment(
+                &exp,
+                &RunOptions {
+                    stream: true,
+                    ..opts.run.clone()
+                },
+            );
+            diverged += diverging_cells(name, &direct, &streamed);
+            streamed_note = format!(
+                " stream {}/{}",
+                streamed.trace_hits(),
+                streamed.trace_misses()
+            );
+            total_replayed += streamed.trace_hits();
+        }
         println!(
-            "trace_eq {name}: {} cells, cold {}/{} warm {}/{} (replayed/interpreted), \
-             {} diverged ({:.2}s direct, {:.2}s cold, {:.2}s warm)",
+            "trace_eq {name}: {} cells, cold {}/{} warm {}/{}{streamed_note} \
+             (replayed/interpreted), {} diverged ({:.2}s direct, {:.2}s cold, {:.2}s warm)",
             cold.cells.len(),
             cold.trace_hits(),
             cold.trace_misses(),
@@ -83,6 +199,11 @@ fn main() -> std::process::ExitCode {
         total_replayed += cold.trace_hits() + warm.trace_hits();
     }
 
+    let corpus_ok = match &opts.run.trace {
+        TracePolicy::Dir(dir) => audit_corpus(dir),
+        _ => true,
+    };
+
     println!(
         "\ntrace_eq: {} experiments at scale={}, {} replayed cells, {} divergences",
         experiments::ALL_NAMES.len(),
@@ -90,7 +211,7 @@ fn main() -> std::process::ExitCode {
         total_replayed,
         total_diverged,
     );
-    if total_diverged == 0 && total_replayed > 0 {
+    if total_diverged == 0 && total_replayed > 0 && corpus_ok {
         std::process::ExitCode::SUCCESS
     } else {
         eprintln!("trace_eq: FAILED (replay must cover cells and match direct simulation exactly)");

@@ -21,18 +21,40 @@ use swpf_workloads::is::Fig2Scheme;
 use swpf_workloads::{KernelVariant, Scale, WorkloadId};
 
 /// Every *grid* experiment name: the paper's figures/tables in figure
-/// order, plus the pass-pipeline `ablation` study (the declarative
-/// specs [`by_name`] resolves; what `--bin all` runs by default).
-pub const ALL_NAMES: [&str; 10] = [
-    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
+/// order, plus the pass-pipeline `ablation` study and the
+/// `trace_analytics` corpus profiler (the declarative specs
+/// [`by_name`] resolves; what `--bin all` runs by default).
+pub const ALL_NAMES: [&str; 11] = [
+    "table1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablation",
+    "trace_analytics",
 ];
 
 /// The complete experiment catalogue: the grid experiments plus the
 /// searched `tune` experiment (run by `--bin tune` through
 /// [`crate::tune::run_tune`], or by `--bin all -- --only tune`). This
 /// is what `--bin all -- --list` enumerates.
-pub const EXPERIMENTS: [&str; 11] = [
-    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "tune",
+pub const EXPERIMENTS: [&str; 12] = [
+    "table1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablation",
+    "trace_analytics",
+    "tune",
 ];
 
 /// The default manual-variant label (`c = 64`, the paper's choice).
@@ -58,6 +80,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Experiment> {
         "fig9" => Some(fig9(scale)),
         "fig10" => Some(fig10(scale)),
         "ablation" => Some(ablation(scale)),
+        "trace_analytics" => Some(trace_analytics(scale)),
         _ => None,
     }
 }
@@ -957,6 +980,203 @@ fn ablation(scale: Scale) -> Experiment {
                     format!("full-pipeline geomean {full_v:.3} vs bare {bare_v:.3}"),
                 ));
             }
+            checks
+        },
+    }
+}
+
+// ---- trace analytics -----------------------------------------------------
+
+/// The two kernel builds profiled per workload: the plain baseline and
+/// the pass-prefetched `auto` build. Labels double as harness trace
+/// keys, so the profiles stream from (and warm) the same disk cache the
+/// figure grids use.
+const ANALYTICS_VARIANTS: [&str; 2] = ["baseline", "auto"];
+
+/// Stream one kernel's cached trace — or record it functionally (one
+/// interpretation, no timing model in the loop) on a miss — and profile
+/// it. With a cache directory the fresh recording is persisted for the
+/// next consumer.
+fn workload_analytics(
+    id: WorkloadId,
+    variant: &str,
+    scale: Scale,
+    dir: Option<&std::path::Path>,
+) -> swpf_trace::TraceAnalytics {
+    use crate::harness::{kernel_fingerprint, open_streaming, store_trace, trace_cache_path};
+
+    let w = id.instantiate(scale);
+    let module = match variant {
+        "auto" => crate::auto_module(w.as_ref(), &PassConfig::default()),
+        _ => w.build_baseline(),
+    };
+    let func = module
+        .find_function("kernel")
+        .expect("workload kernels are named `kernel`");
+    let text_hash = swpf_trace::fnv64(swpf_ir::printer::print_module(&module).as_bytes());
+    let fingerprint = kernel_fingerprint(w.name(), scale, 1, text_hash);
+    let path = dir.map(|d| trace_cache_path(d, scale, w.name(), variant));
+
+    if let Some(p) = &path {
+        if let Some(replay) = open_streaming(p, fingerprint) {
+            match swpf_trace::analyze_streaming(&replay) {
+                Ok(a) => return a,
+                Err(e) => eprintln!("warning: re-recording {}: {e}", p.display()),
+            }
+        }
+    }
+
+    let image = std::sync::Arc::new(swpf_ir::exec::ExecImage::build(&module));
+    let mut interp = swpf_ir::interp::Interp::new();
+    let args = w.setup(&mut interp);
+    let mut recorder = swpf_trace::TraceRecorder::new(1, fingerprint);
+    interp
+        .run_with_image(image, func, &args, recorder.stream(0))
+        .unwrap_or_else(|t| panic!("{}/{variant} trapped: {t}", w.name()));
+    let trace = recorder.finish();
+    if let Some(p) = &path {
+        store_trace(p, &trace, None);
+    }
+    swpf_trace::analyze_trace(&trace).expect("freshly recorded trace is well-formed")
+}
+
+/// Reuse-distance percentile over the *warm* touches, reported as the
+/// upper bound of the quantile's bucket in 64 B lines (bucket 0 —
+/// distance 0, a same-line re-touch — reports 1). `0.0` when every
+/// touch was cold, so derived values stay finite.
+fn reuse_percentile(a: &swpf_trace::TraceAnalytics, q: f64) -> f64 {
+    let warm: u64 = a.reuse.buckets().iter().sum();
+    if warm == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = ((q * warm as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in a.reuse.buckets().iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+        }
+    }
+    (1u64 << (swpf_trace::REUSE_BUCKETS - 1)) as f64
+}
+
+/// Trace-derived analytics over the whole single-core kernel corpus:
+/// reuse-distance histograms, indirection-depth profiles, and
+/// MLP-over-time — computed from recorded event streams, never by
+/// re-simulating a timing model. Under `--trace-dir` the traces stream
+/// block-at-a-time from the shared cache in bounded memory.
+fn trace_analytics(scale: Scale) -> Experiment {
+    Experiment {
+        spec: ExperimentSpec {
+            name: "trace_analytics",
+            title: "Trace analytics — reuse distance, indirection depth, MLP",
+            scale,
+            machines: vec![],
+            workloads: vec![],
+            variants: vec![],
+            filter: None,
+        },
+        derive: |res| {
+            let dir = match res.trace_policy.as_str() {
+                "off" | "memory" => None,
+                p => Some(std::path::PathBuf::from(p)),
+            };
+            let mut corpus = Vec::new();
+            let mut depth = Vec::new();
+            let mut mlp = Vec::new();
+            #[allow(clippy::cast_precision_loss)]
+            for id in WorkloadId::ALL {
+                for variant in ANALYTICS_VARIANTS {
+                    let a = workload_analytics(id, variant, res.scale, dir.as_deref());
+                    let name = format!("{}/{variant}", id.name());
+                    corpus.push(Row {
+                        name: name.clone(),
+                        values: vec![
+                            a.events as f64,
+                            a.reuse.touches() as f64,
+                            a.reuse.cold() as f64,
+                            reuse_percentile(&a, 0.50),
+                            reuse_percentile(&a, 0.90),
+                        ],
+                    });
+                    let h = a.indirection.histogram();
+                    depth.push(Row {
+                        name: name.clone(),
+                        values: vec![
+                            a.indirection.loads() as f64,
+                            h[0] as f64,
+                            h[1] as f64,
+                            h[2] as f64,
+                            h[3..].iter().sum::<u64>() as f64,
+                            100.0 * a.indirection.indirect_fraction(),
+                        ],
+                    });
+                    mlp.push(Row {
+                        name,
+                        values: vec![
+                            a.mlp.windows() as f64,
+                            a.mlp.mean_independent(),
+                            100.0 * a.mlp.dependent_fraction(),
+                        ],
+                    });
+                }
+            }
+            let cols = |names: &[&str]| names.iter().map(ToString::to_string).collect();
+            vec![
+                TableSection::new(
+                    "Trace corpus — reuse distance (64 B lines)",
+                    cols(&["events", "touches", "cold", "p50_lines", "p90_lines"]),
+                    corpus,
+                ),
+                TableSection::new(
+                    "Indirection depth (dependent loads per address)",
+                    cols(&["loads", "d0", "d1", "d2", "d3plus", "indirect_pct"]),
+                    depth,
+                ),
+                TableSection::new(
+                    "Memory-level parallelism over time",
+                    cols(&["windows", "mean_indep", "dep_pct"]),
+                    mlp,
+                ),
+            ]
+        },
+        checks: |_res, derived| {
+            let corpus = find_section(derived, "reuse distance");
+            let depth = find_section(derived, "Indirection depth");
+            let mlp = find_section(derived, "parallelism");
+            let expected = 2 * WorkloadId::ALL.len();
+            let mut checks = Vec::new();
+            let complete = [&corpus, &depth, &mlp]
+                .iter()
+                .all(|s| s.is_some_and(|s| s.rows.len() == expected));
+            checks.push(Check::new(
+                "profiles_complete",
+                complete,
+                format!("{expected} kernel profiles in each section"),
+            ));
+            let nonempty =
+                corpus.is_some_and(|s| s.rows.iter().all(|r| r.values.first() > Some(&0.0)));
+            checks.push(Check::new(
+                "corpus_nonempty",
+                nonempty,
+                "every kernel trace contains events".to_string(),
+            ));
+            // IS is the paper's motivating a[b[i]] kernel: its baseline
+            // must profile as indirect even on tiny inputs.
+            let is_pct = depth.map_or(f64::NAN, |s| row_value(s, "IS/baseline", "indirect_pct"));
+            checks.push(Check::new(
+                "indirect_loads_detected",
+                is_pct > 0.0,
+                format!("IS baseline: {is_pct:.1}% of loads are indirect"),
+            ));
+            let sampled =
+                mlp.is_some_and(|s| s.rows.iter().all(|r| r.values.first() >= Some(&1.0)));
+            checks.push(Check::new(
+                "mlp_sampled",
+                sampled,
+                "every kernel yields at least one MLP window".to_string(),
+            ));
             checks
         },
     }

@@ -52,10 +52,10 @@ use swpf_ir::interp::Tier;
 use swpf_ir::FuncId;
 use swpf_sim::{
     replay_multicore, replay_on_machine, replay_on_machines, run_multicore_image,
-    run_multicore_image_traced, run_on_machine_image, run_on_machines_image, MachineConfig,
-    SimStats,
+    run_multicore_image_traced, run_on_machine_image, run_on_machines_image,
+    streaming_replay_multicore, streaming_replay_on_machines, MachineConfig, SimStats,
 };
-use swpf_trace::{fnv64, Trace, TraceRecorder};
+use swpf_trace::{fnv64, StreamingReplay, Trace, TraceRecorder};
 use swpf_workloads::{KernelVariant, Scale, Workload, WorkloadId};
 
 /// One axis value of the variant dimension: what kernel to run, and how.
@@ -423,6 +423,17 @@ pub struct RunOptions {
     pub threads: usize,
     /// Trace record/replay policy.
     pub trace: TracePolicy,
+    /// Replay persisted traces block-at-a-time through
+    /// [`StreamingReplay`] instead of materialising the payload
+    /// (`--stream-replay` / `SWPF_TRACE_STREAM`; only meaningful with
+    /// [`TracePolicy::Dir`]). Counters are bit-identical either way;
+    /// peak memory stops depending on trace length.
+    pub stream: bool,
+    /// Byte budget for the [`TracePolicy::Dir`] cache (`--trace-cap` /
+    /// `SWPF_TRACE_CAP`): after each store, the least-recently-used
+    /// trace files are evicted until the directory fits. `None`: no
+    /// bound.
+    pub trace_cap: Option<u64>,
 }
 
 impl RunOptions {
@@ -592,7 +603,7 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
             scope.spawn(|| loop {
                 let gi = next.fetch_add(1, Ordering::Relaxed);
                 let Some(group) = groups.get(gi) else { break };
-                let cells = run_group(spec, &workloads, &modules, &jobs, group, &opts.trace);
+                let cells = run_group(spec, &workloads, &modules, &jobs, group, opts);
                 let mut slots = slots.lock().expect("no panics hold the lock");
                 for (ji, cell) in cells {
                     slots[ji] = Some(cell);
@@ -623,9 +634,20 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
 /// Everything the trace fingerprint must cover: the kernel's textual
 /// IR, the workload (whose `setup` fixes the input data), the scale,
 /// and the core count. A cached trace with any of these changed is
-/// re-recorded, never silently replayed.
-fn kernel_fingerprint(workload: &str, scale: Scale, cores: usize, text_hash: u64) -> u64 {
+/// re-recorded, never silently replayed. Public so trace consumers
+/// outside the grid runner (the `trace_analytics` experiment, the
+/// `mine_pairs` miner) can share the harness's cache files.
+#[must_use]
+pub fn kernel_fingerprint(workload: &str, scale: Scale, cores: usize, text_hash: u64) -> u64 {
     fnv64(format!("{workload}|{}|{cores}|{text_hash:016x}", scale.label()).as_bytes())
+}
+
+/// The cache file a (scale, workload, trace-key) triple persists to
+/// under a [`TracePolicy::Dir`] directory — one naming scheme shared by
+/// the harness, the analytics experiment, and the pair miner.
+#[must_use]
+pub fn trace_cache_path(dir: &Path, scale: Scale, workload: &str, trace_key: &str) -> PathBuf {
+    dir.join(format!("{}_{workload}_{trace_key}.trace", scale.label()))
 }
 
 /// Run one trace group: all jobs sharing a workload and trace key.
@@ -636,8 +658,9 @@ fn run_group(
     modules: &HashMap<(usize, String), PreparedModule>,
     jobs: &[SimJob],
     group: &[usize],
-    policy: &TracePolicy,
+    opts: &RunOptions,
 ) -> Vec<(usize, CellResult)> {
+    let policy = &opts.trace;
     let mut out = Vec::with_capacity(group.len());
     if *policy == TracePolicy::Off {
         for &ji in group {
@@ -657,24 +680,48 @@ fn run_group(
         prepared.text_hash,
     );
     let cache_path = match policy {
-        TracePolicy::Dir(dir) => Some(dir.join(format!(
-            "{}_{}_{}.trace",
-            spec.scale.label(),
+        TracePolicy::Dir(dir) => Some(trace_cache_path(
+            dir,
+            spec.scale,
             w.name(),
-            variant.trace_key()
-        ))),
+            &variant.trace_key(),
+        )),
         _ => None,
     };
 
-    let cached = cache_path
-        .as_deref()
-        .and_then(|p| load_trace(p, fingerprint));
+    // Warm paths, preferred order: the bounded-memory streaming reader
+    // (when asked for), then the full in-memory decode. Either miss —
+    // no file, stale fingerprint, v1 envelope under streaming, damage —
+    // falls through to re-record.
+    let streamed = if opts.stream {
+        cache_path
+            .as_deref()
+            .and_then(|p| open_streaming(p, fingerprint))
+    } else {
+        None
+    };
+    let cached = if streamed.is_some() {
+        None
+    } else {
+        cache_path
+            .as_deref()
+            .and_then(|p| load_trace(p, fingerprint))
+    };
 
     // Multicore cells interleave their per-core streams on a schedule
     // that depends on the machine's timing, so they cannot share one
     // fused pass; the group's first cell records (with step boundaries)
     // and the rest replay the trace.
     if matches!(variant, Variant::Multicore { .. }) {
+        if let Some(replay) = &streamed {
+            for &ji in group {
+                out.push((
+                    ji,
+                    run_job_replay_streaming(spec, workloads, jobs[ji], replay),
+                ));
+            }
+            return out;
+        }
         let mut remaining = group.iter();
         let trace = match cached {
             Some(trace) => trace,
@@ -689,7 +736,7 @@ fn run_group(
                 let (cell, trace) = run_job_traced(spec, workloads, modules, jobs[ji], fingerprint);
                 out.push((ji, cell));
                 if let Some(path) = &cache_path {
-                    store_trace(path, &trace);
+                    store_trace(path, &trace, opts.trace_cap);
                 }
                 trace
             }
@@ -713,13 +760,18 @@ fn run_group(
         .collect();
     let mut recorded: Option<TraceRecorder> = None;
     let t0 = Instant::now();
-    let (stats, from_trace) = match cached {
-        Some(trace) => (
+    let (stats, from_trace) = match (&streamed, cached) {
+        (Some(replay), _) => (
+            streaming_replay_on_machines(&configs, replay)
+                .unwrap_or_else(|e| panic!("batched streaming replay failed: {e}")),
+            true,
+        ),
+        (None, Some(trace)) => (
             replay_on_machines(&configs, &trace)
                 .unwrap_or_else(|e| panic!("batched trace replay failed: {e}")),
             true,
         ),
-        None => {
+        (None, None) => {
             let mut recorder = cache_path
                 .as_ref()
                 .map(|_| TraceRecorder::new(1, fingerprint));
@@ -738,7 +790,7 @@ fn run_group(
     // is cache upkeep, not cell cost.
     let wall_each = t0.elapsed().as_secs_f64() * 1e3 / group.len() as f64;
     if let (Some(path), Some(recorder)) = (&cache_path, recorded) {
-        store_trace(path, &recorder.finish());
+        store_trace(path, &recorder.finish(), opts.trace_cap);
     }
     for (k, (&ji, s)) in group.iter().zip(stats).enumerate() {
         let job = jobs[ji];
@@ -759,12 +811,24 @@ fn run_group(
     out
 }
 
+/// Mark a cache file recently used, so size-capped eviction (see
+/// [`store_trace`]) removes cold traces first. Best-effort: an
+/// unwritable cache degrades to FIFO eviction, not an error.
+fn touch_trace(path: &Path) {
+    if let Ok(f) = std::fs::File::options().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
+}
+
 /// Load a cached trace, rejecting stale fingerprints and warning (once
 /// per file, on stderr) about undecodable ones.
 fn load_trace(path: &Path, fingerprint: u64) -> Option<Trace> {
     let bytes = std::fs::read(path).ok()?;
     match Trace::from_bytes(&bytes) {
-        Ok(trace) if trace.fingerprint == fingerprint => Some(trace),
+        Ok(trace) if trace.fingerprint == fingerprint => {
+            touch_trace(path);
+            Some(trace)
+        }
         Ok(_) => None, // kernel, workload, or scale changed: re-record
         Err(e) => {
             eprintln!("warning: ignoring trace {}: {e}", path.display());
@@ -773,9 +837,32 @@ fn load_trace(path: &Path, fingerprint: u64) -> Option<Trace> {
     }
 }
 
+/// Open a cached trace for bounded-memory streaming replay, rejecting
+/// stale fingerprints. A v1 envelope (no block structure to stream) is
+/// treated exactly like a stale fingerprint: miss, re-record, and the
+/// store upgrades the file to v2. Public within the crate so the
+/// `trace_analytics` experiment shares the cache discipline.
+pub(crate) fn open_streaming(path: &Path, fingerprint: u64) -> Option<StreamingReplay> {
+    match StreamingReplay::open(path) {
+        Ok(replay) if replay.fingerprint() == fingerprint => {
+            touch_trace(path);
+            Some(replay)
+        }
+        Ok(_) => None,
+        Err(swpf_trace::TraceError::UnsupportedVersion(_))
+        | Err(swpf_trace::TraceError::Io(std::io::ErrorKind::NotFound)) => None,
+        Err(e) => {
+            eprintln!("warning: ignoring trace {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// Persist a recorded trace; cache-write failures degrade to a warning
-/// (the run itself does not depend on the cache).
-fn store_trace(path: &Path, trace: &Trace) {
+/// (the run itself does not depend on the cache). With a byte cap, the
+/// directory is LRU-pruned afterwards — oldest-read `.trace` files go
+/// first, the file just written never does.
+pub(crate) fn store_trace(path: &Path, trace: &Trace, cap: Option<u64>) {
     let write = || -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -784,6 +871,45 @@ fn store_trace(path: &Path, trace: &Trace) {
     };
     if let Err(e) = write() {
         eprintln!("warning: cannot cache trace {}: {e}", path.display());
+        return;
+    }
+    if let (Some(cap), Some(dir)) = (cap, path.parent()) {
+        evict_lru(dir, cap, path);
+    }
+}
+
+/// Evict least-recently-used `.trace` files until the directory's trace
+/// bytes fit under `cap`. `keep` (the file just written) is exempt —
+/// the cap bounds the cache, it must not turn the current store into a
+/// no-op. Concurrent workers may race this scan; losing a file another
+/// thread was about to replay is just a cache miss, so every step is
+/// best-effort.
+fn evict_lru(dir: &Path, cap: u64, keep: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let p = e.path();
+            if p.extension().is_none_or(|x| x != "trace") || p == keep {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            Some((mtime, meta.len(), p))
+        })
+        .collect();
+    let kept = std::fs::metadata(keep).map_or(0, |m| m.len());
+    let mut total: u64 = kept + files.iter().map(|(_, len, _)| len).sum::<u64>();
+    files.sort();
+    for (_, len, p) in files {
+        if total <= cap {
+            break;
+        }
+        if std::fs::remove_file(&p).is_ok() {
+            total -= len;
+        }
     }
 }
 
@@ -866,6 +992,25 @@ fn run_job_traced(
         )
     });
     (cell, recorder.finish())
+}
+
+/// Replay a persisted trace file on this cell's machine block-at-a-time
+/// — no interpreter, no materialised payload.
+fn run_job_replay_streaming(
+    spec: &ExperimentSpec,
+    workloads: &[Box<dyn Workload>],
+    job: SimJob,
+    replay: &StreamingReplay,
+) -> CellResult {
+    let variant = &spec.variants[job.variant];
+    let machine = &spec.machines[job.machine];
+    let w = workloads[job.workload].as_ref();
+    make_cell(machine, w, variant, true, || match variant {
+        Variant::Multicore { .. } => streaming_replay_multicore(machine, replay)
+            .unwrap_or_else(|e| panic!("multicore streaming replay failed: {e}")),
+        _ => streaming_replay_on_machines(&[machine], replay)
+            .unwrap_or_else(|e| panic!("streaming replay failed: {e}")),
+    })
 }
 
 /// Replay a recorded trace on this cell's machine — no interpreter in
@@ -1212,6 +1357,10 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
         Some(dir) => TracePolicy::Dir(PathBuf::from(dir)),
         None => TracePolicy::default(),
     };
+    let mut stream = std::env::var_os("SWPF_TRACE_STREAM").is_some();
+    let mut trace_cap = std::env::var("SWPF_TRACE_CAP")
+        .ok()
+        .map(|v| parse_size(&v).expect("SWPF_TRACE_CAP must be a size like 512M"));
     let mut out_dir = PathBuf::from("RESULTS");
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -1229,16 +1378,41 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
                 ));
             }
             "--no-trace" => trace = TracePolicy::Off,
+            "--stream-replay" => stream = true,
+            "--trace-cap" => {
+                let v = args.next().expect("--trace-cap needs a size (e.g. 512M)");
+                trace_cap =
+                    Some(parse_size(&v).expect("--trace-cap must be a size like 4096, 64K, 512M"));
+            }
             other => panic!(
                 "unknown argument `{other}` \
-                 (expected --threads N | --out DIR | --trace-dir DIR | --no-trace)"
+                 (expected --threads N | --out DIR | --trace-dir DIR | --no-trace \
+                 | --stream-replay | --trace-cap BYTES)"
             ),
         }
     }
     CliOptions {
-        run: RunOptions { threads, trace },
+        run: RunOptions {
+            threads,
+            trace,
+            stream,
+            trace_cap,
+        },
         out_dir,
     }
+}
+
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024, case-insensitive): `4096`, `64K`, `512M`, `2G`.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_shl(shift)
 }
 
 /// Entry point for the per-figure binaries: run the named experiment at

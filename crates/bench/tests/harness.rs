@@ -32,6 +32,7 @@ fn experiment_grid_sizes_are_pinned() {
         ("fig9", 6),             // {1,2,4} cores × {baseline, auto}
         ("fig10", 2 * 3 * 2),    // two page policies
         ("ablation", 4 * 7 * 4), // baseline + three pass pipelines
+        ("trace_analytics", 0),  // all work happens in derive, off traces
     ];
     assert_eq!(expected.map(|(n, _)| n), ALL_NAMES);
     for (name, jobs) in expected {
@@ -254,6 +255,7 @@ fn traced_runs_match_direct_runs() {
             &RunOptions {
                 threads: 2,
                 trace: TracePolicy::Off,
+                ..RunOptions::default()
             },
         );
         let traced = run_experiment(&exp, &opts(2));
@@ -280,6 +282,7 @@ fn trace_dir_caches_across_runs() {
             &RunOptions {
                 threads: 1,
                 trace: TracePolicy::Dir(dir.clone()),
+                ..RunOptions::default()
             },
         )
     };
@@ -315,6 +318,7 @@ fn trace_dir_replays_multicore_cells() {
             &RunOptions {
                 threads: 1,
                 trace: TracePolicy::Dir(dir.clone()),
+                ..RunOptions::default()
             },
         )
     };
@@ -324,4 +328,83 @@ fn trace_dir_replays_multicore_cells() {
     assert_eq!(cold.trace_misses(), 6, "six multicore cells, six traces");
     assert_eq!(warm.trace_hits(), 6, "warm run replays all of them");
     assert_cells_identical("fig9", &cold, &warm);
+}
+
+/// Streaming replay (`--stream-replay`) from the disk cache is
+/// bit-identical to both direct simulation and whole-trace replay, for
+/// single-core (fig10) and multicore (fig9) grids alike.
+#[test]
+fn streaming_warm_runs_match_direct() {
+    for name in ["fig10", "fig9"] {
+        let dir = std::env::temp_dir().join(format!("swpf_stream_{name}_{}", std::process::id()));
+        let exp = experiments::by_name(name, Scale::Test).unwrap();
+        let run = |stream: bool| {
+            run_experiment(
+                &exp,
+                &RunOptions {
+                    threads: 1,
+                    trace: TracePolicy::Dir(dir.clone()),
+                    stream,
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let cold = run(false);
+        let warm = run(true);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(warm.trace_misses(), 0, "{name}: warm run streams from disk");
+        assert!(
+            warm.trace_hits() > 0,
+            "{name}: streamed cells count as hits"
+        );
+        assert_cells_identical(name, &cold, &warm);
+    }
+}
+
+/// `--trace-cap` keeps the trace directory within its byte budget by
+/// evicting least-recently-used files; the cache still works, it just
+/// re-records what was evicted.
+#[test]
+fn trace_cap_evicts_least_recently_used() {
+    let dir = std::env::temp_dir().join(format!("swpf_cap_{}", std::process::id()));
+    let exp = experiments::by_name("fig10", Scale::Test).unwrap();
+    let run = |cap: Option<u64>| {
+        run_experiment(
+            &exp,
+            &RunOptions {
+                threads: 1,
+                trace: TracePolicy::Dir(dir.clone()),
+                trace_cap: cap,
+                ..RunOptions::default()
+            },
+        )
+    };
+    // Uncapped cold run: all six traces on disk.
+    let cold = run(None);
+    assert_eq!(cold.trace_misses(), 6);
+    let bytes = |d: &std::path::Path| -> u64 {
+        std::fs::read_dir(d)
+            .map(|it| {
+                it.flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "trace"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+    let full = bytes(&dir);
+    assert!(full > 0);
+    // A capped cold run must end within budget (cap below the full
+    // corpus but big enough for single traces to survive): every store
+    // evicts the least-recently-used files over the line.
+    std::fs::remove_dir_all(&dir).ok();
+    let cap = full / 2;
+    let capped = run(Some(cap));
+    let after = bytes(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(capped.trace_misses(), 6, "cold capped run records all");
+    assert_cells_identical("fig10", &cold, &capped);
+    assert!(after <= cap, "directory holds {after} bytes, cap is {cap}");
+    assert!(after > 0, "cap keeps at least the newest trace");
 }

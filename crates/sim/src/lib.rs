@@ -54,12 +54,12 @@ pub mod tlb;
 pub use machine::{
     replay_on_machine, replay_on_machines, run_module_on_machines, run_on_machine,
     run_on_machine_image, run_on_machine_image_tier, run_on_machine_traced, run_on_machines_image,
-    Machine,
+    streaming_replay_on_machine, streaming_replay_on_machines, Machine,
 };
 pub use memsys::{AccessKind, MemSys, SharedMem};
 pub use multicore::{
     replay_multicore, run_multicore, run_multicore_image, run_multicore_image_tier,
-    run_multicore_image_traced,
+    run_multicore_image_traced, streaming_replay_multicore,
 };
 pub use presets::{CoreKind, MachineConfig};
 pub use stats::SimStats;

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Tier, Trap};
 use swpf_ir::{FuncId, Module};
-use swpf_trace::{FanOut, StreamEncoder, Tee, Trace, TraceError};
+use swpf_trace::{EventSource, FanOut, StreamEncoder, StreamingReplay, Tee, Trace, TraceError};
 
 /// A single simulated core with its full memory hierarchy.
 #[derive(Debug)]
@@ -152,9 +152,18 @@ impl Machine {
     /// # Errors
     /// Any [`TraceError`] in the encoded stream.
     pub fn replay(&mut self, trace: &Trace) -> Result<SimStats, TraceError> {
-        let mut cursor = trace.cursor(0)?;
+        self.replay_from(&mut trace.cursor(0)?)
+    }
+
+    /// Like [`Machine::replay`], but from any [`EventSource`] — the
+    /// generic entry the streaming (block-at-a-time, bounded-memory)
+    /// replay path shares with the in-memory cursor.
+    ///
+    /// # Errors
+    /// Any [`TraceError`] the source reports.
+    pub fn replay_from(&mut self, src: &mut impl EventSource) -> Result<SimStats, TraceError> {
         let mut obs = self.observer();
-        while let Some((ev, _)) = cursor.next_event()? {
+        while let Some((ev, _)) = src.next_event()? {
             obs.on_event(&ev);
         }
         Ok(self.stats())
@@ -375,9 +384,17 @@ pub fn replay_on_machines(
     configs: &[&MachineConfig],
     trace: &Trace,
 ) -> Result<Vec<SimStats>, TraceError> {
+    replay_on_machines_from(configs, &mut trace.cursor(0)?)
+}
+
+/// The [`EventSource`]-generic core of batched replay: one decode pass,
+/// every event fanned out to all timing models.
+fn replay_on_machines_from(
+    configs: &[&MachineConfig],
+    src: &mut impl EventSource,
+) -> Result<Vec<SimStats>, TraceError> {
     let mut machines: Vec<Machine> = configs.iter().map(|c| Machine::new((*c).clone())).collect();
-    let mut cursor = trace.cursor(0)?;
-    while let Some((ev, _)) = cursor.next_event()? {
+    while let Some((ev, _)) = src.next_event()? {
         for m in &mut machines {
             m.observer().on_event(&ev);
         }
@@ -385,10 +402,50 @@ pub fn replay_on_machines(
     Ok(machines.iter().map(Machine::stats).collect())
 }
 
+/// Replay a single-core trace **file** on `config` without ever
+/// materialising the payload: events stream block-by-block from the v2
+/// envelope (see [`StreamingReplay`]), so peak memory is bounded by the
+/// block window no matter how long the trace is. Statistics are
+/// bit-identical to [`replay_on_machine`] on the decoded trace.
+///
+/// # Errors
+/// Any [`TraceError`] in the file — envelope violations, per-block
+/// checksum mismatches, or I/O failures.
+pub fn streaming_replay_on_machine(
+    config: &MachineConfig,
+    replay: &StreamingReplay,
+) -> Result<SimStats, TraceError> {
+    Machine::new(config.clone()).replay_from(&mut replay.cursor(0)?)
+}
+
+/// Batched streaming replay: one block-at-a-time decode pass over the
+/// trace file drives every machine of a grid row (the warm-cache shape
+/// of the experiment harness, now with bounded memory — see
+/// [`replay_on_machines`] and [`StreamingReplay`]).
+///
+/// # Errors
+/// Any [`TraceError`] in the file.
+pub fn streaming_replay_on_machines(
+    configs: &[&MachineConfig],
+    replay: &StreamingReplay,
+) -> Result<Vec<SimStats>, TraceError> {
+    replay_on_machines_from(configs, &mut replay.cursor(0)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use swpf_ir::prelude::*;
+
+    /// Write `bytes` to a unique temp file, run `f` on the path, clean up.
+    fn with_temp_trace<R>(name: &str, bytes: &[u8], f: impl FnOnce(&std::path::Path) -> R) -> R {
+        let path =
+            std::env::temp_dir().join(format!("swpf_sim_{}_{name}.trace", std::process::id()));
+        std::fs::write(&path, bytes).expect("trace written");
+        let r = f(&path);
+        std::fs::remove_file(&path).ok();
+        r
+    }
 
     /// Sequential-sum kernel over `n` i64 elements.
     fn stream_kernel() -> Module {
@@ -462,7 +519,8 @@ mod tests {
             let direct = run_on_machine_image(&cfg, &image, f, setup);
             let mut rec = swpf_trace::TraceRecorder::new(1, 42);
             let traced = run_on_machine_traced(&cfg, &image, f, setup, rec.stream(0));
-            let trace = Trace::from_bytes(&rec.finish().to_bytes()).unwrap();
+            let bytes = rec.finish().to_bytes();
+            let trace = Trace::from_bytes(&bytes).unwrap();
             let replayed = replay_on_machine(&cfg, &trace);
             assert_eq!(
                 direct.counters(),
@@ -477,6 +535,18 @@ mod tests {
                 cfg.name
             );
             assert_eq!(trace.events(0), direct.insts.total);
+            // The bounded-memory path decodes the same file to the same
+            // counters, without ever materialising the payload.
+            let streamed = with_temp_trace(&format!("single_{}", cfg.name), &bytes, |path| {
+                let replay = StreamingReplay::open(path).expect("streaming open");
+                streaming_replay_on_machine(&cfg, &replay).expect("streaming replay")
+            });
+            assert_eq!(
+                direct.counters(),
+                streamed.counters(),
+                "streaming replay must be bit-identical on {}",
+                cfg.name
+            );
         }
     }
 
@@ -511,9 +581,14 @@ mod tests {
         let fanned = run_on_machines_image(&refs, &image, f, setup, Some(rec.stream(0)));
         let trace = rec.finish();
         let batched = replay_on_machines(&refs, &trace).unwrap();
-        for ((d, fo), b) in dedicated.iter().zip(&fanned).zip(&batched) {
+        let streamed = with_temp_trace("fanout", &trace.to_bytes(), |path| {
+            let replay = StreamingReplay::open(path).expect("streaming open");
+            streaming_replay_on_machines(&refs, &replay).expect("streaming replay")
+        });
+        for (((d, fo), b), s) in dedicated.iter().zip(&fanned).zip(&batched).zip(&streamed) {
             assert_eq!(d.counters(), fo.counters(), "fan-out must match dedicated");
             assert_eq!(d.counters(), b.counters(), "batched replay must match");
+            assert_eq!(d.counters(), s.counters(), "streaming replay must match");
         }
     }
 

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{ExecObserver, Interp, RtVal, Step, Tier};
 use swpf_ir::{FuncId, Module};
-use swpf_trace::{Tee, Trace, TraceError, TraceRecorder};
+use swpf_trace::{EventSource, StreamingReplay, Tee, Trace, TraceError, TraceRecorder};
 
 struct CoreSlot {
     interp: Interp,
@@ -226,25 +226,59 @@ pub fn replay_multicore(
     config: &MachineConfig,
     trace: &Trace,
 ) -> Result<Vec<SimStats>, TraceError> {
-    struct ReplaySlot<'t> {
-        cursor: swpf_trace::EventCursor<'t>,
+    let cursors = (0..trace.num_cores())
+        .map(|i| trace.cursor(i))
+        .collect::<Result<Vec<_>, _>>()?;
+    replay_multicore_from(config, cursors)
+}
+
+/// Like [`replay_multicore`], but streaming each core's events
+/// block-at-a-time straight from the v2 trace file — every core gets
+/// its own [`swpf_trace::StreamingCursor`] (own file handle), so peak
+/// memory is one block window per core regardless of trace length.
+/// Scheduling, and therefore every counter, matches [`replay_multicore`]
+/// on the decoded trace bit-for-bit.
+///
+/// # Errors
+/// Any [`TraceError`] in the file.
+pub fn streaming_replay_multicore(
+    config: &MachineConfig,
+    replay: &StreamingReplay,
+) -> Result<Vec<SimStats>, TraceError> {
+    let cursors = (0..replay.num_cores())
+        .map(|i| replay.cursor(i))
+        .collect::<Result<Vec<_>, _>>()?;
+    replay_multicore_from(config, cursors)
+}
+
+/// The [`EventSource`]-generic interleaver behind both replay flavours:
+/// smallest-local-clock-first, 64-step batches, step boundaries from
+/// the trace — exactly the direct runner's schedule.
+fn replay_multicore_from<S: EventSource>(
+    config: &MachineConfig,
+    cursors: Vec<S>,
+) -> Result<Vec<SimStats>, TraceError> {
+    struct ReplaySlot<S> {
+        cursor: S,
         core: Core,
         mem: MemSys,
         done: bool,
     }
     let mut shared = SharedMem::new(config);
-    let mut slots: Vec<ReplaySlot<'_>> = (0..trace.num_cores())
-        .map(|i| {
+    let mut slots: Vec<ReplaySlot<S>> = cursors
+        .into_iter()
+        .enumerate()
+        .map(|(i, cursor)| {
             let mut mem = MemSys::new(config);
             mem.set_address_space(i as u64);
-            Ok(ReplaySlot {
-                cursor: trace.cursor(i)?,
+            ReplaySlot {
+                cursor,
                 core: Core::new(config),
                 mem,
                 done: false,
-            })
+            }
         })
-        .collect::<Result<_, TraceError>>()?;
+        .collect();
 
     loop {
         let next = slots
@@ -387,12 +421,34 @@ mod tests {
         let direct = run_multicore_image(&cfg, 3, &image, f, setup);
         let mut rec = TraceRecorder::new(3, 0);
         let traced = run_multicore_image_traced(&cfg, 3, &image, f, setup, &mut rec);
-        let trace = Trace::from_bytes(&rec.finish().to_bytes()).unwrap();
+        let bytes = rec.finish().to_bytes();
+        let trace = Trace::from_bytes(&bytes).unwrap();
         let replayed = replay_multicore(&cfg, &trace).unwrap();
+        // The streaming path interleaves the same per-core streams
+        // block-at-a-time straight from the file.
+        let path = std::env::temp_dir().join(format!("swpf_mc_{}.trace", std::process::id()));
+        std::fs::write(&path, &bytes).expect("trace written");
+        let streamed = {
+            let replay = StreamingReplay::open(&path).expect("streaming open");
+            streaming_replay_multicore(&cfg, &replay).expect("streaming replay")
+        };
+        std::fs::remove_file(&path).ok();
         assert_eq!(replayed.len(), 3);
-        for (i, ((d, t), r)) in direct.iter().zip(&traced).zip(&replayed).enumerate() {
+        assert_eq!(streamed.len(), 3);
+        for (i, (((d, t), r), s)) in direct
+            .iter()
+            .zip(&traced)
+            .zip(&replayed)
+            .zip(&streamed)
+            .enumerate()
+        {
             assert_eq!(d.counters(), t.counters(), "recording perturbed core {i}");
             assert_eq!(d.counters(), r.counters(), "replay diverged on core {i}");
+            assert_eq!(
+                d.counters(),
+                s.counters(),
+                "streaming replay diverged on core {i}"
+            );
         }
     }
 }

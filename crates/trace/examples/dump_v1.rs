@@ -1,0 +1,14 @@
+//! Dev tool: re-encode a v2 trace file under the uncompressed v1
+//! layout (for compression-ratio calibration against external coders).
+//!
+//! ```sh
+//! cargo run --release -p swpf-trace --example dump_v1 -- in.trace out.v1
+//! ```
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (inp, out) = (args.next().expect("in"), args.next().expect("out"));
+    let bytes = std::fs::read(&inp).expect("read input trace");
+    let trace = swpf_trace::Trace::from_bytes(&bytes).expect("decode v2");
+    std::fs::write(&out, trace.to_bytes_v1()).expect("write v1");
+}

@@ -1,0 +1,18 @@
+//! Dev tool: report a trace file's size under the v1 and (current) v2
+//! encoders — for compression-ratio measurement.
+//!
+//! ```sh
+//! cargo run --release -p swpf-trace --example recompress -- file.trace...
+//! ```
+
+fn main() {
+    for path in std::env::args().skip(1) {
+        let bytes = std::fs::read(&path).expect("read trace");
+        let trace = swpf_trace::Trace::from_bytes(&bytes).expect("decode");
+        let v1 = trace.to_bytes_v1().len();
+        let v2 = trace.to_bytes().len();
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = v1 as f64 / v2 as f64;
+        println!("{path}: v1 {v1} -> v2 {v2} ({ratio:.3}x)");
+    }
+}

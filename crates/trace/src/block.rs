@@ -1,0 +1,697 @@
+//! Block-level compression for the v2 trace envelope.
+//!
+//! The varint/delta/dictionary stream (`stream`) already removes most
+//! field-level redundancy, but loop-structured kernels still emit long
+//! *byte-level* repeats: each iteration encodes the same tag/delta
+//! pattern, so the payload is highly periodic. The v2 envelope
+//! therefore chops each core's payload into fixed-size blocks
+//! ([`BLOCK_TARGET`] uncompressed bytes) and compresses each block with
+//! a small self-contained LZ77 coder — no external crates, no shared
+//! state between blocks, so a reader can decode one block at a time in
+//! bounded memory.
+//!
+//! Matching is a hash-chain search (4-byte hash heads, `prev` links,
+//! [`MAX_PROBES`] candidates, most recent first) with one-step-lazy
+//! parsing: a position defers its match while the next position finds a
+//! strictly longer one. The token sequence the matcher produces can be
+//! serialised two ways, and the writer keeps whichever is smaller:
+//!
+//! ## `METHOD_LZ` — byte-aligned token grammar
+//!
+//! A block is a sequence of (literal-run, match) pairs; the final pair
+//! may omit the match when the block ends in literals:
+//!
+//! ```text
+//! lit_len   varint         number of literal bytes that follow (may be 0)
+//! lit       lit_len bytes
+//! match_len varint         >= MIN_MATCH; absent iff the block is complete
+//! offset    varint         1 ..= bytes produced so far in THIS block
+//! ```
+//!
+//! ## `METHOD_LZH` — entropy-coded tokens
+//!
+//! The same tokens under two canonical length-limited Huffman codes
+//! (`huff`): a 318-symbol literal/length alphabet (0–255 literal byte,
+//! 256+ a match-length bucket) and a 60-symbol offset alphabet, both
+//! geometric past their direct range with the exponent's low bits sent
+//! as raw extra bits — the deflate shape, without the length caps.
+//! The wire layout is the two tables' code lengths, one nibble per
+//! symbol (189 bytes), then one MSB-first bitstream of symbols: a
+//! literal stands alone, a length symbol is followed by its extra
+//! bits, an offset symbol, and the offset's extra bits. No terminator
+//! — the decoder stops at the block's known raw length, and the final
+//! byte's padding bits must be zero.
+//!
+//! Offsets never reach outside the block, so corruption cannot
+//! propagate across block boundaries and decompression needs only the
+//! current block's output. The decoder knows the uncompressed length
+//! from the block header and stops exactly there; any mismatch —
+//! over-long runs, out-of-range offsets, trailing or nonzero-padding
+//! compressed bytes — is a [`TraceError::Corrupt`].
+//!
+//! Blocks that do not shrink are stored raw ([`METHOD_STORED`]), so
+//! pathological inputs cost at most the 21-byte block header.
+
+use crate::huff::{build_codes, code_lengths, BitReader, BitWriter, Decoder};
+use crate::wire::{get_varint, put_varint};
+use crate::TraceError;
+
+/// Uncompressed block size the default writer targets. Small enough to
+/// bound a streaming reader's window, large enough that the per-block
+/// header and the restarted LZ window cost well under 1%.
+pub const BLOCK_TARGET: usize = 64 << 10;
+
+/// Block stored raw (compression did not shrink it).
+pub(crate) const METHOD_STORED: u8 = 0;
+/// Block compressed with the byte-aligned LZ token grammar.
+pub(crate) const METHOD_LZ: u8 = 1;
+/// Block compressed with Huffman-coded LZ tokens.
+pub(crate) const METHOD_LZH: u8 = 2;
+
+/// Shortest match worth encoding: lit_len + match_len + offset cost at
+/// least 3 bytes in the byte-aligned grammar, so 4-byte matches are the
+/// break-even point.
+const MIN_MATCH: usize = 4;
+
+/// log2 of the hash head table (one u32 slot per bucket).
+const HASH_BITS: u32 = 16;
+
+/// Hash-chain candidates examined per position. Periodic streams put
+/// the best match near the chain head, so a modest budget captures
+/// almost all of the gain of an exhaustive search.
+const MAX_PROBES: usize = 48;
+
+/// Sanity ceiling on block lengths read from untrusted headers, far
+/// above anything the writer produces, so corrupt headers cannot force
+/// multi-GiB allocations before the checksum is consulted.
+pub(crate) const MAX_BLOCK: usize = 1 << 30;
+
+// ---- METHOD_LZH symbol spaces ----------------------------------------
+//
+// Match lengths are sent as (length - MIN_MATCH): 0..8 direct, then two
+// buckets per power of two with floor(log2)-1 extra bits. Offsets are
+// sent as (offset - 1): 0..4 direct, then the same geometric shape.
+// Both cover the full MAX_BLOCK range, so no length cap splits matches.
+
+/// Length symbols: 8 direct + 2 per octave for exponents 3..=29.
+const LEN_SYMS: usize = 8 + 2 * 27;
+/// Literal/length alphabet: 256 literals then length buckets.
+const LITLEN_SYMS: usize = 256 + LEN_SYMS;
+/// Offset symbols: 4 direct + 2 per octave for exponents 2..=29.
+const OFF_SYMS: usize = 4 + 2 * 28;
+/// Nibble-packed size of both code-length tables.
+const TABLE_BYTES: usize = (LITLEN_SYMS + OFF_SYMS).div_ceil(2);
+
+/// Split `v` into (symbol index, extra-bit count, extra-bit value)
+/// with `direct` un-bucketed low values, two buckets per octave after.
+#[inline]
+fn geo_sym(v: u32, direct: u32) -> (u32, u32, u32) {
+    if v < direct {
+        (v, 0, 0)
+    } else {
+        let k = 31 - v.leading_zeros();
+        let eb = k - 1;
+        let low = v - (1 << k);
+        let first_k = direct.trailing_zeros(); // direct is a power of two
+        (
+            direct + 2 * (k - first_k) + (low >> eb),
+            eb,
+            low & ((1 << eb) - 1),
+        )
+    }
+}
+
+/// Inverse of [`geo_sym`]: (base value, extra-bit count).
+#[inline]
+fn geo_base(sym: u32, direct: u32) -> (u32, u32) {
+    if sym < direct {
+        (sym, 0)
+    } else {
+        let t = sym - direct;
+        let k = direct.trailing_zeros() + t / 2;
+        let half = t & 1;
+        ((1 << k) + (half << (k - 1)), k - 1)
+    }
+}
+
+// ---- tokenizer --------------------------------------------------------
+
+/// One parsed token: `lit_len` literal bytes (starting where the
+/// previous token ended), then a match of `match_len` bytes at `dist`
+/// — except the final token of a block, which may carry `match_len ==
+/// 0` for a trailing literal run.
+#[derive(Clone, Copy)]
+struct Token {
+    lit_len: u32,
+    match_len: u32,
+    dist: u32,
+}
+
+/// Reusable compressor scratch: hash heads, chain links, the token
+/// list, and both serialisations. One instance per writer, reset per
+/// block, so a multi-block encode allocates O(1) times.
+#[derive(Default)]
+pub(crate) struct MatchScratch {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    tokens: Vec<Token>,
+    lz: Vec<u8>,
+    lzh: Vec<u8>,
+}
+
+#[inline(always)]
+fn load4(raw: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([raw[at], raw[at + 1], raw[at + 2], raw[at + 3]])
+}
+
+#[inline(always)]
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline(always)]
+fn insert(s: &mut MatchScratch, raw: &[u8], i: usize) {
+    let h = hash4(load4(raw, i));
+    s.prev[i] = s.head[h];
+    s.head[h] = i as u32;
+}
+
+/// Length of the common prefix of `raw[a..]` and `raw[i..]`, capped at
+/// `max`. `a < i`, so the u64 fast path never reads past `i + max`.
+#[inline]
+fn common_len(raw: &[u8], a: usize, i: usize, max: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= max {
+        let x = u64::from_le_bytes(raw[a + l..a + l + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(raw[i + l..i + l + 8].try_into().unwrap());
+        let d = x ^ y;
+        if d != 0 {
+            return l + (d.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max && raw[a + l] == raw[i + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Best match for position `i` among the chain candidates: longest
+/// wins, most-recent (smallest offset) breaks ties. Only matches of at
+/// least `min_len` qualify.
+fn best_match(s: &MatchScratch, raw: &[u8], i: usize, min_len: usize) -> Option<(usize, usize)> {
+    let max = raw.len() - i;
+    if max < min_len {
+        return None;
+    }
+    let here = load4(raw, i);
+    let mut cand = s.head[hash4(here)];
+    let mut best_len = min_len - 1;
+    let mut best_at = usize::MAX;
+    let mut probes = MAX_PROBES;
+    while cand != u32::MAX && probes > 0 {
+        probes -= 1;
+        let c = cand as usize;
+        // Cheap rejection: to beat `best_len` the candidate must agree
+        // at that offset (and still start with the same 4 bytes).
+        if raw.get(c + best_len) == raw.get(i + best_len) && load4(raw, c) == here {
+            let l = common_len(raw, c, i, max);
+            if l > best_len {
+                best_len = l;
+                best_at = c;
+                if l == max {
+                    break;
+                }
+            }
+        }
+        cand = s.prev[c];
+    }
+    (best_at != usize::MAX).then(|| (best_len, i - best_at))
+}
+
+/// Parse `raw` into `s.tokens` with lazy hash-chain matching.
+fn tokenize(raw: &[u8], s: &mut MatchScratch) {
+    s.tokens.clear();
+    s.head.clear();
+    s.head.resize(1 << HASH_BITS, u32::MAX);
+    s.prev.clear();
+    s.prev.resize(raw.len(), u32::MAX);
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= raw.len() {
+        let found = best_match(s, raw, i, MIN_MATCH);
+        insert(s, raw, i);
+        let Some((mut len, mut dist)) = found else {
+            i += 1;
+            continue;
+        };
+        // Lazy step: while the next position matches strictly longer,
+        // emit this byte as a literal and carry the better match.
+        while i + 1 + MIN_MATCH <= raw.len() {
+            let better = best_match(s, raw, i + 1, len + 1);
+            insert(s, raw, i + 1);
+            match better {
+                Some((l2, d2)) => {
+                    i += 1;
+                    len = l2;
+                    dist = d2;
+                }
+                None => break,
+            }
+        }
+        s.tokens.push(Token {
+            lit_len: (i - lit_start) as u32,
+            match_len: len as u32,
+            dist: dist as u32,
+        });
+        // Seed the chains across the matched bytes so the next
+        // iteration of a periodic stream finds this occurrence.
+        let end = i + len;
+        let mut j = i + 2;
+        while j < end && j + MIN_MATCH <= raw.len() {
+            insert(s, raw, j);
+            j += 1;
+        }
+        i = end;
+        lit_start = end;
+    }
+    if lit_start < raw.len() {
+        s.tokens.push(Token {
+            lit_len: (raw.len() - lit_start) as u32,
+            match_len: 0,
+            dist: 0,
+        });
+    }
+}
+
+// ---- serialisers ------------------------------------------------------
+
+/// Serialise the token list under the byte-aligned `METHOD_LZ` grammar.
+fn encode_lz(raw: &[u8], tokens: &[Token], out: &mut Vec<u8>) {
+    let mut pos = 0usize;
+    for t in tokens {
+        put_varint(out, u64::from(t.lit_len));
+        out.extend_from_slice(&raw[pos..pos + t.lit_len as usize]);
+        pos += t.lit_len as usize;
+        if t.match_len > 0 {
+            put_varint(out, u64::from(t.match_len));
+            put_varint(out, u64::from(t.dist));
+            pos += t.match_len as usize;
+        }
+    }
+}
+
+/// Serialise the token list under `METHOD_LZH`: nibble-packed code
+/// lengths for both alphabets, then the Huffman bitstream.
+fn encode_lzh(raw: &[u8], tokens: &[Token], out: &mut Vec<u8>) {
+    let mut ll_freq = vec![0u32; LITLEN_SYMS];
+    let mut off_freq = vec![0u32; OFF_SYMS];
+    let mut pos = 0usize;
+    for t in tokens {
+        for &b in &raw[pos..pos + t.lit_len as usize] {
+            ll_freq[b as usize] += 1;
+        }
+        pos += t.lit_len as usize;
+        if t.match_len > 0 {
+            let (s, _, _) = geo_sym(t.match_len - MIN_MATCH as u32, 8);
+            ll_freq[256 + s as usize] += 1;
+            let (s, _, _) = geo_sym(t.dist - 1, 4);
+            off_freq[s as usize] += 1;
+            pos += t.match_len as usize;
+        }
+    }
+
+    let ll_lens = code_lengths(&ll_freq);
+    let off_lens = code_lengths(&off_freq);
+    let mut nibbles = ll_lens.iter().chain(off_lens.iter());
+    for _ in 0..TABLE_BYTES {
+        let lo = *nibbles.next().unwrap_or(&0);
+        let hi = *nibbles.next().unwrap_or(&0);
+        out.push(lo | (hi << 4));
+    }
+
+    let ll_codes = build_codes(&ll_lens);
+    let off_codes = build_codes(&off_lens);
+    let mut w = BitWriter::new(out);
+    let mut pos = 0usize;
+    for t in tokens {
+        for &b in &raw[pos..pos + t.lit_len as usize] {
+            w.put(ll_codes[b as usize], u32::from(ll_lens[b as usize]));
+        }
+        pos += t.lit_len as usize;
+        if t.match_len > 0 {
+            let (s, eb, ev) = geo_sym(t.match_len - MIN_MATCH as u32, 8);
+            let s = 256 + s as usize;
+            w.put(ll_codes[s], u32::from(ll_lens[s]));
+            w.put(ev, eb);
+            let (s, eb, ev) = geo_sym(t.dist - 1, 4);
+            w.put(off_codes[s as usize], u32::from(off_lens[s as usize]));
+            w.put(ev, eb);
+            pos += t.match_len as usize;
+        }
+    }
+    w.finish();
+}
+
+/// Compress `raw`, returning the best of the stored/LZ/LZH encodings —
+/// `(method, bytes)`, where [`METHOD_STORED`] hands `raw` itself back.
+pub(crate) fn compress_best<'a>(raw: &'a [u8], s: &'a mut MatchScratch) -> (u8, &'a [u8]) {
+    tokenize(raw, s);
+    s.lz.clear();
+    encode_lz(raw, &s.tokens, &mut s.lz);
+    s.lzh.clear();
+    encode_lzh(raw, &s.tokens, &mut s.lzh);
+    if s.lzh.len() < s.lz.len() && s.lzh.len() < raw.len() {
+        (METHOD_LZH, &s.lzh)
+    } else if s.lz.len() < raw.len() {
+        (METHOD_LZ, &s.lz)
+    } else {
+        (METHOD_STORED, raw)
+    }
+}
+
+// ---- decoders ---------------------------------------------------------
+
+/// Copy a resolved match onto the end of `out`. Bounds are already
+/// validated: `1 <= off <= out.len() - base`.
+#[inline]
+fn copy_match(out: &mut Vec<u8>, off: usize, mlen: usize) {
+    if off >= mlen {
+        let from = out.len() - off;
+        out.extend_from_within(from..from + mlen);
+    } else {
+        // Overlapping match (run-length shape): copy byte-wise.
+        for _ in 0..mlen {
+            let b = out[out.len() - off];
+            out.push(b);
+        }
+    }
+}
+
+/// Decompress one `METHOD_LZ` block, appending exactly `raw_len` bytes
+/// to `out`. Match offsets are resolved within the block (never before
+/// `out`'s length at entry), so blocks decode independently.
+///
+/// # Errors
+/// [`TraceError::Truncated`] if `comp` ends mid-token, or
+/// [`TraceError::Corrupt`] on any structural violation.
+pub(crate) fn decompress_into(
+    comp: &[u8],
+    raw_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), TraceError> {
+    let base = out.len();
+    out.reserve(raw_len);
+    let mut pos = 0usize;
+    while out.len() - base < raw_len {
+        let lit = get_varint(comp, &mut pos)?;
+        let lit = usize::try_from(lit)
+            .ok()
+            .filter(|&l| l <= raw_len - (out.len() - base))
+            .ok_or(TraceError::Corrupt("literal run overflows block"))?;
+        let end = pos
+            .checked_add(lit)
+            .filter(|&e| e <= comp.len())
+            .ok_or(TraceError::Truncated)?;
+        out.extend_from_slice(&comp[pos..end]);
+        pos = end;
+        if out.len() - base == raw_len {
+            break;
+        }
+        let mlen = get_varint(comp, &mut pos)?;
+        let mlen = usize::try_from(mlen)
+            .ok()
+            .filter(|&m| m >= MIN_MATCH && m <= raw_len - (out.len() - base))
+            .ok_or(TraceError::Corrupt("match length invalid for block"))?;
+        let off = get_varint(comp, &mut pos)?;
+        let off = usize::try_from(off)
+            .ok()
+            .filter(|&o| o >= 1 && o <= out.len() - base)
+            .ok_or(TraceError::Corrupt("match offset outside block"))?;
+        copy_match(out, off, mlen);
+    }
+    if pos != comp.len() {
+        return Err(TraceError::Corrupt("trailing bytes in compressed block"));
+    }
+    Ok(())
+}
+
+/// Decompress one `METHOD_LZH` block, appending exactly `raw_len`
+/// bytes to `out`. Same independence and strictness guarantees as
+/// [`decompress_into`], plus the bitstream must consume its final byte
+/// with zero padding.
+///
+/// # Errors
+/// [`TraceError::Truncated`] or [`TraceError::Corrupt`] as above.
+pub(crate) fn decompress_lzh_into(
+    comp: &[u8],
+    raw_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), TraceError> {
+    let base = out.len();
+    out.reserve(raw_len);
+    let tables = comp.get(..TABLE_BYTES).ok_or(TraceError::Truncated)?;
+    let mut lens = [0u8; LITLEN_SYMS + OFF_SYMS];
+    for (i, l) in lens.iter_mut().enumerate() {
+        let b = tables[i / 2];
+        *l = if i % 2 == 0 { b & 0xf } else { b >> 4 };
+    }
+    let ll = Decoder::new(&lens[..LITLEN_SYMS])?;
+    let off = Decoder::new(&lens[LITLEN_SYMS..])?;
+    let mut r = BitReader::new(&comp[TABLE_BYTES..]);
+    while out.len() - base < raw_len {
+        let sym = u32::from(ll.read_symbol(&mut r)?);
+        if sym < 256 {
+            out.push(sym as u8);
+            continue;
+        }
+        let (b, eb) = geo_base(sym - 256, 8);
+        let mlen = MIN_MATCH + usize::try_from(b + r.get(eb)?).unwrap_or(usize::MAX);
+        if mlen > raw_len - (out.len() - base) {
+            return Err(TraceError::Corrupt("match length invalid for block"));
+        }
+        let (b, eb) = geo_base(u32::from(off.read_symbol(&mut r)?), 4);
+        let dist = 1usize + usize::try_from(b + r.get(eb)?).unwrap_or(usize::MAX);
+        if dist > out.len() - base {
+            return Err(TraceError::Corrupt("match offset outside block"));
+        }
+        copy_match(out, dist, mlen);
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trip through `compress_best`, decoding with whichever
+    /// method it picked, and also force-check the `METHOD_LZ`
+    /// serialisation of the same tokens.
+    fn round_trip(raw: &[u8]) -> Vec<u8> {
+        let mut s = MatchScratch::default();
+        let (method, comp) = compress_best(raw, &mut s);
+        let mut out = Vec::new();
+        match method {
+            METHOD_STORED => out.extend_from_slice(comp),
+            METHOD_LZ => decompress_into(comp, raw.len(), &mut out).expect("lz block decodes"),
+            METHOD_LZH => {
+                decompress_lzh_into(comp, raw.len(), &mut out).expect("lzh block decodes")
+            }
+            _ => unreachable!(),
+        }
+        let lz = s.lz.clone();
+        if lz.len() < raw.len() {
+            let mut via_lz = Vec::new();
+            decompress_into(&lz, raw.len(), &mut via_lz).expect("lz serialisation decodes");
+            assert_eq!(via_lz, raw, "METHOD_LZ disagrees with the tokens");
+        }
+        out
+    }
+
+    #[test]
+    fn empty_and_tiny_blocks_round_trip() {
+        for raw in [&b""[..], b"a", b"abc", b"abcd"] {
+            assert_eq!(round_trip(raw), raw);
+        }
+    }
+
+    #[test]
+    fn periodic_data_compresses_hard() {
+        let unit = b"\x11\x02\x00\x42\x07\x01";
+        let raw: Vec<u8> = unit.iter().cycle().take(8192).copied().collect();
+        let mut s = MatchScratch::default();
+        let (method, comp) = compress_best(&raw, &mut s);
+        assert!(
+            comp.len() * 10 < raw.len(),
+            "periodic stream must shrink >10x, got {} -> {}",
+            raw.len(),
+            comp.len()
+        );
+        let mut out = Vec::new();
+        match method {
+            METHOD_LZ => decompress_into(comp, raw.len(), &mut out).unwrap(),
+            METHOD_LZH => decompress_lzh_into(comp, raw.len(), &mut out).unwrap(),
+            _ => panic!("periodic data must compress"),
+        }
+        assert_eq!(out, raw);
+    }
+
+    #[test]
+    fn entropy_stage_beats_byte_alignment_on_skewed_literals() {
+        // Text-like data with few distinct bytes and sparse repeats:
+        // the Huffman stage must win over the byte-aligned grammar.
+        let mut x = 7u64;
+        let raw: Vec<u8> = (0..16384)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b"aaaabbcd"[(x >> 61) as usize]
+            })
+            .collect();
+        let mut s = MatchScratch::default();
+        let (method, comp) = compress_best(&raw, &mut s);
+        assert_eq!(method, METHOD_LZH);
+        let mut out = Vec::new();
+        decompress_lzh_into(comp, raw.len(), &mut out).unwrap();
+        assert_eq!(out, raw);
+    }
+
+    #[test]
+    fn overlapping_matches_round_trip() {
+        // Long single-byte run: match offset 1, length >> offset.
+        let raw = vec![0xabu8; 1000];
+        assert_eq!(round_trip(&raw), raw);
+        // Period-2 and period-3 runs after a literal prefix.
+        let mut raw = b"xy".repeat(300);
+        raw.extend(b"abc".repeat(200));
+        assert_eq!(round_trip(&raw), raw);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // Deterministic pseudo-random bytes: no 4-byte repeats to speak
+        // of, so mostly literals.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let raw: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        assert_eq!(round_trip(&raw), raw);
+    }
+
+    #[test]
+    fn blocks_decode_independently_of_prior_output() {
+        let raw: Vec<u8> = b"the quick brown fox ".repeat(16);
+        let mut s = MatchScratch::default();
+        let (method, comp) = compress_best(&raw, &mut s);
+        // Appending after unrelated bytes must not let matches reach
+        // back into them.
+        let mut out = vec![0xff; 17];
+        match method {
+            METHOD_LZ => decompress_into(comp, raw.len(), &mut out).unwrap(),
+            METHOD_LZH => decompress_lzh_into(comp, raw.len(), &mut out).unwrap(),
+            _ => panic!("repetitive data must compress"),
+        }
+        assert_eq!(&out[17..], &raw[..]);
+    }
+
+    #[test]
+    fn geo_buckets_are_exact_inverses() {
+        for direct in [4u32, 8] {
+            for v in (0..5000).chain([1 << 20, (1 << 29) - 1, 1 << 29, (1 << 30) - 4]) {
+                let (sym, eb, ev) = geo_sym(v, direct);
+                let (base, eb2) = geo_base(sym, direct);
+                assert_eq!(eb, eb2, "extra-bit width mismatch at v={v}");
+                assert_eq!(base + ev, v, "bucket round-trip failed at v={v}");
+                assert!(ev < (1 << eb) || eb == 0);
+            }
+        }
+    }
+
+    /// The block decoders' damage contract: truncation is structurally
+    /// detected, a decode that claims success produced exactly the
+    /// length it promised, and no input panics. A flipped bit may
+    /// legally decode — either to *different* raw bytes (the
+    /// envelope's per-block checksum over the raw bytes rejects the
+    /// block) or, for offset-equivalent encodings of periodic data, to
+    /// the *identical* bytes (no corruption in effect). What can never
+    /// happen is wrong bytes sneaking past the checksum.
+    fn corruption_is_caught(raw: &[u8], comp: &[u8], decode_lzh: bool) {
+        let decode = |comp: &[u8], raw_len: usize, out: &mut Vec<u8>| {
+            if decode_lzh {
+                decompress_lzh_into(comp, raw_len, out)
+            } else {
+                decompress_into(comp, raw_len, out)
+            }
+        };
+        // Truncation anywhere.
+        for cut in 0..comp.len() {
+            let mut out = Vec::new();
+            assert!(
+                decode(&comp[..cut], raw.len(), &mut out).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+        // A mis-stated raw_len either errors or yields that stated
+        // length — which the envelope checksum then rejects. (The
+        // byte-aligned grammar always errors; the bitstream can decode
+        // trailing zero padding as the first canonical code, so it may
+        // "succeed" at the wrong length.)
+        for wrong in [raw.len() - 1, raw.len() + 1] {
+            let mut out = Vec::new();
+            if decode(comp, wrong, &mut out).is_ok() {
+                assert_eq!(out.len(), wrong);
+                assert_ne!(out, raw);
+            }
+            if !decode_lzh {
+                let mut out = Vec::new();
+                assert!(
+                    decode(comp, wrong, &mut out).is_err(),
+                    "LZ grammar must reject raw_len {wrong} structurally"
+                );
+            }
+        }
+        // Every single-bit corruption: no panic, and a "successful"
+        // decode honoured the length contract; the checksum disposes
+        // of changed bytes, and identical bytes mean the flip hit an
+        // encoding-equivalent representation.
+        for at in 0..comp.len() {
+            for bit in 0..8 {
+                let mut bad = comp.to_vec();
+                bad[at] ^= 1u8 << bit;
+                let mut out = Vec::new();
+                if decode(&bad, raw.len(), &mut out).is_ok() {
+                    assert_eq!(out.len(), raw.len(), "flip at {at}.{bit} broke the length");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_lz_blocks_are_rejected_not_panicked() {
+        let raw = b"abcdabcdabcdabcd____abcdabcdabcd".to_vec();
+        let mut s = MatchScratch::default();
+        compress_best(&raw, &mut s);
+        let comp = s.lz.clone();
+        assert!(comp.len() < raw.len());
+        corruption_is_caught(&raw, &comp, false);
+    }
+
+    #[test]
+    fn corrupt_lzh_blocks_are_rejected_not_panicked() {
+        let raw: Vec<u8> = b"abcdabcdabcdabcd____abcdabcdabcd"
+            .iter()
+            .cycle()
+            .take(256)
+            .copied()
+            .collect();
+        let mut s = MatchScratch::default();
+        compress_best(&raw, &mut s);
+        let comp = s.lzh.clone();
+        assert!(comp.len() > TABLE_BYTES);
+        corruption_is_caught(&raw, &comp, true);
+    }
+}

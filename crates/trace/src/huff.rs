@@ -1,0 +1,469 @@
+//! Bit-level I/O and canonical, length-limited Huffman coding — the
+//! entropy stage of [`METHOD_LZH`](crate::block) blocks.
+//!
+//! Codes are canonical (assigned in (length, symbol) order) and capped
+//! at [`MAX_CODE_LEN`] bits, so a table is fully described by one code
+//! length per symbol — 4 bits each on the wire. The decoder walks the
+//! canonical first-code/count arrays bit by bit; no lookup tables are
+//! materialised, which keeps the per-block scratch of a streaming
+//! reader small.
+//!
+//! Strictness: the writer pads the final byte with zero bits and the
+//! reader's [`BitReader::finish`] verifies both that no whole byte is
+//! left unread and that the padding bits are zero — so every bit of a
+//! compressed block is either consumed meaningfully or
+//! verified-as-padding, and a single-bit flip anywhere is never
+//! silently ignored (content damage is additionally caught by the
+//! envelope's per-block checksum over the raw bytes).
+
+use crate::TraceError;
+
+/// Longest admitted code. 15 bits keeps lengths in one nibble on the
+/// wire and bounds the decoder's walk.
+pub(crate) const MAX_CODE_LEN: usize = 15;
+
+/// MSB-first bit writer appending to a byte vector.
+pub(crate) struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    acc: u64,
+    n: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    pub(crate) fn new(out: &'a mut Vec<u8>) -> Self {
+        Self { out, acc: 0, n: 0 }
+    }
+
+    /// Append the low `len` bits of `bits`, most significant first.
+    #[inline]
+    pub(crate) fn put(&mut self, bits: u32, len: u32) {
+        debug_assert!(len <= 32);
+        debug_assert!(len == 32 || u64::from(bits) < (1u64 << len));
+        self.acc = (self.acc << len) | u64::from(bits);
+        self.n += len;
+        while self.n >= 8 {
+            self.n -= 8;
+            self.out.push((self.acc >> self.n) as u8);
+        }
+    }
+
+    /// Flush, padding the final byte with zero bits.
+    pub(crate) fn finish(self) {
+        if self.n > 0 {
+            self.out.push(((self.acc << (8 - self.n)) & 0xff) as u8);
+        }
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+pub(crate) struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    n: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            n: 0,
+        }
+    }
+
+    /// Read `len` bits (MSB first).
+    ///
+    /// # Errors
+    /// [`TraceError::Truncated`] past the end of the slice.
+    #[inline]
+    pub(crate) fn get(&mut self, len: u32) -> Result<u32, TraceError> {
+        debug_assert!(len <= 28);
+        if len == 0 {
+            return Ok(0);
+        }
+        while self.n < len {
+            let b = *self.data.get(self.pos).ok_or(TraceError::Truncated)?;
+            self.pos += 1;
+            self.acc = (self.acc << 8) | u64::from(b);
+            self.n += 8;
+        }
+        self.n -= len;
+        Ok(((self.acc >> self.n) & ((1u64 << len) - 1)) as u32)
+    }
+
+    /// Verify the stream is fully consumed: no whole byte unread, and
+    /// the final byte's padding bits are zero.
+    ///
+    /// # Errors
+    /// [`TraceError::Corrupt`] otherwise.
+    pub(crate) fn finish(self) -> Result<(), TraceError> {
+        // After any `get`, at most 7 bits stay buffered, so one byte of
+        // slack at most — and its leftover bits must be the writer's
+        // zero padding.
+        if self.pos != self.data.len() {
+            return Err(TraceError::Corrupt("trailing bytes in compressed block"));
+        }
+        if self.acc & ((1u64 << self.n) - 1) != 0 {
+            return Err(TraceError::Corrupt("nonzero padding in compressed block"));
+        }
+        Ok(())
+    }
+}
+
+/// Compute length-limited canonical code lengths (0 = symbol unused)
+/// from frequencies: ordinary Huffman depths, clamped to
+/// [`MAX_CODE_LEN`] and re-balanced until the Kraft sum is *exactly*
+/// complete. Completeness is load-bearing, not cosmetic: the decoder
+/// rejects non-empty tables whose Kraft sum is not exactly
+/// `2^MAX_CODE_LEN`, which is what lets a single corrupted table
+/// nibble — even one belonging to an unused symbol — always be
+/// detected. A single-symbol alphabet is completed with a
+/// never-emitted sibling code.
+pub(crate) fn code_lengths(freq: &[u32]) -> Vec<u8> {
+    let mut lens = vec![0u8; freq.len()];
+    let used: Vec<usize> = (0..freq.len()).filter(|&i| freq[i] > 0).collect();
+    match used.len() {
+        0 => return lens,
+        1 => {
+            let sym = used[0];
+            lens[sym] = 1;
+            lens[usize::from(sym == 0)] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Two-queue Huffman over leaves sorted by frequency: O(n log n) in
+    // the sort, O(n) in the merge. `nodes` holds (weight, parent).
+    let mut order = used.clone();
+    order.sort_by_key(|&i| (freq[i], i));
+    let mut nodes: Vec<(u64, usize)> = order
+        .iter()
+        .map(|&i| (u64::from(freq[i]), usize::MAX))
+        .collect();
+    let n_leaves = nodes.len();
+    let mut leaf = 0usize; // next unmerged leaf
+    let mut inner = n_leaves; // next unmerged internal node
+    while nodes.len() < 2 * n_leaves - 1 {
+        let take = |nodes: &mut Vec<(u64, usize)>, leaf: &mut usize, inner: &mut usize| {
+            let pick_leaf =
+                *leaf < n_leaves && (*inner >= nodes.len() || nodes[*leaf].0 <= nodes[*inner].0);
+            let idx = if pick_leaf { *leaf } else { *inner };
+            if pick_leaf {
+                *leaf += 1;
+            } else {
+                *inner += 1;
+            }
+            idx
+        };
+        let a = take(&mut nodes, &mut leaf, &mut inner);
+        let b = take(&mut nodes, &mut leaf, &mut inner);
+        let w = nodes[a].0 + nodes[b].0;
+        let parent = nodes.len();
+        nodes[a].1 = parent;
+        nodes[b].1 = parent;
+        nodes.push((w, usize::MAX));
+    }
+
+    // Depths by walking parent chains root-down (parents always have
+    // higher indices, so a reverse sweep suffices).
+    let mut depth = vec![0u32; nodes.len()];
+    for i in (0..nodes.len() - 1).rev() {
+        depth[i] = depth[nodes[i].1] + 1;
+    }
+    for (slot, &sym) in order.iter().enumerate() {
+        lens[sym] = depth[slot].min(MAX_CODE_LEN as u32) as u8;
+    }
+
+    // Kraft fix-up after clamping, in units of 2^-MAX_CODE_LEN: first
+    // deepen until the sum fits, then promote max-length codes one
+    // unit at a time until it is exactly complete. An unclamped
+    // Huffman tree is complete already, so both loops are no-ops in
+    // the common case.
+    let capacity = 1u64 << MAX_CODE_LEN;
+    let kraft = |lens: &[u8]| -> u64 {
+        used.iter()
+            .map(|&i| 1u64 << (MAX_CODE_LEN - lens[i] as usize))
+            .sum()
+    };
+    let mut k = kraft(&lens);
+    while k > capacity {
+        // Deepen the deepest symbol shorter than the cap. One always
+        // exists: an alphabet pinned entirely at the cap would need
+        // more than 2^MAX_CODE_LEN symbols to over-subscribe.
+        let &sym = used
+            .iter()
+            .filter(|&&i| (lens[i] as usize) < MAX_CODE_LEN)
+            .max_by_key(|&&i| lens[i])
+            .expect("cap-pinned alphabet cannot over-subscribe");
+        k -= 1u64 << (MAX_CODE_LEN - 1 - lens[sym] as usize);
+        lens[sym] += 1;
+    }
+    while k < capacity {
+        // Promote (shorten) the deepest symbol whose gain still fits.
+        let Some(&sym) = used
+            .iter()
+            .filter(|&&i| {
+                lens[i] > 1
+                    && (1u64 << (MAX_CODE_LEN + 1 - lens[i] as usize))
+                        - (1u64 << (MAX_CODE_LEN - lens[i] as usize))
+                        <= capacity - k
+            })
+            .max_by_key(|&&i| lens[i])
+        else {
+            // No exact promotion sequence from here: fall back to the
+            // trivially complete near-flat code (k at L-1 bits, the
+            // rest at L). Suboptimal by a few bytes, never invalid.
+            let n = used.len() as u32;
+            let bits = 32 - (n - 1).leading_zeros(); // ceil(log2 n), n >= 2
+            let short = (1u64 << bits) as usize - used.len();
+            let mut by_freq = used.clone();
+            by_freq.sort_by_key(|&i| (std::cmp::Reverse(freq[i]), i));
+            for (slot, &sym) in by_freq.iter().enumerate() {
+                lens[sym] = (bits - u32::from(slot < short)) as u8;
+            }
+            return lens;
+        };
+        k += 1u64 << (MAX_CODE_LEN - lens[sym] as usize);
+        lens[sym] -= 1;
+    }
+    debug_assert_eq!(kraft(&lens), capacity);
+    lens
+}
+
+/// Canonical codes for writing: `code[sym]` is valid for `lens[sym]`
+/// bits (MSB first), assigned in (length, symbol) order.
+pub(crate) fn build_codes(lens: &[u8]) -> Vec<u32> {
+    let mut bl_count = [0u32; MAX_CODE_LEN + 1];
+    for &l in lens {
+        bl_count[l as usize] += 1;
+    }
+    let mut next = [0u32; MAX_CODE_LEN + 1];
+    let mut code = 0u32;
+    for bits in 1..=MAX_CODE_LEN {
+        next[bits] = code;
+        code = (code + bl_count[bits]) << 1;
+    }
+    let mut codes = vec![0u32; lens.len()];
+    for (sym, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next[l as usize];
+            next[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Canonical decoder: per-length first-code/count arrays plus the
+/// symbol list in canonical order.
+pub(crate) struct Decoder {
+    count: [u32; MAX_CODE_LEN + 1],
+    first: [u32; MAX_CODE_LEN + 1],
+    offset: [u32; MAX_CODE_LEN + 1],
+    syms: Vec<u16>,
+}
+
+impl Decoder {
+    /// Build from per-symbol code lengths. The table must be either
+    /// empty (every length zero — an alphabet the block never uses) or
+    /// *exactly* complete in the Kraft sense, which the encoder
+    /// guarantees. Exactness is what makes any single corrupted table
+    /// nibble detectable: a change to any length, used symbol or not,
+    /// breaks the sum.
+    ///
+    /// # Errors
+    /// [`TraceError::Corrupt`] on an over-subscribed or non-empty
+    /// incomplete table.
+    pub(crate) fn new(lens: &[u8]) -> Result<Self, TraceError> {
+        let mut count = [0u32; MAX_CODE_LEN + 1];
+        for &l in lens {
+            if l as usize > MAX_CODE_LEN {
+                return Err(TraceError::Corrupt("huffman code length out of range"));
+            }
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+        let kraft: u64 = count
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(bits, &c)| u64::from(c) << (MAX_CODE_LEN - bits))
+            .sum();
+        if kraft != 0 && kraft != 1u64 << MAX_CODE_LEN {
+            return Err(TraceError::Corrupt("huffman table is not exactly complete"));
+        }
+        let mut first = [0u32; MAX_CODE_LEN + 1];
+        let mut offset = [0u32; MAX_CODE_LEN + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for bits in 1..=MAX_CODE_LEN {
+            first[bits] = code;
+            offset[bits] = index;
+            code = (code + count[bits]) << 1;
+            index += count[bits];
+        }
+        let mut syms = vec![0u16; index as usize];
+        let mut next = offset;
+        for (sym, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                syms[next[l as usize] as usize] = sym as u16;
+                next[l as usize] += 1;
+            }
+        }
+        Ok(Self {
+            count,
+            first,
+            offset,
+            syms,
+        })
+    }
+
+    /// Decode one symbol.
+    ///
+    /// # Errors
+    /// [`TraceError::Corrupt`] on a bit pattern no code covers,
+    /// [`TraceError::Truncated`] past the end of input.
+    #[inline]
+    pub(crate) fn read_symbol(&self, r: &mut BitReader) -> Result<u16, TraceError> {
+        let mut code = 0u32;
+        for bits in 1..=MAX_CODE_LEN {
+            code = (code << 1) | r.get(1)?;
+            let c = self.count[bits];
+            if c != 0 && code.wrapping_sub(self.first[bits]) < c {
+                let at = self.offset[bits] + (code - self.first[bits]);
+                return Ok(self.syms[at as usize]);
+            }
+        }
+        Err(TraceError::Corrupt("invalid huffman code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_symbols(freq: &[u32], stream: &[u16]) {
+        let lens = code_lengths(freq);
+        let codes = build_codes(&lens);
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
+        for &s in stream {
+            assert!(lens[s as usize] > 0, "symbol {s} must have a code");
+            w.put(codes[s as usize], u32::from(lens[s as usize]));
+        }
+        w.finish();
+        let dec = Decoder::new(&lens).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.read_symbol(&mut r).unwrap(), s);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bit_io_round_trips() {
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
+        let vals = [(0b1, 1), (0b1011, 4), (0x3fff, 14), (0, 3), (0xabcdef, 28)];
+        for (v, l) in vals {
+            w.put(v, l);
+        }
+        w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, l) in vals {
+            assert_eq!(r.get(l).unwrap(), v);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nonzero_padding_is_rejected() {
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
+        w.put(0b101, 3);
+        w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3).unwrap(), 0b101);
+        r.finish().unwrap();
+        // Same stream with a flipped padding bit must not verify.
+        let mut bad = Vec::new();
+        let mut w = BitWriter::new(&mut bad);
+        w.put(0b101, 3);
+        w.finish();
+        bad[0] ^= 1;
+        let mut r = BitReader::new(&bad);
+        assert_eq!(r.get(3).unwrap(), 0b101);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn skewed_and_uniform_alphabets_round_trip() {
+        // Heavily skewed: symbol 0 dominates.
+        let mut freq = vec![0u32; 300];
+        freq[0] = 1_000_000;
+        freq[1] = 3;
+        freq[7] = 1;
+        freq[299] = 40;
+        let lens = code_lengths(&freq);
+        assert!(lens[0] >= 1 && lens[0] <= 2, "dominant symbol stays short");
+        round_trip_symbols(&freq, &[0, 0, 1, 299, 0, 7, 299, 0]);
+
+        // Uniform 256-symbol alphabet: all codes length 8.
+        let freq = vec![1u32; 256];
+        let lens = code_lengths(&freq);
+        assert!(lens.iter().all(|&l| l == 8));
+        let stream: Vec<u16> = (0..256).collect();
+        round_trip_symbols(&freq, &stream);
+    }
+
+    #[test]
+    fn single_symbol_alphabet_is_completed_with_a_sibling() {
+        let mut freq = vec![0u32; 64];
+        freq[17] = 9;
+        let lens = code_lengths(&freq);
+        assert_eq!(lens[17], 1);
+        assert_eq!(lens[0], 1, "never-emitted sibling completes the code");
+        round_trip_symbols(&freq, &[17, 17, 17]);
+    }
+
+    #[test]
+    fn deep_trees_are_length_limited() {
+        // Fibonacci-ish frequencies force maximal Huffman depth; the
+        // limiter must cap every code at MAX_CODE_LEN with a valid
+        // Kraft sum.
+        let mut freq = vec![0u32; 40];
+        let (mut a, mut b) = (1u32, 1u32);
+        for f in freq.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freq);
+        assert!(lens.iter().all(|&l| (l as usize) <= MAX_CODE_LEN));
+        let kraft: u64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l as usize))
+            .sum();
+        assert_eq!(kraft, 1 << MAX_CODE_LEN, "limited code must stay complete");
+        Decoder::new(&lens).unwrap();
+        let stream: Vec<u16> = (0..40).collect();
+        round_trip_symbols(&freq, &stream);
+    }
+
+    #[test]
+    fn invalid_tables_are_rejected() {
+        // Three codes of length 1 over-subscribe.
+        assert!(Decoder::new(&[1u8, 1, 1]).is_err());
+        // A lone length-2 code is incomplete.
+        assert!(Decoder::new(&[0u8, 2, 0]).is_err());
+        // A single length-1 code is incomplete too (the encoder always
+        // pairs it with a sibling).
+        assert!(Decoder::new(&[1u8, 0, 0]).is_err());
+        // Empty tables are fine (an alphabet the block never uses).
+        assert!(Decoder::new(&[0u8, 0, 0]).is_ok());
+    }
+}

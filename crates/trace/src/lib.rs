@@ -10,15 +10,19 @@
 //! `swpf-sim`) with no interpreter in the loop.
 //!
 //! The format is a compact owned binary (see `stream` for the event
-//! grammar and DESIGN.md §6 for the full layout):
+//! grammar, `block` for the v2 block compression, and DESIGN.md §6 for
+//! the full layout):
 //!
 //! * a versioned header with a kernel **fingerprint** so stale cached
 //!   traces are detected, not silently replayed;
 //! * one varint + delta-encoded **event section per core**, so multicore
 //!   grids (Fig. 9) record each core's stream and replay preserves the
-//!   direct runner's step-granular interleaving;
-//! * a checksummed **footer** (word-at-a-time FNV-1a per payload,
-//!   combined across cores) rejecting torn or corrupted files.
+//!   direct runner's step-granular interleaving — in v2, each section is
+//!   chopped into fixed-size **LZ-compressed blocks**, each carrying its
+//!   own length and checksum, so [`StreamingReplay`] can decode one
+//!   block at a time in bounded memory;
+//! * a checksummed **footer** (FNV-1a, folded over the header fields and
+//!   every block checksum) rejecting torn or corrupted files.
 //!
 //! Recording composes with timing: [`StreamEncoder`] is itself an
 //! [`ExecObserver`], and [`Tee`] fans one event out to two observers, so
@@ -32,11 +36,20 @@
 //! job (all nine experiments).
 
 pub mod analytics;
+mod block;
+mod huff;
 mod stream;
+mod streaming;
 mod wire;
 
-pub use analytics::{count_pairs_in_trace, PairCounter};
-pub use stream::{EventCursor, StreamEncoder};
+pub use analytics::{
+    analyze_streaming, analyze_trace, count_pairs_in_trace, count_pairs_streaming,
+    IndirectionProfile, MlpProfile, PairCounter, ReuseHistogram, TraceAnalytics, MAX_INDIRECTION,
+    REUSE_BUCKETS,
+};
+pub use block::BLOCK_TARGET;
+pub use stream::{EventCursor, EventSource, StreamEncoder};
+pub use streaming::{StreamingCursor, StreamingReplay};
 pub use wire::{fnv64, Fnv64};
 
 use std::fmt;
@@ -48,7 +61,14 @@ const MAGIC: &[u8; 8] = b"SWPFTRCE";
 /// Trailing file magic.
 const END_MAGIC: &[u8; 8] = b"SWPFEND.";
 /// Current format version. Bump on any grammar or envelope change.
-pub const FORMAT_VERSION: u32 = 1;
+/// v1: raw per-core payloads. v2: block-compressed per-core payloads
+/// (readable by [`StreamingReplay`] in bounded memory). This build
+/// writes v2 and reads both.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The last raw-payload format version; still decoded by
+/// [`Trace::from_bytes`] so existing cache files replay unchanged.
+pub const FORMAT_VERSION_V1: u32 = 1;
 
 /// Why a trace could not be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +90,9 @@ pub enum TraceError {
     Corrupt(&'static str),
     /// A replay asked for a core the trace does not contain.
     MissingCore(usize),
+    /// A filesystem failure while streaming a trace file (the kind
+    /// keeps the error `Copy`; the path is known to the caller).
+    Io(std::io::ErrorKind),
 }
 
 impl fmt::Display for TraceError {
@@ -80,7 +103,7 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported trace version {v} (this build speaks {FORMAT_VERSION})"
+                    "unsupported trace version {v} (this build speaks {FORMAT_VERSION_V1}-{FORMAT_VERSION})"
                 )
             }
             TraceError::ChecksumMismatch { stored, computed } => write!(
@@ -89,6 +112,7 @@ impl fmt::Display for TraceError {
             ),
             TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
             TraceError::MissingCore(i) => write!(f, "trace has no stream for core {i}"),
+            TraceError::Io(kind) => write!(f, "trace file i/o error: {kind}"),
         }
     }
 }
@@ -145,13 +169,72 @@ impl Trace {
         Ok(EventCursor::new(&ct.payload, ct.events))
     }
 
-    /// Serialise to the versioned on-disk envelope.
+    /// Serialise to the current (v2, block-compressed) on-disk
+    /// envelope, with the default block size [`BLOCK_TARGET`].
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with_block_size(BLOCK_TARGET)
+    }
+
+    /// Serialise to the v2 envelope with an explicit uncompressed block
+    /// size. Exposed so tests (and size/ratio experiments) can force
+    /// block-boundary straddles with tiny blocks; production callers
+    /// use [`Trace::to_bytes`].
+    ///
+    /// # Panics
+    /// If `block_size` is zero or exceeds `u32` range.
+    #[must_use]
+    pub fn to_bytes_with_block_size(&self, block_size: usize) -> Vec<u8> {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(u32::try_from(block_size).is_ok(), "block size fits u32");
+        let mut out = Vec::with_capacity(self.payload_bytes() / 2 + 64);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, self.fingerprint);
+        put_u32(&mut out, self.cores.len() as u32);
+        let mut sum = CHECKSUM_SEED;
+        sum = checksum_combine(sum, self.fingerprint);
+        sum = checksum_combine(sum, self.cores.len() as u64);
+        let mut scratch = block::MatchScratch::default();
+        for c in &self.cores {
+            let n_blocks = c.payload.len().div_ceil(block_size);
+            put_u64(&mut out, c.events);
+            put_u32(&mut out, n_blocks as u32);
+            sum = checksum_combine(sum, c.events);
+            sum = checksum_combine(sum, n_blocks as u64);
+            // The block-section byte length is only known after
+            // compression: reserve the field and patch it.
+            let comp_total_at = out.len();
+            put_u64(&mut out, 0);
+            let section_start = out.len();
+            for chunk in c.payload.chunks(block_size) {
+                let block_sum = checksum64(chunk);
+                let (method, data) = block::compress_best(chunk, &mut scratch);
+                put_u32(&mut out, chunk.len() as u32);
+                put_u32(&mut out, data.len() as u32);
+                out.push(method);
+                put_u64(&mut out, block_sum);
+                out.extend_from_slice(data);
+                sum = checksum_combine(sum, block_sum);
+            }
+            let comp_total = (out.len() - section_start) as u64;
+            out[comp_total_at..comp_total_at + 8].copy_from_slice(&comp_total.to_le_bytes());
+        }
+        put_u64(&mut out, sum);
+        out.extend_from_slice(END_MAGIC);
+        out
+    }
+
+    /// Serialise to the legacy v1 envelope (raw, uncompressed
+    /// payloads). Kept public so compatibility tests — and any tool
+    /// that needs to measure the uncompressed baseline — can still
+    /// produce v1 files; [`Trace::from_bytes`] reads them forever.
+    #[must_use]
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let payload: usize = self.payload_bytes();
         let mut out = Vec::with_capacity(payload + 64 + 24 * self.cores.len());
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, FORMAT_VERSION_V1);
         put_u64(&mut out, self.fingerprint);
         put_u32(&mut out, self.cores.len() as u32);
         let mut sum = CHECKSUM_SEED;
@@ -166,7 +249,9 @@ impl Trace {
         out
     }
 
-    /// Decode an envelope, verifying magic, version, and checksum.
+    /// Decode an envelope (v1 or v2), verifying magic, version, and
+    /// every checksum — in v2, each block's checksum over its
+    /// uncompressed bytes plus the footer fold over the header fields.
     ///
     /// # Errors
     /// Any [`TraceError`] the envelope violates. Event payloads are
@@ -181,25 +266,85 @@ impl Trace {
         }
         pos += MAGIC.len();
         let version = get_u32(bytes, &mut pos)?;
-        if version != FORMAT_VERSION {
-            return Err(TraceError::UnsupportedVersion(version));
-        }
         let fingerprint = get_u64(bytes, &mut pos)?;
         let n_cores = get_u32(bytes, &mut pos)? as usize;
         let mut cores = Vec::with_capacity(n_cores.min(1 << 10));
         let mut sum = CHECKSUM_SEED;
-        for _ in 0..n_cores {
-            let events = get_u64(bytes, &mut pos)?;
-            let len = get_u64(bytes, &mut pos)?;
-            let len = usize::try_from(len).map_err(|_| TraceError::Truncated)?;
-            let end = pos.checked_add(len).ok_or(TraceError::Truncated)?;
-            let payload = bytes.get(pos..end).ok_or(TraceError::Truncated)?;
-            pos = end;
-            sum = checksum_combine(sum, checksum64(payload));
-            cores.push(CoreTrace {
-                events,
-                payload: payload.to_vec(),
-            });
+        match version {
+            FORMAT_VERSION_V1 => {
+                for _ in 0..n_cores {
+                    let events = get_u64(bytes, &mut pos)?;
+                    let len = get_u64(bytes, &mut pos)?;
+                    let len = usize::try_from(len).map_err(|_| TraceError::Truncated)?;
+                    let end = pos.checked_add(len).ok_or(TraceError::Truncated)?;
+                    let payload = bytes.get(pos..end).ok_or(TraceError::Truncated)?;
+                    pos = end;
+                    sum = checksum_combine(sum, checksum64(payload));
+                    cores.push(CoreTrace {
+                        events,
+                        payload: payload.to_vec(),
+                    });
+                }
+            }
+            FORMAT_VERSION => {
+                sum = checksum_combine(sum, fingerprint);
+                sum = checksum_combine(sum, n_cores as u64);
+                for _ in 0..n_cores {
+                    let events = get_u64(bytes, &mut pos)?;
+                    let n_blocks = get_u32(bytes, &mut pos)? as usize;
+                    let comp_total = get_u64(bytes, &mut pos)?;
+                    sum = checksum_combine(sum, events);
+                    sum = checksum_combine(sum, n_blocks as u64);
+                    let comp_total =
+                        usize::try_from(comp_total).map_err(|_| TraceError::Truncated)?;
+                    let section_end = pos.checked_add(comp_total).ok_or(TraceError::Truncated)?;
+                    let mut payload = Vec::new();
+                    for _ in 0..n_blocks {
+                        let raw_len = get_u32(bytes, &mut pos)? as usize;
+                        let comp_len = get_u32(bytes, &mut pos)? as usize;
+                        if raw_len > block::MAX_BLOCK || comp_len > block::MAX_BLOCK {
+                            return Err(TraceError::Corrupt("implausible block size"));
+                        }
+                        let &method = bytes.get(pos).ok_or(TraceError::Truncated)?;
+                        pos += 1;
+                        let block_sum = get_u64(bytes, &mut pos)?;
+                        let end = pos.checked_add(comp_len).ok_or(TraceError::Truncated)?;
+                        let data = bytes.get(pos..end).ok_or(TraceError::Truncated)?;
+                        pos = end;
+                        let start = payload.len();
+                        match method {
+                            block::METHOD_STORED => {
+                                if comp_len != raw_len {
+                                    return Err(TraceError::Corrupt(
+                                        "stored block length mismatch",
+                                    ));
+                                }
+                                payload.extend_from_slice(data);
+                            }
+                            block::METHOD_LZ => {
+                                block::decompress_into(data, raw_len, &mut payload)?
+                            }
+                            block::METHOD_LZH => {
+                                block::decompress_lzh_into(data, raw_len, &mut payload)?;
+                            }
+                            _ => return Err(TraceError::Corrupt("unknown block method")),
+                        }
+                        let computed = checksum64(&payload[start..]);
+                        if computed != block_sum {
+                            return Err(TraceError::ChecksumMismatch {
+                                stored: block_sum,
+                                computed,
+                            });
+                        }
+                        sum = checksum_combine(sum, block_sum);
+                    }
+                    if pos != section_end {
+                        return Err(TraceError::Corrupt("block section length mismatch"));
+                    }
+                    cores.push(CoreTrace { events, payload });
+                }
+            }
+            v => return Err(TraceError::UnsupportedVersion(v)),
         }
         let stored = get_u64(bytes, &mut pos)?;
         let computed = sum;
@@ -369,14 +514,62 @@ mod tests {
             push_alu(&mut rec, 0, pc);
         }
         let mut bytes = rec.finish().to_bytes();
-        // Flip one payload byte (past the 24-byte header + 16-byte
-        // section prologue, before the 16-byte footer).
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x40;
+        // v2 layout: 24-byte header, 20-byte section prologue, 17-byte
+        // block header, then the block's compressed bytes. Flip a bit
+        // in the middle of the compressed data: the block checksum
+        // (computed over the re-expanded bytes) must catch it.
+        let comp_len = u32::from_le_bytes(bytes[48..52].try_into().unwrap()) as usize;
+        assert!(comp_len > 0, "32 events encode at least one byte");
+        let at = 61 + comp_len / 2;
+        bytes[at] ^= 0x40;
         assert!(matches!(
             Trace::from_bytes(&bytes),
-            Err(TraceError::ChecksumMismatch { .. })
+            Err(TraceError::ChecksumMismatch { .. }) | Err(TraceError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn v1_envelope_still_decodes() {
+        let mut rec = TraceRecorder::new(2, 0xfeed);
+        push_alu(&mut rec, 0, 1);
+        push_alu(&mut rec, 1, 2);
+        let trace = rec.finish();
+        let v1 = trace.to_bytes_v1();
+        let v2 = trace.to_bytes();
+        assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
+        let from_v1 = Trace::from_bytes(&v1).expect("v1 decodes");
+        let from_v2 = Trace::from_bytes(&v2).expect("v2 decodes");
+        assert_eq!(from_v1, trace);
+        assert_eq!(from_v1, from_v2);
+    }
+
+    /// Real-shaped loop streams must actually shrink: the whole point
+    /// of v2 is that loop iterations are byte-periodic.
+    #[test]
+    fn v2_is_smaller_than_v1_on_loopy_streams() {
+        let mut rec = TraceRecorder::new(1, 0);
+        for i in 0..20_000u64 {
+            let e = Event {
+                pc: 7,
+                frame: 0,
+                result: ValueId(7),
+                kind: EventKind::Load {
+                    addr: 0x1000 + i * 8,
+                    size: 8,
+                },
+                operands: &[],
+            };
+            rec.stream(0).push(&e);
+            rec.stream(0).end_step();
+        }
+        let trace = rec.finish();
+        let v1 = trace.to_bytes_v1().len();
+        let v2 = trace.to_bytes().len();
+        assert!(
+            v2 * 5 <= v1,
+            "expected >=5x shrink on a periodic stream, got {v1} -> {v2}"
+        );
     }
 
     #[test]

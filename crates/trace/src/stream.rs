@@ -353,54 +353,98 @@ impl ExecObserver for StreamEncoder {
     }
 }
 
-/// Streaming decoder over one core's payload. Produced by
-/// [`crate::Trace::cursor`]; yields [`Event`]s in retire order without
-/// materialising the stream.
+/// Everything a decoder carries between events: the mirrored delta
+/// state plus the operand dictionary grown in lockstep with the
+/// encoder. Shared by the in-memory [`EventCursor`] and the block-wise
+/// [`crate::StreamingCursor`] — both drive [`DecodeState::decode_one`],
+/// which is the single implementation of the event grammar's read side.
 #[derive(Debug)]
-pub struct EventCursor<'t> {
-    buf: &'t [u8],
-    pos: usize,
-    remaining: u64,
+pub(crate) struct DecodeState {
     st: DeltaState,
     lists: Vec<(u32, u32)>,
     pool: Vec<ValueId>,
 }
 
-impl<'t> EventCursor<'t> {
-    pub(crate) fn new(payload: &'t [u8], events: u64) -> Self {
-        EventCursor {
-            buf: payload,
-            pos: 0,
-            remaining: events,
+/// A rollback point for [`DecodeState`]: the delta state is cloned, the
+/// dictionary (append-only) is captured by length. Lets a streaming
+/// decoder retry an event that ran off the end of its current window
+/// after fetching the next block.
+#[derive(Debug)]
+pub(crate) struct DecodeMark {
+    st: DeltaState,
+    lists_len: usize,
+    pool_len: usize,
+}
+
+/// One decoded event, with operands referenced by dictionary slot (the
+/// caller materialises the slice from its own `DecodeState` so the
+/// borrow does not pin the state mutably).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub pc: u64,
+    pub frame: u64,
+    pub result: ValueId,
+    pub kind: EventKind,
+    pub slot: u32,
+    pub end_of_step: bool,
+}
+
+impl DecodeState {
+    pub(crate) fn new() -> Self {
+        DecodeState {
             st: DeltaState::new(),
             lists: Vec::new(),
             pool: Vec::new(),
         }
     }
 
-    /// Decode the next event. Returns the event plus `end_of_step`
-    /// (`true` when the event is the last of its interpreter step), or
-    /// `None` when the stream is exhausted.
+    pub(crate) fn mark(&self) -> DecodeMark {
+        DecodeMark {
+            st: self.st.clone(),
+            lists_len: self.lists.len(),
+            pool_len: self.pool.len(),
+        }
+    }
+
+    pub(crate) fn restore(&mut self, mark: DecodeMark) {
+        self.st = mark.st;
+        self.lists.truncate(mark.lists_len);
+        self.pool.truncate(mark.pool_len);
+    }
+
+    /// The operand list of a slot returned by [`DecodeState::decode_one`].
+    #[inline(always)]
+    pub(crate) fn operands(&self, slot: u32) -> &[ValueId] {
+        // Safety: `slot` was bounds-checked against `lists` by
+        // `decode_one` (the inline arm pushes the entry it indexes), and
+        // every `lists` range is within `pool` by construction — both
+        // are only ever extended together. Same validate-then-unchecked
+        // shape as the engine's register file (`swpf_ir::exec::rd`).
+        debug_assert!((slot as usize) < self.lists.len());
+        let (at, len) = unsafe { *self.lists.get_unchecked(slot as usize) };
+        debug_assert!((at + len) as usize <= self.pool.len());
+        unsafe { self.pool.get_unchecked(at as usize..(at + len) as usize) }
+    }
+
+    /// Decode one event from `buf` at `*pos`, advancing `pos` past it.
     ///
-    /// This sits on replay's per-event hot path (it competes with the
-    /// pre-decoded engine's per-instruction cost), so the decode runs
-    /// on locals and flushes state back to `self` once per event.
+    /// On error the state may have advanced partially; callers that
+    /// retry (streaming refill) must bracket the call with
+    /// [`DecodeState::mark`] / [`DecodeState::restore`]. A partial
+    /// event always fails with [`TraceError::Truncated`]: varints are
+    /// self-delimiting and the tag fixes the field list, so a prefix of
+    /// a valid encoding can never decode as a different complete event.
     ///
     /// # Errors
     /// [`TraceError::Truncated`] or [`TraceError::Corrupt`] on a
     /// malformed payload.
     #[inline]
-    pub fn next_event(&mut self) -> Result<Option<(Event<'_>, bool)>, TraceError> {
-        if self.remaining == 0 {
-            if self.pos != self.buf.len() {
-                return Err(TraceError::Corrupt("trailing bytes after final event"));
-            }
-            return Ok(None);
-        }
-        self.remaining -= 1;
-
-        let buf = self.buf;
-        let mut pos = self.pos;
+    pub(crate) fn decode_one(
+        &mut self,
+        buf: &[u8],
+        at: &mut usize,
+    ) -> Result<RawEvent, TraceError> {
+        let mut pos = *at;
         let &tag = buf.get(pos).ok_or(TraceError::Truncated)?;
         pos += 1;
         let flag = tag & TAG_FLAG != 0;
@@ -493,28 +537,92 @@ impl<'t> EventCursor<'t> {
                 .ok_or(TraceError::Corrupt("operand slot out of range"))?
         };
         self.st.last_slot = slot;
-        self.pos = pos;
+        *at = pos;
+        Ok(RawEvent {
+            pc,
+            frame,
+            result,
+            kind,
+            slot,
+            end_of_step,
+        })
+    }
+}
 
-        // Safety: `slot` was bounds-checked against `lists` above (the
-        // inline arm pushes the entry it indexes), and every `lists`
-        // range is within `pool` by construction — both are only ever
-        // extended together, immediately before this point. Same
-        // validate-then-unchecked shape as the engine's register file
-        // (`swpf_ir::exec::rd`).
-        debug_assert!((slot as usize) < self.lists.len());
-        let (at, len) = unsafe { *self.lists.get_unchecked(slot as usize) };
-        debug_assert!((at + len) as usize <= self.pool.len());
-        let operands = unsafe { self.pool.get_unchecked(at as usize..(at + len) as usize) };
+/// Streaming decoder over one core's payload. Produced by
+/// [`crate::Trace::cursor`]; yields [`Event`]s in retire order without
+/// materialising the stream.
+#[derive(Debug)]
+pub struct EventCursor<'t> {
+    buf: &'t [u8],
+    pos: usize,
+    remaining: u64,
+    state: DecodeState,
+}
+
+impl<'t> EventCursor<'t> {
+    pub(crate) fn new(payload: &'t [u8], events: u64) -> Self {
+        EventCursor {
+            buf: payload,
+            pos: 0,
+            remaining: events,
+            state: DecodeState::new(),
+        }
+    }
+
+    /// Decode the next event. Returns the event plus `end_of_step`
+    /// (`true` when the event is the last of its interpreter step), or
+    /// `None` when the stream is exhausted.
+    ///
+    /// This sits on replay's per-event hot path (it competes with the
+    /// pre-decoded engine's per-instruction cost); the grammar itself
+    /// is decoded by [`DecodeState::decode_one`].
+    ///
+    /// # Errors
+    /// [`TraceError::Truncated`] or [`TraceError::Corrupt`] on a
+    /// malformed payload.
+    #[inline]
+    pub fn next_event(&mut self) -> Result<Option<(Event<'_>, bool)>, TraceError> {
+        if self.remaining == 0 {
+            if self.pos != self.buf.len() {
+                return Err(TraceError::Corrupt("trailing bytes after final event"));
+            }
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let raw = self.state.decode_one(self.buf, &mut self.pos)?;
+        let operands = self.state.operands(raw.slot);
         Ok(Some((
             Event {
-                pc,
-                frame,
-                result,
-                kind,
+                pc: raw.pc,
+                frame: raw.frame,
+                result: raw.result,
+                kind: raw.kind,
                 operands,
             },
-            end_of_step,
+            raw.end_of_step,
         )))
+    }
+}
+
+/// Anything that yields a retire-event stream with step boundaries —
+/// the in-memory [`EventCursor`] and the block-at-a-time
+/// [`crate::StreamingCursor`]. Replay loops in `swpf-sim` are generic
+/// over this, so the direct-replay and bounded-memory streaming paths
+/// share one implementation.
+pub trait EventSource {
+    /// Next event plus its `end_of_step` flag, or `None` at the end of
+    /// the stream.
+    ///
+    /// # Errors
+    /// Any [`TraceError`] in the underlying stream.
+    fn next_event(&mut self) -> Result<Option<(Event<'_>, bool)>, TraceError>;
+}
+
+impl EventSource for EventCursor<'_> {
+    #[inline]
+    fn next_event(&mut self) -> Result<Option<(Event<'_>, bool)>, TraceError> {
+        EventCursor::next_event(self)
     }
 }
 

@@ -1,12 +1,14 @@
 //! Property tests for the trace codec: encode → decode must be the
 //! identity on arbitrary event streams (varint boundaries, delta sign
-//! flips, empty and multi-core streams), and corrupted payloads must be
-//! rejected by the footer checksum.
+//! flips, empty and multi-core streams, block-boundary straddles in the
+//! v2 envelope), single-bit corruption anywhere in the file must be
+//! caught, truncation anywhere must be detected, and v1 envelopes must
+//! keep decoding.
 
 use proptest::prelude::*;
 use swpf_ir::interp::{Event, EventKind};
 use swpf_ir::ValueId;
-use swpf_trace::{StreamEncoder, Trace, TraceRecorder};
+use swpf_trace::{StreamEncoder, StreamingReplay, Trace, TraceRecorder};
 
 /// An owned event plus its step-boundary flag, the unit the codec
 /// round-trips.
@@ -163,6 +165,46 @@ fn encode(streams: &[Vec<OwnedEvent>], fingerprint: u64) -> Trace {
     rec.finish()
 }
 
+/// Write `bytes` to a unique temp file, run `f` on the path, then
+/// remove the file (streaming readers work from disk only).
+fn with_temp_file<R>(bytes: &[u8], f: impl FnOnce(&std::path::Path) -> R) -> R {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "swpf_roundtrip_{}_{}.trace",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).expect("temp trace written");
+    let r = f(&path);
+    std::fs::remove_file(&path).ok();
+    r
+}
+
+/// Drain every core of a streaming reader, asserting the events match
+/// `streams` exactly (the bounded-memory path must agree with the
+/// in-memory cursor byte for byte).
+fn assert_streams_to(replay: &StreamingReplay, streams: &[Vec<OwnedEvent>]) {
+    assert_eq!(replay.num_cores(), streams.len());
+    for (core, events) in streams.iter().enumerate() {
+        assert_eq!(replay.events(core), events.len() as u64, "core {core}");
+        let mut cursor = replay.cursor(core).expect("cursor opens");
+        for (i, want) in events.iter().enumerate() {
+            let (got, end_step) = cursor
+                .next_event()
+                .unwrap_or_else(|e| panic!("core {core} event {i}: {e}"))
+                .unwrap_or_else(|| panic!("core {core} ended early at {i}"));
+            assert_eq!(got.pc, want.pc, "core {core} event {i} pc");
+            assert_eq!(got.frame, want.frame, "core {core} event {i} frame");
+            assert_eq!(got.result, want.result, "core {core} event {i} result");
+            assert_eq!(got.kind, want.kind, "core {core} event {i} kind");
+            assert_eq!(got.operands, want.ops, "core {core} event {i} ops");
+            assert_eq!(end_step, want.end_step, "core {core} event {i} step");
+        }
+        assert!(cursor.next_event().unwrap().is_none());
+    }
+}
+
 fn assert_decodes_to(trace: &Trace, streams: &[Vec<OwnedEvent>]) {
     assert_eq!(trace.num_cores(), streams.len());
     for (core, events) in streams.iter().enumerate() {
@@ -202,6 +244,50 @@ proptest! {
         assert_decodes_to(&back, &streams);
     }
 
+    // The same identity holds through the v2 block structure at
+    // adversarially tiny block sizes (every event straddles a block
+    // boundary somewhere) — for the full reader and for the
+    // block-at-a-time streaming reader.
+    #[test]
+    fn blocked_round_trip_straddles_boundaries(
+        seed: u64,
+        n_cores in 0usize..4,
+        len in 0usize..160,
+        block_size in 1usize..48,
+    ) {
+        let mut rng = Rng(seed);
+        let streams: Vec<Vec<OwnedEvent>> = (0..n_cores)
+            .map(|c| gen_stream(&mut rng, if c == 0 { len } else { len / (c + 1) }))
+            .collect();
+        let fp = rng.next();
+        let trace = encode(&streams, fp);
+        let bytes = trace.to_bytes_with_block_size(block_size);
+        let back = Trace::from_bytes(&bytes).expect("tiny blocks decode");
+        prop_assert_eq!(back.fingerprint, fp);
+        assert_decodes_to(&back, &streams);
+        with_temp_file(&bytes, |path| {
+            let replay = StreamingReplay::open(path).expect("streaming open");
+            assert_eq!(replay.fingerprint(), fp);
+            assert_streams_to(&replay, &streams);
+        });
+    }
+
+    // A v1 (uncompressed) envelope of the same recording still decodes
+    // to an identical trace: existing cache corpora keep replaying.
+    #[test]
+    fn v1_envelope_decodes_identically(seed: u64, n_cores in 0usize..3, len in 0usize..120) {
+        let mut rng = Rng(seed);
+        let streams: Vec<Vec<OwnedEvent>> = (0..n_cores)
+            .map(|_| gen_stream(&mut rng, len))
+            .collect();
+        let trace = encode(&streams, 5);
+        let from_v1 = Trace::from_bytes(&trace.to_bytes_v1()).expect("v1 decodes");
+        prop_assert_eq!(&from_v1, &trace);
+        let from_v2 = Trace::from_bytes(&trace.to_bytes()).expect("v2 decodes");
+        prop_assert_eq!(&from_v1, &from_v2);
+        assert_decodes_to(&from_v1, &streams);
+    }
+
     // Adjacent events with full-width pc/address jumps in both
     // directions survive the delta encoding.
     #[test]
@@ -233,38 +319,49 @@ proptest! {
         assert_decodes_to(&Trace::from_bytes(&trace.to_bytes()).unwrap(), &streams);
     }
 
-    // Any single flipped payload byte is caught by the footer checksum.
+    // Any single flipped bit, anywhere in the v2 envelope — header,
+    // section prologues, block headers, compressed payload, footer —
+    // is caught by `from_bytes` (the footer fold covers the header
+    // fields, each block checksum covers its uncompressed bytes, and
+    // the structure is length-delimited end to end).
     #[test]
-    fn corrupted_payload_byte_is_rejected(seed: u64, len in 1usize..200) {
+    fn corrupted_byte_is_rejected(seed: u64, len in 1usize..200, block_size in 1usize..64) {
         let mut rng = Rng(seed);
-        let streams = vec![gen_stream(&mut rng, len)];
+        let n_cores = 1 + rng.below(3) as usize;
+        let streams: Vec<Vec<OwnedEvent>> =
+            (0..n_cores).map(|_| gen_stream(&mut rng, len)).collect();
         let trace = encode(&streams, 1);
-        let payload = trace.payload_bytes();
-        prop_assert!(payload > 0, "at least one event encodes a tag byte");
-        let mut bytes = trace.to_bytes();
-        // Envelope: 24-byte header + 16-byte section prologue precede
-        // the payload; flip one bit strictly inside it.
-        let payload_start = 24 + 16;
-        let at = payload_start + (rng.below(payload as u64) as usize);
+        let mut bytes = trace.to_bytes_with_block_size(block_size);
+        let at = rng.below(bytes.len() as u64) as usize;
         bytes[at] ^= 1u8 << rng.below(8);
         prop_assert!(
-            matches!(
-                Trace::from_bytes(&bytes),
-                Err(swpf_trace::TraceError::ChecksumMismatch { .. })
-            ),
-            "flipping payload byte {} must fail the checksum",
+            Trace::from_bytes(&bytes).is_err(),
+            "flipping a bit of byte {} must be detected",
             at
         );
     }
 
     // Truncating the envelope anywhere never panics and never yields a
-    // valid trace.
+    // valid trace — through the full reader, and through the streaming
+    // reader (whose open() sees only headers, so the damage may only
+    // surface while draining a cursor).
     #[test]
-    fn truncation_is_always_detected(seed: u64, len in 1usize..100) {
+    fn truncation_is_always_detected(seed: u64, len in 1usize..100, block_size in 1usize..48) {
         let mut rng = Rng(seed);
         let streams = vec![gen_stream(&mut rng, len)];
-        let bytes = encode(&streams, 9).to_bytes();
+        let bytes = encode(&streams, 9).to_bytes_with_block_size(block_size);
         let cut = rng.below(bytes.len() as u64) as usize;
         prop_assert!(Trace::from_bytes(&bytes[..cut]).is_err());
+        with_temp_file(&bytes[..cut], |path| {
+            let streamed: Result<(), swpf_trace::TraceError> = (|| {
+                let replay = StreamingReplay::open(path)?;
+                for core in 0..replay.num_cores() {
+                    let mut cursor = replay.cursor(core)?;
+                    while cursor.next_event()?.is_some() {}
+                }
+                Ok(())
+            })();
+            assert!(streamed.is_err(), "cut at {cut} must not stream cleanly");
+        });
     }
 }
