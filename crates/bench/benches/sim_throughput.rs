@@ -121,6 +121,48 @@ fn bytecode_tier(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability cost contract on the hottest loop we have: the
+/// bytecode-tier IS simulation with profiling explicitly disabled
+/// (`disabled/IS`) must stay within noise of the same run before the
+/// instrumentation existed — `bench_gate` compares it against the
+/// same-process `bytecode/IS` record with a tight allowance. The
+/// `enabled/IS` side runs the identical cell with the recorder on (and
+/// a span around each iteration), sizing what turning profiling on
+/// actually costs.
+fn profiling_overhead(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    let m = is.build_baseline();
+    let f = m.find_function("kernel").unwrap();
+    let insts = 12 * u64::from(is.num_keys as u32);
+    let mut proto = Interp::new();
+    let args = is.setup(&mut proto);
+    let proto_mem = proto.mem_ref().clone();
+    let image = std::sync::Arc::new(ExecImage::build(&m));
+    let run = |image: &std::sync::Arc<ExecImage>, proto_mem: &swpf_ir::interp::Memory| {
+        let mut interp = Interp::with_tier(Tier::Bytecode);
+        *interp.mem() = proto_mem.clone();
+        interp
+            .run_with_image(std::sync::Arc::clone(image), f, &args, &mut NullObserver)
+            .unwrap()
+    };
+    let mut group = c.benchmark_group("profiling");
+    group.throughput(Throughput::Elements(insts));
+    swpf_obs::disable();
+    group.bench_function("disabled/IS", |b| {
+        b.iter(|| black_box(run(&image, &proto_mem)));
+    });
+    swpf_obs::enable();
+    group.bench_function("enabled/IS", |b| {
+        b.iter(|| {
+            let _span = swpf_obs::span("bench:cell");
+            black_box(run(&image, &proto_mem))
+        });
+    });
+    swpf_obs::disable();
+    swpf_obs::reset();
+    group.finish();
+}
+
 fn interp_only(c: &mut Criterion) {
     let is = IntegerSort::new(Scale::Test);
     let m = is.build_baseline();
@@ -213,6 +255,7 @@ criterion_group!(
     benches,
     engines,
     bytecode_tier,
+    profiling_overhead,
     interp_only,
     interp_with_timing,
     trace_replay

@@ -14,16 +14,22 @@
 //! here. `--list` prints the experiment catalogue, the filter syntax,
 //! the machine models, and the workloads, without running anything.
 //!
+//! `--profile <path>` (or `SWPF_PROFILE=<path>`) composes with
+//! `--only`/`--skip`: the whole selected run is profiled through
+//! `swpf-obs` into one chrome-trace JSON, and every experiment's
+//! artifact gains its own windowed `profile` section.
+//!
 //! ```sh
 //! SWPF_SCALE=test cargo run --release -p swpf-bench --bin all
 //! cargo run --release -p swpf-bench --bin all -- --threads 1
 //! cargo run --release -p swpf-bench --bin all -- --only ablation
 //! cargo run --release -p swpf-bench --bin all -- --skip fig4 --skip fig9
+//! cargo run --release -p swpf-bench --bin all -- --only fig4 --profile prof.json
 //! cargo run --release -p swpf-bench --bin all -- --list
 //! ```
 
 use std::time::Instant;
-use swpf_bench::harness::{cli_options_from, run_and_report};
+use swpf_bench::harness::{cli_options_from, finish_profiling, init_profiling, run_and_report};
 use swpf_bench::json::Json;
 use swpf_bench::{experiments, scale_from_env};
 
@@ -82,6 +88,7 @@ fn main() -> std::process::ExitCode {
 
     let scale = scale_from_env();
     let opts = cli_options_from(rest.into_iter());
+    let profile = init_profiling(&opts);
     let t0 = Instant::now();
     let mut summaries = Vec::new();
     let mut failed = 0usize;
@@ -117,6 +124,9 @@ fn main() -> std::process::ExitCode {
     let path = opts.out_dir.join("suite.json");
     std::fs::write(&path, suite.to_pretty_string())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    if let Some(prof_path) = profile {
+        finish_profiling(&prof_path);
+    }
 
     println!(
         "\nsuite: {} experiment(s) in {:.2}s, {} check failure(s) — {}",

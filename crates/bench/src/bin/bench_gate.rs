@@ -21,6 +21,10 @@
 //! * **bytecode** (`BENCH_interp.json`): the fixed-width bytecode tier
 //!   over the exec-image engine — what the threaded-code lowering and
 //!   the superinstruction catalogue bought;
+//! * **profiling** (no reference file): the bytecode-tier cell with
+//!   `swpf-obs` instrumentation compiled in but disabled against the
+//!   plain `bytecode/IS` record from the same process — the
+//!   disabled-path cost contract (<2%, plus a noise allowance);
 //! * **trace** (`BENCH_trace.json`, optional third argument): trace
 //!   replay over direct simulation of the identical cell — what the
 //!   record/replay cache banks on every repeated machine cell; plus the
@@ -39,6 +43,12 @@ use swpf_bench::json::Json;
 
 /// Allowed loss of a reference relative speedup before failing.
 const MAX_REGRESSION: f64 = 1.30;
+
+/// Allowed cost of disabled profiling on the bytecode sim hot path.
+/// The `swpf-obs` contract is <2% when disabled; the rest of the
+/// allowance absorbs shared-runner noise between the two same-process
+/// measurements.
+const MAX_PROFILING_OVERHEAD: f64 = 1.10;
 
 fn ns_from_records(text: &str, group: &str, bench: &str) -> Option<f64> {
     // Last record wins: CRITERION_JSON is append-only across runs.
@@ -181,6 +191,39 @@ fn gate_compression(reference: &Json, reference_path: &str) -> bool {
     }
 }
 
+/// Gate the disabled-profiling overhead: `profiling/disabled/IS` runs
+/// the identical bytecode-tier cell as `bytecode/bytecode/IS` in the
+/// same process, with instrumentation compiled in but switched off.
+/// No reference file — both sides are fresh records, so the ratio is
+/// directly comparable and must stay under the allowance.
+fn gate_profiling(records: &str, records_path: &str) -> bool {
+    let (Some(disabled_ns), Some(baseline_ns)) = (
+        ns_from_records(records, "profiling", "disabled/IS"),
+        ns_from_records(records, "bytecode", "bytecode/IS"),
+    ) else {
+        eprintln!(
+            "bench_gate: missing `profiling/disabled/IS` or `bytecode/bytecode/IS` \
+             record in {records_path}"
+        );
+        return false;
+    };
+    let overhead = disabled_ns / baseline_ns;
+    println!(
+        "bench_gate: disabled-profiling overhead (disabled/IS over bytecode/IS) — \
+         {overhead:.3}x ({disabled_ns:.0} / {baseline_ns:.0} ns), \
+         allowance {MAX_PROFILING_OVERHEAD}x"
+    );
+    if overhead <= MAX_PROFILING_OVERHEAD {
+        true
+    } else {
+        eprintln!(
+            "bench_gate: disabled profiling costs more than {MAX_PROFILING_OVERHEAD}x \
+             on the bytecode sim hot path — the swpf-obs disabled-path contract is broken"
+        );
+        false
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(records_path), Some(interp_ref_path)) = (args.next(), args.next()) else {
@@ -219,6 +262,7 @@ fn main() -> std::process::ExitCode {
         "bytecode_ns_per_iter",
         "engine_ns_per_iter",
     );
+    ok &= gate_profiling(&records, &records_path);
     if let Some(path) = trace_ref_path {
         let trace_ref = load_json(&path);
         ok &= gate_ratio(

@@ -13,6 +13,12 @@
 //! A/B within each repetition so the container's wall-clock drift
 //! cancels (compare within a rep, not across reps).
 //!
+//! Each sweep runs under a `swpf-obs` span named
+//! `sweep:<workload>:<cached|uncached>`; the reported wall times are
+//! the span-summary means (total over `--reps` repetitions divided by
+//! the span count), so the JSON here and a `prof_report` of the same
+//! process agree by construction.
+//!
 //! ```sh
 //! cargo run --release -p swpf-bench --bin pass_probe -- [--reps N]
 //! ```
@@ -21,24 +27,23 @@
 //! cached/uncached ratios, and the analyses-computed counters that
 //! explain them.
 
-use std::time::Instant;
 use swpf_bench::json::Json;
 use swpf_sim::MachineConfig;
 use swpf_tune::{Evaluator, SearchSpace};
 use swpf_workloads::{Scale, WorkloadId};
 
 /// One full compile sweep: every point of `space` through a fresh
-/// evaluator. Returns (outer wall seconds incl. construction/priming,
-/// evaluator-reported compile seconds, analyses computed during the
-/// sweep).
+/// evaluator, under the span named `label`. Returns the analyses
+/// computed during the sweep; wall time lives in the span.
 fn sweep(
     id: WorkloadId,
     machines: &[MachineConfig],
     space: &SearchSpace,
     cached: bool,
-) -> (f64, f64, usize) {
+    label: &str,
+) -> usize {
     let w = id.instantiate(Scale::Paper);
-    let t0 = Instant::now();
+    let _span = swpf_obs::span(label.to_string());
     let mut ev = if cached {
         Evaluator::new(w.as_ref(), machines)
     } else {
@@ -47,11 +52,18 @@ fn sweep(
     for i in 0..space.len() {
         let _ = ev.compile_candidate(&space.at(i));
     }
-    (
-        t0.elapsed().as_secs_f64(),
-        ev.compile_seconds(),
-        ev.analyses_computed(),
-    )
+    ev.analyses_computed()
+}
+
+/// Mean wall seconds of every span recorded under `label`.
+fn mean_wall_s(summary: &swpf_obs::Summary, label: &str) -> f64 {
+    let row = summary
+        .rows
+        .iter()
+        .find(|(n, _)| n == label)
+        .map(|(_, r)| *r)
+        .unwrap_or_default();
+    row.total_ns as f64 / 1e9 / row.count.max(1) as f64
 }
 
 fn main() {
@@ -69,6 +81,8 @@ fn main() {
         }
     }
 
+    swpf_obs::enable();
+    swpf_obs::name_thread("main");
     let machines = [MachineConfig::a53()];
     let space = SearchSpace::paper_default();
     let workloads = WorkloadId::FIG6;
@@ -77,19 +91,20 @@ fn main() {
     let mut total_cached = 0.0;
     let mut total_uncached = 0.0;
     for &id in &workloads {
-        let mut cached_walls = Vec::new();
-        let mut uncached_walls = Vec::new();
+        let label_c = format!("sweep:{}:cached", id.name());
+        let label_u = format!("sweep:{}:uncached", id.name());
         let mut analyses = (0usize, 0usize);
         for _ in 0..reps {
             // Interleave within the rep: drift cancels inside a pair.
-            let (wall_c, _, an_c) = sweep(id, &machines, &space, true);
-            let (wall_u, _, an_u) = sweep(id, &machines, &space, false);
-            cached_walls.push(wall_c);
-            uncached_walls.push(wall_u);
+            let an_c = sweep(id, &machines, &space, true, &label_c);
+            let an_u = sweep(id, &machines, &space, false, &label_u);
             analyses = (an_c, an_u);
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let (c, u) = (mean(&cached_walls), mean(&uncached_walls));
+        let summary = swpf_obs::snapshot().summary();
+        let (c, u) = (
+            mean_wall_s(&summary, &label_c),
+            mean_wall_s(&summary, &label_u),
+        );
         total_cached += c;
         total_uncached += u;
         rows.push((

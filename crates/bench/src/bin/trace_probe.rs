@@ -4,12 +4,16 @@
 //! trace's size. The tool for keeping record/replay overhead honest
 //! (the numbers in BENCH_trace.json).
 //!
+//! All timing flows through `swpf-obs`: each flavour runs under a span,
+//! the per-flavour wall time is read back out of the span summary, and
+//! the full profile (including the nested `trace:encode`/`trace:decode`
+//! sub-spans the library records) prints at the end.
+//!
 //! ```sh
 //! cargo run --release -p swpf-bench --bin trace_probe -- CG auto haswell
 //! SWPF_SCALE=test cargo run --release -p swpf-bench --bin trace_probe -- IS baseline a53
 //! ```
 
-use std::time::Instant;
 use swpf_bench::{auto_module, scale_from_env};
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Interp, NullObserver, Step};
@@ -24,12 +28,37 @@ fn machine_by_name(name: &str) -> MachineConfig {
         .unwrap_or_else(|| panic!("unknown machine `{name}`"))
 }
 
+/// Run one flavour under a `swpf-obs` span and print its wall time,
+/// read back from the span summary (so the number printed here is the
+/// number any exported profile of this process carries).
+fn time(label: &'static str, f: &mut dyn FnMut() -> u64) {
+    let events = {
+        let _span = swpf_obs::span(label);
+        f()
+    };
+    let row = swpf_obs::snapshot()
+        .summary()
+        .rows
+        .iter()
+        .find(|(n, _)| n == label)
+        .map(|(_, r)| *r)
+        .unwrap_or_default();
+    let s = row.total_ns as f64 / 1e9;
+    println!(
+        "  {label:<10} {s:8.3}s  ({:6.1}M events, {:5.1} ns/event)",
+        events as f64 / 1e6,
+        s * 1e9 / events as f64
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [workload, variant, machine] = args.as_slice() else {
         eprintln!("usage: trace_probe <workload> <baseline|manual|auto> <machine>");
         std::process::exit(2);
     };
+    swpf_obs::enable();
+    swpf_obs::name_thread("main");
     let scale = scale_from_env();
     let id = WorkloadId::ALL
         .into_iter()
@@ -52,18 +81,6 @@ fn main() {
         Scale::Test => "test",
     };
     println!("probe: {workload}/{variant} on {machine} at scale={scale_label}");
-
-    let time = |label: &str, f: &mut dyn FnMut() -> u64| {
-        let t0 = Instant::now();
-        let events = f();
-        let s = t0.elapsed().as_secs_f64();
-        println!(
-            "  {label:<10} {s:8.3}s  ({:6.1}M events, {:5.1} ns/event)",
-            events as f64 / 1e6,
-            s * 1e9 / events as f64
-        );
-        s
-    };
 
     // Functional-only flavours decompose the record path's overhead:
     // run_to_done vs. an external step loop vs. step loop + encoder.
@@ -109,4 +126,7 @@ fn main() {
     time("replay", &mut || {
         replay_on_machine(&cfg, &trace).insts.total
     });
+
+    println!("\nswpf-obs profile (spans incl. library sub-spans):");
+    print!("{}", swpf_obs::snapshot().summary().render());
 }

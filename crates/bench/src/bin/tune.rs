@@ -18,14 +18,18 @@
 //! cargo run --release -p swpf-bench --bin tune -- --out RESULTS
 //! ```
 
-use swpf_bench::harness::cli_options;
+use swpf_bench::harness::{cli_options, finish_profiling, init_profiling};
 use swpf_bench::{experiments, scale_from_env, tune};
 
 fn main() -> std::process::ExitCode {
     let scale = scale_from_env();
     let opts = cli_options();
+    let profile = init_profiling(&opts);
     let exp = experiments::tune(scale);
     let (_, checks) = tune::run_and_report(&exp, &opts.out_dir);
+    if let Some(path) = profile {
+        finish_profiling(&path);
+    }
     if checks.iter().all(|c| c.passed) {
         std::process::ExitCode::SUCCESS
     } else {

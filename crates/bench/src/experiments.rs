@@ -1223,6 +1223,13 @@ pub fn print_catalog() {
          (default set: every experiment above except `tune`, which `--bin tune`\n  \
          runs; `--only tune` includes it here)"
     );
+    println!(
+        "\nprofiling:\n  \
+         --profile <path> (or SWPF_PROFILE=<path>) records the selected run\n  \
+         through swpf-obs into chrome-trace JSON (chrome://tracing, Perfetto,\n  \
+         or `--bin prof_report <path>`); composes with --only/--skip, and each\n  \
+         artifact gains a windowed `profile` section"
+    );
     println!("\nmachines:");
     for m in MachineConfig::all_systems() {
         println!("  {:<10} ({})", m.name, m.core_kind_name());

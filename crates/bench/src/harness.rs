@@ -546,17 +546,20 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
             continue;
         }
         let w = workloads[job.workload].as_ref();
-        let module = match &spec.variants[job.variant] {
-            Variant::Kernel(kv) => w
-                .build_variant(*kv)
-                .expect("expansion only keeps supported kernel variants"),
-            Variant::Auto { config, .. } => auto_module(w, config),
-            Variant::Icc => icc_module(w, &PassConfig::default()),
-            Variant::Multicore { auto, .. } => {
-                if *auto {
-                    auto_module(w, &PassConfig::default())
-                } else {
-                    w.build_baseline()
+        let module = {
+            let _span = swpf_obs::span("build");
+            match &spec.variants[job.variant] {
+                Variant::Kernel(kv) => w
+                    .build_variant(*kv)
+                    .expect("expansion only keeps supported kernel variants"),
+                Variant::Auto { config, .. } => auto_module(w, config),
+                Variant::Icc => icc_module(w, &PassConfig::default()),
+                Variant::Multicore { auto, .. } => {
+                    if *auto {
+                        auto_module(w, &PassConfig::default())
+                    } else {
+                        w.build_baseline()
+                    }
                 }
             }
         };
@@ -564,6 +567,7 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
             .find_function("kernel")
             .expect("workload kernels are named `kernel`");
         let text_hash = fnv64(swpf_ir::printer::print_module(&module).as_bytes());
+        let _span = swpf_obs::span("decode");
         modules.insert(
             key,
             PreparedModule {
@@ -571,6 +575,16 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
                 func,
                 text_hash,
             },
+        );
+    }
+    if swpf_obs::enabled() {
+        swpf_obs::count("harness.jobs", jobs.len() as u64);
+        swpf_obs::count("harness.modules_prepared", modules.len() as u64);
+        // Jobs map many-to-one onto prepared modules; the difference is
+        // the build+compile+decode work the dedup saved.
+        swpf_obs::count(
+            "harness.kernel_dedup_hits",
+            (jobs.len().saturating_sub(modules.len())) as u64,
         );
     }
 
@@ -596,17 +610,29 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
     // of the grid behind it). Groups are independent, so the grid still
     // parallelises embarrassingly; results land in job order.
     let threads = opts.effective_threads(groups.len());
+    if swpf_obs::enabled() {
+        swpf_obs::count("harness.trace_groups", groups.len() as u64);
+    }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let (workloads_ref, modules_ref, jobs_ref) = (&workloads, &modules, &jobs);
+    let (groups_ref, next_ref, slots_ref) = (&groups, &next, &slots);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let gi = next.fetch_add(1, Ordering::Relaxed);
-                let Some(group) = groups.get(gi) else { break };
-                let cells = run_group(spec, &workloads, &modules, &jobs, group, opts);
-                let mut slots = slots.lock().expect("no panics hold the lock");
-                for (ji, cell) in cells {
-                    slots[ji] = Some(cell);
+        for wi in 0..threads {
+            scope.spawn(move || {
+                if swpf_obs::enabled() {
+                    swpf_obs::name_thread(&format!("worker-{wi}"));
+                }
+                loop {
+                    let gi = next_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups_ref.get(gi) else {
+                        break;
+                    };
+                    let cells = run_group(spec, workloads_ref, modules_ref, jobs_ref, group, opts);
+                    let mut slots = slots_ref.lock().expect("no panics hold the lock");
+                    for (ji, cell) in cells {
+                        slots[ji] = Some(cell);
+                    }
                 }
             });
         }
@@ -707,6 +733,13 @@ fn run_group(
             .as_deref()
             .and_then(|p| load_trace(p, fingerprint))
     };
+    if cache_path.is_some() && swpf_obs::enabled() {
+        if streamed.is_some() || cached.is_some() {
+            swpf_obs::count("trace.disk_hit", 1);
+        } else {
+            swpf_obs::count("trace.disk_miss", 1);
+        }
+    }
 
     // Multicore cells interleave their per-core streams on a schedule
     // that depends on the machine's timing, so they cannot share one
@@ -761,17 +794,24 @@ fn run_group(
     let mut recorded: Option<TraceRecorder> = None;
     let t0 = Instant::now();
     let (stats, from_trace) = match (&streamed, cached) {
-        (Some(replay), _) => (
-            streaming_replay_on_machines(&configs, replay)
-                .unwrap_or_else(|e| panic!("batched streaming replay failed: {e}")),
-            true,
-        ),
-        (None, Some(trace)) => (
-            replay_on_machines(&configs, &trace)
-                .unwrap_or_else(|e| panic!("batched trace replay failed: {e}")),
-            true,
-        ),
+        (Some(replay), _) => {
+            let _span = swpf_obs::span("stream_replay");
+            (
+                streaming_replay_on_machines(&configs, replay)
+                    .unwrap_or_else(|e| panic!("batched streaming replay failed: {e}")),
+                true,
+            )
+        }
+        (None, Some(trace)) => {
+            let _span = swpf_obs::span("replay");
+            (
+                replay_on_machines(&configs, &trace)
+                    .unwrap_or_else(|e| panic!("batched trace replay failed: {e}")),
+                true,
+            )
+        }
         (None, None) => {
+            let _span = swpf_obs::span("interpret");
             let mut recorder = cache_path
                 .as_ref()
                 .map(|_| TraceRecorder::new(1, fingerprint));
@@ -873,6 +913,7 @@ pub(crate) fn store_trace(path: &Path, trace: &Trace, cap: Option<u64>) {
         eprintln!("warning: cannot cache trace {}: {e}", path.display());
         return;
     }
+    swpf_obs::count("trace.stored", 1);
     if let (Some(cap), Some(dir)) = (cap, path.parent()) {
         evict_lru(dir, cap, path);
     }
@@ -945,6 +986,7 @@ fn run_job_direct(
     let machine = &spec.machines[job.machine];
     let w = workloads[job.workload].as_ref();
     let prepared = &modules[&(job.workload, variant.module_key())];
+    let _span = swpf_obs::span("interpret");
     make_cell(machine, w, variant, false, || match variant {
         Variant::Multicore { cores, .. } => run_multicore_image(
             machine,
@@ -980,6 +1022,7 @@ fn run_job_traced(
     let machine = &spec.machines[job.machine];
     let w = workloads[job.workload].as_ref();
     let prepared = &modules[&(job.workload, variant.module_key())];
+    let _span = swpf_obs::span("interpret");
     let mut recorder = TraceRecorder::new(*cores, fingerprint);
     let cell = make_cell(machine, w, variant, false, || {
         run_multicore_image_traced(
@@ -1005,6 +1048,7 @@ fn run_job_replay_streaming(
     let variant = &spec.variants[job.variant];
     let machine = &spec.machines[job.machine];
     let w = workloads[job.workload].as_ref();
+    let _span = swpf_obs::span("stream_replay");
     make_cell(machine, w, variant, true, || match variant {
         Variant::Multicore { .. } => streaming_replay_multicore(machine, replay)
             .unwrap_or_else(|e| panic!("multicore streaming replay failed: {e}")),
@@ -1024,6 +1068,7 @@ fn run_job_replay(
     let variant = &spec.variants[job.variant];
     let machine = &spec.machines[job.machine];
     let w = workloads[job.workload].as_ref();
+    let _span = swpf_obs::span("replay");
     make_cell(machine, w, variant, true, || match variant {
         Variant::Multicore { .. } => replay_multicore(machine, trace)
             .unwrap_or_else(|e| panic!("multicore trace replay failed: {e}")),
@@ -1130,13 +1175,72 @@ pub fn write_artifact(
     derived: &[TableSection],
     checks: &[Check],
 ) -> std::io::Result<PathBuf> {
+    write_artifact_with_profile(dir, result, derived, checks, None)
+}
+
+/// [`write_artifact`], optionally carrying the run's additive `profile`
+/// section (see [`profile_window_json`]).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_artifact_with_profile(
+    dir: &Path,
+    result: &ExperimentResult,
+    derived: &[TableSection],
+    checks: &[Check],
+    profile: Option<Json>,
+) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", result.name));
-    std::fs::write(
-        &path,
-        artifact_json(result, derived, checks).to_pretty_string(),
-    )?;
+    let mut doc = artifact_json(result, derived, checks);
+    if let (Json::Obj(members), Some(p)) = (&mut doc, profile) {
+        members.push(("profile".to_string(), p));
+    }
+    std::fs::write(&path, doc.to_pretty_string())?;
     Ok(path)
+}
+
+/// The additive `profile` artifact section: the *window* of profiling
+/// activity between two [`swpf_obs::Summary`] captures (`swpf-obs` data
+/// is cumulative per process; subtracting the pre-run capture keeps one
+/// experiment's section free of its predecessors' spans when a driver
+/// such as `--bin all` runs several in sequence).
+#[must_use]
+pub fn profile_window_json(pre: &swpf_obs::Summary, post: &swpf_obs::Summary) -> Json {
+    let pre_rows: HashMap<&str, swpf_obs::SummaryRow> =
+        pre.rows.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+    let mut phases = Vec::new();
+    for (name, row) in &post.rows {
+        let base = pre_rows.get(name.as_str()).copied().unwrap_or_default();
+        let count = row.count.saturating_sub(base.count);
+        let total_ns = row.total_ns.saturating_sub(base.total_ns);
+        if count == 0 && total_ns == 0 {
+            continue;
+        }
+        phases.push((
+            name.clone(),
+            Json::obj(vec![
+                ("count", Json::U64(count)),
+                ("total_ms", Json::F64(total_ns as f64 / 1e6)),
+                (
+                    "self_ms",
+                    Json::F64(row.self_ns.saturating_sub(base.self_ns) as f64 / 1e6),
+                ),
+            ]),
+        ));
+    }
+    let counters = post
+        .counters
+        .iter()
+        .filter_map(|(name, &v)| {
+            let delta = v.saturating_sub(pre.counters.get(name).copied().unwrap_or(0));
+            (delta > 0).then(|| (name.clone(), Json::U64(delta)))
+        })
+        .collect();
+    Json::Obj(vec![
+        ("phases".to_string(), Json::Obj(phases)),
+        ("counters".to_string(), Json::Obj(counters)),
+    ])
 }
 
 /// Serialise a cell's effective pass parameters ([`ParamValue`]s) as a
@@ -1293,7 +1397,17 @@ pub fn run_and_report(
     opts: &RunOptions,
     out_dir: &Path,
 ) -> (ExperimentResult, Vec<Check>) {
-    let result = run_experiment(exp, opts);
+    let pre = swpf_obs::enabled().then(|| swpf_obs::snapshot().summary());
+    let result = {
+        let _span =
+            swpf_obs::enabled().then(|| swpf_obs::span(format!("experiment:{}", exp.spec.name)));
+        run_experiment(exp, opts)
+    };
+    if swpf_obs::enabled() {
+        swpf_obs::count("trace.cache_hit", result.trace_hits() as u64);
+        swpf_obs::count("trace.cache_miss", result.trace_misses() as u64);
+    }
+    let profile = pre.map(|p| profile_window_json(&p, &swpf_obs::snapshot().summary()));
     let derived = (exp.derive)(&result);
     let mut checks = structural_checks(&result, &derived);
     checks.extend((exp.checks)(&result, &derived));
@@ -1311,7 +1425,7 @@ pub fn run_and_report(
         result.trace_misses(),
     );
     print_sections(&derived);
-    let path = write_artifact(out_dir, &result, &derived, &checks)
+    let path = write_artifact_with_profile(out_dir, &result, &derived, &checks, profile)
         .unwrap_or_else(|e| panic!("cannot write artifact for {}: {e}", result.name));
     println!("\nartifact: {}", path.display());
     for check in &checks {
@@ -1330,6 +1444,9 @@ pub struct CliOptions {
     pub run: RunOptions,
     /// Artifact directory (`--out DIR`, default `RESULTS`).
     pub out_dir: PathBuf,
+    /// Chrome-trace profile output (`--profile PATH`, `SWPF_PROFILE`);
+    /// `None` leaves `swpf-obs` disabled.
+    pub profile: Option<PathBuf>,
 }
 
 /// Parse process arguments and environment.
@@ -1362,6 +1479,7 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
         .ok()
         .map(|v| parse_size(&v).expect("SWPF_TRACE_CAP must be a size like 512M"));
     let mut out_dir = PathBuf::from("RESULTS");
+    let mut profile = std::env::var_os("SWPF_PROFILE").map(PathBuf::from);
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -1384,10 +1502,15 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
                 trace_cap =
                     Some(parse_size(&v).expect("--trace-cap must be a size like 4096, 64K, 512M"));
             }
+            "--profile" => {
+                profile = Some(PathBuf::from(
+                    args.next().expect("--profile needs an output path"),
+                ));
+            }
             other => panic!(
                 "unknown argument `{other}` \
                  (expected --threads N | --out DIR | --trace-dir DIR | --no-trace \
-                 | --stream-replay | --trace-cap BYTES)"
+                 | --stream-replay | --trace-cap BYTES | --profile PATH)"
             ),
         }
     }
@@ -1399,6 +1522,38 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
             trace_cap,
         },
         out_dir,
+        profile,
+    }
+}
+
+/// Enable `swpf-obs` profiling when the run asked for it (`--profile`
+/// / `SWPF_PROFILE`), returning the chrome-trace output path to hand
+/// to [`finish_profiling`] once the run completes.
+#[must_use]
+pub fn init_profiling(opts: &CliOptions) -> Option<PathBuf> {
+    let path = opts.profile.clone()?;
+    swpf_obs::enable();
+    swpf_obs::name_thread("main");
+    Some(path)
+}
+
+/// Capture everything recorded since [`init_profiling`] and write the
+/// Chrome trace-event JSON to `path` (load in `chrome://tracing` /
+/// Perfetto, or render as a table with `--bin prof_report`). Write
+/// failures warn rather than fail the run — profiling is advisory.
+pub fn finish_profiling(path: &Path) {
+    let profile = swpf_obs::snapshot();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(path, profile.to_chrome_json()) {
+        Ok(()) => println!(
+            "profile: {} ({} threads, {} counters; render with --bin prof_report)",
+            path.display(),
+            profile.threads.len(),
+            profile.counters.len(),
+        ),
+        Err(e) => eprintln!("warning: cannot write profile {}: {e}", path.display()),
     }
 }
 
@@ -1424,9 +1579,13 @@ fn parse_size(s: &str) -> Option<u64> {
 pub fn cli_main(name: &str) -> std::process::ExitCode {
     let scale = crate::scale_from_env();
     let opts = cli_options();
+    let profile = init_profiling(&opts);
     let exp = crate::experiments::by_name(name, scale)
         .unwrap_or_else(|| panic!("unknown experiment `{name}`"));
     let (_, checks) = run_and_report(&exp, &opts.run, &opts.out_dir);
+    if let Some(path) = profile {
+        finish_profiling(&path);
+    }
     if checks.iter().all(|c| c.passed) {
         std::process::ExitCode::SUCCESS
     } else {

@@ -69,6 +69,7 @@ pub fn simulate(cfg: &MachineConfig, w: &dyn Workload, module: &Module) -> SimSt
 pub fn auto_module(w: &dyn Workload, config: &PassConfig) -> Module {
     let mut m = w.build_baseline();
     swpf_core::run_on_module(&mut m, config);
+    let _span = swpf_obs::span("verify");
     swpf_ir::verifier::verify_module(&m).expect("pass output verifies");
     m
 }
@@ -79,6 +80,7 @@ pub fn auto_module(w: &dyn Workload, config: &PassConfig) -> Module {
 pub fn icc_module(w: &dyn Workload, config: &PassConfig) -> Module {
     let mut m = w.build_baseline();
     swpf_core::icc_like::run_on_module(&mut m, config);
+    let _span = swpf_obs::span("verify");
     swpf_ir::verifier::verify_module(&m).expect("pass output verifies");
     m
 }

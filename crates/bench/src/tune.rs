@@ -25,8 +25,8 @@
 //! evaluations.
 
 use crate::harness::{
-    print_sections, structural_checks, write_artifact, CellResult, Check, ExperimentResult, Row,
-    TableSection,
+    print_sections, profile_window_json, structural_checks, write_artifact_with_profile,
+    CellResult, Check, ExperimentResult, Row, TableSection,
 };
 use std::path::Path;
 use std::time::Instant;
@@ -308,7 +308,12 @@ fn tuning_checks(exp: &TuneExperiment, tunings: &[WorkloadTuning]) -> Vec<Check>
 /// # Panics
 /// If the artifact cannot be written.
 pub fn run_and_report(exp: &TuneExperiment, out_dir: &Path) -> (ExperimentResult, Vec<Check>) {
-    let (result, derived, checks) = run_tune(exp);
+    let pre = swpf_obs::enabled().then(|| swpf_obs::snapshot().summary());
+    let (result, derived, checks) = {
+        let _span = swpf_obs::enabled().then(|| swpf_obs::span(format!("experiment:{}", exp.name)));
+        run_tune(exp)
+    };
+    let profile = pre.map(|p| profile_window_json(&p, &swpf_obs::snapshot().summary()));
     println!(
         "\n#### {} — {} [scale={}, {} evaluated cells, {:.2}s]",
         result.name,
@@ -318,7 +323,7 @@ pub fn run_and_report(exp: &TuneExperiment, out_dir: &Path) -> (ExperimentResult
         result.wall_s,
     );
     print_sections(&derived);
-    let path = write_artifact(out_dir, &result, &derived, &checks)
+    let path = write_artifact_with_profile(out_dir, &result, &derived, &checks, profile)
         .unwrap_or_else(|e| panic!("cannot write artifact for {}: {e}", result.name));
     println!("\nartifact: {}", path.display());
     for check in &checks {

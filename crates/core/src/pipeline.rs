@@ -195,6 +195,7 @@ impl FunctionPass for SwpfPass {
 /// (the `verify` pipeline pass or `SWPF_VERIFY_PASSES`) — a pass bug,
 /// attributed to the offending pass in the panic message.
 pub fn run_pipeline(m: &mut Module, config: &PassConfig, am: &mut AnalysisManager) -> PassReport {
+    let _span = swpf_obs::span("compile");
     let report = Rc::new(RefCell::new(PassReport::default()));
     let verify_each = std::env::var_os("SWPF_VERIFY_PASSES").is_some_and(|v| v != "0");
     let mut pm = PassManager::new().verify_between(verify_each);

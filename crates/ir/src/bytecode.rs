@@ -63,7 +63,15 @@ use crate::interp::{
 use crate::types::Type;
 use crate::value::ValueId;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Whether the opt-in `SWPF_OPCODE_STATS=1` retired-opcode statistics
+/// are active. Read once per process — flipping the variable after the
+/// first bytecode run has no effect.
+fn opcode_stats_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("SWPF_OPCODE_STATS").is_some_and(|v| v != "0"))
+}
 
 /// Width of each packed operand field.
 pub const FIELD_BITS: u32 = 14;
@@ -171,6 +179,68 @@ pub mod op {
     pub const MUL_LSHR: u8 = 74; // mul ; lshr       (multiplicative hash)
     pub const ADD_ICMP: u8 = 75; // add ; icmp       (increment then test)
     pub const GEP_LDF64: u8 = 76; // gep ; ld_f64     (float gather, CG)
+
+    /// Mnemonic of an opcode (base or fused), for tooling and the
+    /// `SWPF_OPCODE_STATS` retired-opcode report.
+    #[must_use]
+    pub fn name(opcode: u8) -> &'static str {
+        match opcode {
+            RET => "ret",
+            BR => "br",
+            CBR => "cbr",
+            ADD => "add",
+            SUB => "sub",
+            MUL => "mul",
+            SDIV => "sdiv",
+            UDIV => "udiv",
+            SREM => "srem",
+            UREM => "urem",
+            AND => "and",
+            OR => "or",
+            XOR => "xor",
+            SHL => "shl",
+            LSHR => "lshr",
+            ASHR => "ashr",
+            FADD => "fadd",
+            FSUB => "fsub",
+            FMUL => "fmul",
+            FDIV => "fdiv",
+            ICMP => "icmp",
+            SELECT => "select",
+            MASK => "mask",
+            SEXT => "sext",
+            COPY => "copy",
+            ALLOC => "alloc",
+            GEP => "gep",
+            LD_I1 => "ld_i1",
+            LD_I8 => "ld_i8",
+            LD_I16 => "ld_i16",
+            LD_I32 => "ld_i32",
+            LD_I64 => "ld_i64",
+            LD_F64 => "ld_f64",
+            ST_1 => "st_1",
+            ST_2 => "st_2",
+            ST_4 => "st_4",
+            ST_8 => "st_8",
+            PREFETCH => "prefetch",
+            CALL => "call",
+            FALLOFF => "falloff",
+            GEP_LD64 => "gep+ld_i64",
+            LD64_GEP => "ld_i64+gep",
+            ICMP_CBR => "icmp+cbr",
+            GEP_PF => "gep+prefetch",
+            ICMP_SEL => "icmp+select",
+            LD64_ICMP => "ld_i64+icmp",
+            SEL_GEP => "select+gep",
+            ADD_SUB => "add+sub",
+            PF_ADD => "prefetch+add",
+            LD64_MUL => "ld_i64+mul",
+            MUL_LSHR => "mul+lshr",
+            ADD_ICMP => "add+icmp",
+            GEP_LDF64 => "gep+ld_f64",
+            _ => "invalid",
+        }
+    }
 }
 
 /// The fusion catalogue: `(first opcode, second opcode, fused opcode)`.
@@ -394,6 +464,7 @@ impl BcImage {
     }
 
     fn lower_impl(image: &ExecImage, fuse: bool) -> Result<BcImage, LowerError> {
+        let _span = swpf_obs::span("bc:lower");
         if image.funcs.len() > FIELD_MASK as usize + 1 {
             return Err(LowerError::TooManyFuncs {
                 funcs: image.funcs.len(),
@@ -407,6 +478,17 @@ impl BcImage {
                 fuse_function(&mut bf);
             }
             funcs.push(bf);
+        }
+        if swpf_obs::enabled() {
+            swpf_obs::count("bc.lowered_funcs", funcs.len() as u64);
+            swpf_obs::count(
+                "bc.lowered_words",
+                funcs.iter().map(|f| f.code.len() as u64).sum(),
+            );
+            swpf_obs::count(
+                "bc.fused_heads",
+                funcs.iter().map(|f| f.fused_count() as u64).sum(),
+            );
         }
         Ok(BcImage { funcs })
     }
@@ -1332,12 +1414,20 @@ impl BcState {
     /// The fused fast loop: frame state (code, register file, ip) is
     /// re-acquired only on calls and returns, and fused heads dispatch
     /// once for two instructions.
+    ///
+    /// With `SWPF_OPCODE_STATS=1` the run is diverted up front to a
+    /// separate stepping-based loop that tallies dispatched opcodes —
+    /// the flag is checked once per run, before the loop, so the
+    /// default fast path carries no per-instruction cost for it.
     fn run_to_done(
         &mut self,
         image: &BcImage,
         mem: &mut Memory,
         obs: &mut (impl ExecObserver + ?Sized),
     ) -> Result<Option<RtVal>, Trap> {
+        if opcode_stats_enabled() {
+            return self.run_to_done_counted(image, mem, obs);
+        }
         'frames: loop {
             let depth = self.frames.len();
             let frame = self
@@ -1378,6 +1468,45 @@ impl BcState {
                 }
             }
         }
+    }
+
+    /// The `SWPF_OPCODE_STATS=1` diagnostic loop: before every step it
+    /// reads the raw opcode byte at the cursor and tallies it (a fused
+    /// head tallies as the fused opcode — one dispatch), then steps.
+    /// The tally flushes into `swpf-obs` counters (`bc.op.<mnemonic>`)
+    /// when the run completes or traps. Stepped execution demotes fused
+    /// heads, so the dispatch *behaviour* measured here differs from
+    /// the fast loop only in speed, never in architectural effect.
+    #[cold]
+    fn run_to_done_counted(
+        &mut self,
+        image: &BcImage,
+        mem: &mut Memory,
+        obs: &mut (impl ExecObserver + ?Sized),
+    ) -> Result<Option<RtVal>, Trap> {
+        let mut tally = vec![0u64; 256];
+        let result = loop {
+            let frame = self
+                .frames
+                .last()
+                .expect("run_to_done() without an active cursor");
+            let w = image.funcs[frame.func as usize].code[frame.ip as usize];
+            tally[(w as u8) as usize] += 1;
+            match self.step(image, mem, obs) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Done(v)) => break Ok(v),
+                Err(t) => break Err(t),
+            }
+        };
+        if swpf_obs::enabled() {
+            for (opcode, &n) in tally.iter().enumerate() {
+                if n > 0 {
+                    #[allow(clippy::cast_possible_truncation)]
+                    swpf_obs::count(format!("bc.op.{}", op::name(opcode as u8)), n);
+                }
+            }
+        }
+        result
     }
 
     fn push_frame(&mut self, image: &BcImage, callee: u32, dst: u32, regs: Vec<RtVal>) {
@@ -1730,6 +1859,64 @@ mod tests {
         };
         assert_eq!(fast_r, slow_r);
         assert_eq!(fast.retired(), slow.retired());
+    }
+
+    #[test]
+    fn every_defined_opcode_has_a_unique_mnemonic() {
+        let mut seen = std::collections::HashSet::new();
+        for opc in (0..=op::FALLOFF).chain(op::FUSED_BASE..=op::GEP_LDF64) {
+            let n = op::name(opc);
+            assert_ne!(n, "invalid", "opcode {opc} has no mnemonic");
+            assert!(seen.insert(n), "duplicate mnemonic {n}");
+        }
+        assert_eq!(op::name(50), "invalid");
+    }
+
+    #[test]
+    fn opcode_stats_loop_matches_fast_loop_and_flushes_counters() {
+        let m = sum_module();
+        let image = ExecImage::build(&m);
+        let bc = Arc::new(BcImage::lower(&image).unwrap());
+        let mut mem_a = Memory::with_limit(1 << 20);
+        let base = mem_a.alloc(10 * 8).unwrap();
+        for i in 0..10u64 {
+            mem_a.write(base + i * 8, 8, i + 1).unwrap();
+        }
+        let mut mem_b = mem_a.clone();
+        let args = [RtVal::Int(base as i64), RtVal::Int(10)];
+
+        let mut fast = BcEngine::new();
+        fast.start(Arc::clone(&bc), FuncId(0), &args);
+        let fast_r = fast.run_to_done(&mut mem_a, &mut NullObserver).unwrap();
+
+        swpf_obs::enable();
+        let mut counted = BcEngine::new();
+        counted.start(Arc::clone(&bc), FuncId(0), &args);
+        let r = counted
+            .st
+            .run_to_done_counted(&bc, &mut mem_b, &mut NullObserver)
+            .unwrap();
+        let profile = swpf_obs::snapshot();
+        swpf_obs::disable();
+
+        assert_eq!(r, fast_r);
+        assert_eq!(counted.retired(), fast.retired());
+        let dispatched: u64 = profile
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("bc.op."))
+            .map(|(_, &v)| v)
+            .sum();
+        // One tally per step; phi copies of taken branches retire with
+        // their branch, so dispatches never exceed retirements.
+        assert!(dispatched > 0 && dispatched <= counted.retired());
+        assert!(
+            profile
+                .counters
+                .keys()
+                .any(|k| k.starts_with("bc.op.") && k.contains('+')),
+            "sum kernel dispatches at least one fused head"
+        );
     }
 
     #[test]

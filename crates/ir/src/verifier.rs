@@ -38,7 +38,8 @@ impl std::error::Error for VerifyError {}
 /// Verify every function in the module.
 ///
 /// # Errors
-/// Returns the first violation found.
+/// Returns the first violation found ([`verify_module_all`] collects
+/// them all).
 pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     for f in m.func_ids() {
         verify_function(m, f)?;
@@ -46,44 +47,82 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     Ok(())
 }
 
+/// Verify every function in the module, collecting **every** violation
+/// instead of stopping at the first — what the verify-between-passes
+/// debug mode reports, so one broken pass shows all of its damage at
+/// once. Empty means the module is valid.
+#[must_use]
+pub fn verify_module_all(m: &Module) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    for f in m.func_ids() {
+        errs.extend(verify_function_all(m, f));
+    }
+    errs
+}
+
 /// Verify a single function.
 ///
 /// # Errors
-/// Returns the first violation found.
+/// Returns the first violation found ([`verify_function_all`] collects
+/// them all).
 pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
+    match verify_function_all(m, fid).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Verify a single function, collecting every violation.
+///
+/// Checks run in dependency order: structural soundness first (blocks
+/// non-empty, listed values are instructions, operand/successor
+/// indices in range, terminator/phi placement). If any structural
+/// check fails, the deeper phases — which index by those values and
+/// would fault on a malformed skeleton — are skipped for this
+/// function, and only the structural errors are reported. On a
+/// structurally sound function, every phi-edge, type, SSA-dominance,
+/// and purity violation is collected (type and dominance checks report
+/// at instruction granularity).
+#[must_use]
+pub fn verify_function_all(m: &Module, fid: FuncId) -> Vec<VerifyError> {
     let f = m.function(fid);
-    let fail = |msg: String| {
-        Err(VerifyError {
-            func: f.name.clone(),
-            message: msg,
-        })
-    };
+    let mut errs: Vec<VerifyError> = Vec::new();
+    macro_rules! fail {
+        ($($t:tt)*) => {
+            errs.push(VerifyError {
+                func: f.name.clone(),
+                message: format!($($t)*),
+            })
+        };
+    }
 
     // --- structural checks -------------------------------------------------
     for b in f.block_ids() {
         let insts = &f.block(b).insts;
         if insts.is_empty() {
-            return fail(format!("{b} is empty"));
+            fail!("{b} is empty");
+            continue;
         }
         let mut seen_non_phi = false;
         for (pos, &v) in insts.iter().enumerate() {
             let Some(inst) = f.inst(v) else {
-                return fail(format!("{b} lists non-instruction value {v}"));
+                fail!("{b} lists non-instruction value {v}");
+                continue;
             };
             if inst.block != b {
-                return fail(format!("{v} placed in {b} but records {}", inst.block));
+                fail!("{v} placed in {b} but records {}", inst.block);
             }
             let is_last = pos + 1 == insts.len();
             if inst.is_terminator() != is_last {
-                return fail(format!(
+                fail!(
                     "{v} in {b}: terminator placement (pos {pos} of {})",
                     insts.len()
-                ));
+                );
             }
             match inst.kind {
                 InstKind::Phi { .. } => {
                     if seen_non_phi {
-                        return fail(format!("{v}: phi after non-phi in {b}"));
+                        fail!("{v}: phi after non-phi in {b}");
                     }
                 }
                 _ => seen_non_phi = true,
@@ -91,15 +130,20 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
             // Operand and successor indices must be in range.
             for op in inst.operands() {
                 if op.index() >= f.num_values() {
-                    return fail(format!("{v}: operand {op} out of range"));
+                    fail!("{v}: operand {op} out of range");
                 }
             }
             for s in inst.successors() {
                 if s.index() >= f.num_blocks() {
-                    return fail(format!("{v}: successor {s} out of range"));
+                    fail!("{v}: successor {s} out of range");
                 }
             }
         }
+    }
+    if !errs.is_empty() {
+        // The remaining phases index values/blocks the structural pass
+        // just proved unsound; report the structural damage alone.
+        return errs;
     }
 
     // --- phi incoming edges match predecessors -----------------------------
@@ -111,15 +155,13 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                 incoming_blocks.sort();
                 incoming_blocks.dedup();
                 if incoming_blocks.len() != incomings.len() {
-                    return fail(format!("{v}: duplicate phi incoming blocks"));
+                    fail!("{v}: duplicate phi incoming blocks");
                 }
                 let mut actual = preds[b.index()].clone();
                 actual.sort();
                 actual.dedup();
                 if incoming_blocks != actual {
-                    return fail(format!(
-                        "{v}: phi incomings {incoming_blocks:?} != predecessors {actual:?}"
-                    ));
+                    fail!("{v}: phi incomings {incoming_blocks:?} != predecessors {actual:?}");
                 }
             }
         }
@@ -127,136 +169,8 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
 
     // --- type checks --------------------------------------------------------
     for v in f.all_insts() {
-        let inst = f.inst(v).expect("checked above");
-        let ty_of = |val: ValueId| f.value(val).ty;
-        match &inst.kind {
-            InstKind::Binary { op, lhs, rhs } => {
-                let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
-                if lt.is_none() || lt != rt {
-                    return fail(format!("{v}: binary operand types {lt:?} vs {rt:?}"));
-                }
-                let is_f = lt == Some(Type::F64);
-                if op.is_float() != is_f {
-                    return fail(format!("{v}: {} on {lt:?}", op.mnemonic()));
-                }
-            }
-            InstKind::ICmp { lhs, rhs, .. } => {
-                let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
-                if lt != rt || lt.is_none_or(|t| !t.is_int()) {
-                    return fail(format!("{v}: icmp operand types {lt:?} vs {rt:?}"));
-                }
-            }
-            InstKind::Select {
-                cond,
-                then_val,
-                else_val,
-            } => {
-                if ty_of(*cond) != Some(Type::I1) {
-                    return fail(format!("{v}: select condition must be i1"));
-                }
-                if ty_of(*then_val) != ty_of(*else_val) {
-                    return fail(format!("{v}: select arm types differ"));
-                }
-            }
-            InstKind::Cast { op, val, to } => {
-                use crate::inst::CastOp;
-                let from = ty_of(*val);
-                let Some(from) = from else {
-                    return fail(format!("{v}: cast of void value"));
-                };
-                let ok = match op {
-                    CastOp::Trunc => from.is_int() && to.is_int() && from.bits() > to.bits(),
-                    CastOp::Zext | CastOp::Sext => {
-                        from.is_int() && to.is_int() && from.bits() < to.bits()
-                    }
-                    CastOp::IntToPtr => from == Type::I64 && *to == Type::Ptr,
-                    CastOp::PtrToInt => from == Type::Ptr && *to == Type::I64,
-                };
-                if !ok {
-                    return fail(format!("{v}: invalid cast {from} to {to}"));
-                }
-            }
-            InstKind::Alloc { count, elem_size } => {
-                if ty_of(*count).is_none_or(|t| !t.is_int()) {
-                    return fail(format!("{v}: alloc count must be integer"));
-                }
-                if *elem_size == 0 {
-                    return fail(format!("{v}: alloc with zero element size"));
-                }
-            }
-            InstKind::Gep {
-                base,
-                index,
-                elem_size,
-                ..
-            } => {
-                if ty_of(*base) != Some(Type::Ptr) {
-                    return fail(format!("{v}: gep base must be ptr"));
-                }
-                if ty_of(*index).is_none_or(|t| !t.is_int()) {
-                    return fail(format!("{v}: gep index must be integer"));
-                }
-                if *elem_size == 0 {
-                    return fail(format!("{v}: gep with zero element size"));
-                }
-            }
-            InstKind::Load { addr, .. }
-            | InstKind::Prefetch { addr }
-            | InstKind::Store { addr, .. } => {
-                if ty_of(*addr) != Some(Type::Ptr) {
-                    return fail(format!("{v}: memory address must be ptr"));
-                }
-                if let InstKind::Store { value, .. } = inst.kind {
-                    if ty_of(value).is_none() {
-                        return fail(format!("{v}: store of void value"));
-                    }
-                }
-            }
-            InstKind::Phi { incomings } => {
-                let my_ty = f.value(v).ty;
-                for (_, iv) in incomings {
-                    if ty_of(*iv) != my_ty {
-                        return fail(format!("{v}: phi incoming type mismatch"));
-                    }
-                }
-            }
-            InstKind::Call { callee, args } => {
-                if callee.index() >= m.num_functions() {
-                    return fail(format!("{v}: call target out of range"));
-                }
-                let target = m.function(*callee);
-                if target.params.len() != args.len() {
-                    return fail(format!(
-                        "{v}: call to @{} with {} args, expected {}",
-                        target.name,
-                        args.len(),
-                        target.params.len()
-                    ));
-                }
-                for (a, &pt) in args.iter().zip(&target.params) {
-                    if ty_of(*a) != Some(pt) {
-                        return fail(format!("{v}: call argument type mismatch"));
-                    }
-                }
-                if f.value(v).ty != target.ret {
-                    return fail(format!("{v}: call result type mismatch"));
-                }
-            }
-            InstKind::CondBr { cond, .. } => {
-                if ty_of(*cond) != Some(Type::I1) {
-                    return fail(format!("{v}: branch condition must be i1"));
-                }
-            }
-            InstKind::Br { .. } => {}
-            InstKind::Ret { value } => {
-                let got = value.and_then(ty_of);
-                if got != f.ret {
-                    return fail(format!(
-                        "{v}: ret type {got:?}, function returns {:?}",
-                        f.ret
-                    ));
-                }
-            }
+        if let Err(msg) = check_inst_types(m, f, v) {
+            fail!("{msg}");
         }
     }
 
@@ -285,7 +199,7 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                 for &(pb, pv) in incomings {
                     if let ValueKind::Inst(def) = &f.value(pv).kind {
                         if !dominates(def.block, pb) {
-                            return fail(format!("{v}: phi incoming {pv} does not dominate {pb}"));
+                            fail!("{v}: phi incoming {pv} does not dominate {pb}");
                         }
                     }
                 }
@@ -298,11 +212,11 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                         match def_pos {
                             Some(dp) if dp < pos => {}
                             _ => {
-                                return fail(format!("{v}: use of {op} before definition in {b}"));
+                                fail!("{v}: use of {op} before definition in {b}");
                             }
                         }
                     } else if !dominates(def.block, b) {
-                        return fail(format!("{v}: use of {op} not dominated by its definition"));
+                        fail!("{v}: use of {op} not dominated by its definition");
                     }
                 }
             }
@@ -314,10 +228,10 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
         for v in f.all_insts() {
             match &f.inst(v).expect("checked").kind {
                 InstKind::Store { .. } | InstKind::Alloc { .. } => {
-                    return fail(format!("{v}: store/alloc in non-impure function"));
+                    fail!("{v}: store/alloc in non-impure function");
                 }
                 InstKind::Load { .. } if f.purity == Purity::Pure => {
-                    return fail(format!("{v}: load in pure function"));
+                    fail!("{v}: load in pure function");
                 }
                 InstKind::Call { callee, .. } => {
                     let cp = m.function(*callee).purity;
@@ -327,7 +241,7 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                         Purity::Impure => true,
                     };
                     if !ok {
-                        return fail(format!("{v}: call weakens declared purity"));
+                        fail!("{v}: call weakens declared purity");
                     }
                 }
                 _ => {}
@@ -335,6 +249,145 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
         }
     }
 
+    errs
+}
+
+/// Type-check one instruction, reporting its first violation (the
+/// collecting verifier runs this per instruction, so a function's type
+/// errors surface at instruction granularity).
+fn check_inst_types(m: &Module, f: &Function, v: ValueId) -> Result<(), String> {
+    let inst = f.inst(v).expect("checked above");
+    let ty_of = |val: ValueId| f.value(val).ty;
+    let fail = |msg: String| Err(msg);
+    match &inst.kind {
+        InstKind::Binary { op, lhs, rhs } => {
+            let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
+            if lt.is_none() || lt != rt {
+                return fail(format!("{v}: binary operand types {lt:?} vs {rt:?}"));
+            }
+            let is_f = lt == Some(Type::F64);
+            if op.is_float() != is_f {
+                return fail(format!("{v}: {} on {lt:?}", op.mnemonic()));
+            }
+        }
+        InstKind::ICmp { lhs, rhs, .. } => {
+            let (lt, rt) = (ty_of(*lhs), ty_of(*rhs));
+            if lt != rt || lt.is_none_or(|t| !t.is_int()) {
+                return fail(format!("{v}: icmp operand types {lt:?} vs {rt:?}"));
+            }
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            if ty_of(*cond) != Some(Type::I1) {
+                return fail(format!("{v}: select condition must be i1"));
+            }
+            if ty_of(*then_val) != ty_of(*else_val) {
+                return fail(format!("{v}: select arm types differ"));
+            }
+        }
+        InstKind::Cast { op, val, to } => {
+            use crate::inst::CastOp;
+            let from = ty_of(*val);
+            let Some(from) = from else {
+                return fail(format!("{v}: cast of void value"));
+            };
+            let ok = match op {
+                CastOp::Trunc => from.is_int() && to.is_int() && from.bits() > to.bits(),
+                CastOp::Zext | CastOp::Sext => {
+                    from.is_int() && to.is_int() && from.bits() < to.bits()
+                }
+                CastOp::IntToPtr => from == Type::I64 && *to == Type::Ptr,
+                CastOp::PtrToInt => from == Type::Ptr && *to == Type::I64,
+            };
+            if !ok {
+                return fail(format!("{v}: invalid cast {from} to {to}"));
+            }
+        }
+        InstKind::Alloc { count, elem_size } => {
+            if ty_of(*count).is_none_or(|t| !t.is_int()) {
+                return fail(format!("{v}: alloc count must be integer"));
+            }
+            if *elem_size == 0 {
+                return fail(format!("{v}: alloc with zero element size"));
+            }
+        }
+        InstKind::Gep {
+            base,
+            index,
+            elem_size,
+            ..
+        } => {
+            if ty_of(*base) != Some(Type::Ptr) {
+                return fail(format!("{v}: gep base must be ptr"));
+            }
+            if ty_of(*index).is_none_or(|t| !t.is_int()) {
+                return fail(format!("{v}: gep index must be integer"));
+            }
+            if *elem_size == 0 {
+                return fail(format!("{v}: gep with zero element size"));
+            }
+        }
+        InstKind::Load { addr, .. }
+        | InstKind::Prefetch { addr }
+        | InstKind::Store { addr, .. } => {
+            if ty_of(*addr) != Some(Type::Ptr) {
+                return fail(format!("{v}: memory address must be ptr"));
+            }
+            if let InstKind::Store { value, .. } = inst.kind {
+                if ty_of(value).is_none() {
+                    return fail(format!("{v}: store of void value"));
+                }
+            }
+        }
+        InstKind::Phi { incomings } => {
+            let my_ty = f.value(v).ty;
+            for (_, iv) in incomings {
+                if ty_of(*iv) != my_ty {
+                    return fail(format!("{v}: phi incoming type mismatch"));
+                }
+            }
+        }
+        InstKind::Call { callee, args } => {
+            if callee.index() >= m.num_functions() {
+                return fail(format!("{v}: call target out of range"));
+            }
+            let target = m.function(*callee);
+            if target.params.len() != args.len() {
+                return fail(format!(
+                    "{v}: call to @{} with {} args, expected {}",
+                    target.name,
+                    args.len(),
+                    target.params.len()
+                ));
+            }
+            for (a, &pt) in args.iter().zip(&target.params) {
+                if ty_of(*a) != Some(pt) {
+                    return fail(format!("{v}: call argument type mismatch"));
+                }
+            }
+            if f.value(v).ty != target.ret {
+                return fail(format!("{v}: call result type mismatch"));
+            }
+        }
+        InstKind::CondBr { cond, .. } => {
+            if ty_of(*cond) != Some(Type::I1) {
+                return fail(format!("{v}: branch condition must be i1"));
+            }
+        }
+        InstKind::Br { .. } => {}
+        InstKind::Ret { value } => {
+            let got = value.and_then(ty_of);
+            if got != f.ret {
+                return fail(format!(
+                    "{v}: ret type {got:?}, function returns {:?}",
+                    f.ret
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -533,6 +586,52 @@ mod tests {
         }
         let err = verify_module(&m).unwrap_err();
         assert!(err.message.contains("pure"), "{err}");
+    }
+
+    #[test]
+    fn collects_every_type_violation() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64, Type::I32], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let wide = b.arg(0);
+            let narrow = b.arg(1);
+            // Two independent type errors in one function.
+            let bad1 = b.binary(BinOp::Add, wide, narrow);
+            let bad2 = b.binary(BinOp::Mul, narrow, wide);
+            let ok = b.binary(BinOp::Add, wide, wide);
+            let _ = (bad1, bad2);
+            b.ret(Some(ok));
+        }
+        let errs = verify_module_all(&m);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs
+            .iter()
+            .all(|e| e.message.contains("binary operand types")));
+        // The first-error wrapper reports exactly the head of the list.
+        assert_eq!(verify_module(&m).unwrap_err(), errs[0]);
+    }
+
+    #[test]
+    fn structural_damage_gates_deeper_checks_without_panicking() {
+        let mut m = Module::new("t");
+        let fid = m.declare_function("f", &[Type::I64], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let x = b.arg(0);
+            let one = b.const_i64(1);
+            let y = b.add(x, one);
+            b.ret(Some(y));
+            // An empty second block and a dropped terminator: two
+            // structural faults at once.
+            b.create_block("hole");
+        }
+        let entry = m.function(fid).entry();
+        m.function_mut(fid).block_mut(entry).insts.pop();
+        let errs = verify_module_all(&m);
+        assert!(errs.len() >= 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("is empty")));
+        assert!(errs.iter().any(|e| e.message.contains("terminator")));
     }
 
     #[test]

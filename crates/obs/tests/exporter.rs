@@ -1,0 +1,182 @@
+//! Property tests for the recorder and exporter: arbitrary span
+//! programs executed through the real API must come back balanced and
+//! in nesting order per thread, counters must sum across threads, and
+//! the chrome export must carry one `B`/`E` pair per completed span.
+//!
+//! (JSON well-formedness of the export is property-tested from
+//! `swpf-bench`, which owns the workspace's JSON parser — this crate
+//! is dependency-free by design.)
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use swpf_obs as obs;
+
+/// The recorder is process-global; every test body serialises here and
+/// resets around itself.
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Interpret one op stream through the real API on the calling thread,
+/// returning the expected (name, is_begin) event skeleton.
+fn run_ops(label: u64, ops: &[u8]) -> Vec<(String, bool)> {
+    let mut guards = Vec::new();
+    let mut expected = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op % 3 {
+            0 => {
+                let name = format!("t{label}.s{i}");
+                guards.push(obs::span(name.clone()));
+                expected.push((name, true));
+            }
+            1 => {
+                if guards.pop().is_some() {
+                    expected.push((String::new(), false));
+                }
+            }
+            _ => obs::count(format!("t{label}.ctr"), u64::from(*op) + 1),
+        }
+    }
+    while guards.pop().is_some() {
+        expected.push((String::new(), false));
+    }
+    expected
+}
+
+fn skeleton(track: &obs::ThreadTrack) -> Vec<(String, bool)> {
+    track
+        .events
+        .iter()
+        .map(|ev| match ev {
+            obs::TrackEvent::Begin { name, .. } => (name.clone(), true),
+            obs::TrackEvent::End { .. } => (String::new(), false),
+        })
+        .collect()
+}
+
+proptest! {
+    // Concurrent span programs: per-thread streams stay balanced, in
+    // program order, and never interleave records across threads.
+    #[test]
+    fn concurrent_span_programs_export_balanced_ordered_tracks(
+        ops in prop::collection::vec(0u8..=255, 0..120),
+    ) {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        obs::reset();
+        obs::enable();
+
+        let mut streams: Vec<Vec<u8>> = Vec::new();
+        for t in 0..3usize {
+            let mut s = ops.clone();
+            s.rotate_left(t.min(ops.len()));
+            streams.push(s);
+        }
+        let mut expected: Vec<Vec<(String, bool)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(t, s)| {
+                    scope.spawn(move || {
+                        obs::name_thread(&format!("prop-{t}"));
+                        run_ops(t as u64, s)
+                    })
+                })
+                .collect();
+            for h in handles {
+                expected.push(h.join().expect("worker panicked"));
+            }
+        });
+        obs::disable();
+        let profile = obs::snapshot();
+
+        let mut expected_counters = std::collections::BTreeMap::new();
+        for (t, s) in streams.iter().enumerate() {
+            for op in s.iter().filter(|op| *op % 3 == 2) {
+                *expected_counters
+                    .entry(format!("t{t}.ctr"))
+                    .or_insert(0u64) += u64::from(*op) + 1;
+            }
+        }
+        prop_assert_eq!(&profile.counters, &expected_counters);
+
+        for (t, want) in expected.iter().enumerate() {
+            let name = format!("prop-{t}");
+            let track = profile
+                .threads
+                .iter()
+                .find(|tr| tr.name == name);
+            if want.is_empty() {
+                // A thread that recorded nothing may be absent.
+                if let Some(track) = track {
+                    prop_assert!(track.events.is_empty());
+                }
+                continue;
+            }
+            let track = track.expect("recorded thread has a track");
+            prop_assert_eq!(track.dropped, 0);
+            prop_assert_eq!(&skeleton(track), want);
+            let mut depth = 0i64;
+            for (_, is_begin) in skeleton(track) {
+                depth += if is_begin { 1 } else { -1 };
+                prop_assert!(depth >= 0, "an end never precedes its begin");
+            }
+            prop_assert_eq!(depth, 0, "every begin has an end");
+        }
+    }
+
+    // The chrome export emits exactly one B and one E per span of each
+    // thread, and timestamps are non-decreasing per track.
+    #[test]
+    fn chrome_export_counts_match_recorded_spans(n_spans in 0usize..40) {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        obs::reset();
+        obs::enable();
+        for i in 0..n_spans {
+            let _outer = obs::span(format!("outer{i}"));
+            let _inner = obs::span("inner");
+        }
+        obs::disable();
+        let profile = obs::snapshot();
+        let text = profile.to_chrome_json();
+        let begins = text.matches("\"ph\": \"B\"").count();
+        let ends = text.matches("\"ph\": \"E\"").count();
+        prop_assert_eq!(begins, 2 * n_spans);
+        prop_assert_eq!(ends, 2 * n_spans);
+        for track in &profile.threads {
+            let mut last = 0u64;
+            for ev in &track.events {
+                let ns = match ev {
+                    obs::TrackEvent::Begin { ns, .. } | obs::TrackEvent::End { ns } => *ns,
+                };
+                prop_assert!(ns >= last, "timestamps are monotone per track");
+                last = ns;
+            }
+        }
+    }
+
+    // Summary self-time never exceeds total, and total of a parent
+    // covers its children.
+    #[test]
+    fn summary_self_time_is_consistent(depth in 1usize..12) {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        obs::reset();
+        obs::enable();
+        {
+            let mut guards = Vec::new();
+            for d in 0..depth {
+                guards.push(obs::span(format!("level{d}")));
+            }
+        }
+        obs::disable();
+        let summary = obs::snapshot().summary();
+        prop_assert_eq!(summary.rows.len(), depth);
+        for (i, (name, row)) in summary.rows.iter().enumerate() {
+            prop_assert!(row.self_ns <= row.total_ns, "{}: self > total", name);
+            if i > 0 {
+                prop_assert!(
+                    summary.rows[i - 1].1.total_ns >= row.total_ns,
+                    "rows sort by descending total"
+                );
+            }
+        }
+    }
+}

@@ -197,8 +197,16 @@ impl ModulePass for VerifyPass {
     }
 
     fn run(&mut self, m: &mut Module, _am: &mut AnalysisManager) -> Result<PassEffect, String> {
-        swpf_ir::verifier::verify_module(m).map_err(|e| e.to_string())?;
-        Ok(PassEffect::unchanged())
+        let errs = swpf_ir::verifier::verify_module_all(m);
+        if errs.is_empty() {
+            Ok(PassEffect::unchanged())
+        } else {
+            Err(errs
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; "))
+        }
     }
 }
 

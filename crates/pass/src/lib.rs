@@ -23,7 +23,7 @@
 //!   variant.
 //! * [`PassManager`] — runs a pipeline in order, invalidates caches on
 //!   declared mutation, and (in the verify-between-passes debug mode)
-//!   checks module invariants after every pass, attributing the first
+//!   checks module invariants after every pass, attributing **every**
 //!   breakage to the pass that caused it.
 //! * [`cleanup`] — the composable cleanup passes themselves:
 //!   [`cleanup::LocalCse`] and [`cleanup::Dce`], the measurable "let

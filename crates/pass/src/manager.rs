@@ -134,36 +134,53 @@ impl AnalysisManager {
 
     /// Drop every cached analysis of `fid`.
     pub fn invalidate(&mut self, fid: FuncId) {
-        self.entries.remove(&fid);
+        if self.entries.remove(&fid).is_some() {
+            swpf_obs::count("analysis.invalidated", 1);
+        }
     }
 
     /// Drop the whole cache (after a module-level mutation).
     pub fn invalidate_all(&mut self) {
+        if !self.entries.is_empty() {
+            swpf_obs::count("analysis.invalidated", self.entries.len() as u64);
+        }
         self.entries.clear();
+    }
+
+    /// One cache hit: bump the local statistic and the process-wide
+    /// observability counter.
+    fn note_hit(&mut self) {
+        self.hits += 1;
+        swpf_obs::count("analysis.cache_hit", 1);
+    }
+
+    /// One cache miss (analysis computed).
+    fn note_computed(&mut self) {
+        self.computed += 1;
+        swpf_obs::count("analysis.computed", 1);
     }
 
     /// The dominator tree of `f` (`fid` must identify `f` in its module).
     pub fn dom(&mut self, f: &Function, fid: FuncId) -> Arc<DomTree> {
-        let entry = self.entries.entry(fid).or_default();
-        if let Some(dom) = &entry.dom {
-            self.hits += 1;
-            return Arc::clone(dom);
+        if let Some(dom) = self.entries.entry(fid).or_default().dom.clone() {
+            self.note_hit();
+            return dom;
         }
         let dom = Arc::new(DomTree::compute(f));
-        self.computed += 1;
-        entry.dom = Some(Arc::clone(&dom));
+        self.note_computed();
+        self.entries.entry(fid).or_default().dom = Some(Arc::clone(&dom));
         dom
     }
 
     /// The natural-loop forest of `f`.
     pub fn loops(&mut self, f: &Function, fid: FuncId) -> Arc<LoopForest> {
         if let Some(loops) = self.entries.entry(fid).or_default().loops.clone() {
-            self.hits += 1;
+            self.note_hit();
             return loops;
         }
         let dom = self.dom(f, fid);
         let loops = Arc::new(LoopForest::compute(f, &dom));
-        self.computed += 1;
+        self.note_computed();
         self.entries.entry(fid).or_default().loops = Some(Arc::clone(&loops));
         loops
     }
@@ -171,26 +188,25 @@ impl AnalysisManager {
     /// The induction-variable analysis of `f`.
     pub fn ivs(&mut self, f: &Function, fid: FuncId) -> Arc<IvAnalysis> {
         if let Some(ivs) = self.entries.entry(fid).or_default().ivs.clone() {
-            self.hits += 1;
+            self.note_hit();
             return ivs;
         }
         let loops = self.loops(f, fid);
         let ivs = Arc::new(IvAnalysis::compute(f, &loops));
-        self.computed += 1;
+        self.note_computed();
         self.entries.entry(fid).or_default().ivs = Some(Arc::clone(&ivs));
         ivs
     }
 
     /// The memoised object roots of `f`.
     pub fn roots(&mut self, f: &Function, fid: FuncId) -> Arc<RootsAnalysis> {
-        let entry = self.entries.entry(fid).or_default();
-        if let Some(roots) = &entry.roots {
-            self.hits += 1;
-            return Arc::clone(roots);
+        if let Some(roots) = self.entries.entry(fid).or_default().roots.clone() {
+            self.note_hit();
+            return roots;
         }
         let roots = Arc::new(RootsAnalysis::compute(f));
-        self.computed += 1;
-        entry.roots = Some(Arc::clone(&roots));
+        self.note_computed();
+        self.entries.entry(fid).or_default().roots = Some(Arc::clone(&roots));
         roots
     }
 
@@ -247,8 +263,13 @@ enum Stage<'p> {
 /// pass changed, that function's analyses are invalidated; after a
 /// module pass that reports change, the whole cache is. With
 /// [`PassManager::verify_between`] enabled, module invariants are
-/// checked after every stage and the first breakage is attributed to
-/// the stage that introduced it.
+/// checked after every stage; the first broken stage aborts the
+/// pipeline with **every** violation it introduced attributed to it.
+///
+/// When profiling is enabled (`swpf-obs`), each stage runs under a
+/// `pass:<name>` span, and the analysis cache reports
+/// `analysis.cache_hit` / `analysis.computed` / `analysis.invalidated`
+/// counters.
 #[derive(Default)]
 pub struct PassManager<'p> {
     stages: Vec<Stage<'p>>,
@@ -299,7 +320,8 @@ impl<'p> PassManager<'p> {
     ///
     /// # Errors
     /// The first module-pass error, or (with verification enabled) the
-    /// first post-stage verifier failure, attributed to its stage.
+    /// first stage whose post-verification fails — attributed to that
+    /// stage, with **every** invariant violation it introduced listed.
     pub fn run(
         &mut self,
         m: &mut Module,
@@ -307,6 +329,11 @@ impl<'p> PassManager<'p> {
     ) -> Result<Vec<PassRun>, PipelineError> {
         let mut runs = Vec::with_capacity(self.stages.len());
         for stage in &mut self.stages {
+            let stage_name = match stage {
+                Stage::Function(p) => p.name(),
+                Stage::Module(p) => p.name(),
+            };
+            let _span = swpf_obs::enabled().then(|| swpf_obs::span(format!("pass:{stage_name}")));
             let run = match stage {
                 Stage::Function(pass) => {
                     let mut changed = false;
@@ -341,10 +368,22 @@ impl<'p> PassManager<'p> {
                 }
             };
             if self.verify_between {
-                swpf_ir::verifier::verify_module(m).map_err(|e| PipelineError {
-                    pass: run.name,
-                    message: format!("module invariants broken after this pass: {e}"),
-                })?;
+                let errs = swpf_ir::verifier::verify_module_all(m);
+                if !errs.is_empty() {
+                    use std::fmt::Write as _;
+                    let mut message = format!(
+                        "module invariants broken after this pass ({} violation{}):",
+                        errs.len(),
+                        if errs.len() == 1 { "" } else { "s" }
+                    );
+                    for e in &errs {
+                        let _ = write!(message, "\n  {e}");
+                    }
+                    return Err(PipelineError {
+                        pass: run.name,
+                        message,
+                    });
+                }
             }
             runs.push(run);
         }
@@ -461,6 +500,37 @@ mod tests {
         let err = pm.run(&mut m, &mut am).unwrap_err();
         assert_eq!(err.pass, "vandal");
         assert!(err.message.contains("invariants broken"), "{err}");
+    }
+
+    /// A pass that drops the terminator of every branching block,
+    /// breaking several invariants at once.
+    struct WideVandal;
+    impl FunctionPass for WideVandal {
+        fn name(&self) -> &'static str {
+            "wide-vandal"
+        }
+        fn run(&mut self, m: &mut Module, fid: FuncId, _am: &mut AnalysisManager) -> PassEffect {
+            for b in m.function(fid).block_ids().collect::<Vec<_>>() {
+                let f = m.function_mut(fid);
+                if f.block(b).insts.len() > 1 {
+                    f.block_mut(b).insts.pop();
+                }
+            }
+            PassEffect::changed()
+        }
+    }
+
+    #[test]
+    fn verify_between_reports_every_violation_of_a_broken_pass() {
+        let mut m = parse_module(LOOP_KERNEL).unwrap();
+        let mut am = AnalysisManager::new();
+        let mut pm = PassManager::new().verify_between(true);
+        pm.add_function_pass(Box::new(WideVandal));
+        let err = pm.run(&mut m, &mut am).unwrap_err();
+        assert_eq!(err.pass, "wide-vandal");
+        assert!(err.message.contains("violations"), "{err}");
+        let listed = err.message.matches("verify error").count();
+        assert!(listed >= 2, "expected several violations listed: {err}");
     }
 
     #[test]

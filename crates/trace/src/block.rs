@@ -62,6 +62,24 @@ use crate::TraceError;
 pub const BLOCK_TARGET: usize = 64 << 10;
 
 /// Block stored raw (compression did not shrink it).
+/// Observability counter name for an encoded block's method.
+pub(crate) fn method_counter(method: u8) -> &'static str {
+    match method {
+        METHOD_LZ => "trace.encode.block.lz",
+        METHOD_LZH => "trace.encode.block.lzh",
+        _ => "trace.encode.block.stored",
+    }
+}
+
+/// Observability counter name for a decoded block's method.
+pub(crate) fn method_counter_decode(method: u8) -> &'static str {
+    match method {
+        METHOD_LZ => "trace.decode.block.lz",
+        METHOD_LZH => "trace.decode.block.lzh",
+        _ => "trace.decode.block.stored",
+    }
+}
+
 pub(crate) const METHOD_STORED: u8 = 0;
 /// Block compressed with the byte-aligned LZ token grammar.
 pub(crate) const METHOD_LZ: u8 = 1;

@@ -187,6 +187,7 @@ impl Trace {
     pub fn to_bytes_with_block_size(&self, block_size: usize) -> Vec<u8> {
         assert!(block_size > 0, "block size must be positive");
         assert!(u32::try_from(block_size).is_ok(), "block size fits u32");
+        let _span = swpf_obs::span("trace:encode");
         let mut out = Vec::with_capacity(self.payload_bytes() / 2 + 64);
         out.extend_from_slice(MAGIC);
         put_u32(&mut out, FORMAT_VERSION);
@@ -208,8 +209,14 @@ impl Trace {
             put_u64(&mut out, 0);
             let section_start = out.len();
             for chunk in c.payload.chunks(block_size) {
+                let _block_span = swpf_obs::enabled().then(|| swpf_obs::span("trace:encode_block"));
                 let block_sum = checksum64(chunk);
                 let (method, data) = block::compress_best(chunk, &mut scratch);
+                if swpf_obs::enabled() {
+                    swpf_obs::count(block::method_counter(method), 1);
+                    swpf_obs::count("trace.encode.raw_bytes", chunk.len() as u64);
+                    swpf_obs::count("trace.encode.compressed_bytes", data.len() as u64);
+                }
                 put_u32(&mut out, chunk.len() as u32);
                 put_u32(&mut out, data.len() as u32);
                 out.push(method);
@@ -257,6 +264,7 @@ impl Trace {
     /// Any [`TraceError`] the envelope violates. Event payloads are
     /// validated lazily, by [`EventCursor::next_event`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let _span = swpf_obs::span("trace:decode");
         let mut pos = 0usize;
         if bytes.len() < MAGIC.len() {
             return Err(TraceError::Truncated);
@@ -300,6 +308,8 @@ impl Trace {
                     let section_end = pos.checked_add(comp_total).ok_or(TraceError::Truncated)?;
                     let mut payload = Vec::new();
                     for _ in 0..n_blocks {
+                        let _block_span =
+                            swpf_obs::enabled().then(|| swpf_obs::span("trace:decode_block"));
                         let raw_len = get_u32(bytes, &mut pos)? as usize;
                         let comp_len = get_u32(bytes, &mut pos)? as usize;
                         if raw_len > block::MAX_BLOCK || comp_len > block::MAX_BLOCK {
@@ -307,6 +317,7 @@ impl Trace {
                         }
                         let &method = bytes.get(pos).ok_or(TraceError::Truncated)?;
                         pos += 1;
+                        swpf_obs::count(block::method_counter_decode(method), 1);
                         let block_sum = get_u64(bytes, &mut pos)?;
                         let end = pos.checked_add(comp_len).ok_or(TraceError::Truncated)?;
                         let data = bytes.get(pos..end).ok_or(TraceError::Truncated)?;

@@ -122,6 +122,7 @@ impl<'a> Evaluator<'a> {
     /// # Panics
     /// If the pipeline output fails verification — a pass bug.
     pub fn compile_candidate(&mut self, config: &PassConfig) -> (Module, PassReport) {
+        let _span = swpf_obs::span("tune:compile");
         let t0 = Instant::now();
         if self.analysis_caching && !self.primed {
             // Prime once, inside the timed region: the one-off cost of
@@ -156,8 +157,11 @@ impl<'a> Evaluator<'a> {
     /// both are fatal configuration errors.
     pub fn eval(&mut self, config: &PassConfig) -> Arc<EvaluatedPoint> {
         if let Some(&i) = self.index.get(config) {
+            swpf_obs::count("tune.point_cache.hit", 1);
             return Arc::clone(&self.points[i]);
         }
+        swpf_obs::count("tune.point_cache.miss", 1);
+        let _span = swpf_obs::span("tune:eval");
         let (module, report) = self.compile_candidate(config);
         let configs: Vec<&MachineConfig> = self.machines.iter().collect();
         let stats = run_module_on_machines(&configs, &module, "kernel", |interp| {

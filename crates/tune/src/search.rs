@@ -80,6 +80,9 @@ impl<'e, 'a> Probe<'e, 'a> {
     }
 
     /// Close the search: best = minimum cycles, earliest visit on ties.
+    /// When profiling is on, the convergence trajectory is published:
+    /// evaluations paid, strict improvements along the visit order, and
+    /// how many evaluations it took to first reach the winner.
     fn outcome(self, strategy: &'static str) -> Outcome {
         let best = self
             .visited
@@ -88,6 +91,21 @@ impl<'e, 'a> Probe<'e, 'a> {
             .min_by_key(|(i, p)| (p.cycles, *i))
             .map(|(i, _)| i)
             .expect("every strategy visits at least the heuristic");
+        if swpf_obs::enabled() {
+            let improvements = self
+                .visited
+                .iter()
+                .scan(u64::MAX, |min, p| {
+                    let improved = p.cycles < *min;
+                    *min = (*min).min(p.cycles);
+                    Some(u64::from(improved))
+                })
+                .sum::<u64>()
+                .saturating_sub(1); // the first visit seeds, not improves
+            swpf_obs::count(format!("tune.evals.{strategy}"), self.visited.len() as u64);
+            swpf_obs::count(format!("tune.improvements.{strategy}"), improvements);
+            swpf_obs::record("tune.best_found_at_eval", best as u64 + 1);
+        }
         Outcome {
             strategy,
             visited: self.visited,
