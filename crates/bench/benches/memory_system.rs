@@ -97,7 +97,7 @@ fn full_access_path(c: &mut Criterion) {
             let mut t = 0;
             for i in 0..N {
                 let ahead = ((i + 32).wrapping_mul(2654435761) % (1 << 22)) & !7;
-                mem.prefetch(&mut shared, ahead, t);
+                mem.prefetch(&mut shared, ahead, t, i);
                 let addr = (i.wrapping_mul(2654435761) % (1 << 22)) & !7;
                 t += mem.access(&mut shared, addr, t, AccessKind::Read, i) / 8;
             }

@@ -251,11 +251,62 @@ fn trace_replay(c: &mut Criterion) {
     std::fs::remove_file(&path).ok();
 }
 
+/// Per-PC prefetch-profiling overhead on the full timed simulation
+/// path: `perf/disabled/IS` is the production configuration (one
+/// `Option` check per memory access) and must stay within the
+/// `bench_gate` 1.10 allowance of the bytecode-tier reference
+/// (`trace/direct/IS`); `perf/enabled/IS` prices the opt-in.
+fn perf_overhead(c: &mut Criterion) {
+    let is = IntegerSort::new(Scale::Test);
+    // The gated pair (`disabled/IS` vs `trace/direct/IS`) must run the
+    // *same* baseline kernel, so the ratio prices the profiling hook
+    // alone, not kernel differences; `enabled_manual/IS` additionally
+    // exercises the prefetch-site classification on the manual kernel.
+    let m = is.build_baseline();
+    let f = m.find_function("kernel").unwrap();
+    let insts = 12 * u64::from(is.num_keys as u32);
+    let image = std::sync::Arc::new(ExecImage::build(&m));
+    let manual = is.build_manual(64);
+    let manual_f = manual.find_function("kernel").unwrap();
+    let manual_image = std::sync::Arc::new(ExecImage::build(&manual));
+    let cfg = MachineConfig::haswell();
+    let mut proto = Interp::new();
+    let args = is.setup(&mut proto);
+    let proto_mem = proto.mem_ref().clone();
+    let setup = |interp: &mut Interp| {
+        *interp.mem() = proto_mem.clone();
+        args.clone()
+    };
+    let mut group = c.benchmark_group("perf");
+    group.throughput(Throughput::Elements(insts));
+    swpf_sim::perf::set_enabled(false);
+    group.bench_function("disabled/IS", |b| {
+        b.iter(|| black_box(run_on_machine_image(&cfg, &image, f, setup)));
+    });
+    swpf_sim::perf::set_enabled(true);
+    group.bench_function("enabled/IS", |b| {
+        b.iter(|| black_box(swpf_sim::run_on_machine_image_perf(&cfg, &image, f, setup)));
+    });
+    group.bench_function("enabled_manual/IS", |b| {
+        b.iter(|| {
+            black_box(swpf_sim::run_on_machine_image_perf(
+                &cfg,
+                &manual_image,
+                manual_f,
+                setup,
+            ))
+        });
+    });
+    swpf_sim::perf::set_enabled(false);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     engines,
     bytecode_tier,
     profiling_overhead,
+    perf_overhead,
     interp_only,
     interp_with_timing,
     trace_replay

@@ -224,6 +224,41 @@ fn gate_profiling(records: &str, records_path: &str) -> bool {
     }
 }
 
+/// Per-PC prefetch profiling must be free when disabled: the
+/// `perf/disabled/IS` timed simulation (the production configuration —
+/// one `Option` check per memory access, nothing else) is compared
+/// against the bytecode-tier direct-simulation reference
+/// (`trace/direct/IS`) from the same process, same allowance as
+/// `gate_profiling`. The enabled path is opt-in and deliberately
+/// ungated.
+fn gate_perf(records: &str, records_path: &str) -> bool {
+    let (Some(disabled_ns), Some(baseline_ns)) = (
+        ns_from_records(records, "perf", "disabled/IS"),
+        ns_from_records(records, "trace", "direct/IS"),
+    ) else {
+        eprintln!(
+            "bench_gate: missing `perf/disabled/IS` or `trace/direct/IS` \
+             record in {records_path}"
+        );
+        return false;
+    };
+    let overhead = disabled_ns / baseline_ns;
+    println!(
+        "bench_gate: disabled-perf overhead (perf disabled/IS over trace direct/IS) — \
+         {overhead:.3}x ({disabled_ns:.0} / {baseline_ns:.0} ns), \
+         allowance {MAX_PROFILING_OVERHEAD}x"
+    );
+    if overhead <= MAX_PROFILING_OVERHEAD {
+        true
+    } else {
+        eprintln!(
+            "bench_gate: disabled per-PC profiling costs more than {MAX_PROFILING_OVERHEAD}x \
+             on the timed simulation hot path — the swpf_sim::perf purity contract is broken"
+        );
+        false
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(records_path), Some(interp_ref_path)) = (args.next(), args.next()) else {
@@ -263,6 +298,7 @@ fn main() -> std::process::ExitCode {
         "engine_ns_per_iter",
     );
     ok &= gate_profiling(&records, &records_path);
+    ok &= gate_perf(&records, &records_path);
     if let Some(path) = trace_ref_path {
         let trace_ref = load_json(&path);
         ok &= gate_ratio(

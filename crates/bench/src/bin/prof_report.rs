@@ -1,124 +1,21 @@
 //! Render a `swpf-obs` chrome-trace profile artifact (written by
 //! `--profile <path>` / `SWPF_PROFILE`) as the human-readable summary
 //! table: per-phase count / total / self wall time, plus the counter
-//! catalogue.
+//! and histogram catalogues.
 //!
 //! The artifact stays a plain Chrome trace-event file — loadable in
 //! `chrome://tracing` or Perfetto — and this binary reconstructs a
-//! [`swpf_obs::Profile`] from it, so the table here and the timeline
-//! there always describe the same capture.
+//! [`swpf_obs::Profile`] from it via [`swpf_bench::prof`] (including
+//! histograms, reassembled from their `hist:` counter series), so the
+//! table here and the timeline there always describe the same capture.
 //!
 //! ```sh
 //! SWPF_PROFILE=prof.json cargo run --release -p swpf-bench --bin fig4
 //! cargo run --release -p swpf-bench --bin prof_report -- prof.json
 //! ```
 
-use std::collections::BTreeMap;
 use swpf_bench::json::Json;
-use swpf_obs::{Profile, ThreadTrack, TrackEvent};
-
-/// `ts` is microseconds with sub-µs decimals; back to integer ns.
-fn ts_ns(ev: &Json) -> u64 {
-    let us = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
-    (us * 1000.0).round().max(0.0) as u64
-}
-
-/// The (created-on-demand) track of thread `tid`.
-fn track(tracks: &mut BTreeMap<u64, ThreadTrack>, tid: u64) -> &mut ThreadTrack {
-    let t = tracks.entry(tid).or_default();
-    t.tid = tid;
-    t
-}
-
-/// Rebuild a [`Profile`] from parsed chrome trace-event JSON.
-///
-/// Histograms are not round-tripped (the chrome format has no
-/// histogram event); everything else — thread tracks, span nesting,
-/// counters — reconstructs exactly.
-fn profile_from_chrome(doc: &Json) -> Result<Profile, String> {
-    let events = doc
-        .get("traceEvents")
-        .and_then(Json::as_array)
-        .ok_or("no `traceEvents` array — not a chrome-trace profile")?;
-    let mut tracks: BTreeMap<u64, ThreadTrack> = BTreeMap::new();
-    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-    let mut captured_ns = 0u64;
-    for ev in events {
-        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
-        let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
-        match ph {
-            "M" => {
-                if let Some(name) = ev
-                    .get("args")
-                    .and_then(|a| a.get("name"))
-                    .and_then(Json::as_str)
-                {
-                    track(&mut tracks, tid).name = name.to_string();
-                }
-            }
-            "B" => {
-                let name = ev
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or("B event without a name")?
-                    .to_string();
-                let ns = ts_ns(ev);
-                captured_ns = captured_ns.max(ns);
-                track(&mut tracks, tid)
-                    .events
-                    .push(TrackEvent::Begin { name, ns });
-            }
-            "E" => {
-                let ns = ts_ns(ev);
-                captured_ns = captured_ns.max(ns);
-                track(&mut tracks, tid).events.push(TrackEvent::End { ns });
-            }
-            "C" => {
-                let name = ev
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or("C event without a name")?;
-                let value = ev
-                    .get("args")
-                    .and_then(|a| a.get("value"))
-                    .and_then(Json::as_u64)
-                    .ok_or("C event without an integer value")?;
-                *counters.entry(name.to_string()).or_insert(0) += value;
-            }
-            other => return Err(format!("unsupported event phase `{other}`")),
-        }
-    }
-    // Our exporter always writes balanced tracks, but a truncated or
-    // hand-edited file must degrade to a partial table, not a panic:
-    // orphan ends are dropped, unclosed begins close at the capture
-    // timestamp — the same repair `swpf_obs::snapshot` applies.
-    for t in tracks.values_mut() {
-        let mut depth = 0usize;
-        t.events.retain(|ev| match ev {
-            TrackEvent::Begin { .. } => {
-                depth += 1;
-                true
-            }
-            TrackEvent::End { .. } => {
-                if depth == 0 {
-                    false
-                } else {
-                    depth -= 1;
-                    true
-                }
-            }
-        });
-        for _ in 0..depth {
-            t.events.push(TrackEvent::End { ns: captured_ns });
-        }
-    }
-    Ok(Profile {
-        captured_ns,
-        threads: tracks.into_values().collect(),
-        counters,
-        histograms: BTreeMap::new(),
-    })
-}
+use swpf_bench::prof::profile_from_chrome;
 
 fn main() -> std::process::ExitCode {
     let mut paths: Vec<String> = std::env::args().skip(1).collect();

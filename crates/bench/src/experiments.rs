@@ -13,10 +13,10 @@
 
 use crate::geomean;
 use crate::harness::{
-    Check, Experiment, ExperimentResult, ExperimentSpec, Row, TableSection, Variant,
+    CellResult, Check, Experiment, ExperimentResult, ExperimentSpec, Row, TableSection, Variant,
 };
 use swpf_core::PassConfig;
-use swpf_sim::{CoreKind, MachineConfig};
+use swpf_sim::{CoreKind, MachineConfig, PcProfile, SiteProfile};
 use swpf_workloads::is::Fig2Scheme;
 use swpf_workloads::{KernelVariant, Scale, WorkloadId};
 
@@ -24,7 +24,7 @@ use swpf_workloads::{KernelVariant, Scale, WorkloadId};
 /// order, plus the pass-pipeline `ablation` study and the
 /// `trace_analytics` corpus profiler (the declarative specs
 /// [`by_name`] resolves; what `--bin all` runs by default).
-pub const ALL_NAMES: [&str; 11] = [
+pub const ALL_NAMES: [&str; 12] = [
     "table1",
     "fig2",
     "fig4",
@@ -36,13 +36,14 @@ pub const ALL_NAMES: [&str; 11] = [
     "fig10",
     "ablation",
     "trace_analytics",
+    "prefetch_profile",
 ];
 
 /// The complete experiment catalogue: the grid experiments plus the
 /// searched `tune` experiment (run by `--bin tune` through
 /// [`crate::tune::run_tune`], or by `--bin all -- --only tune`). This
 /// is what `--bin all -- --list` enumerates.
-pub const EXPERIMENTS: [&str; 12] = [
+pub const EXPERIMENTS: [&str; 13] = [
     "table1",
     "fig2",
     "fig4",
@@ -54,6 +55,7 @@ pub const EXPERIMENTS: [&str; 12] = [
     "fig10",
     "ablation",
     "trace_analytics",
+    "prefetch_profile",
     "tune",
 ];
 
@@ -65,6 +67,11 @@ const FIG6_DISTANCES: [i64; 7] = [4, 8, 16, 32, 64, 128, 256];
 
 /// Core counts swept by Fig. 9.
 const FIG9_CORES: [usize; 3] = [1, 2, 4];
+
+/// Look-ahead distances swept by the `prefetch_profile` experiment: the
+/// Fig. 6 sweep extended one octave lower, so the too-late extreme is
+/// unambiguous in the outcome partition.
+const PROFILE_DISTANCES: [i64; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
 
 /// Look up an experiment by name at the given scale.
 #[must_use]
@@ -81,6 +88,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Experiment> {
         "fig10" => Some(fig10(scale)),
         "ablation" => Some(ablation(scale)),
         "trace_analytics" => Some(trace_analytics(scale)),
+        "prefetch_profile" => Some(prefetch_profile(scale)),
         _ => None,
     }
 }
@@ -160,6 +168,7 @@ fn table1(scale: Scale) -> Experiment {
             workloads: vec![],
             variants: vec![],
             filter: None,
+            perf: false,
         },
         derive: |res| {
             let columns = [
@@ -236,6 +245,7 @@ fn fig2(scale: Scale) -> Experiment {
                 Variant::Kernel(KernelVariant::Fig2(Fig2Scheme::Optimal)),
             ],
             filter: None,
+            perf: false,
         },
         derive: |res| {
             let schemes = [
@@ -326,6 +336,7 @@ fn fig4(scale: Scale) -> Experiment {
                 Variant::Icc,
             ],
             filter: Some(fig4_filter),
+            perf: false,
         },
         derive: |res| {
             res.machines
@@ -418,6 +429,7 @@ fn fig5(scale: Scale) -> Experiment {
                 Variant::auto_default(),
             ],
             filter: None,
+            perf: false,
         },
         derive: |res| {
             vec![TableSection::new(
@@ -462,6 +474,7 @@ fn fig6(scale: Scale) -> Experiment {
             workloads: WorkloadId::FIG6.to_vec(),
             variants,
             filter: None,
+            perf: false,
         },
         derive: |res| {
             WorkloadId::FIG6
@@ -543,6 +556,7 @@ fn fig7(scale: Scale) -> Experiment {
             workloads: vec![WorkloadId::Hj8],
             variants,
             filter: None,
+            perf: false,
         },
         derive: |res| {
             vec![TableSection::new(
@@ -606,6 +620,7 @@ fn fig8(scale: Scale) -> Experiment {
                 manual_variant(),
             ],
             filter: None,
+            perf: false,
         },
         derive: |res| {
             let overhead = |variant: &str, w: WorkloadId| -> f64 {
@@ -666,6 +681,7 @@ fn fig9(scale: Scale) -> Experiment {
             workloads: vec![WorkloadId::Is],
             variants,
             filter: None,
+            perf: false,
         },
         derive: |res| {
             let makespan = |variant: &str| -> f64 {
@@ -755,6 +771,7 @@ fn fig10(scale: Scale) -> Experiment {
             workloads: vec![WorkloadId::Is, WorkloadId::Ra, WorkloadId::Hj2],
             variants: vec![Variant::baseline(), Variant::auto_default()],
             filter: None,
+            perf: false,
         },
         derive: |res| {
             vec![TableSection::new(
@@ -866,6 +883,7 @@ fn ablation(scale: Scale) -> Experiment {
             workloads: WorkloadId::ALL.to_vec(),
             variants,
             filter: None,
+            perf: false,
         },
         derive: |res| {
             // Static pipeline costs: what the pass cloned, what the
@@ -1076,6 +1094,7 @@ fn trace_analytics(scale: Scale) -> Experiment {
             workloads: vec![],
             variants: vec![],
             filter: None,
+            perf: false,
         },
         derive: |res| {
             let dir = match res.trace_policy.as_str() {
@@ -1182,6 +1201,329 @@ fn trace_analytics(scale: Scale) -> Experiment {
     }
 }
 
+// ---- prefetch_profile ----------------------------------------------------
+
+/// Aggregate the per-core profiles of the given cells into one outcome
+/// partition (summed across sites, cores, and cells).
+fn aggregate_profiles<'a>(cells: impl Iterator<Item = &'a CellResult>) -> SiteProfile {
+    PcProfile::aggregate(cells.flat_map(|c| c.perf.iter())).totals()
+}
+
+/// Percentage share of `part` in `total` (0 when nothing was issued).
+#[allow(clippy::cast_precision_loss)]
+fn share(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+/// A cell's attributed demand-load stall cycles, in millions.
+#[allow(clippy::cast_precision_loss)]
+fn stall_millions(c: &CellResult) -> f64 {
+    PcProfile::aggregate(c.perf.iter()).total_stall_cycles() as f64 / 1e6
+}
+
+/// Variant label of column `ci` of the profile sweep (the manual
+/// distances, then `auto`).
+fn profile_label(ci: usize) -> String {
+    PROFILE_DISTANCES
+        .get(ci)
+        .map_or_else(|| "auto".to_string(), |c| format!("manual_c{c}"))
+}
+
+/// The `prefetch_profile` experiment: run the Fig. 6 look-ahead sweep
+/// (extended to `c = 2`, plus the auto pass) with per-PC prefetch
+/// profiling enabled, and chart how each issued prefetch's *outcome* —
+/// timely, late, early-evicted, redundant, dropped, unused — migrates
+/// with the distance. This is the instrumented explanation for Fig. 6's
+/// inverted-U: too short a distance classifies late, too long a
+/// distance classifies early-evicted, and the tuned distance maximises
+/// the timely share.
+fn prefetch_profile(scale: Scale) -> Experiment {
+    let mut variants = vec![Variant::baseline()];
+    variants.extend(
+        PROFILE_DISTANCES
+            .iter()
+            .map(|&c| Variant::Kernel(KernelVariant::Manual { look_ahead: c })),
+    );
+    variants.push(Variant::auto_default());
+    Experiment {
+        spec: ExperimentSpec {
+            name: "prefetch_profile",
+            title: "Prefetch efficacy — per-site outcome profile vs. look-ahead",
+            scale,
+            machines: MachineConfig::all_systems(),
+            workloads: WorkloadId::FIG6.to_vec(),
+            variants,
+            filter: None,
+            perf: true,
+        },
+        derive: |res| {
+            let ncols = PROFILE_DISTANCES.len() + 1;
+            let columns: Vec<String> = PROFILE_DISTANCES
+                .iter()
+                .map(|c| format!("c={c}"))
+                .chain(std::iter::once("auto".to_string()))
+                .collect();
+            let mut sections = Vec::new();
+            // Per machine: the timely share along the sweep — the
+            // instrumented counterpart of that machine's Fig. 6 curve.
+            for m in &res.machines {
+                sections.push(TableSection::new(
+                    format!("Prefetch profile — {}: timely share (%)", m.name),
+                    columns.clone(),
+                    WorkloadId::FIG6
+                        .iter()
+                        .map(|w| Row {
+                            name: w.name().to_string(),
+                            values: (0..ncols)
+                                .map(|ci| {
+                                    let t = aggregate_profiles(
+                                        res.cell(m.name, w.name(), &profile_label(ci)).into_iter(),
+                                    );
+                                    share(t.timely, t.issued)
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                ));
+            }
+            // Summary: the outcome migration along the sweep, aggregated
+            // over the whole grid — late fades, dropped grows, and the
+            // mean lead time stretches with the distance.
+            sections.push(TableSection::new(
+                "Prefetch outcome shares (%) by look-ahead — whole grid",
+                [
+                    "timely",
+                    "late",
+                    "early_evict",
+                    "redundant",
+                    "dropped",
+                    "unused",
+                    "lead_mean",
+                ]
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+                (0..ncols)
+                    .map(|ci| {
+                        let label = profile_label(ci);
+                        let t = aggregate_profiles(res.cells.iter().filter(|c| c.variant == label));
+                        Row {
+                            name: label,
+                            values: vec![
+                                share(t.timely, t.issued),
+                                share(t.late, t.issued),
+                                share(t.early_evicted, t.issued),
+                                share(t.redundant(), t.issued),
+                                share(t.dropped, t.issued),
+                                share(t.unused_at_end, t.issued),
+                                t.lead_cycles.mean(),
+                            ],
+                        }
+                    })
+                    .collect(),
+            ));
+            // Stall attribution: where the simulated demand-load stall
+            // cycles land, before and after prefetching.
+            sections.push(TableSection::new(
+                "Attributed demand-load stall cycles (millions)",
+                ["baseline", MANUAL, "auto"]
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect(),
+                res.machines
+                    .iter()
+                    .flat_map(|m| {
+                        WorkloadId::FIG6.iter().map(move |w| Row {
+                            name: format!("{}/{}", m.name, w.name()),
+                            values: ["baseline", MANUAL, "auto"]
+                                .iter()
+                                .map(|v| {
+                                    res.cell(m.name, w.name(), v)
+                                        .map_or(f64::NAN, stall_millions)
+                                })
+                                .collect(),
+                        })
+                    })
+                    .collect(),
+            ));
+            sections
+        },
+        checks: |res, _derived| {
+            let mut checks = Vec::new();
+            // Every cell must carry one profile per simulated core.
+            let missing = res
+                .cells
+                .iter()
+                .filter(|c| c.perf.len() != c.cores.len())
+                .count();
+            checks.push(Check::new(
+                "perf_profiles_present",
+                missing == 0,
+                format!(
+                    "{missing} of {} cells lack per-core profiles",
+                    res.cells.len()
+                ),
+            ));
+            // The outcome partition must conserve issued prefetches and
+            // agree with the memory system's unconditional counters, on
+            // every core of every cell.
+            let (mut bad, mut total) = (0usize, 0usize);
+            for c in &res.cells {
+                for (s, p) in c.cores.iter().zip(&c.perf) {
+                    total += 1;
+                    let t = p.totals();
+                    let ok = p.conserved()
+                        && t.issued == s.mem.sw_prefetches
+                        && t.dropped == s.mem.sw_prefetches_dropped
+                        && t.redundant_resident == s.mem.sw_prefetches_redundant_resident
+                        && t.redundant_inflight == s.mem.sw_prefetches_redundant_inflight;
+                    bad += usize::from(!ok);
+                }
+            }
+            checks.push(Check::new(
+                "perf_partition_conserved",
+                bad == 0 && total > 0,
+                format!("{bad} of {total} core profiles violate the outcome partition"),
+            ));
+            // Outcome migration along the sweep, read where the signal
+            // is clean at every scale: the in-order machines (cf. the
+            // fig6 checks — out-of-order overlap can mask either
+            // failure mode).
+            let in_order = in_order_names(res);
+            let agg = |variant: &str| {
+                aggregate_profiles(
+                    res.cells
+                        .iter()
+                        .filter(|c| c.variant == variant && in_order.contains(&c.machine)),
+                )
+            };
+            let lo = agg("manual_c2");
+            let hi = agg("manual_c256");
+            let (late_lo, late_hi) = (share(lo.late, lo.issued), share(hi.late, hi.issued));
+            let (early_lo, drop_lo) = (
+                share(lo.early_evicted, lo.issued),
+                share(lo.dropped, lo.issued),
+            );
+            let drop_hi = share(hi.dropped, hi.issued);
+            let strict = res.scale == Scale::Paper;
+            checks.push(Check::new(
+                "late_fades_with_distance",
+                if strict {
+                    late_lo > late_hi
+                } else {
+                    late_lo >= late_hi
+                },
+                format!("late share (in-order): {late_lo:.1}% at c=2 vs {late_hi:.1}% at c=256"),
+            ));
+            // The long-distance failure mode in this memory system is
+            // queue pressure, not capacity: a 256-iteration lead window
+            // is far smaller than any cache level, so prefetched lines
+            // are never evicted before use (early_evicted stays 0) —
+            // instead the deeper in-flight window overruns the prefetch
+            // queue and issues get dropped.
+            checks.push(Check::new(
+                "drops_grow_with_distance",
+                if strict {
+                    drop_hi > drop_lo
+                } else {
+                    drop_hi >= drop_lo
+                },
+                format!("dropped share (in-order): {drop_lo:.1}% at c=2 vs {drop_hi:.1}% at c=256"),
+            ));
+            checks.push(Check::new(
+                "lead_time_grows_with_distance",
+                if strict {
+                    hi.lead_cycles.mean() > lo.lead_cycles.mean()
+                } else {
+                    hi.lead_cycles.mean() >= lo.lead_cycles.mean()
+                },
+                format!(
+                    "mean lead (in-order): {:.0} cyc at c=2 vs {:.0} cyc at c=256",
+                    lo.lead_cycles.mean(),
+                    hi.lead_cycles.mean()
+                ),
+            ));
+            if strict {
+                // The failure mode flips along the sweep: too short
+                // fails on latency (late dominates every other failure
+                // class at c=2), too long fails on queue pressure (at
+                // c=256 dropped issues outweigh the now-negligible late
+                // ones).
+                checks.push(Check::new(
+                    "short_distance_fails_late",
+                    late_lo > early_lo && late_lo > drop_lo,
+                    format!(
+                        "at c=2 (in-order): late {late_lo:.1}% vs early {early_lo:.1}%, dropped {drop_lo:.1}%"
+                    ),
+                ));
+                checks.push(Check::new(
+                    "long_distance_wastes_bandwidth",
+                    drop_hi > late_hi,
+                    format!("at c=256 (in-order): dropped {drop_hi:.1}% vs late {late_hi:.1}%"),
+                ));
+                // Grid aggregate: the timely share peaks at an interior
+                // look-ahead, not at either extreme — the profile's
+                // explanation for why the Fig. 6 sweep has an argmax.
+                let grid = |variant: String| {
+                    let t = aggregate_profiles(res.cells.iter().filter(|c| c.variant == variant));
+                    share(t.timely, t.issued)
+                };
+                let (t2g, t256g) = (grid("manual_c2".into()), grid("manual_c256".into()));
+                let (peak_c, peak) = PROFILE_DISTANCES[1..PROFILE_DISTANCES.len() - 1]
+                    .iter()
+                    .map(|c| (*c, grid(format!("manual_c{c}"))))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("sweep has interior points");
+                checks.push(Check::new(
+                    "timely_peaks_at_interior_distance",
+                    peak > t2g && peak > t256g,
+                    format!(
+                        "timely share peaks at c={peak_c} ({peak:.1}%) vs c=2 {t2g:.1}%, c=256 {t256g:.1}%"
+                    ),
+                ));
+                // Per cell: the cycle-tuned distance strictly improves
+                // the timely share over the too-short extreme, on the
+                // machines where the distance decides the outcome. (It
+                // does not always beat c=256 — timely share alone keeps
+                // growing past the cycle optimum while drops and
+                // redundancy erode the benefit, which is exactly why
+                // tuning minimises cycles rather than maximising any
+                // single outcome share.)
+                for m in res.machines.iter().filter(|m| m.core == CoreKind::InOrder) {
+                    for w in WorkloadId::FIG6 {
+                        let cycles = |label: &str| {
+                            res.cell(m.name, w.name(), label)
+                                .map_or(u64::MAX, CellResult::max_cycles)
+                        };
+                        let tuned = PROFILE_DISTANCES
+                            .iter()
+                            .copied()
+                            .min_by_key(|c| cycles(&format!("manual_c{c}")))
+                            .expect("sweep is non-empty");
+                        let timely = |label: &str| {
+                            let t =
+                                aggregate_profiles(res.cell(m.name, w.name(), label).into_iter());
+                            share(t.timely, t.issued)
+                        };
+                        let best = timely(&format!("manual_c{tuned}"));
+                        let t2 = timely("manual_c2");
+                        checks.push(Check::new(
+                            format!("tuned_timely_beats_short_{}_{}", m.name, w.name()),
+                            best > t2,
+                            format!("c={tuned}: timely {best:.1}% vs c=2 {t2:.1}%"),
+                        ));
+                    }
+                }
+            }
+            checks
+        },
+    }
+}
+
 // ---- tune ----------------------------------------------------------------
 
 /// The searched `tune` experiment: find the best look-ahead (and
@@ -1228,7 +1570,10 @@ pub fn print_catalog() {
          --profile <path> (or SWPF_PROFILE=<path>) records the selected run\n  \
          through swpf-obs into chrome-trace JSON (chrome://tracing, Perfetto,\n  \
          or `--bin prof_report <path>`); composes with --only/--skip, and each\n  \
-         artifact gains a windowed `profile` section"
+         artifact gains a windowed `profile` section\n  \
+         --perf (or SWPF_PERF=1) enables per-PC prefetch-efficacy profiling for\n  \
+         every cell (the `prefetch_profile` experiment enables it itself); cells\n  \
+         gain an additive `perf` member, rendered per line by `--bin perf_annotate`"
     );
     println!("\nmachines:");
     for m in MachineConfig::all_systems() {

@@ -51,9 +51,10 @@ use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::Tier;
 use swpf_ir::FuncId;
 use swpf_sim::{
-    replay_multicore, replay_on_machine, replay_on_machines, run_multicore_image,
-    run_multicore_image_traced, run_on_machine_image, run_on_machines_image,
-    streaming_replay_multicore, streaming_replay_on_machines, MachineConfig, SimStats,
+    replay_multicore_perf, replay_on_machine_perf, replay_on_machines_perf,
+    run_multicore_image_perf, run_multicore_image_traced_perf, run_on_machine_image_perf,
+    run_on_machines_image_perf, streaming_replay_multicore_perf, streaming_replay_on_machines_perf,
+    MachineConfig, PcProfile, SimRun, SimStats,
 };
 use swpf_trace::{fnv64, StreamingReplay, Trace, TraceRecorder};
 use swpf_workloads::{KernelVariant, Scale, Workload, WorkloadId};
@@ -199,6 +200,12 @@ pub struct ExperimentSpec {
     pub variants: Vec<Variant>,
     /// Optional cell filter (`None` keeps the full cross product).
     pub filter: Option<CellFilter>,
+    /// Run the grid with per-PC prefetch-efficacy profiling
+    /// ([`swpf_sim::perf`]) enabled: every cell additionally collects a
+    /// [`PcProfile`], serialised as the additive `perf` cell member.
+    /// Off for the figure grids (the default timing path stays
+    /// profiling-free); the `prefetch_profile` experiment turns it on.
+    pub perf: bool,
 }
 
 impl ExperimentSpec {
@@ -312,6 +319,11 @@ pub struct CellResult {
     /// configuration, not the cache hit. Serialised as the additive
     /// `tier` member of the cell.
     pub tier: &'static str,
+    /// Per-core prefetch-efficacy profiles ([`PcProfile`]), parallel to
+    /// `cores` when profiling was enabled for the run (spec `perf`,
+    /// `--perf`, or `SWPF_PERF`); empty otherwise. Serialised as the
+    /// additive `perf` member of the cell.
+    pub perf: Vec<PcProfile>,
 }
 
 impl CellResult {
@@ -434,6 +446,10 @@ pub struct RunOptions {
     /// trace files are evicted until the directory fits. `None`: no
     /// bound.
     pub trace_cap: Option<u64>,
+    /// Force per-PC prefetch-efficacy profiling on for every cell
+    /// (`--perf` / `SWPF_PERF`), regardless of the spec's own `perf`
+    /// flag. The default path runs profiling-free.
+    pub perf: bool,
 }
 
 impl RunOptions {
@@ -528,6 +544,16 @@ pub struct Experiment {
 pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
     let spec = &exp.spec;
     let t0 = Instant::now();
+
+    // Per-PC profiling enablement is read once per simulation (at
+    // `MemSys` construction), so flipping it here covers every cell of
+    // this run; the previous state is restored afterwards so one
+    // profiled experiment in a multi-experiment driver (`--bin all`)
+    // does not bloat its successors' artifacts. Profiling never changes
+    // simulated statistics (see `swpf_sim::perf`), only whether cells
+    // carry a profile.
+    let perf_prev = swpf_sim::perf::enabled();
+    swpf_sim::perf::set_enabled(spec.perf || opts.perf || perf_prev);
 
     // Instantiate each workload once; jobs share them read-only.
     let workloads: Vec<Box<dyn Workload>> = spec
@@ -644,6 +670,8 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
         .into_iter()
         .map(|c| c.expect("every job ran"))
         .collect();
+
+    swpf_sim::perf::set_enabled(perf_prev);
 
     ExperimentResult {
         name: spec.name,
@@ -793,11 +821,11 @@ fn run_group(
         .collect();
     let mut recorded: Option<TraceRecorder> = None;
     let t0 = Instant::now();
-    let (stats, from_trace) = match (&streamed, cached) {
+    let (runs, from_trace) = match (&streamed, cached) {
         (Some(replay), _) => {
             let _span = swpf_obs::span("stream_replay");
             (
-                streaming_replay_on_machines(&configs, replay)
+                streaming_replay_on_machines_perf(&configs, replay)
                     .unwrap_or_else(|e| panic!("batched streaming replay failed: {e}")),
                 true,
             )
@@ -805,7 +833,7 @@ fn run_group(
         (None, Some(trace)) => {
             let _span = swpf_obs::span("replay");
             (
-                replay_on_machines(&configs, &trace)
+                replay_on_machines_perf(&configs, &trace)
                     .unwrap_or_else(|e| panic!("batched trace replay failed: {e}")),
                 true,
             )
@@ -815,7 +843,7 @@ fn run_group(
             let mut recorder = cache_path
                 .as_ref()
                 .map(|_| TraceRecorder::new(1, fingerprint));
-            let stats = run_on_machines_image(
+            let runs = run_on_machines_image_perf(
                 &configs,
                 &prepared.image,
                 prepared.func,
@@ -823,7 +851,7 @@ fn run_group(
                 recorder.as_mut().map(|r| r.stream(0)),
             );
             recorded = recorder;
-            (stats, false)
+            (runs, false)
         }
     };
     // wall_ms covers the simulation only; persisting the trace (below)
@@ -832,19 +860,21 @@ fn run_group(
     if let (Some(path), Some(recorder)) = (&cache_path, recorded) {
         store_trace(path, &recorder.finish(), opts.trace_cap);
     }
-    for (k, (&ji, s)) in group.iter().zip(stats).enumerate() {
+    for (k, (&ji, run)) in group.iter().zip(runs).enumerate() {
         let job = jobs[ji];
+        let (cores, perf) = split_runs(vec![run]);
         out.push((
             ji,
             CellResult {
                 machine: spec.machines[job.machine].name,
                 workload: w.name(),
                 variant: spec.variants[job.variant].label(),
-                cores: vec![s],
+                cores,
                 wall_ms: wall_each,
                 replayed: from_trace || k > 0,
                 params: spec.variants[job.variant].pass_params(),
                 tier: Tier::from_env().label(),
+                perf,
             },
         ));
     }
@@ -954,16 +984,29 @@ fn evict_lru(dir: &Path, cap: u64, keep: &Path) {
     }
 }
 
+/// Split per-core simulation results into the stats vector and the
+/// profile vector [`CellResult`] stores — profiles are present for all
+/// cores or none (enablement is per run, not per core).
+fn split_runs(runs: Vec<SimRun>) -> (Vec<SimStats>, Vec<PcProfile>) {
+    let mut cores = Vec::with_capacity(runs.len());
+    let mut perf = Vec::new();
+    for r in runs {
+        cores.push(r.stats);
+        perf.extend(r.perf);
+    }
+    (cores, perf)
+}
+
 /// Shared cell bookkeeping: label the result and time the simulation.
 fn make_cell(
     machine: &MachineConfig,
     w: &dyn Workload,
     variant: &Variant,
     replayed: bool,
-    body: impl FnOnce() -> Vec<SimStats>,
+    body: impl FnOnce() -> Vec<SimRun>,
 ) -> CellResult {
     let t0 = Instant::now();
-    let cores = body();
+    let (cores, perf) = split_runs(body());
     CellResult {
         machine: machine.name,
         workload: w.name(),
@@ -973,6 +1016,7 @@ fn make_cell(
         replayed,
         params: variant.pass_params(),
         tier: Tier::from_env().label(),
+        perf,
     }
 }
 
@@ -988,14 +1032,14 @@ fn run_job_direct(
     let prepared = &modules[&(job.workload, variant.module_key())];
     let _span = swpf_obs::span("interpret");
     make_cell(machine, w, variant, false, || match variant {
-        Variant::Multicore { cores, .. } => run_multicore_image(
+        Variant::Multicore { cores, .. } => run_multicore_image_perf(
             machine,
             *cores,
             &prepared.image,
             prepared.func,
             |_, interp| w.setup(interp),
         ),
-        _ => vec![run_on_machine_image(
+        _ => vec![run_on_machine_image_perf(
             machine,
             &prepared.image,
             prepared.func,
@@ -1025,7 +1069,7 @@ fn run_job_traced(
     let _span = swpf_obs::span("interpret");
     let mut recorder = TraceRecorder::new(*cores, fingerprint);
     let cell = make_cell(machine, w, variant, false, || {
-        run_multicore_image_traced(
+        run_multicore_image_traced_perf(
             machine,
             *cores,
             &prepared.image,
@@ -1050,9 +1094,9 @@ fn run_job_replay_streaming(
     let w = workloads[job.workload].as_ref();
     let _span = swpf_obs::span("stream_replay");
     make_cell(machine, w, variant, true, || match variant {
-        Variant::Multicore { .. } => streaming_replay_multicore(machine, replay)
+        Variant::Multicore { .. } => streaming_replay_multicore_perf(machine, replay)
             .unwrap_or_else(|e| panic!("multicore streaming replay failed: {e}")),
-        _ => streaming_replay_on_machines(&[machine], replay)
+        _ => streaming_replay_on_machines_perf(&[machine], replay)
             .unwrap_or_else(|e| panic!("streaming replay failed: {e}")),
     })
 }
@@ -1070,9 +1114,9 @@ fn run_job_replay(
     let w = workloads[job.workload].as_ref();
     let _span = swpf_obs::span("replay");
     make_cell(machine, w, variant, true, || match variant {
-        Variant::Multicore { .. } => replay_multicore(machine, trace)
+        Variant::Multicore { .. } => replay_multicore_perf(machine, trace)
             .unwrap_or_else(|e| panic!("multicore trace replay failed: {e}")),
-        _ => vec![replay_on_machine(machine, trace)],
+        _ => vec![replay_on_machine_perf(machine, trace)],
     })
 }
 
@@ -1268,6 +1312,75 @@ pub fn params_json(params: &[(&'static str, ParamValue)]) -> Json {
     )
 }
 
+/// The outcome-partition members of one [`swpf_sim::SiteProfile`],
+/// shared by the per-site and totals objects of [`perf_json`].
+fn site_members(s: &swpf_sim::SiteProfile) -> Vec<(&'static str, Json)> {
+    vec![
+        ("issued", Json::U64(s.issued)),
+        ("timely", Json::U64(s.timely)),
+        ("late", Json::U64(s.late)),
+        ("early_evicted", Json::U64(s.early_evicted)),
+        ("redundant_resident", Json::U64(s.redundant_resident)),
+        ("redundant_inflight", Json::U64(s.redundant_inflight)),
+        ("dropped", Json::U64(s.dropped)),
+        ("unused_at_end", Json::U64(s.unused_at_end)),
+        (
+            "lead_cycles",
+            Json::obj(vec![
+                ("count", Json::U64(s.lead_cycles.count)),
+                ("mean", Json::F64(s.lead_cycles.mean())),
+                (
+                    "min",
+                    Json::U64(if s.lead_cycles.count == 0 {
+                        0
+                    } else {
+                        s.lead_cycles.min
+                    }),
+                ),
+                ("max", Json::U64(s.lead_cycles.max)),
+            ]),
+        ),
+    ]
+}
+
+/// Serialise one core's [`PcProfile`] as the additive `perf` cell
+/// member: the outcome partition per prefetch site and in total, plus
+/// the hottest stall-attributed PCs (top 32 by attributed cycles — the
+/// full map lives in memory for `perf_annotate`, the artifact carries
+/// the headline).
+#[must_use]
+pub fn perf_json(p: &PcProfile) -> Json {
+    let sites = p
+        .sites
+        .iter()
+        .map(|(pc, s)| {
+            let mut members = vec![("pc", Json::U64(*pc))];
+            members.extend(site_members(s));
+            Json::obj(members)
+        })
+        .collect();
+    let mut stalls: Vec<(u64, swpf_sim::StallStat)> = p.stalls.clone();
+    stalls.sort_by(|a, b| b.1.stall_ticks.cmp(&a.1.stall_ticks).then(a.0.cmp(&b.0)));
+    stalls.truncate(32);
+    let stalls = stalls
+        .into_iter()
+        .map(|(pc, st)| {
+            Json::obj(vec![
+                ("pc", Json::U64(pc)),
+                ("stall_cycles", Json::U64(st.stall_cycles())),
+                ("count", Json::U64(st.count)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("totals", Json::obj(site_members(&p.totals()))),
+        ("conserved", Json::Bool(p.conserved())),
+        ("stall_cycles", Json::U64(p.total_stall_cycles())),
+        ("sites", Json::Arr(sites)),
+        ("stalls", Json::Arr(stalls)),
+    ])
+}
+
 /// The artifact document (schema v1; see DESIGN.md §5).
 #[must_use]
 pub fn artifact_json(
@@ -1316,6 +1429,9 @@ pub fn artifact_json(
                 members.push(("params", params_json(&c.params)));
             }
             members.push(("cores", Json::Arr(cores)));
+            if !c.perf.is_empty() {
+                members.push(("perf", Json::Arr(c.perf.iter().map(perf_json).collect())));
+            }
             Json::obj(members)
         })
         .collect();
@@ -1406,6 +1522,12 @@ pub fn run_and_report(
     if swpf_obs::enabled() {
         swpf_obs::count("trace.cache_hit", result.trace_hits() as u64);
         swpf_obs::count("trace.cache_miss", result.trace_misses() as u64);
+        // Cell-size distribution: one sample per simulated cell, so
+        // every profiled experiment exercises the chrome-trace
+        // histogram series (`hist:harness.cell_cycles:*`).
+        for c in &result.cells {
+            swpf_obs::record("harness.cell_cycles", c.max_cycles());
+        }
     }
     let profile = pre.map(|p| profile_window_json(&p, &swpf_obs::snapshot().summary()));
     let derived = (exp.derive)(&result);
@@ -1480,6 +1602,9 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
         .map(|v| parse_size(&v).expect("SWPF_TRACE_CAP must be a size like 512M"));
     let mut out_dir = PathBuf::from("RESULTS");
     let mut profile = std::env::var_os("SWPF_PROFILE").map(PathBuf::from);
+    // `SWPF_PERF=0` explicitly off, any other value on — same contract
+    // as the simulator's own env seed (`swpf_sim::perf`).
+    let mut perf = std::env::var("SWPF_PERF").is_ok_and(|v| v != "0");
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -1507,10 +1632,11 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
                     args.next().expect("--profile needs an output path"),
                 ));
             }
+            "--perf" => perf = true,
             other => panic!(
                 "unknown argument `{other}` \
                  (expected --threads N | --out DIR | --trace-dir DIR | --no-trace \
-                 | --stream-replay | --trace-cap BYTES | --profile PATH)"
+                 | --stream-replay | --trace-cap BYTES | --profile PATH | --perf)"
             ),
         }
     }
@@ -1520,6 +1646,7 @@ pub fn cli_options_from(args: impl Iterator<Item = String>) -> CliOptions {
             trace,
             stream,
             trace_cap,
+            perf,
         },
         out_dir,
         profile,
@@ -1609,6 +1736,7 @@ mod tests {
                 Variant::Kernel(KernelVariant::Manual { look_ahead: 64 }),
             ],
             filter: None,
+            perf: false,
         }
     }
 

@@ -102,6 +102,7 @@ fn run_strategy(
                 replayed: mi > 0,
                 params: point.config.parameters(),
                 tier: swpf_ir::interp::Tier::from_env().label(),
+                perf: Vec::new(),
             });
         }
     }

@@ -33,6 +33,7 @@ fn experiment_grid_sizes_are_pinned() {
         ("fig10", 2 * 3 * 2),    // two page policies
         ("ablation", 4 * 7 * 4), // baseline + three pass pipelines
         ("trace_analytics", 0),  // all work happens in derive, off traces
+        ("prefetch_profile", 4 * 4 * 10), // baseline + 8 distances + auto
     ];
     assert_eq!(expected.map(|(n, _)| n), ALL_NAMES);
     for (name, jobs) in expected {

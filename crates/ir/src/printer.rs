@@ -26,6 +26,34 @@ pub fn print_module(m: &Module) -> String {
 /// Print a single function in canonical form.
 #[must_use]
 pub fn print_function(m: &Module, f: &Function) -> String {
+    print_function_impl(m, f, None)
+}
+
+/// Like [`print_function`], additionally reporting which placed
+/// instruction each printed line renders (`None` for the header,
+/// constants, block labels, and the closing brace).
+///
+/// The [`ValueId`]s are the function's own ids — the same ids execution
+/// images and simulators encode into event PCs (`pc = fid << 32 | id`) —
+/// so a per-PC profile can be joined line-by-line against the printed
+/// text. This is the `perf annotate` join key.
+#[must_use]
+pub fn print_function_lines(m: &Module, f: &Function) -> (String, Vec<Option<ValueId>>) {
+    let mut lines = Vec::new();
+    let text = print_function_impl(m, f, Some(&mut lines));
+    (text, lines)
+}
+
+fn print_function_impl(
+    m: &Module,
+    f: &Function,
+    mut lines: Option<&mut Vec<Option<ValueId>>>,
+) -> String {
+    let mut mark = |v: Option<ValueId>| {
+        if let Some(lines) = lines.as_deref_mut() {
+            lines.push(v);
+        }
+    };
     let mut out = String::new();
     // Canonical numbering: args, then referenced constants, then placed insts.
     let mut display = vec![u32::MAX; f.num_values()];
@@ -72,6 +100,7 @@ pub fn print_function(m: &Module, f: &Function) -> String {
         Purity::Impure => {}
     }
     out.push_str(" {\n");
+    mark(None);
 
     for c in &const_ids {
         match f.constant(*c) {
@@ -83,10 +112,12 @@ pub fn print_function(m: &Module, f: &Function) -> String {
             }
             None => unreachable!("const_ids holds constants only"),
         }
+        mark(None);
     }
 
     for b in f.block_ids() {
         let _ = writeln!(out, "{b}:");
+        mark(None);
         for &v in &f.block(b).insts {
             let inst = f.inst(v).expect("placed value is an instruction");
             out.push_str("  ");
@@ -100,9 +131,11 @@ pub fn print_function(m: &Module, f: &Function) -> String {
                 let _ = write!(out, " ; {name}");
             }
             out.push('\n');
+            mark(Some(v));
         }
     }
     out.push_str("}\n");
+    mark(None);
     out
 }
 
@@ -212,5 +245,40 @@ mod tests {
         assert!(text.contains("phi [bb0:"), "{text}");
         assert!(text.contains("load i32"), "{text}");
         assert!(text.contains("icmp slt"), "{text}");
+    }
+
+    #[test]
+    fn line_map_marks_exactly_the_placed_instructions() {
+        let mut m = Module::new("p");
+        let fid = m.declare_function("k", &[Type::Ptr, Type::I64], None);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fid));
+            let i = b.const_i64(3);
+            let addr = b.gep(b.arg(0), i, 4);
+            let v = b.load(Type::I32, addr);
+            b.store(v, addr);
+            b.ret(None);
+        }
+        let f = m.function(fid);
+        let (text, lines) = print_function_lines(&m, f);
+        let printed: Vec<&str> = text.lines().collect();
+        assert_eq!(printed.len(), lines.len(), "one map entry per line");
+        // Plain printing is unchanged by the instrumented path.
+        assert_eq!(text, print_function(&m, f));
+        // Each marked line is an instruction; the ids are the
+        // function's own (pc-encodable) ids, in block order.
+        let marked: Vec<ValueId> = lines.iter().flatten().copied().collect();
+        assert_eq!(marked.len(), f.all_insts().count());
+        for (line, v) in lines.iter().enumerate() {
+            let Some(v) = v else { continue };
+            assert!(f.inst(*v).is_some(), "marked line holds a placed inst");
+            // The rendered line mentions the display number the printer
+            // assigned — sanity that text and map stay in step.
+            assert!(
+                printed[line].starts_with("  "),
+                "inst lines are indented: {:?}",
+                printed[line]
+            );
+        }
     }
 }

@@ -443,6 +443,12 @@ impl Profile {
     /// Perfetto: one `tid` track per recorded thread (named by `M`
     /// thread-name metadata events), `B`/`E` pairs per span, and one
     /// `C` counter sample per counter at the capture timestamp.
+    ///
+    /// The chrome format has no histogram event, so each non-empty
+    /// histogram is flattened into a reserved counter series —
+    /// `hist:{name}:count`, `:sum`, `:min`, `:max`, and `:b{i}` for
+    /// every non-zero bucket — which viewers chart like any counter
+    /// and `swpf-bench`'s profile reader reassembles into a [`Hist`].
     #[must_use]
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -485,15 +491,36 @@ impl Profile {
                 }
             }
         }
-        for (name, value) in &self.counters {
-            sep(&mut out);
-            out.push_str("{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": ");
-            push_ts_us(&mut out, self.captured_ns);
+        let counter = |out: &mut String, first: &mut bool, name: &str, value: u64| {
+            if *first {
+                *first = false;
+            } else {
+                out.push(',');
+            }
+            out.push_str("\n  {\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": ");
+            push_ts_us(out, self.captured_ns);
             out.push_str(", \"name\": ");
-            push_json_str(&mut out, name);
+            push_json_str(out, name);
             out.push_str(", \"args\": {\"value\": ");
             let _ = write!(out, "{value}");
             out.push_str("}}");
+        };
+        for (name, value) in &self.counters {
+            counter(&mut out, &mut first, name, *value);
+        }
+        for (name, h) in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            counter(&mut out, &mut first, &format!("hist:{name}:count"), h.count);
+            counter(&mut out, &mut first, &format!("hist:{name}:sum"), h.sum);
+            counter(&mut out, &mut first, &format!("hist:{name}:min"), h.min);
+            counter(&mut out, &mut first, &format!("hist:{name}:max"), h.max);
+            for (i, b) in h.buckets.iter().enumerate() {
+                if *b > 0 {
+                    counter(&mut out, &mut first, &format!("hist:{name}:b{i}"), *b);
+                }
+            }
         }
         out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
         out

@@ -117,6 +117,7 @@ impl InOrder {
                 let lat = mem.access(shared, addr, t, AccessKind::Read, pc);
                 if lat > self.pipelined_ticks {
                     // Stall: nothing issues until the data returns.
+                    mem.record_stall(pc, lat - self.pipelined_ticks);
                     self.next_issue = t + lat;
                 } else {
                     self.next_issue = t + self.issue_inc;
@@ -130,7 +131,7 @@ impl InOrder {
             EventKind::Prefetch { addr, valid } => {
                 self.counts.prefetches += 1;
                 if valid {
-                    mem.prefetch(shared, addr, t);
+                    mem.prefetch(shared, addr, t, pc);
                 }
                 self.next_issue = t + self.issue_inc;
             }
@@ -244,6 +245,10 @@ impl OutOfOrder {
                 let lat = mem.access(shared, addr, t, AccessKind::Read, pc);
                 let done = t + lat;
                 if lat > self.miss_threshold {
+                    // Attributed as outstanding-miss latency beyond the
+                    // pipelined threshold; the dataflow model may hide
+                    // part of it under younger independent work.
+                    mem.record_stall(pc, lat - self.miss_threshold);
                     self.misses.push(std::cmp::Reverse(done));
                 }
                 done
@@ -256,7 +261,7 @@ impl OutOfOrder {
             EventKind::Prefetch { addr, valid } => {
                 self.counts.prefetches += 1;
                 if valid {
-                    mem.prefetch(shared, addr, t);
+                    mem.prefetch(shared, addr, t, pc);
                 }
                 t + self.alu_ticks
             }

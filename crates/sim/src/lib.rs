@@ -46,23 +46,29 @@ pub mod dram;
 pub mod machine;
 pub mod memsys;
 pub mod multicore;
+pub mod perf;
 pub mod presets;
 pub mod stats;
 pub mod stride;
 pub mod tlb;
 
 pub use machine::{
-    replay_on_machine, replay_on_machines, run_module_on_machines, run_on_machine,
-    run_on_machine_image, run_on_machine_image_tier, run_on_machine_traced, run_on_machines_image,
-    streaming_replay_on_machine, streaming_replay_on_machines, Machine,
+    replay_on_machine, replay_on_machine_perf, replay_on_machines, replay_on_machines_perf,
+    run_module_on_machines, run_on_machine, run_on_machine_image, run_on_machine_image_perf,
+    run_on_machine_image_tier, run_on_machine_image_tier_perf, run_on_machine_traced,
+    run_on_machine_traced_perf, run_on_machines_image, run_on_machines_image_perf,
+    streaming_replay_on_machine, streaming_replay_on_machine_perf, streaming_replay_on_machines,
+    streaming_replay_on_machines_perf, Machine,
 };
 pub use memsys::{AccessKind, MemSys, SharedMem};
 pub use multicore::{
-    replay_multicore, run_multicore, run_multicore_image, run_multicore_image_tier,
-    run_multicore_image_traced, streaming_replay_multicore,
+    replay_multicore, replay_multicore_perf, run_multicore, run_multicore_image,
+    run_multicore_image_perf, run_multicore_image_tier, run_multicore_image_traced,
+    run_multicore_image_traced_perf, streaming_replay_multicore, streaming_replay_multicore_perf,
 };
+pub use perf::{PcProfile, SiteProfile, StallStat};
 pub use presets::{CoreKind, MachineConfig};
-pub use stats::SimStats;
+pub use stats::{SimRun, SimStats};
 pub use swpf_ir::interp::Tier;
 
 /// Sub-cycle resolution: all internal times are in ticks.

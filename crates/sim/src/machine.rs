@@ -15,8 +15,9 @@
 
 use crate::cpu::Core;
 use crate::memsys::{MemSys, SharedMem};
+use crate::perf::PcProfile;
 use crate::presets::MachineConfig;
-use crate::stats::SimStats;
+use crate::stats::{SimRun, SimStats};
 use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{Event, ExecObserver, Interp, RtVal, Tier, Trap};
@@ -179,6 +180,23 @@ impl Machine {
         }
         .collect()
     }
+
+    /// Finish per-PC profiling (classifying still-cached prefetched
+    /// lines as `unused_at_end`) and hand the profile over. `None`
+    /// unless [`crate::perf::enabled`] was set when the machine was
+    /// built.
+    pub fn take_perf(&mut self) -> Option<PcProfile> {
+        self.mem.take_perf()
+    }
+
+    /// Stats plus the (possibly absent) per-PC profile, consumed
+    /// together — the shape the `*_perf` entry points return.
+    pub fn finish(&mut self) -> SimRun {
+        SimRun {
+            stats: self.stats(),
+            perf: self.take_perf(),
+        }
+    }
 }
 
 /// Borrowed views over the three stat sources; lets the multicore runner
@@ -263,6 +281,28 @@ pub fn run_on_machine_image(
     })
 }
 
+/// Like [`run_on_machine_image`], returning the per-PC profile
+/// alongside the stats (see [`crate::perf`]; the profile is `None`
+/// unless profiling is enabled).
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machine_image_perf(
+    config: &MachineConfig,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+) -> SimRun {
+    let mut interp = Interp::new();
+    let args = setup(&mut interp);
+    let mut machine = Machine::new(config.clone());
+    machine
+        .run_image(Arc::clone(image), func, &mut interp, &args)
+        .unwrap_or_else(|t| panic!("simulation trapped: {t}"));
+    machine.finish()
+}
+
 /// Like [`run_on_machine_image`], but on an explicit execution [`Tier`]
 /// instead of the `SWPF_TIER` environment default — the shape the
 /// differential suites use to compare tiers side by side without racing
@@ -286,6 +326,29 @@ pub fn run_on_machine_image_tier(
         .unwrap_or_else(|t| panic!("simulation trapped: {t}"))
 }
 
+/// Like [`run_on_machine_image_tier`], returning the per-PC profile
+/// alongside the stats — the shape the profiling differential suite
+/// uses to compare the profile itself across execution tiers.
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machine_image_tier_perf(
+    config: &MachineConfig,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    tier: Tier,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+) -> SimRun {
+    let mut interp = Interp::with_tier(tier);
+    let args = setup(&mut interp);
+    let mut machine = Machine::new(config.clone());
+    machine
+        .run_image(Arc::clone(image), func, &mut interp, &args)
+        .unwrap_or_else(|t| panic!("simulation trapped: {t}"));
+    machine.finish()
+}
+
 /// Like [`run_on_machine_image`], but records the retire-event stream
 /// into `enc` while measuring (see [`Machine::run_image_traced`]).
 ///
@@ -299,9 +362,29 @@ pub fn run_on_machine_traced(
     setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
     enc: &mut StreamEncoder,
 ) -> SimStats {
-    run_fresh(config, setup, |machine, interp, args| {
-        machine.run_image_traced(Arc::clone(image), func, interp, args, enc)
-    })
+    run_on_machine_traced_perf(config, image, func, setup, enc).stats
+}
+
+/// Like [`run_on_machine_traced`], returning the per-PC profile
+/// alongside the stats.
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machine_traced_perf(
+    config: &MachineConfig,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+    enc: &mut StreamEncoder,
+) -> SimRun {
+    let mut interp = Interp::new();
+    let args = setup(&mut interp);
+    let mut machine = Machine::new(config.clone());
+    machine
+        .run_image_traced(Arc::clone(image), func, &mut interp, &args, enc)
+        .unwrap_or_else(|t| panic!("simulation trapped: {t}"));
+    machine.finish()
 }
 
 /// Replay a single-core trace on `config` (see [`Machine::replay`]).
@@ -310,9 +393,21 @@ pub fn run_on_machine_traced(
 /// On a malformed trace — harness code treats that as a fatal cache
 /// error.
 pub fn replay_on_machine(config: &MachineConfig, trace: &Trace) -> SimStats {
-    Machine::new(config.clone())
+    replay_on_machine_perf(config, trace).stats
+}
+
+/// Like [`replay_on_machine`], returning the per-PC profile alongside
+/// the stats.
+///
+/// # Panics
+/// On a malformed trace — harness code treats that as a fatal cache
+/// error.
+pub fn replay_on_machine_perf(config: &MachineConfig, trace: &Trace) -> SimRun {
+    let mut machine = Machine::new(config.clone());
+    machine
         .replay(trace)
-        .unwrap_or_else(|e| panic!("trace replay failed: {e}"))
+        .unwrap_or_else(|e| panic!("trace replay failed: {e}"));
+    machine.finish()
 }
 
 /// Simulate one functional execution on every machine of a grid row at
@@ -331,6 +426,26 @@ pub fn run_on_machines_image(
     setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
     enc: Option<&mut StreamEncoder>,
 ) -> Vec<SimStats> {
+    run_on_machines_image_perf(configs, image, func, setup, enc)
+        .into_iter()
+        .map(|r| r.stats)
+        .collect()
+}
+
+/// Like [`run_on_machines_image`], returning each machine's per-PC
+/// profile alongside its stats (see [`crate::perf`]; the profile is
+/// `None` unless profiling is enabled).
+///
+/// # Panics
+/// If the program traps — harness code treats that as a fatal
+/// configuration error.
+pub fn run_on_machines_image_perf(
+    configs: &[&MachineConfig],
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnOnce(&mut Interp) -> Vec<RtVal>,
+    enc: Option<&mut StreamEncoder>,
+) -> Vec<SimRun> {
     let mut interp = Interp::new();
     let args = setup(&mut interp);
     let mut machines: Vec<Machine> = configs.iter().map(|c| Machine::new((*c).clone())).collect();
@@ -347,7 +462,7 @@ pub fn run_on_machines_image(
             .run_with_image(Arc::clone(image), func, &args, &mut fan)
             .unwrap_or_else(|t| panic!("simulation trapped: {t}"));
     }
-    machines.iter().map(Machine::stats).collect()
+    machines.iter_mut().map(Machine::finish).collect()
 }
 
 /// Candidate-evaluation entry point for search-driven tuning
@@ -384,6 +499,22 @@ pub fn replay_on_machines(
     configs: &[&MachineConfig],
     trace: &Trace,
 ) -> Result<Vec<SimStats>, TraceError> {
+    Ok(replay_on_machines_perf(configs, trace)?
+        .into_iter()
+        .map(|r| r.stats)
+        .collect())
+}
+
+/// Like [`replay_on_machines`], returning each machine's per-PC profile
+/// alongside its stats. Replay drives the identical observer path, so a
+/// profile mined from a trace matches the direct run's exactly.
+///
+/// # Errors
+/// Any [`TraceError`] in the encoded stream.
+pub fn replay_on_machines_perf(
+    configs: &[&MachineConfig],
+    trace: &Trace,
+) -> Result<Vec<SimRun>, TraceError> {
     replay_on_machines_from(configs, &mut trace.cursor(0)?)
 }
 
@@ -392,14 +523,14 @@ pub fn replay_on_machines(
 fn replay_on_machines_from(
     configs: &[&MachineConfig],
     src: &mut impl EventSource,
-) -> Result<Vec<SimStats>, TraceError> {
+) -> Result<Vec<SimRun>, TraceError> {
     let mut machines: Vec<Machine> = configs.iter().map(|c| Machine::new((*c).clone())).collect();
     while let Some((ev, _)) = src.next_event()? {
         for m in &mut machines {
             m.observer().on_event(&ev);
         }
     }
-    Ok(machines.iter().map(Machine::stats).collect())
+    Ok(machines.iter_mut().map(Machine::finish).collect())
 }
 
 /// Replay a single-core trace **file** on `config` without ever
@@ -415,7 +546,21 @@ pub fn streaming_replay_on_machine(
     config: &MachineConfig,
     replay: &StreamingReplay,
 ) -> Result<SimStats, TraceError> {
-    Machine::new(config.clone()).replay_from(&mut replay.cursor(0)?)
+    Ok(streaming_replay_on_machine_perf(config, replay)?.stats)
+}
+
+/// Like [`streaming_replay_on_machine`], returning the per-PC profile
+/// alongside the stats.
+///
+/// # Errors
+/// Any [`TraceError`] in the file.
+pub fn streaming_replay_on_machine_perf(
+    config: &MachineConfig,
+    replay: &StreamingReplay,
+) -> Result<SimRun, TraceError> {
+    let mut machine = Machine::new(config.clone());
+    machine.replay_from(&mut replay.cursor(0)?)?;
+    Ok(machine.finish())
 }
 
 /// Batched streaming replay: one block-at-a-time decode pass over the
@@ -429,6 +574,21 @@ pub fn streaming_replay_on_machines(
     configs: &[&MachineConfig],
     replay: &StreamingReplay,
 ) -> Result<Vec<SimStats>, TraceError> {
+    Ok(streaming_replay_on_machines_perf(configs, replay)?
+        .into_iter()
+        .map(|r| r.stats)
+        .collect())
+}
+
+/// Like [`streaming_replay_on_machines`], returning each machine's
+/// per-PC profile alongside its stats.
+///
+/// # Errors
+/// Any [`TraceError`] in the file.
+pub fn streaming_replay_on_machines_perf(
+    configs: &[&MachineConfig],
+    replay: &StreamingReplay,
+) -> Result<Vec<SimRun>, TraceError> {
     replay_on_machines_from(configs, &mut replay.cursor(0)?)
 }
 

@@ -3,9 +3,11 @@
 
 use crate::cache::{Cache, Lookup};
 use crate::dram::Dram;
+use crate::perf::{self, MemPerf, PcProfile};
 use crate::presets::MachineConfig;
 use crate::stride::StridePrefetcher;
 use crate::tlb::Tlb;
+use crate::LINE_BYTES;
 
 /// Demand access flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,13 +47,25 @@ pub struct MemSysStats {
     pub sw_prefetches: u64,
     /// Prefetches dropped because the prefetch queue was full.
     pub sw_prefetches_dropped: u64,
-    /// Prefetches that found the line already present or in flight.
-    pub sw_prefetches_redundant: u64,
+    /// Prefetches that found the line already present and ready.
+    pub sw_prefetches_redundant_resident: u64,
+    /// Prefetches that found a fill for the line already in flight.
+    pub sw_prefetches_redundant_inflight: u64,
     /// Demand accesses that hit a line whose fill was still in flight
     /// (late prefetch: partial benefit).
     pub late_fill_hits: u64,
     /// Fills issued by the hardware stride prefetcher.
     pub hw_prefetch_fills: u64,
+}
+
+impl MemSysStats {
+    /// Prefetches that found the line already present or in flight —
+    /// the historical aggregate counter, kept as the sum of its two
+    /// refined halves so existing artifacts and checks stay valid.
+    #[must_use]
+    pub fn sw_prefetches_redundant(&self) -> u64 {
+        self.sw_prefetches_redundant_resident + self.sw_prefetches_redundant_inflight
+    }
 }
 
 /// The private memory hierarchy of one core.
@@ -70,6 +84,10 @@ pub struct MemSys {
     /// share L3 lines.
     address_space: u64,
     stats: MemSysStats,
+    /// Per-PC prefetch-outcome and stall attribution; `None` (the
+    /// default) keeps the demand path allocation-free. Enabled at
+    /// construction time when [`crate::perf::enabled`] is set.
+    perf: Option<Box<MemPerf>>,
 }
 
 impl MemSys {
@@ -85,6 +103,7 @@ impl MemSys {
             pf_capacity: cfg.prefetch_queue.max(1),
             address_space: 0,
             stats: MemSysStats::default(),
+            perf: perf::enabled().then(|| Box::new(MemPerf::new())),
         }
     }
 
@@ -115,6 +134,9 @@ impl MemSys {
             if ready_at > t {
                 self.stats.late_fill_hits += 1;
             }
+            if let Some(p) = &mut self.perf {
+                p.on_demand_hit(addr / LINE_BYTES, now, ready_at > t);
+            }
             let data = ready_at.max(t) + self.l1.latency_ticks;
             return data - now;
         }
@@ -132,6 +154,9 @@ impl MemSys {
             if ready_at > t {
                 self.stats.late_fill_hits += 1;
             }
+            if let Some(p) = &mut self.perf {
+                p.on_demand_hit(addr / LINE_BYTES, now, ready_at > t);
+            }
             let data = ready_at.max(t) + self.l2.latency_ticks;
             let v1 = self.l1.insert(addr, t, data, is_write);
             self.spill_from_l1(shared, v1, t);
@@ -143,10 +168,15 @@ impl MemSys {
             .l3
             .as_mut()
             .and_then(|l3| match l3.access(addr, t, false) {
-                Lookup::Hit { ready_at } => Some(ready_at.max(t) + l3.latency_ticks),
+                Lookup::Hit { ready_at } => {
+                    Some((ready_at.max(t) + l3.latency_ticks, ready_at > t))
+                }
                 Lookup::Miss => None,
             });
-        if let Some(data) = l3_hit {
+        if let Some((data, in_flight)) = l3_hit {
+            if let Some(p) = &mut self.perf {
+                p.on_demand_hit(addr / LINE_BYTES, now, in_flight);
+            }
             let v2 = self.l2.insert(addr, t, data, false);
             self.spill_from_l2(shared, v2, t);
             let v1 = self.l1.insert(addr, t, data, is_write);
@@ -154,7 +184,11 @@ impl MemSys {
             return data - now;
         }
 
-        // DRAM.
+        // DRAM: a tracked prefetched line missing every level must have
+        // been evicted before use.
+        if let Some(p) = &mut self.perf {
+            p.on_demand_miss(addr / LINE_BYTES, now);
+        }
         let data = shared.dram.fill(t);
         self.install_all_levels(shared, addr, t, data, is_write);
         data - now
@@ -206,28 +240,46 @@ impl MemSys {
         shared.dram.writeback(t);
     }
 
-    /// Issue a software prefetch at tick `now`. Never blocks the core;
-    /// fills L1 (and the levels below) when the line is absent.
-    pub fn prefetch(&mut self, shared: &mut SharedMem, addr: u64, now: u64) {
+    /// Issue a software prefetch at tick `now` on behalf of the static
+    /// prefetch instruction at `pc`. Never blocks the core; fills L1
+    /// (and the levels below) when the line is absent.
+    pub fn prefetch(&mut self, shared: &mut SharedMem, addr: u64, now: u64, pc: u64) {
         let addr = addr | self.address_space;
         self.stats.sw_prefetches += 1;
         self.pf_outstanding.retain(|&done| done > now);
         if self.pf_outstanding.len() >= self.pf_capacity {
             self.stats.sw_prefetches_dropped += 1;
+            if let Some(p) = &mut self.perf {
+                p.on_dropped(pc);
+            }
             return;
         }
         // Prefetches translate too — installing TLB entries early is one
         // of the side benefits the paper measures (Fig. 10).
         let t = self.tlb.translate(addr, now);
-        if matches!(self.l1.probe(addr), Lookup::Hit { .. }) {
-            self.stats.sw_prefetches_redundant += 1;
+        if let Lookup::Hit { ready_at } = self.l1.probe(addr) {
+            if ready_at > now {
+                self.stats.sw_prefetches_redundant_inflight += 1;
+            } else {
+                self.stats.sw_prefetches_redundant_resident += 1;
+            }
+            if let Some(p) = &mut self.perf {
+                p.on_redundant(pc, ready_at <= now);
+            }
             return;
         }
         if let Lookup::Hit { ready_at } = self.l2.access(addr, t, false) {
             let data = ready_at.max(t) + self.l2.latency_ticks;
             let v1 = self.l1.insert(addr, t, data, false);
             self.spill_from_l1(shared, v1, t);
-            self.stats.sw_prefetches_redundant += 1;
+            if ready_at > now {
+                self.stats.sw_prefetches_redundant_inflight += 1;
+            } else {
+                self.stats.sw_prefetches_redundant_resident += 1;
+            }
+            if let Some(p) = &mut self.perf {
+                p.on_redundant(pc, ready_at <= now);
+            }
             return;
         }
         let l3_hit = shared
@@ -238,15 +290,39 @@ impl MemSys {
                 Lookup::Miss => None,
             });
         if let Some(data) = l3_hit {
+            // Pulled closer from the LLC: a useful prefetch, judged at
+            // demand time like a DRAM fetch (not redundant).
+            if let Some(p) = &mut self.perf {
+                p.on_issue(pc, addr / LINE_BYTES, now);
+            }
             let v2 = self.l2.insert(addr, t, data, false);
             self.spill_from_l2(shared, v2, t);
             let v1 = self.l1.insert(addr, t, data, false);
             self.spill_from_l1(shared, v1, t);
             return;
         }
+        if let Some(p) = &mut self.perf {
+            p.on_issue(pc, addr / LINE_BYTES, now);
+        }
         let data = shared.dram.fill(t);
         self.pf_outstanding.push(data);
         self.install_all_levels(shared, addr, t, data, false);
+    }
+
+    /// Attribute `ticks` of demand-load stall (beyond the pipelined
+    /// threshold) to the load retiring at `pc`. No-op unless per-PC
+    /// profiling was enabled when this memory system was built.
+    pub fn record_stall(&mut self, pc: u64, ticks: u64) {
+        if let Some(p) = &mut self.perf {
+            p.on_stall(pc, ticks);
+        }
+    }
+
+    /// Finish per-PC profiling: classify still-tracked prefetched lines
+    /// as `unused_at_end` and hand the profile over. `None` when
+    /// profiling was not enabled for this memory system.
+    pub fn take_perf(&mut self) -> Option<PcProfile> {
+        self.perf.take().map(|mut p| p.take())
     }
 
     /// L1 hit latency in ticks (used by core models as the "pipelined,
@@ -346,7 +422,7 @@ mod tests {
     #[test]
     fn prefetch_then_demand_hits() {
         let (mut m, mut sh) = haswell_mem();
-        m.prefetch(&mut sh, 0x20_0000, 0);
+        m.prefetch(&mut sh, 0x20_0000, 0, 1);
         // Long after the fill completes: pure L1 hit.
         let lat = m.access(
             &mut sh,
@@ -362,7 +438,7 @@ mod tests {
     #[test]
     fn late_prefetch_gives_partial_benefit() {
         let (mut m, mut sh) = haswell_mem();
-        m.prefetch(&mut sh, 0x20_0000, 0);
+        m.prefetch(&mut sh, 0x20_0000, 0, 1);
         // Demand arrives 50 cycles later; fill needs ~280. Must wait the
         // remainder, which is less than a full miss.
         let demand_at = 50 * TICKS_PER_CYCLE;
@@ -384,7 +460,7 @@ mod tests {
         let mut m = MemSys::new(&cfg);
         let mut sh = SharedMem::new(&cfg);
         for i in 0..10u64 {
-            m.prefetch(&mut sh, 0x100_0000 + i * 4096, 0);
+            m.prefetch(&mut sh, 0x100_0000 + i * 4096, 0, 1);
         }
         assert_eq!(m.stats().sw_prefetches, 10);
         assert_eq!(m.stats().sw_prefetches_dropped, 6);
@@ -393,11 +469,11 @@ mod tests {
     #[test]
     fn redundant_prefetch_is_counted_not_refetched() {
         let (mut m, mut sh) = haswell_mem();
-        m.prefetch(&mut sh, 0x30_0000, 0);
+        m.prefetch(&mut sh, 0x30_0000, 0, 1);
         let reads_before = sh.dram.lines_read();
-        m.prefetch(&mut sh, 0x30_0000, 1);
+        m.prefetch(&mut sh, 0x30_0000, 1, 1);
         assert_eq!(sh.dram.lines_read(), reads_before);
-        assert_eq!(m.stats().sw_prefetches_redundant, 1);
+        assert_eq!(m.stats().sw_prefetches_redundant(), 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::cpu::Core;
 use crate::machine::{MachineStatsParts, TimingObserver};
 use crate::memsys::{MemSys, SharedMem};
 use crate::presets::MachineConfig;
-use crate::stats::SimStats;
+use crate::stats::{SimRun, SimStats};
 use std::sync::Arc;
 use swpf_ir::exec::ExecImage;
 use swpf_ir::interp::{ExecObserver, Interp, RtVal, Step, Tier};
@@ -117,6 +117,25 @@ pub fn run_multicore_image(
     setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
 ) -> Vec<SimStats> {
     run_multicore_inner(config, n_cores, image, func, setup, None, None)
+        .into_iter()
+        .map(|r| r.stats)
+        .collect()
+}
+
+/// Like [`run_multicore_image`], returning each core's per-PC profile
+/// alongside its stats (see [`crate::perf`]; profiles are `None` unless
+/// profiling is enabled).
+///
+/// # Panics
+/// If any core's program traps.
+pub fn run_multicore_image_perf(
+    config: &MachineConfig,
+    n_cores: usize,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+) -> Vec<SimRun> {
+    run_multicore_inner(config, n_cores, image, func, setup, None, None)
 }
 
 /// Like [`run_multicore_image`], but on an explicit execution [`Tier`]
@@ -135,6 +154,9 @@ pub fn run_multicore_image_tier(
     setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
 ) -> Vec<SimStats> {
     run_multicore_inner(config, n_cores, image, func, setup, Some(tier), None)
+        .into_iter()
+        .map(|r| r.stats)
+        .collect()
 }
 
 /// Like [`run_multicore_image`], additionally recording each core's
@@ -152,6 +174,25 @@ pub fn run_multicore_image_traced(
     setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
     recorder: &mut TraceRecorder,
 ) -> Vec<SimStats> {
+    run_multicore_image_traced_perf(config, n_cores, image, func, setup, recorder)
+        .into_iter()
+        .map(|r| r.stats)
+        .collect()
+}
+
+/// Like [`run_multicore_image_traced`], returning each core's per-PC
+/// profile alongside its stats.
+///
+/// # Panics
+/// If any core's program traps, or the recorder has too few streams.
+pub fn run_multicore_image_traced_perf(
+    config: &MachineConfig,
+    n_cores: usize,
+    image: &Arc<ExecImage>,
+    func: FuncId,
+    setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
+    recorder: &mut TraceRecorder,
+) -> Vec<SimRun> {
     run_multicore_inner(config, n_cores, image, func, setup, None, Some(recorder))
 }
 
@@ -163,7 +204,7 @@ fn run_multicore_inner(
     mut setup: impl FnMut(usize, &mut Interp) -> Vec<RtVal>,
     tier: Option<Tier>,
     mut recorder: Option<&mut TraceRecorder>,
-) -> Vec<SimStats> {
+) -> Vec<SimRun> {
     let mut shared = SharedMem::new(config);
     let mut slots: Vec<CoreSlot> = (0..n_cores)
         .map(|i| {
@@ -201,14 +242,18 @@ fn run_multicore_inner(
     }
 
     slots
-        .iter()
+        .iter_mut()
         .map(|s| {
-            MachineStatsParts {
+            let stats = MachineStatsParts {
                 core: &s.core,
                 mem: &s.mem,
                 shared: &shared,
             }
-            .collect()
+            .collect();
+            SimRun {
+                stats,
+                perf: s.mem.take_perf(),
+            }
         })
         .collect()
 }
@@ -226,6 +271,21 @@ pub fn replay_multicore(
     config: &MachineConfig,
     trace: &Trace,
 ) -> Result<Vec<SimStats>, TraceError> {
+    Ok(replay_multicore_perf(config, trace)?
+        .into_iter()
+        .map(|r| r.stats)
+        .collect())
+}
+
+/// Like [`replay_multicore`], returning each core's per-PC profile
+/// alongside its stats.
+///
+/// # Errors
+/// Any [`TraceError`] in the encoded streams.
+pub fn replay_multicore_perf(
+    config: &MachineConfig,
+    trace: &Trace,
+) -> Result<Vec<SimRun>, TraceError> {
     let cursors = (0..trace.num_cores())
         .map(|i| trace.cursor(i))
         .collect::<Result<Vec<_>, _>>()?;
@@ -245,6 +305,21 @@ pub fn streaming_replay_multicore(
     config: &MachineConfig,
     replay: &StreamingReplay,
 ) -> Result<Vec<SimStats>, TraceError> {
+    Ok(streaming_replay_multicore_perf(config, replay)?
+        .into_iter()
+        .map(|r| r.stats)
+        .collect())
+}
+
+/// Like [`streaming_replay_multicore`], returning each core's per-PC
+/// profile alongside its stats.
+///
+/// # Errors
+/// Any [`TraceError`] in the file.
+pub fn streaming_replay_multicore_perf(
+    config: &MachineConfig,
+    replay: &StreamingReplay,
+) -> Result<Vec<SimRun>, TraceError> {
     let cursors = (0..replay.num_cores())
         .map(|i| replay.cursor(i))
         .collect::<Result<Vec<_>, _>>()?;
@@ -257,7 +332,7 @@ pub fn streaming_replay_multicore(
 fn replay_multicore_from<S: EventSource>(
     config: &MachineConfig,
     cursors: Vec<S>,
-) -> Result<Vec<SimStats>, TraceError> {
+) -> Result<Vec<SimRun>, TraceError> {
     struct ReplaySlot<S> {
         cursor: S,
         core: Core,
@@ -310,14 +385,18 @@ fn replay_multicore_from<S: EventSource>(
     }
 
     Ok(slots
-        .iter()
+        .iter_mut()
         .map(|s| {
-            MachineStatsParts {
+            let stats = MachineStatsParts {
                 core: &s.core,
                 mem: &s.mem,
                 shared: &shared,
             }
-            .collect()
+            .collect();
+            SimRun {
+                stats,
+                perf: s.mem.take_perf(),
+            }
         })
         .collect())
 }

@@ -2,6 +2,7 @@
 
 use crate::cpu::InstCounts;
 use crate::memsys::MemSysStats;
+use crate::perf::PcProfile;
 
 /// Everything a harness needs to report one simulated run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,11 +98,35 @@ impl SimStats {
             ("dram_lines_written", self.dram_lines_written),
             ("sw_prefetches", self.mem.sw_prefetches),
             ("sw_prefetches_dropped", self.mem.sw_prefetches_dropped),
-            ("sw_prefetches_redundant", self.mem.sw_prefetches_redundant),
+            (
+                "sw_prefetches_redundant",
+                self.mem.sw_prefetches_redundant(),
+            ),
+            (
+                "sw_prefetches_redundant_resident",
+                self.mem.sw_prefetches_redundant_resident,
+            ),
+            (
+                "sw_prefetches_redundant_inflight",
+                self.mem.sw_prefetches_redundant_inflight,
+            ),
             ("late_fill_hits", self.mem.late_fill_hits),
             ("hw_prefetch_fills", self.mem.hw_prefetch_fills),
         ]
     }
+}
+
+/// One simulated core's complete result: the aggregate counters plus,
+/// when per-PC profiling was enabled ([`crate::perf`]), the attribution
+/// profile. The `*_perf` run entry points return this; the plain ones
+/// keep returning bare [`SimStats`].
+#[derive(Debug, Clone, Default)]
+pub struct SimRun {
+    /// Aggregate counters — bit-identical whether or not profiling ran.
+    pub stats: SimStats,
+    /// Per-PC attribution; `None` unless profiling was enabled when the
+    /// machine was built.
+    pub perf: Option<PcProfile>,
 }
 
 #[cfg(test)]

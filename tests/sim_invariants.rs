@@ -38,7 +38,8 @@ fn accounting_identities_hold_everywhere() {
             );
             // Prefetch outcomes partition the issued prefetches.
             assert!(
-                s.mem.sw_prefetches_dropped + s.mem.sw_prefetches_redundant <= s.mem.sw_prefetches,
+                s.mem.sw_prefetches_dropped + s.mem.sw_prefetches_redundant()
+                    <= s.mem.sw_prefetches,
                 "{}/{}: prefetch outcome accounting",
                 machine.name,
                 w.name()
