@@ -9,10 +9,11 @@
 //! `--only <name>` / `--skip <name>` filter the catalogue (repeatable,
 //! or comma-separated), so smoke jobs can run one experiment instead of
 //! re-running everything: CI's `ablation-smoke` job is
-//! `--only ablation`. The searched `tune` experiment is not in the
-//! default set (it has its own `--bin tune`), but `--only tune` runs it
-//! here. `--list` prints the experiment catalogue, the filter syntax,
-//! the machine models, and the workloads, without running anything.
+//! `--only ablation`. The searched experiments — `tune` and
+//! `pipeline_search` — are not in the default set (each has its own
+//! binary), but `--only tune` / `--only pipeline_search` run them here.
+//! `--list` prints the experiment catalogue, the filter syntax, the
+//! machine models, and the workloads, without running anything.
 //!
 //! `--profile <path>` (or `SWPF_PROFILE=<path>`) composes with
 //! `--only`/`--skip`: the whole selected run is profiled through
@@ -96,9 +97,18 @@ fn main() -> std::process::ExitCode {
     for name in &selected {
         let (result, checks) = match experiments::by_name(name, scale) {
             Some(exp) => run_and_report(&exp, &opts.run, &opts.out_dir),
-            None => {
-                assert_eq!(*name, "tune", "non-grid experiments: tune only");
+            None if *name == "tune" => {
                 swpf_bench::tune::run_and_report(&experiments::tune(scale), &opts.out_dir)
+            }
+            None => {
+                assert_eq!(
+                    *name, "pipeline_search",
+                    "non-grid experiments: tune and pipeline_search only"
+                );
+                swpf_bench::pipeline_search::run_and_report(
+                    &experiments::pipeline_search(scale),
+                    &opts.out_dir,
+                )
             }
         };
         let check_failures = checks.iter().filter(|c| !c.passed).count();

@@ -8,7 +8,7 @@
 //! ```sh
 //! CRITERION_JSON=bench.jsonl cargo bench -p swpf-bench --bench sim_throughput
 //! cargo run --release -p swpf-bench --bin bench_gate -- \
-//!     bench.jsonl BENCH_interp.json [BENCH_trace.json]
+//!     bench.jsonl BENCH_interp.json [BENCH_trace.json] [BENCH_pass.json]
 //! ```
 //!
 //! Absolute ns/iter numbers are not comparable across hosts (CI
@@ -34,7 +34,12 @@
 //! * **compression** (`BENCH_trace.json`): the v2 block-compressed
 //!   envelope's size advantage over the uncompressed v1 layout,
 //!   measured deterministically in-process on a freshly recorded IS
-//!   trace — byte counts, not wall-clock, so this leg is host-exact.
+//!   trace — byte counts, not wall-clock, so this leg is host-exact;
+//! * **pipeline** (`BENCH_pass.json`, optional fourth argument): the
+//!   full `swpf,gvn,sccp,licm,cse,dce` pipeline's compile-phase cost on
+//!   the tune evaluator over the local-only `swpf,cse,dce` reference
+//!   pipeline — both sides measured in-process, A/B-interleaved within
+//!   each repetition, gated at a tighter 1.25x allowance.
 //!
 //! The 30% allowance keeps shared-runner noise from flaking the job;
 //! the gate exists to catch cliffs, not single-digit drift.
@@ -49,6 +54,12 @@ const MAX_REGRESSION: f64 = 1.30;
 /// allowance absorbs shared-runner noise between the two same-process
 /// measurements.
 const MAX_PROFILING_OVERHEAD: f64 = 1.10;
+
+/// Allowed drift of the full pipeline's compile-phase cost relative to
+/// the `swpf,cse,dce` reference pipeline before failing. Tighter than
+/// [`MAX_REGRESSION`] because both sides are measured in-process,
+/// A/B-interleaved within each repetition, so host noise cancels.
+const MAX_PIPELINE_REGRESSION: f64 = 1.25;
 
 fn ns_from_records(text: &str, group: &str, bench: &str) -> Option<f64> {
     // Last record wins: CRITERION_JSON is append-only across runs.
@@ -259,15 +270,86 @@ fn gate_perf(records: &str, records_path: &str) -> bool {
     }
 }
 
+/// Gate the full pipeline's compile-phase cost: compile every point of
+/// the default search space through the full global pipeline
+/// (`swpf,gvn,sccp,licm,cse,dce`) and through the PR 5 local-only
+/// pipeline (`swpf,cse,dce`) on the tune evaluator — A/B-interleaved
+/// within each repetition, so wall-clock drift cancels — and require
+/// the measured full/local ratio to stay within the allowance of the
+/// `BENCH_pass.json` reference. Catches a global pass turning
+/// accidentally super-linear, which per-run absolutes cannot.
+fn gate_pipeline(reference: &Json, reference_path: &str) -> bool {
+    use std::time::Instant;
+    use swpf_core::PassConfig;
+    use swpf_tune::{Evaluator, SearchSpace};
+    use swpf_workloads::{Scale, WorkloadId};
+
+    const FULL: &str = "swpf,gvn,sccp,licm,cse,dce";
+    const LOCAL: &str = "swpf,cse,dce";
+    let machines = [swpf_sim::MachineConfig::a53()];
+    let space = SearchSpace::paper_default();
+    let reps = 10;
+
+    let mut full_s = 0.0;
+    let mut local_s = 0.0;
+    for _ in 0..reps {
+        for &id in &WorkloadId::FIG6 {
+            let w = id.instantiate(Scale::Test);
+            for (spec, acc) in [(FULL, &mut full_s), (LOCAL, &mut local_s)] {
+                let mut ev = Evaluator::new(w.as_ref(), &machines);
+                let t = Instant::now();
+                for i in 0..space.len() {
+                    let config = PassConfig {
+                        pipeline: spec.parse().expect("valid pipeline spec"),
+                        ..space.at(i)
+                    };
+                    let _ = ev.compile_candidate(&config);
+                }
+                *acc += t.elapsed().as_secs_f64();
+            }
+        }
+    }
+
+    let Some(ref_ratio) = reference_f64(
+        reference,
+        reference_path,
+        "pipeline_gate",
+        "full_over_cse_dce",
+    ) else {
+        return false;
+    };
+    let measured = full_s / local_s;
+    let ceiling = ref_ratio * MAX_PIPELINE_REGRESSION;
+    println!(
+        "bench_gate: pipeline compile cost (`{FULL}` over `{LOCAL}`, {reps} interleaved \
+         reps × {} points) — measured {measured:.3}x ({:.1} / {:.1} ms), reference \
+         {ref_ratio:.3}x, ceiling {ceiling:.3}x (allowance {MAX_PIPELINE_REGRESSION}x)",
+        space.len(),
+        full_s * 1e3,
+        local_s * 1e3,
+    );
+    if measured <= ceiling {
+        true
+    } else {
+        eprintln!(
+            "bench_gate: the full pipeline's compile cost over `{LOCAL}` regressed more \
+             than {MAX_PIPELINE_REGRESSION}x vs the {reference_path} reference"
+        );
+        false
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(records_path), Some(interp_ref_path)) = (args.next(), args.next()) else {
         eprintln!(
-            "usage: bench_gate <criterion-json-lines> <BENCH_interp.json> [BENCH_trace.json]"
+            "usage: bench_gate <criterion-json-lines> <BENCH_interp.json> \
+             [BENCH_trace.json] [BENCH_pass.json]"
         );
         return std::process::ExitCode::FAILURE;
     };
     let trace_ref_path = args.next();
+    let pass_ref_path = args.next();
 
     let records = std::fs::read_to_string(&records_path)
         .unwrap_or_else(|e| panic!("cannot read {records_path}: {e}"));
@@ -326,6 +408,10 @@ fn main() -> std::process::ExitCode {
             "direct_ns_per_iter",
         );
         ok &= gate_compression(&trace_ref, &path);
+    }
+    if let Some(path) = pass_ref_path {
+        let pass_ref = load_json(&path);
+        ok &= gate_pipeline(&pass_ref, &path);
     }
     if ok {
         std::process::ExitCode::SUCCESS

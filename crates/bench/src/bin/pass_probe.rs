@@ -28,9 +28,16 @@
 //! explain them.
 
 use swpf_bench::json::Json;
+use swpf_core::PassConfig;
 use swpf_sim::MachineConfig;
 use swpf_tune::{Evaluator, SearchSpace};
 use swpf_workloads::{Scale, WorkloadId};
+
+/// The full cleanup pipeline of the `pipeline` A/B group.
+const FULL_PIPELINE: &str = "swpf,gvn,sccp,licm,cse,dce";
+
+/// The local-only reference pipeline the full one is gated against.
+const LOCAL_PIPELINE: &str = "swpf,cse,dce";
 
 /// One full compile sweep: every point of `space` through a fresh
 /// evaluator, under the span named `label`. Returns the analyses
@@ -53,6 +60,29 @@ fn sweep(
         let _ = ev.compile_candidate(&space.at(i));
     }
     ev.analyses_computed()
+}
+
+/// One pipeline-compile sweep: every point of `space` compiled through
+/// the pipeline `spec` on a fresh (cached) evaluator, under the span
+/// named `label` — the A/B source of the `bench_gate` compile-phase
+/// pipeline gate.
+fn pipeline_sweep(
+    id: WorkloadId,
+    machines: &[MachineConfig],
+    space: &SearchSpace,
+    spec: &str,
+    label: &str,
+) {
+    let w = id.instantiate(Scale::Paper);
+    let _span = swpf_obs::span(label.to_string());
+    let mut ev = Evaluator::new(w.as_ref(), machines);
+    for i in 0..space.len() {
+        let config = PassConfig {
+            pipeline: spec.parse().expect("valid pipeline spec"),
+            ..space.at(i)
+        };
+        let _ = ev.compile_candidate(&config);
+    }
 }
 
 /// Mean wall seconds of every span recorded under `label`.
@@ -119,6 +149,36 @@ fn main() {
         ));
     }
 
+    // Pipeline A/B: the full global pipeline vs. the local-only PR 5
+    // pipeline, same compile phase, interleaved within each rep — the
+    // reference source of the `bench_gate` pipeline gate.
+    let mut pipeline_rows = Vec::new();
+    let mut total_full = 0.0;
+    let mut total_local = 0.0;
+    for &id in &workloads {
+        let label_f = format!("pipeline:{}:full", id.name());
+        let label_l = format!("pipeline:{}:cse_dce", id.name());
+        for _ in 0..reps {
+            pipeline_sweep(id, &machines, &space, FULL_PIPELINE, &label_f);
+            pipeline_sweep(id, &machines, &space, LOCAL_PIPELINE, &label_l);
+        }
+        let summary = swpf_obs::snapshot().summary();
+        let (f, l) = (
+            mean_wall_s(&summary, &label_f),
+            mean_wall_s(&summary, &label_l),
+        );
+        total_full += f;
+        total_local += l;
+        pipeline_rows.push((
+            id.name(),
+            Json::obj(vec![
+                ("full_wall_s", Json::F64(f)),
+                ("cse_dce_wall_s", Json::F64(l)),
+                ("full_over_cse_dce", Json::F64(f / l)),
+            ]),
+        ));
+    }
+
     let doc = Json::obj(vec![
         ("reps", Json::U64(reps as u64)),
         ("points_per_sweep", Json::U64(space.len() as u64)),
@@ -132,6 +192,18 @@ fn main() {
                     "uncached_over_cached",
                     Json::F64(total_uncached / total_cached),
                 ),
+            ]),
+        ),
+        (
+            "pipeline",
+            Json::obj(vec![
+                (
+                    "workloads",
+                    Json::obj(pipeline_rows.into_iter().collect::<Vec<_>>()),
+                ),
+                ("full_wall_s", Json::F64(total_full)),
+                ("cse_dce_wall_s", Json::F64(total_local)),
+                ("full_over_cse_dce", Json::F64(total_full / total_local)),
             ]),
         ),
     ]);

@@ -40,10 +40,13 @@ pub const ALL_NAMES: [&str; 12] = [
 ];
 
 /// The complete experiment catalogue: the grid experiments plus the
-/// searched `tune` experiment (run by `--bin tune` through
-/// [`crate::tune::run_tune`], or by `--bin all -- --only tune`). This
-/// is what `--bin all -- --list` enumerates.
-pub const EXPERIMENTS: [&str; 13] = [
+/// searched experiments — `tune` (run by `--bin tune` through
+/// [`crate::tune::run_tune`], or by `--bin all -- --only tune`) and
+/// `pipeline_search` (run by `--bin pipeline_search` through
+/// [`crate::pipeline_search::run_search`], or by
+/// `--only pipeline_search`). This is what `--bin all -- --list`
+/// enumerates.
+pub const EXPERIMENTS: [&str; 14] = [
     "table1",
     "fig2",
     "fig4",
@@ -57,6 +60,7 @@ pub const EXPERIMENTS: [&str; 13] = [
     "trace_analytics",
     "prefetch_profile",
     "tune",
+    "pipeline_search",
 ];
 
 /// The default manual-variant label (`c = 64`, the paper's choice).
@@ -816,27 +820,54 @@ fn fig10(scale: Scale) -> Experiment {
 // ---- ablation ------------------------------------------------------------
 
 /// The pass pipelines the ablation compares: the bare prefetch pass,
-/// DCE alone, and CSE + DCE — the paper's "later passes clean up the
-/// generated address code" step (§4/§5), made measurable. Each entry is
-/// `(variant label, pipeline spec)`; this const is the single source of
-/// the experiment's variant axis, its static-cost columns, and its
-/// speedup tables. The first entry must be the bare pass (the
-/// reference the others are checked against) and entries must only add
-/// cleanup (the monotonicity check assumes it).
-pub const ABLATION_PIPELINES: [(&str, &str); 3] = [
+/// the local cleanup ladder (DCE alone, CSE + DCE), one global pass in
+/// isolation (GVN + DCE), and the full global pipeline — the paper's
+/// "later passes clean up the generated address code" step (§4/§5),
+/// made measurable. Each entry is `(variant label, pipeline spec)`;
+/// this const is the single source of the experiment's variant axis,
+/// its static-cost columns, and its speedup tables. The first entry
+/// must be the bare pass (the reference the others are checked
+/// against), entries must only add cleanup (the monotonicity check
+/// assumes it), and `swpf_cse_dce`/`swpf_full` must both be present
+/// (the retained-code check compares them).
+pub const ABLATION_PIPELINES: [(&str, &str); 5] = [
     ("swpf", "swpf"),
     ("swpf_dce", "swpf,dce"),
     ("swpf_cse_dce", "swpf,cse,dce"),
+    ("swpf_gvn_dce", "swpf,gvn,dce"),
+    ("swpf_full", "swpf,gvn,sccp,licm,cse,dce"),
 ];
 
 /// Static cost of one workload's kernel per ablation pipeline
 /// (deterministic pure functions of workload × scale × pipeline):
-/// placed instructions in the baseline, placed instructions after each
-/// [`ABLATION_PIPELINES`] entry, and each entry's emitted prefetches.
+/// placed instructions in the baseline, placed (and loop-resident
+/// placed) instructions after each [`ABLATION_PIPELINES`] entry, and
+/// each entry's emitted prefetches.
 struct StaticCost {
     base: usize,
+    base_retained: usize,
     placed: Vec<usize>,
+    retained: Vec<usize>,
     prefetches: Vec<usize>,
+}
+
+/// Placed instructions living in blocks inside some natural loop — the
+/// per-iteration cost a pipeline actually retains. Total counts cannot
+/// see LICM (it moves code, never removes it); this metric charges only
+/// what still executes every iteration, so a hoist shows up as a win.
+fn loop_resident_insts(m: &swpf_ir::Module) -> usize {
+    use swpf_analysis::{DomTree, LoopForest};
+    m.func_ids()
+        .map(|fid| {
+            let f = m.function(fid);
+            let dom = DomTree::compute(f);
+            let loops = LoopForest::compute(f, &dom);
+            f.block_ids()
+                .filter(|&b| loops.ids().any(|l| loops.get(l).contains(b)))
+                .map(|b| f.block(b).insts.len())
+                .sum::<usize>()
+        })
+        .sum()
 }
 
 /// Compile every workload through every ablation pipeline and count.
@@ -848,20 +879,65 @@ fn ablation_static_costs(scale: Scale) -> Vec<(WorkloadId, StaticCost)> {
         .iter()
         .map(|&id| {
             let w = id.instantiate(scale);
+            let baseline = w.build_baseline();
             let mut cost = StaticCost {
-                base: placed(&w.build_baseline()),
+                base: placed(&baseline),
+                base_retained: loop_resident_insts(&baseline),
                 placed: Vec::new(),
+                retained: Vec::new(),
                 prefetches: Vec::new(),
             };
             for (_, spec) in ABLATION_PIPELINES {
                 let mut m = w.build_baseline();
                 let report = swpf_core::run_on_module(&mut m, &PassConfig::with_pipeline(spec));
                 cost.placed.push(placed(&m));
+                cost.retained.push(loop_resident_insts(&m));
                 cost.prefetches.push(report.total_prefetches());
             }
             (id, cost)
         })
         .collect()
+}
+
+/// One cell of the pipeline search the ablation's `searched` column
+/// reports: evaluator-exact simulated cycles of the compiler's default
+/// pipeline (bare `swpf`), the full heuristic pipeline, and the
+/// exhaustive best over [`swpf_tune::PipelineSpace::paper_default`].
+struct SearchedCell {
+    machine: &'static str,
+    workload: String,
+    default_cycles: u64,
+    full_cycles: u64,
+    best_cycles: u64,
+    chosen: String,
+}
+
+/// Exhaustively search the cleanup-pipeline space per workload ×
+/// machine. The heuristic (full pipeline) and the bare default are both
+/// candidates, so `best ≤ full` and `best ≤ default` by construction;
+/// what the search *adds* is the exact margin, per cell.
+fn ablation_searched_cells(scale: Scale, machines: &[MachineConfig]) -> Vec<SearchedCell> {
+    use swpf_tune::{tune_cell, Evaluator, Exhaustive, PipelineSpace, Space};
+    let space = PipelineSpace::paper_default();
+    space.assert_well_formed();
+    let default_config = PassConfig::default();
+    let mut cells = Vec::new();
+    for &id in &WorkloadId::ALL {
+        let w = id.instantiate(scale);
+        let mut eval = Evaluator::new(w.as_ref(), machines);
+        for (mi, m) in machines.iter().enumerate() {
+            let report = tune_cell(&Exhaustive, &space, mi, &mut eval, None);
+            cells.push(SearchedCell {
+                machine: m.name,
+                workload: w.name().to_string(),
+                default_cycles: eval.cycles(&default_config, mi),
+                full_cycles: report.heuristic_cycles,
+                best_cycles: report.chosen_cycles,
+                chosen: report.chosen.pipeline.to_string(),
+            });
+        }
+    }
+    cells
 }
 
 fn ablation(scale: Scale) -> Experiment {
@@ -895,11 +971,12 @@ fn ablation(scale: Scale) -> Experiment {
             // it; `pf_drift` must be 0 — cleanup never touches
             // prefetches (checked below from this table).
             let labels: Vec<&str> = ABLATION_PIPELINES.iter().map(|(l, _)| *l).collect();
+            let costs = ablation_static_costs(res.scale);
             let mut columns = vec!["base".to_string()];
             columns.extend(labels.iter().map(ToString::to_string));
             columns.extend(["cloned", "eliminated", "prefetches", "pf_drift"].map(String::from));
-            let static_rows = ablation_static_costs(res.scale)
-                .into_iter()
+            let static_rows = costs
+                .iter()
                 .map(|(w, c)| {
                     let bare = c.placed[0];
                     let full = *c.placed.last().expect("non-empty pipeline list");
@@ -928,12 +1005,96 @@ fn ablation(scale: Scale) -> Experiment {
                 columns,
                 static_rows,
             )];
-            // Speedup over no-prefetch per machine, per pipeline.
+            // Loop-resident placed instructions: the per-iteration cost
+            // each pipeline retains. Total counts are blind to LICM
+            // (a hoist moves code out of the loop without deleting it),
+            // so the global-pass payoff is asserted on this table.
+            let mut lr_columns = vec!["base".to_string()];
+            lr_columns.extend(labels.iter().map(ToString::to_string));
+            let lr_rows = costs
+                .iter()
+                .map(|(w, c)| {
+                    let mut values = vec![c.base_retained as f64];
+                    values.extend(c.retained.iter().map(|&p| p as f64));
+                    Row {
+                        name: w.name().to_string(),
+                        values,
+                    }
+                })
+                .collect();
+            let mut lr = TableSection::new(
+                "Ablation (static, loop-resident) — in-loop placed instructions per pipeline",
+                lr_columns,
+                lr_rows,
+            );
+            lr.notes.push(
+                "instructions in blocks inside a natural loop: the per-iteration \
+                 cost a pipeline retains (hoisted code leaves this count)"
+                    .to_string(),
+            );
+            sections.push(lr);
+            // The searched-pipeline column: exhaustive search over the
+            // cleanup-pipeline space, evaluator-exact cycles per cell.
+            let searched = ablation_searched_cells(res.scale, &res.machines);
+            let mut srch = TableSection::new(
+                "Ablation (searched) — simulated cycles: default vs. full vs. searched pipeline",
+                ["default", "full", "searched"].map(String::from).to_vec(),
+                searched
+                    .iter()
+                    .map(|c| Row {
+                        name: format!("{}/{}", c.machine, c.workload),
+                        values: vec![
+                            c.default_cycles as f64,
+                            c.full_cycles as f64,
+                            c.best_cycles as f64,
+                        ],
+                    })
+                    .collect(),
+            );
+            srch.notes.push(
+                "default = the compiler's default pipeline (bare `swpf`); full = \
+                 the heuristic `swpf,gvn,sccp,licm,cse,dce`; searched = exhaustive \
+                 best over the pipeline space (both references are candidates, so \
+                 searched ≤ min(default, full) by construction)"
+                    .to_string(),
+            );
+            for c in &searched {
+                if c.chosen != swpf_tune::DEFAULT_FULL_PIPELINE {
+                    srch.notes.push(format!(
+                        "{}/{}: searched pipeline `{}`",
+                        c.machine, c.workload, c.chosen
+                    ));
+                }
+            }
+            sections.push(srch);
+            // Speedup over no-prefetch per machine, per pipeline, plus
+            // the searched column: the full pipeline's measured speedup
+            // scaled by the searched pipeline's exact cycle margin.
             sections.extend(res.machines.iter().map(|m| {
+                let mut rows = speedup_rows(res, m.name, &WorkloadId::ALL, &labels);
+                let mut searched_col = Vec::new();
+                for r in &mut rows {
+                    if r.name == "Geomean" {
+                        continue;
+                    }
+                    let cell = searched
+                        .iter()
+                        .find(|c| c.machine == m.name && c.workload == r.name)
+                        .expect("one searched cell per machine × workload");
+                    let full_speedup = r.values[labels.len() - 1];
+                    let v = full_speedup * cell.full_cycles as f64 / cell.best_cycles as f64;
+                    r.values.push(v);
+                    searched_col.push(v);
+                }
+                if let Some(g) = rows.iter_mut().find(|r| r.name == "Geomean") {
+                    g.values.push(crate::geomean(&searched_col));
+                }
+                let mut columns: Vec<String> = labels.iter().map(ToString::to_string).collect();
+                columns.push("searched".to_string());
                 TableSection::new(
                     format!("Ablation ({}) — speedup vs. no prefetching", m.name),
-                    labels.iter().map(ToString::to_string).collect(),
-                    speedup_rows(res, m.name, &WorkloadId::ALL, &labels),
+                    columns,
+                    rows,
                 )
             }));
             sections
@@ -983,6 +1144,58 @@ fn ablation(scale: Scale) -> Experiment {
                 "cleanup_preserves_prefetches",
                 prefetches_kept,
                 format!("{bare} and {full} emit identical prefetch counts"),
+            ));
+            // The global passes must pay beyond local cleanup: on most
+            // workloads the full pipeline retains strictly fewer
+            // loop-resident instructions than cse+dce (GVN merges
+            // cross-block duplicates, LICM hoists invariant clamp code
+            // out of the loop). Static, so asserted at every scale.
+            let lr = find_section(derived, "loop-resident").expect("loop-resident section");
+            let strict = lr
+                .rows
+                .iter()
+                .filter(|r| {
+                    row_value(lr, &r.name, "swpf_full") < row_value(lr, &r.name, "swpf_cse_dce")
+                })
+                .count();
+            checks.push(Check::new(
+                "global_passes_strictly_reduce_retained_code",
+                strict * 7 >= lr.rows.len() * 5,
+                format!(
+                    "full pipeline retains strictly fewer loop-resident \
+                     instructions than cse+dce on {strict} of {} workloads",
+                    lr.rows.len()
+                ),
+            ));
+            // The searched pipeline never loses to either reference
+            // (both are candidates of the space) and must strictly beat
+            // the compiler's default pipeline somewhere — the payoff of
+            // searching pipelines at all.
+            let srch = find_section(derived, "(searched)").expect("searched section");
+            let never_worse = srch.rows.iter().all(|r| {
+                let s = row_value(srch, &r.name, "searched");
+                s <= row_value(srch, &r.name, "full") && s <= row_value(srch, &r.name, "default")
+            });
+            checks.push(Check::new(
+                "searched_pipeline_never_worse",
+                never_worse,
+                "per cell, searched cycles ≤ both the default and the full pipeline".to_string(),
+            ));
+            let strict_wins = srch
+                .rows
+                .iter()
+                .filter(|r| {
+                    row_value(srch, &r.name, "searched") < row_value(srch, &r.name, "default")
+                })
+                .count();
+            checks.push(Check::new(
+                "searched_pipeline_strictly_beats_default",
+                strict_wins >= 1,
+                format!(
+                    "searched pipeline strictly beats the default on \
+                     {strict_wins} of {} cells",
+                    srch.rows.len()
+                ),
             ));
             // Cleanup shrinks the address code but must not change what
             // is prefetched: per machine, the geomean speedup of the
@@ -1546,6 +1759,26 @@ pub fn tune(scale: Scale) -> crate::tune::TuneExperiment {
     }
 }
 
+/// The searched `pipeline_search` experiment: per workload × machine,
+/// search the cleanup-pipeline space for the ordering that minimises
+/// simulated cycles, against two references — the compiler's default
+/// pipeline (bare `swpf`) and the full heuristic pipeline
+/// (`swpf,gvn,sccp,licm,cse,dce`). All machine models participate: the
+/// pipeline decides static code quality, which every core model pays
+/// for differently.
+#[must_use]
+pub fn pipeline_search(scale: Scale) -> crate::pipeline_search::PipelineSearchExperiment {
+    crate::pipeline_search::PipelineSearchExperiment {
+        name: "pipeline_search",
+        title: "Pipeline search — searched pass ordering vs. the default pipelines",
+        scale,
+        machines: MachineConfig::all_systems(),
+        workloads: WorkloadId::ALL.to_vec(),
+        space: swpf_tune::PipelineSpace::paper_default(),
+        hill_budget: 5,
+    }
+}
+
 /// Print the experiment catalogue, machine models, and workloads —
 /// the `--list` mode of the `all` driver. Runs nothing.
 pub fn print_catalog() {
@@ -1553,7 +1786,8 @@ pub fn print_catalog() {
     for name in EXPERIMENTS {
         let title = match by_name(name, Scale::Test) {
             Some(exp) => exp.spec.title,
-            None => tune(Scale::Test).title,
+            None if name == "tune" => tune(Scale::Test).title,
+            None => pipeline_search(Scale::Test).title,
         };
         println!("  {name:<8} {title}");
     }
@@ -1562,8 +1796,9 @@ pub fn print_catalog() {
          --only <name>   run only the named experiment(s); repeatable, or\n                  \
          comma-separated (e.g. `--only ablation` or `--only fig4,fig9,tune`)\n  \
          --skip <name>   run the default set without the named experiment(s)\n  \
-         (default set: every experiment above except `tune`, which `--bin tune`\n  \
-         runs; `--only tune` includes it here)"
+         (default set: every experiment above except the searched `tune` and\n  \
+         `pipeline_search`, which have their own binaries; `--only tune` or\n  \
+         `--only pipeline_search` includes them here)"
     );
     println!(
         "\nprofiling:\n  \
@@ -1599,13 +1834,19 @@ mod tests {
     }
 
     #[test]
-    fn catalogue_is_the_grid_experiments_plus_tune() {
+    fn catalogue_is_the_grid_experiments_plus_the_searched_ones() {
         assert_eq!(EXPERIMENTS[..ALL_NAMES.len()], ALL_NAMES);
-        assert_eq!(EXPERIMENTS[ALL_NAMES.len()], "tune");
-        assert!(by_name("tune", Scale::Test).is_none(), "tune is searched");
+        assert_eq!(EXPERIMENTS[ALL_NAMES.len()..], ["tune", "pipeline_search"]);
+        for name in &EXPERIMENTS[ALL_NAMES.len()..] {
+            assert!(by_name(name, Scale::Test).is_none(), "{name} is searched");
+        }
         let exp = tune(Scale::Test);
         assert!(exp.machines.len() >= 2);
         assert!(exp.workloads.len() >= 3);
+        let ps = pipeline_search(Scale::Test);
+        assert!(ps.machines.len() >= 3);
+        assert_eq!(ps.workloads.len(), WorkloadId::ALL.len());
+        assert!(ps.hill_budget >= 2, "hill must get past its seed");
     }
 
     #[test]

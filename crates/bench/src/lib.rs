@@ -34,6 +34,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod json;
+pub mod pipeline_search;
 pub mod prof;
 pub mod tune;
 

@@ -1,0 +1,348 @@
+//! The `pipeline_search` experiment: search-based selection of the
+//! cleanup pass *pipeline* over the workload × machine grid.
+//!
+//! Where `tune` searches the prefetch pass's knob space (look-ahead
+//! distance, toggles), this experiment searches the categorical axis of
+//! [`PipelineSpace`]: which cleanup passes run after prefetch
+//! generation, in which order. Two strategies per cell — the exhaustive
+//! oracle over the curated candidate set and a budgeted hill-climb
+//! along the probe order — against two references: the compiler's
+//! **default** pipeline (bare `swpf`, what `PassConfig::default()`
+//! compiles) and the **full** heuristic pipeline
+//! (`swpf,gvn,sccp,licm,cse,dce`, the space's seed). Both references
+//! are candidates, so the searched pipeline is never worse than either
+//! by construction; the experiment reports the exact per-cell margin.
+//!
+//! Like `tune`, this is a *searched* experiment: it runs through
+//! [`run_search`] rather than the declarative grid harness, but feeds
+//! the same downstream machinery — [`CellResult`]s (one per evaluated
+//! point × machine), derived [`TableSection`]s, [`Check`] verdicts, and
+//! a `RESULTS/pipeline_search.json` artifact.
+
+use crate::harness::{
+    print_sections, profile_window_json, structural_checks, write_artifact_with_profile,
+    CellResult, Check, ExperimentResult, Row, TableSection,
+};
+use std::path::Path;
+use std::time::Instant;
+use swpf_core::PassConfig;
+use swpf_sim::MachineConfig;
+use swpf_tune::{
+    tune_cell, Evaluator, Exhaustive, HillClimb, PipelineSpace, Space, Strategy, TuneReport,
+};
+use swpf_workloads::{Scale, WorkloadId};
+
+/// A searched pipeline-selection experiment: the grid axes plus the
+/// candidate pipeline space and the hill-climb budget.
+pub struct PipelineSearchExperiment {
+    /// Artifact name ("pipeline_search"); also the `RESULTS/<name>.json`
+    /// stem.
+    pub name: &'static str,
+    /// Human title for tables and logs.
+    pub title: &'static str,
+    /// Workload scale to search at.
+    pub scale: Scale,
+    /// Machines searched for (each gets its own best pipeline).
+    pub machines: Vec<MachineConfig>,
+    /// Workloads searched.
+    pub workloads: Vec<WorkloadId>,
+    /// The candidate pipeline space.
+    pub space: PipelineSpace,
+    /// Evaluation budget of the hill-climbing strategy.
+    pub hill_budget: usize,
+}
+
+/// One workload's searched results: per machine, the oracle and hill
+/// reports plus the default-pipeline reference cycles, and per-strategy
+/// evaluator costs.
+struct WorkloadSearch {
+    /// `[machine]` — (oracle, hill, default-pipeline cycles).
+    cells: Vec<(TuneReport, TuneReport, u64)>,
+    /// Per-strategy (interpretations, wall seconds), oracle then hill.
+    costs: [(usize, f64); 2],
+}
+
+/// One machine's strategy outcome: the tune report plus the
+/// default-pipeline reference cycles on that machine.
+type MachineReport = (TuneReport, u64);
+
+/// Run one strategy over every machine of the grid on a fresh
+/// evaluator; returns the per-machine reports (plus the
+/// default-pipeline reference cycles per machine), the evaluated points
+/// as cells, and the strategy's (interpretations, wall-seconds) cost.
+fn run_strategy(
+    exp: &PipelineSearchExperiment,
+    workload: WorkloadId,
+    strategy: &dyn Strategy,
+    oracles: Option<&[MachineReport]>,
+) -> (Vec<MachineReport>, Vec<CellResult>, (usize, f64)) {
+    let w = workload.instantiate(exp.scale);
+    let default_config = PassConfig::default();
+    let mut eval = Evaluator::new(w.as_ref(), &exp.machines);
+    let t0 = Instant::now();
+    let reports: Vec<(TuneReport, u64)> = (0..exp.machines.len())
+        .map(|mi| {
+            let oracle = oracles.map(|o| o[mi].0.chosen_cycles);
+            let report = tune_cell(strategy, &exp.space, mi, &mut eval, oracle);
+            (report, eval.cycles(&default_config, mi))
+        })
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Every distinct point this strategy evaluated becomes one cell per
+    // machine (the fan-out gave every machine its stats for free). The
+    // variant label carries the pipeline through `cache_key`.
+    let mut cells = Vec::new();
+    let wall_each = wall * 1e3 / (eval.points().len() * exp.machines.len()).max(1) as f64;
+    for point in eval.points() {
+        for (mi, m) in exp.machines.iter().enumerate() {
+            cells.push(CellResult {
+                machine: m.name,
+                workload: w.name(),
+                variant: format!("{}_{}", strategy.name(), point.config.cache_key()),
+                cores: vec![point.stats[mi]],
+                wall_ms: wall_each,
+                replayed: mi > 0,
+                params: point.config.parameters(),
+                tier: swpf_ir::interp::Tier::from_env().label(),
+                perf: Vec::new(),
+            });
+        }
+    }
+    (reports, cells, (eval.interpretations(), wall))
+}
+
+/// Search every cell of the experiment's grid with both strategies.
+///
+/// # Panics
+/// On a malformed pipeline space or simulation traps — configuration
+/// errors.
+#[must_use]
+pub fn run_search(
+    exp: &PipelineSearchExperiment,
+) -> (ExperimentResult, Vec<TableSection>, Vec<Check>) {
+    exp.space.assert_well_formed();
+    let t0 = Instant::now();
+    let mut cells = Vec::new();
+    let mut searches = Vec::new();
+
+    for &workload in &exp.workloads {
+        let (oracles, oracle_cells, oracle_cost) = run_strategy(exp, workload, &Exhaustive, None);
+        let hill = HillClimb {
+            budget: exp.hill_budget,
+        };
+        let (hills, hill_cells, hill_cost) = run_strategy(exp, workload, &hill, Some(&oracles));
+
+        cells.extend(oracle_cells);
+        cells.extend(hill_cells);
+        searches.push(WorkloadSearch {
+            cells: oracles
+                .into_iter()
+                .zip(hills)
+                .map(|((oracle, dflt), (hill, _))| (oracle, hill, dflt))
+                .collect(),
+            costs: [oracle_cost, hill_cost],
+        });
+    }
+
+    let result = ExperimentResult {
+        name: exp.name,
+        title: exp.title,
+        scale: exp.scale,
+        machines: exp.machines.clone(),
+        cells,
+        threads: 1,
+        wall_s: t0.elapsed().as_secs_f64(),
+        trace_policy: "fanout".to_string(),
+    };
+    let derived = derive(exp, &searches);
+    let mut checks = structural_checks(&result, &derived);
+    checks.extend(search_checks(exp, &searches));
+    (result, derived, checks)
+}
+
+/// Per-machine comparison tables plus the aggregate search-cost table.
+fn derive(exp: &PipelineSearchExperiment, searches: &[WorkloadSearch]) -> Vec<TableSection> {
+    let columns = [
+        "default",
+        "full",
+        "searched",
+        "hill",
+        "dflt_%srch",
+        "full_%srch",
+        "pts_orac",
+        "pts_hill",
+    ];
+    let mut sections: Vec<TableSection> = exp
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(mi, m)| {
+            let mut notes = Vec::new();
+            let rows = exp
+                .workloads
+                .iter()
+                .zip(searches)
+                .map(|(w, s)| {
+                    let (oracle, hill, dflt) = &s.cells[mi];
+                    notes.push(format!(
+                        "{}: searched pipeline `{}`",
+                        w.name(),
+                        oracle.chosen.pipeline
+                    ));
+                    Row {
+                        name: w.name().to_string(),
+                        values: vec![
+                            *dflt as f64,
+                            oracle.heuristic_cycles as f64,
+                            oracle.chosen_cycles as f64,
+                            hill.chosen_cycles as f64,
+                            100.0 * oracle.chosen_cycles as f64 / *dflt as f64,
+                            100.0 * oracle.chosen_cycles as f64 / oracle.heuristic_cycles as f64,
+                            oracle.points.len() as f64,
+                            hill.points.len() as f64,
+                        ],
+                    }
+                })
+                .collect();
+            let mut section = TableSection::new(
+                format!(
+                    "Pipeline search ({}) — cycles: default/full pipelines vs. searched",
+                    m.name
+                ),
+                columns.iter().map(ToString::to_string).collect(),
+                rows,
+            );
+            section.notes.push(
+                "default = bare `swpf`; full = the heuristic cleanup pipeline; \
+                 `%srch` columns are searched cycles as a percentage of each \
+                 reference (100 = tie, lower = the search won)"
+                    .to_string(),
+            );
+            section.notes.extend(notes);
+            section
+        })
+        .collect();
+
+    // Aggregate search cost: the fan-out means interpretations count
+    // candidates, not candidates × machines.
+    let cost_rows = ["exhaustive", "hill"]
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            let points: usize = searches
+                .iter()
+                .flat_map(|t| &t.cells)
+                .map(|(oracle, hill, _)| [oracle, hill][si].points.len())
+                .sum();
+            let interps: usize = searches.iter().map(|t| t.costs[si].0).sum();
+            let wall: f64 = searches.iter().map(|t| t.costs[si].1).sum();
+            Row {
+                name: (*s).to_string(),
+                values: vec![points as f64, interps as f64, wall],
+            }
+        })
+        .collect();
+    let mut cost = TableSection::new(
+        "Search cost (all workloads)",
+        vec![
+            "points".to_string(),
+            "interpretations".to_string(),
+            "wall_s".to_string(),
+        ],
+        cost_rows,
+    );
+    cost.notes.push(format!(
+        "points: per-machine search requests ({} machines share each \
+         candidate's single interpretation via fan-out)",
+        exp.machines.len()
+    ));
+    sections.push(cost);
+    sections
+}
+
+/// The pipeline-search contracts as shape checks.
+fn search_checks(exp: &PipelineSearchExperiment, searches: &[WorkloadSearch]) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let mut strict_wins = 0usize;
+    let mut cells = 0usize;
+    for (w, s) in exp.workloads.iter().zip(searches) {
+        for (m, (oracle, hill, dflt)) in exp.machines.iter().zip(&s.cells) {
+            let cell = format!("{}_{}", m.name, w.name());
+            cells += 1;
+            if oracle.chosen_cycles < *dflt {
+                strict_wins += 1;
+            }
+
+            // The searched pipeline is never worse than either
+            // reference — both are candidates of the space.
+            checks.push(Check::new(
+                format!("searched_never_worse_{cell}"),
+                oracle.chosen_cycles <= oracle.heuristic_cycles && oracle.chosen_cycles <= *dflt,
+                format!(
+                    "searched {} vs full {} vs default {} cycles",
+                    oracle.chosen_cycles, oracle.heuristic_cycles, *dflt
+                ),
+            ));
+
+            // The hill-climb seeds at the full pipeline, so it is never
+            // worse than that reference either, on a fraction of the
+            // oracle's budget.
+            checks.push(Check::new(
+                format!("hill_beats_heuristic_{cell}"),
+                hill.chosen_cycles <= hill.heuristic_cycles && hill.points.len() <= exp.hill_budget,
+                format!(
+                    "hill {} vs full {} cycles in {} ≤ {} points",
+                    hill.chosen_cycles,
+                    hill.heuristic_cycles,
+                    hill.points.len(),
+                    exp.hill_budget
+                ),
+            ));
+        }
+    }
+    // The payoff claim: searching pipelines must strictly beat the
+    // compiler's default pipeline somewhere, or the whole axis is
+    // pointless.
+    checks.push(Check::new(
+        "searched_pipeline_strictly_beats_default",
+        strict_wins >= 1,
+        format!("strict cycle wins vs bare `swpf` on {strict_wins} of {cells} cells"),
+    ));
+    checks
+}
+
+/// Run the pipeline-search experiment end to end — search, print the
+/// tables, write `RESULTS/pipeline_search.json`, print every check
+/// verdict — mirroring [`crate::tune::run_and_report`].
+///
+/// # Panics
+/// If the artifact cannot be written.
+pub fn run_and_report(
+    exp: &PipelineSearchExperiment,
+    out_dir: &Path,
+) -> (ExperimentResult, Vec<Check>) {
+    let pre = swpf_obs::enabled().then(|| swpf_obs::snapshot().summary());
+    let (result, derived, checks) = {
+        let _span = swpf_obs::enabled().then(|| swpf_obs::span(format!("experiment:{}", exp.name)));
+        run_search(exp)
+    };
+    let profile = pre.map(|p| profile_window_json(&p, &swpf_obs::snapshot().summary()));
+    println!(
+        "\n#### {} — {} [scale={}, {} evaluated cells, {:.2}s]",
+        result.name,
+        result.title,
+        result.scale.label(),
+        result.cells.len(),
+        result.wall_s,
+    );
+    print_sections(&derived);
+    let path = write_artifact_with_profile(out_dir, &result, &derived, &checks, profile)
+        .unwrap_or_else(|e| panic!("cannot write artifact for {}: {e}", result.name));
+    println!("\nartifact: {}", path.display());
+    for check in &checks {
+        let verdict = if check.passed { "ok  " } else { "FAIL" };
+        println!("check {verdict} {} — {}", check.name, check.detail);
+    }
+    (result, checks)
+}

@@ -29,10 +29,10 @@ fn experiment_grid_sizes_are_pinned() {
         ("fig6", 4 * 4 * 8),     // baseline + 7 distances
         ("fig7", 4 * 5),         // HJ-8 only, baseline + 4 depths
         ("fig8", 7 * 3),
-        ("fig9", 6),             // {1,2,4} cores × {baseline, auto}
-        ("fig10", 2 * 3 * 2),    // two page policies
-        ("ablation", 4 * 7 * 4), // baseline + three pass pipelines
-        ("trace_analytics", 0),  // all work happens in derive, off traces
+        ("fig9", 6),                      // {1,2,4} cores × {baseline, auto}
+        ("fig10", 2 * 3 * 2),             // two page policies
+        ("ablation", 4 * 7 * 6),          // baseline + five pass pipelines
+        ("trace_analytics", 0),           // all work happens in derive, off traces
         ("prefetch_profile", 4 * 4 * 10), // baseline + 8 distances + auto
     ];
     assert_eq!(expected.map(|(n, _)| n), ALL_NAMES);

@@ -1,0 +1,74 @@
+//! Per-pass optimizer counters surface in profiled artifacts.
+//!
+//! Every pipeline pass counts its own work (`pass.<name>.removed`,
+//! `.hoisted`, `.folded`) through `swpf-obs`, and
+//! [`swpf_bench::harness::profile_window_json`] copies every counter
+//! with a positive delta into the artifact's `profile.counters`
+//! section. This test pins that contract end to end: compile the whole
+//! test-scale workload suite through the full pipeline — which
+//! exercises GVN and LICM — and through the local-only pipeline —
+//! which exercises CSE (in the full pipeline GVN runs first and
+//! subsumes every duplicate CSE would catch) — plus one synthetic
+//! kernel whose constant arithmetic feeds SCCP and whose dead
+//! instruction feeds DCE (the workload kernels carry neither foldable
+//! constants nor dead code, so those counters would otherwise stay at
+//! zero and be filtered), then assert the rendered window names all
+//! five.
+
+use swpf_bench::harness::profile_window_json;
+use swpf_core::{run_on_module, PassConfig};
+use swpf_workloads::{suite, Scale};
+
+/// Straight-line constant arithmetic: `%3` and `%4` are proven
+/// constants, so SCCP folds them (two `pass.sccp.folded` ticks), and
+/// the never-used `%6` guarantees DCE at least one removal on top of
+/// whatever SCCP's folding leaves dead.
+const FOLDABLE_KERNEL: &str = "module fold
+
+func @kernel(%0: i64) -> i64 {
+  %1 = const 3: i64
+  %2 = const 4: i64
+bb0:
+  %3: i64 = add %1, %2
+  %4: i64 = mul %3, %1
+  %5: i64 = add %4, %0
+  %6: i64 = sub %5, %2
+  ret %5
+}
+";
+
+#[test]
+fn all_five_pass_counters_surface_in_the_profile_window() {
+    swpf_obs::enable();
+    let pre = swpf_obs::snapshot().summary();
+
+    // The real kernels feed GVN, LICM, and DCE through the full
+    // pipeline, and CSE through the local-only one (after GVN there is
+    // nothing block-local left for CSE to remove).
+    for spec in ["swpf,gvn,sccp,licm,cse,dce", "swpf,cse,dce"] {
+        for w in suite(Scale::Test) {
+            let mut m = w.build_baseline();
+            run_on_module(&mut m, &PassConfig::with_pipeline(spec));
+        }
+    }
+
+    // The synthetic kernel feeds SCCP (folds) and DCE (dead `%6`).
+    let mut m = swpf_ir::parser::parse_module(FOLDABLE_KERNEL).expect("foldable kernel parses");
+    swpf_ir::verifier::verify_module(&m).expect("foldable kernel verifies");
+    run_on_module(&mut m, &PassConfig::with_pipeline("sccp,dce"));
+
+    let post = swpf_obs::snapshot().summary();
+    let window = profile_window_json(&pre, &post).to_pretty_string();
+    for counter in [
+        "pass.gvn.removed",
+        "pass.sccp.folded",
+        "pass.licm.hoisted",
+        "pass.cse.removed",
+        "pass.dce.removed",
+    ] {
+        assert!(
+            window.contains(counter),
+            "profile window must surface `{counter}`, got:\n{window}"
+        );
+    }
+}

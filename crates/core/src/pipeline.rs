@@ -10,6 +10,9 @@
 //! | name | pass |
 //! |------|------|
 //! | `swpf` | the staged prefetch-generation pass ([`SwpfPass`]) |
+//! | `gvn` | dominator-scoped global value numbering ([`swpf_pass::Gvn`]) |
+//! | `sccp` | sparse conditional constant propagation ([`swpf_pass::Sccp`]) |
+//! | `licm` | loop-invariant code motion ([`swpf_pass::Licm`]) |
 //! | `cse` | local common-subexpression elimination ([`swpf_pass::LocalCse`]) |
 //! | `dce` | dead-code elimination ([`swpf_pass::Dce`]) |
 //! | `verify` | an explicit IR-invariant checkpoint ([`swpf_pass::VerifyPass`]) |
@@ -26,7 +29,8 @@ use std::rc::Rc;
 use std::str::FromStr;
 use swpf_ir::{FuncId, Module};
 use swpf_pass::{
-    AnalysisManager, Dce, FunctionPass, LocalCse, PassEffect, PassManager, VerifyPass,
+    AnalysisManager, Dce, FunctionPass, Gvn, Licm, LocalCse, PassEffect, PassManager, Sccp,
+    VerifyPass,
 };
 
 /// One named pass of a [`Pipeline`] spec.
@@ -34,6 +38,12 @@ use swpf_pass::{
 pub enum PassName {
     /// The prefetch-generation pass itself.
     Swpf,
+    /// Dominator-scoped global value numbering.
+    Gvn,
+    /// Sparse conditional constant propagation.
+    Sccp,
+    /// Loop-invariant code motion.
+    Licm,
     /// Local common-subexpression elimination over generated code.
     Cse,
     /// Dead-code elimination.
@@ -42,16 +52,42 @@ pub enum PassName {
     Verify,
 }
 
+/// Every valid pipeline token, in canonical (default-pipeline) order —
+/// the single source for parse errors and `swpf-opt` help text.
+pub const PASS_NAMES: [PassName; 7] = [
+    PassName::Swpf,
+    PassName::Gvn,
+    PassName::Sccp,
+    PassName::Licm,
+    PassName::Cse,
+    PassName::Dce,
+    PassName::Verify,
+];
+
 impl PassName {
     /// The spec token naming this pass.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             PassName::Swpf => "swpf",
+            PassName::Gvn => "gvn",
+            PassName::Sccp => "sccp",
+            PassName::Licm => "licm",
             PassName::Cse => "cse",
             PassName::Dce => "dce",
             PassName::Verify => "verify",
         }
+    }
+
+    /// The valid spec tokens joined for diagnostics and help text
+    /// (`"swpf | gvn | sccp | licm | cse | dce | verify"`).
+    #[must_use]
+    pub fn valid_tokens() -> String {
+        PASS_NAMES
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(" | ")
     }
 
     /// Inverse of [`PassName::as_str`].
@@ -59,15 +95,11 @@ impl PassName {
     /// # Errors
     /// Names the unknown token and lists the valid ones.
     pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "swpf" => Ok(PassName::Swpf),
-            "cse" => Ok(PassName::Cse),
-            "dce" => Ok(PassName::Dce),
-            "verify" => Ok(PassName::Verify),
-            other => Err(format!(
-                "unknown pass `{other}` (expected swpf | cse | dce | verify)"
-            )),
-        }
+        PASS_NAMES
+            .iter()
+            .copied()
+            .find(|p| p.as_str() == s)
+            .ok_or_else(|| format!("unknown pass `{s}` (expected {})", PassName::valid_tokens()))
     }
 }
 
@@ -176,7 +208,11 @@ impl FunctionPass for SwpfPass {
         let changed = !fr.prefetches.is_empty();
         self.report.borrow_mut().functions.push(fr);
         if changed {
-            PassEffect::changed()
+            // Generation only inserts prefetches and address
+            // computation into existing blocks — the CFG is untouched,
+            // so downstream passes (GVN's dominators, LICM's loops)
+            // reuse the cached structural analyses.
+            PassEffect::changed().preserving_cfg()
         } else {
             PassEffect::unchanged()
         }
@@ -204,6 +240,9 @@ pub fn run_pipeline(m: &mut Module, config: &PassConfig, am: &mut AnalysisManage
             PassName::Swpf => {
                 pm.add_function_pass(Box::new(SwpfPass::new(config.clone(), Rc::clone(&report))))
             }
+            PassName::Gvn => pm.add_function_pass(Box::new(Gvn::default())),
+            PassName::Sccp => pm.add_function_pass(Box::new(Sccp::default())),
+            PassName::Licm => pm.add_function_pass(Box::new(Licm::default())),
             PassName::Cse => pm.add_function_pass(Box::new(LocalCse::default())),
             PassName::Dce => pm.add_function_pass(Box::new(Dce::default())),
             PassName::Verify => pm.add_module_pass(Box::new(VerifyPass)),
@@ -223,14 +262,30 @@ mod tests {
 
     #[test]
     fn specs_parse_and_round_trip() {
-        for spec in ["swpf", "swpf,cse,dce", "swpf,verify,dce", "cse , dce"] {
+        for spec in [
+            "swpf",
+            "swpf,cse,dce",
+            "swpf,verify,dce",
+            "cse , dce",
+            "swpf,gvn,sccp,licm,cse,dce",
+        ] {
             let p: Pipeline = spec.parse().unwrap();
             let canonical = p.to_string();
             assert_eq!(canonical.parse::<Pipeline>().unwrap(), p, "{spec}");
         }
         assert_eq!(
-            "swpf,cse,dce".parse::<Pipeline>().unwrap().passes(),
-            [PassName::Swpf, PassName::Cse, PassName::Dce]
+            "swpf,gvn,sccp,licm,cse,dce"
+                .parse::<Pipeline>()
+                .unwrap()
+                .passes(),
+            [
+                PassName::Swpf,
+                PassName::Gvn,
+                PassName::Sccp,
+                PassName::Licm,
+                PassName::Cse,
+                PassName::Dce
+            ]
         );
     }
 
@@ -239,6 +294,18 @@ mod tests {
         assert!("".parse::<Pipeline>().is_err());
         assert!(",".parse::<Pipeline>().is_err());
         assert!("swpf,o3".parse::<Pipeline>().unwrap_err().contains("o3"));
+    }
+
+    #[test]
+    fn parse_errors_list_every_valid_pass_name() {
+        let err = "swpf,o3".parse::<Pipeline>().unwrap_err();
+        for name in PASS_NAMES {
+            assert!(
+                err.contains(name.as_str()),
+                "{err} missing {}",
+                name.as_str()
+            );
+        }
     }
 
     #[test]

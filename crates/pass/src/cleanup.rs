@@ -16,9 +16,9 @@ use std::collections::{HashMap, HashSet};
 use swpf_ir::{BinOp, CastOp, FuncId, InstKind, Module, Pred, Type, ValueId};
 
 /// The CSE value-numbering key: a pure instruction's operation with its
-/// (canonicalised) operands.
+/// (canonicalised) operands. Shared with the dominator-scoped GVN pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Key {
+pub(crate) enum Key {
     Bin(BinOp, ValueId, ValueId),
     Cmp(Pred, ValueId, ValueId),
     Sel(ValueId, ValueId, ValueId),
@@ -33,7 +33,7 @@ enum Key {
 /// Integer division/remainder *are* keyed: merging two identical
 /// divisions preserves trap behaviour exactly (same operands, same
 /// trap, and the kept occurrence is the earlier one).
-fn key_of(kind: &InstKind, canon: &HashMap<ValueId, ValueId>) -> Option<Key> {
+pub(crate) fn key_of(kind: &InstKind, canon: &HashMap<ValueId, ValueId>) -> Option<Key> {
     let c = |v: ValueId| canon.get(&v).copied().unwrap_or(v);
     match kind {
         InstKind::Binary { op, lhs, rhs } => Some(Key::Bin(*op, c(*lhs), c(*rhs))),
@@ -116,7 +116,8 @@ impl FunctionPass for LocalCse {
             removed += before - insts.len();
         }
         self.removed += removed;
-        PassEffect::removed(removed)
+        swpf_obs::count("pass.cse.removed", removed as u64);
+        PassEffect::removed(removed).preserving_cfg()
     }
 }
 
@@ -126,8 +127,11 @@ impl FunctionPass for LocalCse {
 /// except division and remainder (which trap on zero and must keep
 /// their trap), comparisons, selects, casts, and address computations.
 /// Memory operations, allocs (they define the address space layout),
-/// phis, calls, and terminators are never removed.
-fn dce_removable(kind: &InstKind) -> bool {
+/// phis, calls, and terminators are never removed. The same rule
+/// doubles as LICM's speculation-safety test: an instruction this
+/// function admits may execute unconditionally without observable
+/// effect.
+pub(crate) fn dce_removable(kind: &InstKind) -> bool {
     match kind {
         InstKind::Binary { op, .. } => !matches!(
             op,
@@ -181,7 +185,8 @@ impl FunctionPass for Dce {
             removed += dead.len();
         }
         self.removed += removed;
-        PassEffect::removed(removed)
+        swpf_obs::count("pass.dce.removed", removed as u64);
+        PassEffect::removed(removed).preserving_cfg()
     }
 }
 

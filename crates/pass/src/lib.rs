@@ -28,16 +28,26 @@
 //! * [`cleanup`] — the composable cleanup passes themselves:
 //!   [`cleanup::LocalCse`] and [`cleanup::Dce`], the measurable "let
 //!   `-O3` clean it up" step over generated address code.
+//! * [`global`] — the cross-block half of that step: dominator-scoped
+//!   value numbering ([`global::Gvn`]), sparse conditional constant
+//!   propagation ([`global::Sccp`]), and loop-invariant code motion
+//!   ([`global::Licm`]) over the same cached analyses.
 //!
 //! ## Invalidation contract
 //!
 //! An analysis cached for function `f` is valid as long as `f`'s body
 //! is unchanged. The driver maintains this: when a pass returns
-//! [`PassEffect::changed`] for `f` (or for the module), every cached
-//! analysis of `f` (of every function) is dropped before the next pass
-//! runs. There is no finer-grained preservation tier: the analyses
-//! reference instruction `ValueId`s, which any mutation can detach, so
-//! partial preservation would be unsound without per-analysis proofs.
+//! [`PassEffect::changed`] for `f` (or for the module), the cached
+//! analyses of `f` (of every function) are dropped before the next
+//! pass runs. One finer-grained preservation tier exists: a pass whose
+//! mutations provably leave the CFG intact (no blocks or edges added,
+//! removed, or retargeted) declares [`PassEffect::preserving_cfg`],
+//! and the driver keeps the dominator tree and loop forest — which
+//! read only block structure — dropping just the value-level analyses
+//! (induction variables, object roots), which reference instruction
+//! placement. The delete-only cleanup passes (CSE, DCE, GVN) and the
+//! move-only LICM qualify; SCCP qualifies exactly when it folded no
+//! branches.
 //!
 //! ```
 //! use swpf_pass::{AnalysisManager, PassManager};
@@ -57,9 +67,11 @@
 //! ```
 
 pub mod cleanup;
+pub mod global;
 pub mod manager;
 
 pub use cleanup::{Dce, LocalCse, VerifyPass};
+pub use global::{Gvn, Licm, Sccp};
 pub use manager::{
     AnalysisManager, FunctionPass, ModulePass, PassEffect, PassManager, PassRun, PipelineError,
 };

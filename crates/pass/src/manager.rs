@@ -12,6 +12,13 @@ use swpf_ir::{FuncId, Function, Module};
 /// pass that lies (mutates but reports [`PassEffect::unchanged`]) hands
 /// stale analyses to its successors — the verify-between-passes mode
 /// ([`PassManager::verify_between`]) exists to catch the fallout early.
+///
+/// A pass whose mutations leave the CFG intact (no blocks or edges
+/// added, removed, or retargeted) may additionally declare
+/// [`PassEffect::preserving_cfg`]: the driver then keeps the cached
+/// dominator tree and loop forest — which read only block structure —
+/// and drops just the value-level analyses (induction variables,
+/// object roots), which reference instruction placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassEffect {
     /// Whether the pass mutated the IR it ran on.
@@ -19,6 +26,9 @@ pub struct PassEffect {
     /// Instructions the pass removed from blocks (cleanup-pass metric;
     /// zero for passes that only insert or rewrite).
     pub removed_insts: usize,
+    /// Whether every mutation left the CFG (block set and edge set)
+    /// unchanged, so dominators and loops remain valid.
+    pub preserves_cfg: bool,
 }
 
 impl PassEffect {
@@ -28,6 +38,7 @@ impl PassEffect {
         PassEffect {
             changed: false,
             removed_insts: 0,
+            preserves_cfg: false,
         }
     }
 
@@ -37,6 +48,7 @@ impl PassEffect {
         PassEffect {
             changed: true,
             removed_insts: 0,
+            preserves_cfg: false,
         }
     }
 
@@ -46,7 +58,18 @@ impl PassEffect {
         PassEffect {
             changed: n > 0,
             removed_insts: n,
+            preserves_cfg: false,
         }
+    }
+
+    /// Declare that the mutation did not touch the CFG: no blocks or
+    /// branch edges were added, removed, or retargeted. Inserting,
+    /// deleting, moving, or rewriting non-terminator instructions all
+    /// qualify. The driver keeps dominators and loops cached.
+    #[must_use]
+    pub fn preserving_cfg(mut self) -> Self {
+        self.preserves_cfg = true;
+        self
     }
 }
 
@@ -100,6 +123,7 @@ pub struct AnalysisManager {
     entries: HashMap<FuncId, FuncEntry>,
     computed: usize,
     hits: usize,
+    preserved: usize,
 }
 
 impl AnalysisManager {
@@ -117,6 +141,7 @@ impl AnalysisManager {
             entries: self.entries.clone(),
             computed: 0,
             hits: 0,
+            preserved: 0,
         }
     }
 
@@ -132,9 +157,33 @@ impl AnalysisManager {
         self.hits
     }
 
+    /// Cached analyses kept alive across a CFG-preserving mutation
+    /// (each one a recomputation the declaration avoided).
+    #[must_use]
+    pub fn analyses_preserved(&self) -> usize {
+        self.preserved
+    }
+
     /// Drop every cached analysis of `fid`.
     pub fn invalidate(&mut self, fid: FuncId) {
         if self.entries.remove(&fid).is_some() {
+            swpf_obs::count("analysis.invalidated", 1);
+        }
+    }
+
+    /// Partial invalidation after a CFG-preserving mutation of `fid`:
+    /// the dominator tree and loop forest read only block structure and
+    /// stay cached; the value-level analyses (induction variables,
+    /// object roots) reference instruction placement and are dropped.
+    pub fn invalidate_preserving_cfg(&mut self, fid: FuncId) {
+        if let Some(entry) = self.entries.get_mut(&fid) {
+            entry.ivs = None;
+            entry.roots = None;
+            let kept = usize::from(entry.dom.is_some()) + usize::from(entry.loops.is_some());
+            if kept > 0 {
+                self.preserved += kept;
+                swpf_obs::count("analysis.preserved", kept as u64);
+            }
             swpf_obs::count("analysis.invalidated", 1);
         }
     }
@@ -145,6 +194,14 @@ impl AnalysisManager {
             swpf_obs::count("analysis.invalidated", self.entries.len() as u64);
         }
         self.entries.clear();
+    }
+
+    /// [`AnalysisManager::invalidate_preserving_cfg`] over every cached
+    /// function (after a CFG-preserving module-level mutation).
+    pub fn invalidate_all_preserving_cfg(&mut self) {
+        for fid in self.entries.keys().copied().collect::<Vec<_>>() {
+            self.invalidate_preserving_cfg(fid);
+        }
     }
 
     /// One cache hit: bump the local statistic and the process-wide
@@ -341,7 +398,11 @@ impl<'p> PassManager<'p> {
                     for fid in m.func_ids().collect::<Vec<_>>() {
                         let effect = pass.run(m, fid, am);
                         if effect.changed {
-                            am.invalidate(fid);
+                            if effect.preserves_cfg {
+                                am.invalidate_preserving_cfg(fid);
+                            } else {
+                                am.invalidate(fid);
+                            }
                             changed = true;
                         }
                         removed += effect.removed_insts;
@@ -358,7 +419,11 @@ impl<'p> PassManager<'p> {
                         message,
                     })?;
                     if effect.changed {
-                        am.invalidate_all();
+                        if effect.preserves_cfg {
+                            am.invalidate_all_preserving_cfg();
+                        } else {
+                            am.invalidate_all();
+                        }
                     }
                     PassRun {
                         name: pass.name(),
@@ -531,6 +596,55 @@ mod tests {
         assert!(err.message.contains("violations"), "{err}");
         let listed = err.message.matches("verify error").count();
         assert!(listed >= 2, "expected several violations listed: {err}");
+    }
+
+    /// A pass that claims to mutate without touching the CFG (it does
+    /// nothing, which trivially satisfies the declaration).
+    struct CfgPreservingNop;
+    impl FunctionPass for CfgPreservingNop {
+        fn name(&self) -> &'static str {
+            "cfg-nop"
+        }
+        fn run(&mut self, _m: &mut Module, _f: FuncId, _am: &mut AnalysisManager) -> PassEffect {
+            PassEffect::changed().preserving_cfg()
+        }
+    }
+
+    #[test]
+    fn cfg_preserving_change_keeps_dom_and_loops() {
+        let mut m = parse_module(LOOP_KERNEL).unwrap();
+        let fid = m.find_function("k").unwrap();
+        let mut am = AnalysisManager::new();
+        let before = am.func_analysis(m.function(fid), fid);
+        assert_eq!(am.analyses_computed(), 4);
+
+        let mut pm = PassManager::new();
+        pm.add_function_pass(Box::new(CfgPreservingNop));
+        pm.run(&mut m, &mut am).unwrap();
+        assert_eq!(am.analyses_preserved(), 2, "dom and loops survive");
+
+        // CFG analyses are served from the cache; value-level analyses
+        // were dropped and recompute.
+        let after = am.func_analysis(m.function(fid), fid);
+        assert!(Arc::ptr_eq(&before.dom, &after.dom));
+        assert!(Arc::ptr_eq(&before.loops, &after.loops));
+        assert!(!Arc::ptr_eq(&before.ivs, &after.ivs));
+        assert!(!Arc::ptr_eq(&before.roots, &after.roots));
+        assert_eq!(am.analyses_computed(), 6, "only ivs and roots recomputed");
+    }
+
+    #[test]
+    fn non_preserving_change_still_drops_everything() {
+        let m = parse_module(LOOP_KERNEL).unwrap();
+        let fid = m.find_function("k").unwrap();
+        let mut am = AnalysisManager::new();
+        let before = am.dom(m.function(fid), fid);
+        am.invalidate_preserving_cfg(fid);
+        // Partial invalidation kept dom...
+        assert!(Arc::ptr_eq(&before, &am.dom(m.function(fid), fid)));
+        // ...full invalidation does not.
+        am.invalidate(fid);
+        assert!(!Arc::ptr_eq(&before, &am.dom(m.function(fid), fid)));
     }
 
     #[test]

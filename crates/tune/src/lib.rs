@@ -12,7 +12,10 @@
 //!
 //! * [`SearchSpace`] ([`space`]) — the searchable slice of the pass's
 //!   parameter space: a look-ahead distance axis (primary) plus pass
-//!   toggles such as the stride companion (secondary).
+//!   toggles such as the stride companion (secondary). Behind the same
+//!   [`Space`] abstraction, [`PipelineSpace`] exposes cleanup-pipeline
+//!   *orderings* as the axis, so the identical strategies also search
+//!   which pass pipeline minimises cycles per workload × machine.
 //! * [`Evaluator`] ([`eval`]) — the cost model that makes search
 //!   affordable: each candidate config is compiled through `swpf-core`
 //!   and interpreted **once**, with its retire-event stream fanned out
@@ -53,7 +56,7 @@ pub mod space;
 pub use eval::{EvaluatedPoint, Evaluator};
 pub use report::{EvalPoint, Outcome, TuneReport};
 pub use search::{strictly_unimodal, Exhaustive, GoldenSection, HillClimb, Strategy};
-pub use space::{SearchSpace, PAPER_DISTANCES};
+pub use space::{PipelineSpace, SearchSpace, Space, DEFAULT_FULL_PIPELINE, PAPER_DISTANCES};
 
 use swpf_core::PassConfig;
 
@@ -65,7 +68,7 @@ use swpf_core::PassConfig;
 /// If `machine` is out of range of the evaluator's machine set.
 pub fn tune_cell(
     strategy: &dyn Strategy,
-    space: &SearchSpace,
+    space: &dyn Space,
     machine: usize,
     eval: &mut Evaluator<'_>,
     oracle_cycles: Option<u64>,
@@ -73,7 +76,7 @@ pub fn tune_cell(
     let outcome = strategy.tune(space, machine, eval);
     // The strategy already evaluated the heuristic (seed point), so
     // this is a cache hit, never a new interpretation.
-    let heuristic_cycles = eval.cycles(&space.heuristic, machine);
+    let heuristic_cycles = eval.cycles(space.heuristic(), machine);
     let machine_name = eval.machines()[machine].name;
     TuneReport {
         workload: eval.workload_name().to_string(),

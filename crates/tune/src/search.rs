@@ -23,19 +23,21 @@
 
 use crate::eval::Evaluator;
 use crate::report::{EvalPoint, Outcome};
-use crate::space::SearchSpace;
+use crate::space::Space;
 use std::collections::HashMap;
 use swpf_core::PassConfig;
 
 /// A search procedure for the best [`PassConfig`] of one
-/// (workload, machine) cell.
+/// (workload, machine) cell. Strategies search any [`Space`] — the
+/// paper's knob space ([`crate::SearchSpace`]) or the cleanup-pipeline
+/// orderings ([`crate::PipelineSpace`]).
 pub trait Strategy {
     /// Stable strategy name for reports and artifact labels.
     fn name(&self) -> &'static str;
 
     /// Search `space` for the configuration minimising simulated cycles
     /// on machine index `machine` of `eval`'s machine set.
-    fn tune(&self, space: &SearchSpace, machine: usize, eval: &mut Evaluator<'_>) -> Outcome;
+    fn tune(&self, space: &dyn Space, machine: usize, eval: &mut Evaluator<'_>) -> Outcome;
 }
 
 /// Per-search probe bookkeeping on top of the shared evaluator: counts
@@ -123,10 +125,10 @@ impl Strategy for Exhaustive {
         "exhaustive"
     }
 
-    fn tune(&self, space: &SearchSpace, machine: usize, eval: &mut Evaluator<'_>) -> Outcome {
+    fn tune(&self, space: &dyn Space, machine: usize, eval: &mut Evaluator<'_>) -> Outcome {
         space.assert_well_formed();
         let mut probe = Probe::new(eval, machine);
-        probe.cycles(&space.heuristic);
+        probe.cycles(&space.heuristic().clone());
         for i in 0..space.len() {
             probe.cycles(&space.at(i));
         }
@@ -144,10 +146,10 @@ impl Strategy for GoldenSection {
         "golden"
     }
 
-    fn tune(&self, space: &SearchSpace, machine: usize, eval: &mut Evaluator<'_>) -> Outcome {
+    fn tune(&self, space: &dyn Space, machine: usize, eval: &mut Evaluator<'_>) -> Outcome {
         space.assert_well_formed();
         let mut probe = Probe::new(eval, machine);
-        probe.cycles(&space.heuristic);
+        probe.cycles(&space.heuristic().clone());
         let mut f = |i: usize| probe.cycles(&space.at(i));
         let _ = bracket_argmin(space.len(), &mut f);
         probe.outcome(self.name())
@@ -185,18 +187,18 @@ struct Cell {
 }
 
 impl Cell {
-    fn config(self, space: &SearchSpace) -> PassConfig {
+    fn config(self, space: &dyn Space) -> PassConfig {
         PassConfig {
-            look_ahead: space.look_aheads[self.idx],
             stride_companion: self.stride,
             enable_hoisting: self.hoist,
-            ..space.heuristic.clone()
+            ..space.at(self.idx)
         }
     }
 
-    /// Deterministic neighbour order: distance first (the primary
-    /// axis), then the enabled toggles.
-    fn neighbours(self, space: &SearchSpace) -> Vec<Cell> {
+    /// Deterministic neighbour order: the primary axis first (distance
+    /// steps, or adjacent pipeline candidates), then the enabled
+    /// toggles.
+    fn neighbours(self, space: &dyn Space) -> Vec<Cell> {
         let mut out = Vec::with_capacity(4);
         if self.idx > 0 {
             out.push(Cell {
@@ -210,13 +212,13 @@ impl Cell {
                 ..self
             });
         }
-        if space.toggle_stride_companion {
+        if space.toggle_stride_companion() {
             out.push(Cell {
                 stride: !self.stride,
                 ..self
             });
         }
-        if space.toggle_hoisting {
+        if space.toggle_hoisting() {
             out.push(Cell {
                 hoist: !self.hoist,
                 ..self
@@ -231,14 +233,14 @@ impl Strategy for HillClimb {
         "hill"
     }
 
-    fn tune(&self, space: &SearchSpace, machine: usize, eval: &mut Evaluator<'_>) -> Outcome {
+    fn tune(&self, space: &dyn Space, machine: usize, eval: &mut Evaluator<'_>) -> Outcome {
         space.assert_well_formed();
         let mut probe = Probe::new(eval, machine);
-        probe.cycles(&space.heuristic);
+        probe.cycles(&space.heuristic().clone());
         let mut here = Cell {
             idx: space.heuristic_index(),
-            stride: space.heuristic.stride_companion,
-            hoist: space.heuristic.enable_hoisting,
+            stride: space.heuristic().stride_companion,
+            hoist: space.heuristic().enable_hoisting,
         };
         // The start cell differs from the heuristic only when its
         // look-ahead is off-axis; respect the budget either way.
@@ -354,6 +356,7 @@ pub fn strictly_unimodal(v: &[u64]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::SearchSpace;
     use swpf_sim::MachineConfig;
     use swpf_workloads::{Scale, WorkloadId};
 
@@ -474,6 +477,34 @@ mod tests {
             "golden {} vs exhaustive {}",
             golden.points_evaluated(),
             full.points_evaluated()
+        );
+    }
+
+    /// The same strategies search pipeline orderings: both the oracle
+    /// and the budgeted hill-climb seed with the default full pipeline,
+    /// so the searched pipeline is never worse than the default.
+    #[test]
+    fn strategies_search_pipeline_orderings_too() {
+        let w = WorkloadId::Is.instantiate(Scale::Test);
+        let machines = [MachineConfig::a53()];
+        let space = crate::PipelineSpace::paper_default();
+        let mut eval = Evaluator::new(w.as_ref(), &machines);
+        let default_cycles = eval.cycles(&space.heuristic, 0);
+
+        let oracle = Exhaustive.tune(&space, 0, &mut eval);
+        assert!(oracle.best_cycles() <= default_cycles);
+        assert_eq!(
+            oracle.points_evaluated(),
+            space.pipelines.len(),
+            "the oracle visits every candidate pipeline exactly once"
+        );
+
+        let hill = HillClimb::default().tune(&space, 0, &mut eval);
+        assert!(hill.best_cycles() <= default_cycles);
+        assert_eq!(
+            eval.interpretations(),
+            space.pipelines.len(),
+            "hill-climbing re-walks points the oracle already evaluated"
         );
     }
 

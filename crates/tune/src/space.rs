@@ -1,11 +1,64 @@
-//! The searchable slice of the pass's parameter space.
+//! The searchable slices of the pass's parameter space.
 //!
-//! The primary axis is the look-ahead distance `c` of eq. (1) — the
-//! knob Fig. 2 motivates and Fig. 6 sweeps. Secondary axes are pass
-//! toggles (the stride companion of §4.3, hoisting of §4.6) that
-//! strategies exploring the full space (hill-climbing) may flip.
+//! Two concrete spaces behind one [`Space`] abstraction:
+//!
+//! * [`SearchSpace`] — the paper's knob space. The primary axis is the
+//!   look-ahead distance `c` of eq. (1) — the knob Fig. 2 motivates and
+//!   Fig. 6 sweeps. Secondary axes are pass toggles (the stride
+//!   companion of §4.3, hoisting of §4.6) that strategies exploring the
+//!   full space (hill-climbing) may flip.
+//! * [`PipelineSpace`] — the cleanup-pipeline space: candidate pass
+//!   *orderings* (`"swpf,gvn,sccp,licm,cse,dce"` and friends), so the
+//!   same strategies search which cleanup pipeline minimises simulated
+//!   cycles per workload × machine.
 
-use swpf_core::PassConfig;
+use swpf_core::{PassConfig, Pipeline};
+
+/// A finite, indexable slice of [`PassConfig`] space that the
+/// [`crate::Strategy`] implementations can search: an ordered axis of
+/// candidate configurations plus a distinguished heuristic (seed)
+/// configuration. Object-safe so strategies stay `&dyn`-composable.
+pub trait Space {
+    /// Number of points on the primary axis.
+    fn len(&self) -> usize;
+
+    /// Whether the primary axis is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configuration at axis index `i` (non-axis knobs from the
+    /// heuristic).
+    fn at(&self, i: usize) -> PassConfig;
+
+    /// The reference configuration every strategy evaluates first, so a
+    /// tuned result is never worse than it by construction.
+    fn heuristic(&self) -> &PassConfig;
+
+    /// The axis index nearest the heuristic — the hill-climber's
+    /// deterministic starting cell.
+    fn heuristic_index(&self) -> usize;
+
+    /// Whether strategies exploring the full space may toggle the
+    /// stride companion (§4.3).
+    fn toggle_stride_companion(&self) -> bool {
+        false
+    }
+
+    /// Whether strategies exploring the full space may toggle hoisting
+    /// (§4.6).
+    fn toggle_hoisting(&self) -> bool {
+        false
+    }
+
+    /// Validate the shape strategies rely on.
+    ///
+    /// # Panics
+    /// On a malformed space — a tuning-configuration error.
+    fn assert_well_formed(&self) {
+        assert!(self.len() > 0, "empty search space");
+    }
+}
 
 /// Candidate look-ahead distances of [`SearchSpace::paper_default`]:
 /// 2–256 iterations in ~1.25× steps. Dense enough that bracketing
@@ -115,6 +168,130 @@ impl SearchSpace {
     }
 }
 
+impl Space for SearchSpace {
+    fn len(&self) -> usize {
+        SearchSpace::len(self)
+    }
+
+    fn at(&self, i: usize) -> PassConfig {
+        SearchSpace::at(self, i)
+    }
+
+    fn heuristic(&self) -> &PassConfig {
+        &self.heuristic
+    }
+
+    fn heuristic_index(&self) -> usize {
+        SearchSpace::heuristic_index(self)
+    }
+
+    fn toggle_stride_companion(&self) -> bool {
+        self.toggle_stride_companion
+    }
+
+    fn toggle_hoisting(&self) -> bool {
+        self.toggle_hoisting
+    }
+
+    fn assert_well_formed(&self) {
+        SearchSpace::assert_well_formed(self);
+    }
+}
+
+/// The searchable space of cleanup-pipeline *orderings*: each axis
+/// point is the heuristic configuration compiled through a different
+/// pass pipeline. The axis is categorical (no unimodality claim), so
+/// the exhaustive oracle and the budgeted hill-climb are the natural
+/// strategies; both seed with the heuristic (default) pipeline, so a
+/// searched pipeline is never worse than the default by construction.
+#[derive(Debug, Clone)]
+pub struct PipelineSpace {
+    /// Candidate pipelines, in fixed probe order.
+    pub pipelines: Vec<Pipeline>,
+    /// The reference configuration: the paper heuristic's knobs with
+    /// the default full cleanup pipeline ([`DEFAULT_FULL_PIPELINE`]).
+    pub heuristic: PassConfig,
+}
+
+/// The default (heuristic) cleanup pipeline a searched one must beat:
+/// prefetch generation, the global passes in dependency-friendly order
+/// (GVN exposes loop-invariant leaders for LICM; SCCP folds before
+/// local cleanup), then local CSE + DCE.
+pub const DEFAULT_FULL_PIPELINE: &str = "swpf,gvn,sccp,licm,cse,dce";
+
+impl PipelineSpace {
+    /// The curated candidate set: the bare pass (no cleanup), the
+    /// local-only pipeline, single-global-pass pipelines, and the full
+    /// pipeline in several orderings. Small enough for the
+    /// exhaustive oracle at every scale, diverse enough that ordering
+    /// effects (e.g. GVN before vs. after LICM) are observable.
+    ///
+    /// # Panics
+    /// Never: every spec in the set is valid.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let specs = [
+            DEFAULT_FULL_PIPELINE,
+            "swpf",
+            "swpf,cse,dce",
+            "swpf,gvn,dce",
+            "swpf,licm,cse,dce",
+            "swpf,sccp,gvn,licm,cse,dce",
+            "swpf,licm,gvn,sccp,cse,dce",
+            "swpf,gvn,sccp,licm,dce",
+        ];
+        let pipelines = specs
+            .iter()
+            .map(|s| s.parse::<Pipeline>().expect("curated specs are valid"))
+            .collect();
+        let heuristic = PassConfig {
+            pipeline: DEFAULT_FULL_PIPELINE
+                .parse()
+                .expect("default pipeline spec is valid"),
+            ..PassConfig::default()
+        };
+        PipelineSpace {
+            pipelines,
+            heuristic,
+        }
+    }
+}
+
+impl Space for PipelineSpace {
+    fn len(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    fn at(&self, i: usize) -> PassConfig {
+        PassConfig {
+            pipeline: self.pipelines[i].clone(),
+            ..self.heuristic.clone()
+        }
+    }
+
+    fn heuristic(&self) -> &PassConfig {
+        &self.heuristic
+    }
+
+    fn heuristic_index(&self) -> usize {
+        assert!(!self.pipelines.is_empty(), "empty pipeline axis");
+        self.pipelines
+            .iter()
+            .position(|p| *p == self.heuristic.pipeline)
+            .unwrap_or(0)
+    }
+
+    fn assert_well_formed(&self) {
+        assert!(!self.pipelines.is_empty(), "empty pipeline axis");
+        for (i, p) in self.pipelines.iter().enumerate() {
+            assert!(
+                !self.pipelines[..i].contains(p),
+                "duplicate pipeline candidate `{p}`"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +316,35 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_axes_are_rejected() {
         SearchSpace::distance_only(vec![16, 4]).assert_well_formed();
+    }
+
+    #[test]
+    fn pipeline_space_is_well_formed_and_seeded_at_the_default() {
+        let ps = PipelineSpace::paper_default();
+        ps.assert_well_formed();
+        assert_eq!(
+            ps.pipelines[ps.heuristic_index()],
+            ps.heuristic.pipeline,
+            "the hill-climber starts at the default pipeline"
+        );
+        assert_eq!(ps.heuristic.pipeline.to_string(), DEFAULT_FULL_PIPELINE);
+        // The bare pass and the local-only pipeline are candidates, so
+        // the search can conclude cleanup does not pay on a cell.
+        assert!(ps.pipelines.iter().any(|p| p.to_string() == "swpf"));
+        assert!(ps.pipelines.iter().any(|p| p.to_string() == "swpf,cse,dce"));
+        // Non-pipeline knobs of every axis point come from the heuristic.
+        for i in 0..Space::len(&ps) {
+            let c = ps.at(i);
+            assert_eq!(c.look_ahead, ps.heuristic.look_ahead);
+            assert_eq!(c.stride_companion, ps.heuristic.stride_companion);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pipeline")]
+    fn duplicate_pipeline_candidates_are_rejected() {
+        let mut ps = PipelineSpace::paper_default();
+        ps.pipelines.push("swpf".parse().unwrap());
+        ps.assert_well_formed();
     }
 }

@@ -9,13 +9,28 @@
 //!   -c <n>         look-ahead constant (default 64)
 //!   --no-stride    disable the stride companion prefetch
 //!   --max-depth <n> cap the indirect stagger depth
-//!   --passes <spec> pass pipeline, e.g. swpf,cse,dce (default swpf)
+//!   --passes <spec> comma-separated pass pipeline, e.g.
+//!                  swpf,gvn,sccp,licm,cse,dce (default swpf; see --list)
+//!   --list         list the available passes and exit
 //!   --icc-like     run the restricted stride-indirect baseline instead
 //!   --report-only  print only the report, not the module
 //! ```
 
 use std::io::Read as _;
-use swpf::pass::{icc_like, run_on_module, PassConfig};
+use swpf::pass::{icc_like, run_on_module, PassConfig, PassName, PASS_NAMES};
+
+/// One-line description of each pipeline pass for `--list`.
+fn pass_blurb(p: PassName) -> &'static str {
+    match p {
+        PassName::Swpf => "software-prefetch generation for indirect accesses (Algorithm 1)",
+        PassName::Gvn => "dominator-scoped global value numbering",
+        PassName::Sccp => "sparse conditional constant propagation (trap-preserving)",
+        PassName::Licm => "loop-invariant code motion (fault-avoiding hoists only)",
+        PassName::Cse => "block-local common-subexpression elimination",
+        PassName::Dce => "dead-code elimination",
+        PassName::Verify => "verification checkpoint (asserts invariants, changes nothing)",
+    }
+}
 
 fn main() {
     let mut config = PassConfig::default();
@@ -48,8 +63,21 @@ fn main() {
             }
             "--icc-like" => use_icc = true,
             "--report-only" => report_only = true,
+            "--list" => {
+                println!("passes (combine with --passes as a comma-separated spec,");
+                println!("e.g. --passes swpf,gvn,sccp,licm,cse,dce):");
+                for p in PASS_NAMES {
+                    println!("  {:<7} {}", p.as_str(), pass_blurb(p));
+                }
+                return;
+            }
             "-h" | "--help" => {
-                eprintln!("usage: swpf-opt [-c N] [--no-stride] [--max-depth N] [--allow-pure-calls] [--no-hoisting] [--passes SPEC] [--icc-like] [--report-only] [input.swir]");
+                eprintln!("usage: swpf-opt [-c N] [--no-stride] [--max-depth N] [--allow-pure-calls] [--no-hoisting] [--passes SPEC] [--list] [--icc-like] [--report-only] [input.swir]");
+                eprintln!(
+                    "  --passes SPEC   comma-separated pipeline over {}",
+                    PassName::valid_tokens()
+                );
+                eprintln!("  --list          list the available passes and exit");
                 return;
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),

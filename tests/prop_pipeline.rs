@@ -19,13 +19,17 @@ use swpf_ir::verifier::verify_module;
 
 /// Every pipeline spec the suite exercises (the catalogue of composable
 /// stages, in meaningful orders).
-const SPECS: [&str; 6] = [
+const SPECS: [&str; 10] = [
     "swpf",
     "swpf,dce",
     "swpf,cse",
     "swpf,cse,dce",
     "swpf,dce,cse",
-    "verify,swpf,verify,cse,verify,dce,verify",
+    "swpf,gvn,dce",
+    "swpf,sccp,cse",
+    "swpf,licm,gvn,dce",
+    "swpf,gvn,sccp,licm,cse,dce",
+    "verify,swpf,verify,gvn,verify,sccp,verify,licm,verify,cse,verify,dce,verify",
 ];
 
 /// Compile, then prove the text round-trips: print → parse → verify →
